@@ -1,0 +1,1 @@
+examples/fleet_simulation.ml: List Printf Softborg Softborg_util

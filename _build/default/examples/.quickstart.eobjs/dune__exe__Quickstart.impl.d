@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Printf Softborg Softborg_hive Softborg_pod Softborg_prog Softborg_tree Softborg_util

@@ -1,0 +1,104 @@
+(* Deadlock immunity end to end (paper §3.3, after Jula et al. [16]).
+
+   Phase 1: systematic schedule exploration shows the worker-pool
+   corpus program deadlocks under some interleavings (a latent lock
+   inversion).
+
+   Phase 1b: the same schedules under immunity instrumentation stop
+   deadlocking.
+
+   Phase 2: a fleet runs the program in the wild; the hive mines the
+   lock-order cycle from by-products, synthesizes deadlock-immunity
+   instrumentation, pushes it to the pods, and the deadlock rate drops
+   to zero — at the cost of a few deferred lock acquisitions.
+
+   Run with: dune exec examples/deadlock_immunity.exe *)
+
+module Corpus = Softborg_prog.Corpus
+module Env = Softborg_exec.Env
+module Outcome = Softborg_exec.Outcome
+module Schedule_explore = Softborg_conc.Schedule_explore
+module Immunity = Softborg_conc.Immunity
+module Platform = Softborg.Platform
+module Scenario = Softborg.Scenario
+module Metrics = Softborg.Metrics
+module Knowledge = Softborg_hive.Knowledge
+module Fixgen = Softborg_hive.Fixgen
+module Pod = Softborg_pod.Pod
+module Workload = Softborg_pod.Workload
+module Tabular = Softborg_util.Tabular
+
+let make_env () = Env.make ~seed:3 ~inputs:[| 2 |] ()
+
+let count_outcomes result =
+  List.fold_left
+    (fun (deadlocks, ok) (outcome, _) ->
+      match outcome with
+      | Outcome.Deadlock _ -> (deadlocks + 1, ok)
+      | _ -> (deadlocks, ok + 1))
+    (0, 0) result.Schedule_explore.outcomes
+
+let () =
+  print_endline "Phase 1: schedule exploration exposes the latent deadlock";
+  let unprotected =
+    Schedule_explore.explore ~max_runs:150 ~program:Corpus.worker_pool ~make_env ()
+  in
+  let deadlocks, clean = count_outcomes unprotected in
+  Printf.printf "  %d distinct schedules explored: %d deadlock, %d complete\n"
+    unprotected.Schedule_explore.distinct_schedules deadlocks clean;
+
+  print_endline "\nPhase 1b: the same schedules under immunity instrumentation";
+  let immunizer = Immunity.create ~patterns:[ [ 0; 1 ] ] in
+  let protected_ =
+    Schedule_explore.explore ~max_runs:150 ~hooks:(Immunity.hooks immunizer)
+      ~program:Corpus.worker_pool ~make_env ()
+  in
+  let deadlocks_after, clean_after = count_outcomes protected_ in
+  Printf.printf "  %d distinct schedules explored: %d deadlock, %d complete\n"
+    protected_.Schedule_explore.distinct_schedules deadlocks_after clean_after;
+
+  print_endline "\nPhase 2: the fleet learns immunity from collective by-products";
+  let config = Scenario.single_program Corpus.worker_pool in
+  let config =
+    {
+      config with
+      Platform.duration = 1200.0;
+      sample_interval = 150.0;
+      n_pods = 8;
+      pod_config =
+        {
+          config.Platform.pod_config with
+          (* Even inputs arm the inversion; keep them common. *)
+          Pod.workload = Workload.Uniform_inputs { lo = 0; hi = 7 };
+          arrival_rate = 1.0;
+          fault_probability = 0.0;
+        };
+    }
+  in
+  let report = Platform.run config in
+  let rows =
+    List.map
+      (fun (w : Metrics.window) ->
+        [
+          Printf.sprintf "%.0f-%.0f" w.Metrics.t_start w.Metrics.t_end;
+          string_of_int w.Metrics.w_sessions;
+          string_of_int w.Metrics.w_failures;
+        ])
+      (Metrics.windows report.Platform.snapshots)
+  in
+  Tabular.print ~title:"Deadlocks experienced by users over time"
+    [
+      Tabular.column "window";
+      Tabular.column ~align:Tabular.Right "sessions";
+      Tabular.column ~align:Tabular.Right "deadlocks";
+    ]
+    rows;
+  List.iter
+    (fun k ->
+      List.iter (fun fix -> Format.printf "  deployed: %a@." Fixgen.pp fix) (Knowledge.fixes k))
+    report.Platform.knowledge;
+  let final = report.Platform.final in
+  Printf.printf
+    "\nfinal: %d sessions, %d deadlocks reached users, %d lock acquisitions deferred (avoidance overhead %.4f/session)\n"
+    final.Metrics.sessions final.Metrics.user_failures final.Metrics.deferred_acquisitions
+    (float_of_int final.Metrics.deferred_acquisitions /. float_of_int (max 1 final.Metrics.sessions))

@@ -1,0 +1,78 @@
+(* Execution guidance: accelerated learning (paper §3.3, experiment E4).
+
+   Under a realistic Zipf-skewed workload, the parser's crash inputs
+   (7 / 13 / 5-mod-32) essentially never occur naturally: common paths
+   saturate the execution tree early and the rare corner stays dark.
+   With guidance, the hive notices the unexplored directions, asks the
+   symbolic engine for inputs that reach them, steers a pod there, and
+   finds (and fixes) the bug before any real user hits it.
+
+   Run with: dune exec examples/guided_exploration.exe *)
+
+module Platform = Softborg.Platform
+module Scenario = Softborg.Scenario
+module Metrics = Softborg.Metrics
+module Corpus = Softborg_prog.Corpus
+module Hive = Softborg_hive.Hive
+module Knowledge = Softborg_hive.Knowledge
+module Fixgen = Softborg_hive.Fixgen
+module Exec_tree = Softborg_tree.Exec_tree
+module Pod = Softborg_pod.Pod
+module Workload = Softborg_pod.Workload
+module Tabular = Softborg_util.Tabular
+
+let run ~guidance =
+  let config = Scenario.single_program Corpus.parser in
+  let hive_config =
+    { config.Platform.hive_config with Hive.guidance_max = (if guidance then 8 else 0) }
+  in
+  let config =
+    {
+      config with
+      Platform.duration = 600.0;
+      sample_interval = 100.0;
+      hive_config;
+      pod_config =
+        {
+          config.Platform.pod_config with
+          Pod.workload = Workload.Zipf_inputs { lo = 0; hi = 191; exponent = 1.3 };
+          arrival_rate = 2.0;
+        };
+    }
+  in
+  Platform.run config
+
+let describe name report =
+  let final = report.Platform.final in
+  let k = List.hd report.Platform.knowledge in
+  let fixes = List.filter Fixgen.is_deployable (Knowledge.fixes k) in
+  [
+    name;
+    string_of_int final.Metrics.sessions;
+    string_of_int final.Metrics.guided_runs;
+    string_of_int (Exec_tree.n_distinct_paths (Knowledge.tree k));
+    Tabular.fmt_pct (Exec_tree.completeness (Knowledge.tree k));
+    string_of_int (List.length fixes);
+    string_of_int final.Metrics.user_failures;
+  ]
+
+let () =
+  print_endline "Guided exploration: finding the rare-path bug before users do";
+  let natural = run ~guidance:false in
+  let guided = run ~guidance:true in
+  Tabular.print ~title:"Natural Zipf workload vs hive-guided exploration (600s, 6 pods)"
+    [
+      Tabular.column "mode";
+      Tabular.column ~align:Tabular.Right "sessions";
+      Tabular.column ~align:Tabular.Right "guided runs";
+      Tabular.column ~align:Tabular.Right "tree paths";
+      Tabular.column ~align:Tabular.Right "completeness";
+      Tabular.column ~align:Tabular.Right "fixes";
+      Tabular.column ~align:Tabular.Right "user failures";
+    ]
+    [ describe "natural" natural; describe "guided" guided ];
+  print_newline ();
+  let k = List.hd guided.Platform.knowledge in
+  List.iter (fun fix -> Format.printf "guided run found: %a@." Fixgen.pp fix) (Knowledge.fixes k);
+  if guided.Platform.final.Metrics.user_failures = 0 then
+    print_endline "\nWith guidance, the bug was found and fixed before any user-visible failure."

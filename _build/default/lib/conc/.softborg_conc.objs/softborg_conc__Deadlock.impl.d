@@ -1,0 +1,1 @@
+lib/conc/deadlock.ml: Format Int List Lock_graph Option Softborg_exec String

@@ -1,0 +1,1 @@
+lib/conc/deadlock.mli: Format Softborg_exec

@@ -1,0 +1,1 @@
+lib/conc/immunity.ml: Int List Softborg_exec

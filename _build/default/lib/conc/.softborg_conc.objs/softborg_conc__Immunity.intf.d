@@ -1,0 +1,1 @@
+lib/conc/immunity.mli: Softborg_exec

@@ -1,0 +1,1 @@
+lib/conc/lock_graph.ml: Format Hashtbl Int List Map Option Set Softborg_exec

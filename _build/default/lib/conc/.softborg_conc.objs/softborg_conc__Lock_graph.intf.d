@@ -1,0 +1,1 @@
+lib/conc/lock_graph.mli: Format Softborg_exec

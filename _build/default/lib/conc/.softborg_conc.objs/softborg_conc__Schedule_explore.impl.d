@@ -1,0 +1,1 @@
+lib/conc/schedule_explore.ml: Array Hashtbl List Queue Softborg_exec Softborg_prog

@@ -1,0 +1,1 @@
+lib/conc/schedule_explore.mli: Softborg_exec Softborg_prog

@@ -1,0 +1,52 @@
+module Outcome = Softborg_exec.Outcome
+module Interp = Softborg_exec.Interp
+
+type pattern = {
+  locks : int list;
+  manifested : int;
+  predicted : bool;
+}
+
+type t = {
+  graph : Lock_graph.t;
+  mutable manifested : (int list * int) list;  (* lock set -> deadlock count *)
+}
+
+let create () = { graph = Lock_graph.create (); manifested = [] }
+
+let bump assoc key =
+  let rec loop = function
+    | [] -> [ (key, 1) ]
+    | (k, n) :: rest when k = key -> (k, n + 1) :: rest
+    | pair :: rest -> pair :: loop rest
+  in
+  loop assoc
+
+let observe t ~outcome ~locks =
+  Lock_graph.add_events t.graph locks;
+  match outcome with
+  | Outcome.Deadlock { waiting } ->
+    let lock_set = List.map snd waiting |> List.sort_uniq Int.compare in
+    t.manifested <- bump t.manifested lock_set
+  | Outcome.Success | Outcome.Crash _ | Outcome.Hang -> ()
+
+let patterns t =
+  let cycles = Lock_graph.cycles t.graph in
+  let manifested_sets = List.map fst t.manifested in
+  let all_sets = List.sort_uniq compare (cycles @ manifested_sets) in
+  List.map
+    (fun locks ->
+      {
+        locks;
+        manifested = Option.value ~default:0 (List.assoc_opt locks t.manifested);
+        predicted = List.mem locks cycles;
+      })
+    all_sets
+  |> List.sort (fun (a : pattern) (b : pattern) -> Int.compare b.manifested a.manifested)
+
+let pattern_count t = List.length (patterns t)
+
+let pp_pattern fmt p =
+  Format.fprintf fmt "{locks=%s manifested=%d predicted=%b}"
+    (String.concat "," (List.map string_of_int p.locks))
+    p.manifested p.predicted

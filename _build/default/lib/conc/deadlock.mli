@@ -1,0 +1,32 @@
+(** Deadlock-pattern mining.
+
+    The hive identifies deadlock patterns two ways: directly, from
+    traces whose outcome is a manifested deadlock (the wait-for cycle
+    names the locks), and predictively, from lock-order cycles observed
+    across {e successful} runs — a lock inversion is dangerous even
+    before any user hits the unlucky interleaving.  A pattern is the
+    set of locks involved; it is what deadlock-immunity instrumentation
+    ({!Immunity}) consumes. *)
+
+module Outcome := Softborg_exec.Outcome
+module Interp := Softborg_exec.Interp
+
+type pattern = {
+  locks : int list;  (** Sorted, deduplicated lock set. *)
+  manifested : int;  (** Executions that actually deadlocked on it. *)
+  predicted : bool;  (** Also (or only) found as a lock-order cycle. *)
+}
+
+type t
+
+val create : unit -> t
+
+val observe : t -> outcome:Outcome.t -> locks:Interp.lock_event list -> unit
+(** Fold one execution's evidence into the miner. *)
+
+val patterns : t -> pattern list
+(** Current patterns, most-manifested first. *)
+
+val pattern_count : t -> int
+
+val pp_pattern : Format.formatter -> pattern -> unit

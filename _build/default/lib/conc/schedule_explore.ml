@@ -1,0 +1,54 @@
+module Ir = Softborg_prog.Ir
+module Env = Softborg_exec.Env
+module Outcome = Softborg_exec.Outcome
+module Interp = Softborg_exec.Interp
+module Sched = Softborg_exec.Sched
+
+type result = {
+  runs : int;
+  distinct_schedules : int;
+  outcomes : (Outcome.t * int list) list;
+  failures : (Outcome.t * int list) list;
+}
+
+let explore ?(max_runs = 200) ?hooks ~program ~make_env () =
+  let n_threads = Array.length program.Ir.threads in
+  let seen_schedules = Hashtbl.create 64 in
+  let outcomes = ref [] in
+  let runs = ref 0 in
+  let run_with prefix =
+    incr runs;
+    let r =
+      Interp.run ?hooks ~program ~env:(make_env ()) ~sched:(Sched.Replay prefix) ()
+    in
+    (r.Interp.outcome, r.Interp.schedule)
+  in
+  (* Depth-first branching over contended choices: take an observed
+     schedule, and for each position try every other thread there. *)
+  let queue = Queue.create () in
+  Queue.add [] queue;
+  while (not (Queue.is_empty queue)) && !runs < max_runs do
+    let prefix = Queue.pop queue in
+    let outcome, schedule = run_with prefix in
+    if not (Hashtbl.mem seen_schedules schedule) then begin
+      Hashtbl.replace seen_schedules schedule ();
+      outcomes := (outcome, schedule) :: !outcomes;
+      (* Branch: flip each contended choice at or after the prefix. *)
+      let arr = Array.of_list schedule in
+      for i = List.length prefix to Array.length arr - 1 do
+        for t = 0 to n_threads - 1 do
+          if t <> arr.(i) then begin
+            let branched = Array.to_list (Array.sub arr 0 i) @ [ t ] in
+            Queue.add branched queue
+          end
+        done
+      done
+    end
+  done;
+  let distinct = List.rev !outcomes in
+  {
+    runs = !runs;
+    distinct_schedules = List.length distinct;
+    outcomes = distinct;
+    failures = List.filter (fun (o, _) -> Outcome.is_failure o) distinct;
+  }

@@ -1,0 +1,34 @@
+(** Bounded systematic schedule exploration.
+
+    The hive "may guide P in exploring previously unseen thread
+    schedules" (paper §1, §3.3).  This module enumerates interleavings
+    of a program on fixed inputs by branching on the recorded
+    contended-point choices: re-run with each prefix of an observed
+    schedule extended by a different thread, depth-first, up to a run
+    budget.  It is the tool that turns a latent lock inversion into a
+    {e manifested} deadlock the fix generator can learn from. *)
+
+module Ir := Softborg_prog.Ir
+module Env := Softborg_exec.Env
+module Outcome := Softborg_exec.Outcome
+module Interp := Softborg_exec.Interp
+
+type result = {
+  runs : int;  (** Executions performed. *)
+  distinct_schedules : int;
+  outcomes : (Outcome.t * int list) list;
+      (** Distinct (outcome, schedule) pairs discovered. *)
+  failures : (Outcome.t * int list) list;
+      (** The failing subset, with the schedule that triggers each. *)
+}
+
+val explore :
+  ?max_runs:int ->
+  ?hooks:Interp.hooks ->
+  program:Ir.t ->
+  make_env:(unit -> Env.t) ->
+  unit ->
+  result
+(** Systematically explore interleavings (default [max_runs] 200).
+    [make_env] must build identical environments (same inputs, seed,
+    and fault plan) so that runs differ only in scheduling. *)

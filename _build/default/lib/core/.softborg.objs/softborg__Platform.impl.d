@@ -1,0 +1,1 @@
+lib/core/platform.ml: Format List Metrics Softborg_hive Softborg_net Softborg_pod Softborg_prog Softborg_tree Softborg_util

@@ -1,0 +1,1 @@
+lib/core/platform.mli: Format Metrics Softborg_hive Softborg_net Softborg_pod Softborg_prog

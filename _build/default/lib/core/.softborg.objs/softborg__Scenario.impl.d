@@ -1,0 +1,1 @@
+lib/core/scenario.ml: List Platform Softborg_hive Softborg_net Softborg_prog Softborg_util

@@ -1,0 +1,1 @@
+lib/core/scenario.mli: Platform Softborg_hive Softborg_prog

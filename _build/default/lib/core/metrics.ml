@@ -1,0 +1,57 @@
+type snapshot = {
+  time : float;
+  sessions : int;
+  guided_runs : int;
+  user_failures : int;
+  averted_crashes : int;
+  deferred_acquisitions : int;
+  guard_flags : int;
+  traces_uploaded : int;
+  fixes_deployed : int;
+  proofs_valid : int;
+  tree_paths : int;
+  tree_completeness : float;
+}
+
+let failure_rate s =
+  if s.sessions = 0 then 0.0 else float_of_int s.user_failures /. float_of_int s.sessions
+
+type window = {
+  t_start : float;
+  t_end : float;
+  w_sessions : int;
+  w_failures : int;
+  w_averted : int;
+  w_failure_rate : float;
+}
+
+let windows snapshots =
+  let rec pair acc = function
+    | a :: (b :: _ as rest) ->
+      let w_sessions = b.sessions - a.sessions in
+      let w_failures = b.user_failures - a.user_failures in
+      let window =
+        {
+          t_start = a.time;
+          t_end = b.time;
+          w_sessions;
+          w_failures;
+          w_averted = b.averted_crashes - a.averted_crashes;
+          w_failure_rate =
+            (if w_sessions = 0 then 0.0 else float_of_int w_failures /. float_of_int w_sessions);
+        }
+      in
+      pair (window :: acc) rest
+    | [ _ ] | [] -> List.rev acc
+  in
+  pair [] snapshots
+
+let pp_snapshot fmt s =
+  Format.fprintf fmt
+    "t=%-7.0f sessions=%-6d failures=%-5d averted=%-5d fixes=%-3d proofs=%-2d paths=%-5d"
+    s.time s.sessions s.user_failures s.averted_crashes s.fixes_deployed s.proofs_valid
+    s.tree_paths
+
+let pp_window fmt w =
+  Format.fprintf fmt "[%6.0f,%6.0f) sessions=%-5d failures=%-4d rate=%.4f" w.t_start w.t_end
+    w.w_sessions w.w_failures w.w_failure_rate

@@ -1,0 +1,39 @@
+(** Platform-level metric time series.
+
+    The paper's central hypothesis — "the more a program is used, the
+    more reliable it should become" (§2) — is a statement about a
+    trajectory, so the platform records periodic snapshots of the
+    whole fleet and derives windowed rates from consecutive ones. *)
+
+type snapshot = {
+  time : float;  (** Simulation time of the snapshot. *)
+  sessions : int;  (** Cumulative natural sessions across pods. *)
+  guided_runs : int;
+  user_failures : int;  (** Cumulative failures users experienced. *)
+  averted_crashes : int;
+  deferred_acquisitions : int;
+  guard_flags : int;
+  traces_uploaded : int;
+  fixes_deployed : int;
+  proofs_valid : int;
+  tree_paths : int;  (** Distinct execution-tree paths at the hive. *)
+  tree_completeness : float;
+}
+
+val failure_rate : snapshot -> float
+(** Cumulative failures per session (0 when no sessions). *)
+
+type window = {
+  t_start : float;
+  t_end : float;
+  w_sessions : int;  (** Sessions within the window. *)
+  w_failures : int;
+  w_averted : int;
+  w_failure_rate : float;  (** Failures per session within the window. *)
+}
+
+val windows : snapshot list -> window list
+(** Consecutive-snapshot deltas (empty for fewer than two snapshots). *)
+
+val pp_snapshot : Format.formatter -> snapshot -> unit
+val pp_window : Format.formatter -> window -> unit

@@ -1,0 +1,152 @@
+module Rng = Softborg_util.Rng
+module Ir = Softborg_prog.Ir
+module Generator = Softborg_prog.Generator
+module Sim = Softborg_net.Sim
+module Transport = Softborg_net.Transport
+module Hive = Softborg_hive.Hive
+module Knowledge = Softborg_hive.Knowledge
+module Prover = Softborg_hive.Prover
+module Exec_tree = Softborg_tree.Exec_tree
+module Pod = Softborg_pod.Pod
+
+type config = {
+  seed : int;
+  n_pods : int;
+  programs : Ir.t list;
+  duration : float;
+  sample_interval : float;
+  pod_config : Pod.config;
+  hive_config : Hive.config;
+  transport_config : Transport.config;
+  cbi_sampling_rate : int;
+}
+
+let default_programs seed =
+  let rng = Rng.create seed in
+  List.init 3 (fun i ->
+      let bugs =
+        match i with
+        | 0 -> [ Generator.Rare_assert; Generator.Unchecked_syscall ]
+        | 1 -> [ Generator.Div_by_zero ]
+        | _ -> [ Generator.Deadlock_pair ]
+      in
+      fst (Generator.generate rng { Generator.default_params with Generator.bugs }))
+
+let default_config ?(mode = Hive.Full) () =
+  {
+    seed = 42;
+    n_pods = 8;
+    programs = default_programs 42;
+    duration = 600.0;
+    sample_interval = 60.0;
+    pod_config = Pod.default_config;
+    hive_config = Hive.default_config mode;
+    transport_config = Transport.default_config;
+    cbi_sampling_rate = 100;
+  }
+
+type report = {
+  snapshots : Metrics.snapshot list;
+  final : Metrics.snapshot;
+  hive_stats : Hive.stats;
+  pod_metrics : Pod.metrics list;
+  transport_stats : Transport.stats list;
+  knowledge : Knowledge.t list;
+}
+
+let upload_mode config =
+  match config.hive_config.Hive.mode with
+  | Hive.Full -> Pod.Full_traces
+  | Hive.Wer -> Pod.Outcomes_only
+  | Hive.Cbi -> Pod.Sampled_reports config.cbi_sampling_rate
+
+let snapshot ~time ~pods ~hive ~knowledge_list =
+  let sum f = List.fold_left (fun acc pod -> acc + f (Pod.metrics pod)) 0 pods in
+  let hive_stats = Hive.stats hive in
+  let proofs_valid =
+    List.fold_left (fun acc k -> acc + List.length (Knowledge.valid_proofs k)) 0 knowledge_list
+  in
+  let tree_paths =
+    List.fold_left (fun acc k -> acc + Exec_tree.n_distinct_paths (Knowledge.tree k)) 0 knowledge_list
+  in
+  let completeness =
+    match knowledge_list with
+    | [] -> 1.0
+    | ks ->
+      List.fold_left (fun acc k -> acc +. Exec_tree.completeness (Knowledge.tree k)) 0.0 ks
+      /. float_of_int (List.length ks)
+  in
+  {
+    Metrics.time;
+    sessions = sum (fun m -> m.Pod.sessions);
+    guided_runs = sum (fun m -> m.Pod.guided_runs);
+    user_failures = sum (fun m -> m.Pod.user_failures);
+    averted_crashes = sum (fun m -> m.Pod.averted_crashes);
+    deferred_acquisitions = sum (fun m -> m.Pod.deferred_acquisitions);
+    guard_flags = sum (fun m -> m.Pod.guard_flags);
+    traces_uploaded = sum (fun m -> m.Pod.traces_uploaded);
+    fixes_deployed = hive_stats.Hive.fixes_deployed;
+    proofs_valid;
+    tree_paths;
+    tree_completeness = completeness;
+  }
+
+let run config =
+  let sim = Sim.create () in
+  let rng = Rng.create config.seed in
+  let hive = Hive.create ~config:config.hive_config ~sim () in
+  List.iter (fun program -> ignore (Hive.register_program hive program)) config.programs;
+  let pod_upload = upload_mode config in
+  let pods, pod_endpoints =
+    List.init config.n_pods (fun i ->
+        let program = List.nth config.programs (i mod List.length config.programs) in
+        let pod_end, hive_end =
+          Transport.endpoint_pair ~config:config.transport_config ~sim ~rng:(Rng.split rng) ()
+        in
+        Hive.attach_pod hive hive_end;
+        let pod_config = { config.pod_config with Pod.upload = pod_upload } in
+        let pod =
+          Pod.create ~config:pod_config ~sim ~rng:(Rng.split rng) ~program ~endpoint:pod_end ()
+        in
+        (pod, pod_end))
+    |> List.split
+  in
+  Hive.start hive;
+  List.iter Pod.start pods;
+  let knowledge_list = Hive.knowledge_list hive in
+  let snapshots = ref [ snapshot ~time:0.0 ~pods ~hive ~knowledge_list ] in
+  let rec sample at =
+    if at <= config.duration then
+      Sim.schedule_at sim ~time:at (fun () ->
+          snapshots := snapshot ~time:at ~pods ~hive ~knowledge_list :: !snapshots;
+          sample (at +. config.sample_interval))
+  in
+  sample config.sample_interval;
+  Sim.run ~until:config.duration sim;
+  let snapshots = List.rev !snapshots in
+  let final = List.nth snapshots (List.length snapshots - 1) in
+  {
+    snapshots;
+    final;
+    hive_stats = Hive.stats hive;
+    pod_metrics = List.map Pod.metrics pods;
+    transport_stats = List.map Transport.stats pod_endpoints;
+    knowledge = knowledge_list;
+  }
+
+let pp_report fmt report =
+  Format.fprintf fmt "snapshots:@.";
+  List.iter (fun s -> Format.fprintf fmt "  %a@." Metrics.pp_snapshot s) report.snapshots;
+  let h = report.hive_stats in
+  Format.fprintf fmt
+    "hive: traces=%d ticks=%d fixes=%d fix-updates=%d guidance=%d proofs=%d human-fixes=%d@."
+    h.Hive.traces_received h.Hive.analysis_ticks h.Hive.fixes_deployed h.Hive.fix_updates_sent
+    h.Hive.guidance_sent h.Hive.proofs_established h.Hive.human_fixes_scheduled;
+  List.iter
+    (fun k ->
+      Format.fprintf fmt "program %s: traces=%d failures=%d paths=%d proofs=%d@."
+        (Knowledge.program k).Ir.name (Knowledge.traces_ingested k)
+        (Knowledge.failures_observed k)
+        (Exec_tree.n_distinct_paths (Knowledge.tree k))
+        (List.length (Knowledge.valid_proofs k)))
+    report.knowledge

@@ -1,0 +1,53 @@
+(** The SoftBorg platform: the whole of Figure 1 on one simulated
+    clock.
+
+    A platform run assembles a fleet of pods (each under one instance
+    of a program), a hive, and the lossy network between them, then
+    advances simulated time while user sessions execute, by-products
+    flow up, and fixes, guidance, and proofs flow down.  The same
+    driver runs the two §5 baselines by switching the hive mode and the
+    pods' upload mode:
+
+    - [Hive.Full] + full traces → SoftBorg;
+    - [Hive.Wer] + outcome-only uploads → WER-style crash reporting;
+    - [Hive.Cbi] + sampled predicate reports → Cooperative Bug
+      Isolation. *)
+
+module Ir := Softborg_prog.Ir
+module Transport := Softborg_net.Transport
+module Hive := Softborg_hive.Hive
+module Knowledge := Softborg_hive.Knowledge
+module Pod := Softborg_pod.Pod
+
+type config = {
+  seed : int;
+  n_pods : int;
+  programs : Ir.t list;  (** Assigned to pods round-robin. *)
+  duration : float;  (** Simulated seconds. *)
+  sample_interval : float;  (** Metric snapshot period. *)
+  pod_config : Pod.config;
+      (** Base pod configuration; the upload mode is overridden to
+          match [hive_config.mode]. *)
+  hive_config : Hive.config;
+  transport_config : Transport.config;
+  cbi_sampling_rate : int;  (** Pod sampling rate in CBI mode. *)
+}
+
+val default_config : ?mode:Hive.mode -> unit -> config
+(** 8 pods over the generated-program population defaults. *)
+
+type report = {
+  snapshots : Metrics.snapshot list;  (** Oldest first. *)
+  final : Metrics.snapshot;
+  hive_stats : Hive.stats;
+  pod_metrics : Pod.metrics list;
+  transport_stats : Transport.stats list;  (** Pod-side endpoints. *)
+  knowledge : Knowledge.t list;  (** Final hive knowledge, per program. *)
+}
+
+val run : config -> report
+(** Execute one full platform simulation.  Deterministic in
+    [config.seed]. *)
+
+val pp_report : Format.formatter -> report -> unit
+(** Snapshot series plus final totals, human-readable. *)

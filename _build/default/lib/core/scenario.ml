@@ -1,0 +1,40 @@
+module Rng = Softborg_util.Rng
+module Generator = Softborg_prog.Generator
+module Link = Softborg_net.Link
+module Transport = Softborg_net.Transport
+module Hive = Softborg_hive.Hive
+
+let single_program ?(mode = Hive.Full) ?(seed = 42) program =
+  let base = Platform.default_config ~mode () in
+  { base with Platform.seed; n_pods = 6; programs = [ program ] }
+
+let buggy_population ?(mode = Hive.Full) ?(seed = 42) ?(n_programs = 4) ?(n_pods = 12)
+    ?(bugs = [ Generator.Rare_assert; Generator.Unchecked_syscall; Generator.Div_by_zero ])
+    () =
+  let rng = Rng.create seed in
+  let population =
+    List.init n_programs (fun i ->
+        (* Rotate one bug cocktail per program so the population covers
+           all classes. *)
+        let bug = List.nth bugs (i mod List.length bugs) in
+        Generator.generate rng { Generator.default_params with Generator.bugs = [ bug ] })
+  in
+  let base = Platform.default_config ~mode () in
+  let config =
+    { base with Platform.seed; n_pods; programs = List.map fst population }
+  in
+  (config, population)
+
+let lossy_network config =
+  let link = { Link.drop_probability = 0.10; mean_latency = 0.2; min_latency = 0.02 } in
+  {
+    config with
+    Platform.transport_config = { config.Platform.transport_config with Transport.link };
+  }
+
+let three_way_comparison ?(seed = 42) () =
+  List.map
+    (fun mode ->
+      let config, _ = buggy_population ~mode ~seed () in
+      (Hive.mode_name mode, config))
+    [ Hive.Full; Hive.Wer; Hive.Cbi ]

@@ -1,0 +1,30 @@
+(** Canned platform scenarios.
+
+    Each scenario is a ready-to-run {!Platform.config}; experiments and
+    examples start from these and override what they sweep. *)
+
+module Generator := Softborg_prog.Generator
+module Hive := Softborg_hive.Hive
+
+val single_program : ?mode:Hive.mode -> ?seed:int -> Softborg_prog.Ir.t -> Platform.config
+(** A small fleet (6 pods) all running one program. *)
+
+val buggy_population :
+  ?mode:Hive.mode ->
+  ?seed:int ->
+  ?n_programs:int ->
+  ?n_pods:int ->
+  ?bugs:Generator.bug_kind list ->
+  unit ->
+  Platform.config * (Softborg_prog.Ir.t * Generator.planted list) list
+(** A fleet over a population of generated buggy programs; also
+    returns the planted-bug ground truth for scoring. *)
+
+val lossy_network : Platform.config -> Platform.config
+(** Degrade the network: 10% packet loss, 200ms mean latency.  The
+    reliable transport must still deliver every trace batch. *)
+
+val three_way_comparison :
+  ?seed:int -> unit -> (string * Platform.config) list
+(** The §5 comparison: identical fleet and bug population under
+    SoftBorg, WER, and CBI (experiment E7). *)

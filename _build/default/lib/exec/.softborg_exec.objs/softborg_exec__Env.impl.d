@@ -1,0 +1,1 @@
+lib/exec/env.ml: Array List Printf Softborg_prog Softborg_util

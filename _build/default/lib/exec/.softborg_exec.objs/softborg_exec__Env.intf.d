@@ -1,0 +1,1 @@
+lib/exec/env.mli: Softborg_prog Softborg_util

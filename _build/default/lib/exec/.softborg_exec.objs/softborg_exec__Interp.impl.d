@@ -1,0 +1,1 @@
+lib/exec/interp.ml: Array Env Hashtbl List Outcome Printf Sched Softborg_prog Softborg_util

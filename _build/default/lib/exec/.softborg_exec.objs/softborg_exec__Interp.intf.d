@@ -1,0 +1,1 @@
+lib/exec/interp.mli: Env Outcome Sched Softborg_prog Softborg_util Stdlib

@@ -1,0 +1,1 @@
+lib/exec/outcome.ml: Format Int List Printf Softborg_prog String

@@ -1,0 +1,1 @@
+lib/exec/outcome.mli: Format Softborg_prog

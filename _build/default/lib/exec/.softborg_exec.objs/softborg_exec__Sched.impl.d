@@ -1,0 +1,1 @@
+lib/exec/sched.ml: Array List Softborg_util

@@ -1,0 +1,1 @@
+lib/exec/sched.mli: Softborg_util

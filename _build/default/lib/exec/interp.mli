@@ -1,0 +1,93 @@
+(** The interpreter: SoftBorg's stand-in for an instrumented binary.
+
+    One machine runs in two modes sharing every transition rule:
+
+    - {e record} mode executes concretely against an {!Env.t} and emits
+      the by-products of paper §3.1 — one bit per {e input-dependent}
+      branch (a branch whose condition value is tainted by an input or
+      syscall result), the contended-point thread schedule, the syscall
+      return-value summary, lock events, and the outcome;
+    - {e replay} mode reconstructs the {e full} branch-decision
+      sequence from just the recorded bits and schedule: external
+      values are unknown, deterministic branches are re-computed, and
+      tainted branches consume recorded bits (paper §3.2, Fig. 3).
+
+    Sharing the machine makes "replay reconstructs exactly the recorded
+    path" a structural property rather than a hope; the test suite
+    checks it with property tests over random programs. *)
+
+module Bitvec := Softborg_util.Bitvec
+module Ir := Softborg_prog.Ir
+
+(** Lock by-product events, in execution order. *)
+type lock_event =
+  | Acquired of { thread : int; lock : int; step : int }
+  | Released of { thread : int; lock : int; step : int }
+
+(** Runtime hooks, the mechanism by which synthesized fixes are applied
+    to a running instance (paper §3.3: "runtime-based mechanism or
+    minor instrumentation").  [on_lock_request] may defer an
+    acquisition to keep the program out of a known deadlock pattern;
+    the deferred thread spins and retries.  [on_crash] may suppress a
+    crash at a known bug site (Perkins-style deployed patching): the
+    failing instruction is skipped, an [Assign] target takes 0, and
+    execution continues.  Suppression applies to [Assign] and [Assert]
+    instructions only; a crash while evaluating a branch condition
+    always propagates. *)
+type hooks = {
+  on_lock_request :
+    thread:int -> lock:int -> holding:int list -> owner:(int -> int option) ->
+    [ `Proceed | `Defer ];
+  on_crash : site:Ir.site -> kind:Outcome.crash_kind -> [ `Suppress | `Propagate ];
+}
+
+val no_hooks : hooks
+
+type result = {
+  outcome : Outcome.t;
+  bits : Bitvec.t;  (** Input-dependent branch decisions, execution order. *)
+  full_path : (Ir.site * bool) list;
+      (** Every branch decision, including deterministic ones — the
+          ground-truth path (what replay must reconstruct). *)
+  schedule : int list;  (** Thread chosen at each contended scheduling point. *)
+  syscalls : (Ir.syscall_kind * int) list;  (** Return-value summary. *)
+  lock_events : lock_event list;
+  steps : int;  (** Instructions executed (cost proxy). *)
+  deferred_acquisitions : int;  (** Lock requests the hooks deferred (fix overhead). *)
+  suppressed_crashes : int;  (** Crashes the hooks suppressed (averted failures). *)
+}
+
+val run :
+  ?max_steps:int ->
+  ?hooks:hooks ->
+  program:Ir.t ->
+  env:Env.t ->
+  sched:Sched.policy ->
+  unit ->
+  result
+(** Execute to completion (default [max_steps] 20000; exceeding it
+    yields [Hang]). *)
+
+type reconstruction = {
+  decisions : (Ir.site * bool) list;  (** The full decision sequence. *)
+  locks : lock_event list;
+      (** Lock events along the replayed path — the raw material for
+          deadlock-pattern mining at the hive. *)
+}
+
+val reconstruct :
+  ?hooks:hooks ->
+  program:Ir.t ->
+  bits:Bitvec.t ->
+  schedule:int list ->
+  total_decisions:int ->
+  total_steps:int ->
+  unit ->
+  (reconstruction, string) Stdlib.result
+(** Rebuild the full decision sequence (and lock events) from recorded
+    by-products.  Replays exactly [total_steps] interpreter steps (the
+    recorded execution length — record and replay count steps
+    identically), so paths truncated by a crash or hang reconstruct
+    exactly, including lock events after the last branch decision.
+    Errors if the reconstruction disagrees with [total_decisions] or
+    the bits/schedule are inconsistent with the program. *)

@@ -1,0 +1,44 @@
+module Ir = Softborg_prog.Ir
+
+type crash_kind =
+  | Assertion_failure
+  | Division_by_zero
+
+type t =
+  | Success
+  | Crash of { site : Ir.site; kind : crash_kind; message : string }
+  | Deadlock of { waiting : (int * int) list }
+  | Hang
+
+let is_failure = function Success -> false | Crash _ | Deadlock _ | Hang -> true
+
+let crash_kind_name = function
+  | Assertion_failure -> "assert"
+  | Division_by_zero -> "div0"
+
+let bucket_key = function
+  | Success -> "ok"
+  | Crash { site; kind; _ } ->
+    Printf.sprintf "crash:%s:t%d:%d" (crash_kind_name kind) site.Ir.thread site.Ir.pc
+  | Deadlock { waiting } ->
+    let locks = List.map snd waiting |> List.sort_uniq Int.compare in
+    Printf.sprintf "deadlock:%s" (String.concat "," (List.map string_of_int locks))
+  | Hang -> "hang"
+
+let equal a b =
+  match (a, b) with
+  | Success, Success -> true
+  | Hang, Hang -> true
+  | Crash c1, Crash c2 ->
+    Ir.site_equal c1.site c2.site && c1.kind = c2.kind && String.equal c1.message c2.message
+  | Deadlock d1, Deadlock d2 -> d1.waiting = d2.waiting
+  | (Success | Hang | Crash _ | Deadlock _), _ -> false
+
+let pp fmt = function
+  | Success -> Format.pp_print_string fmt "success"
+  | Crash { site; kind; message } ->
+    Format.fprintf fmt "crash(%s@%a: %s)" (crash_kind_name kind) Ir.pp_site site message
+  | Deadlock { waiting } ->
+    Format.fprintf fmt "deadlock(%s)"
+      (String.concat "," (List.map (fun (t, l) -> Printf.sprintf "t%d->l%d" t l) waiting))
+  | Hang -> Format.pp_print_string fmt "hang"

@@ -1,0 +1,35 @@
+(** Execution outcomes.
+
+    Every end-user execution is a test run (paper §2); its verdict is
+    the outcome label attached to the trace.  The pod determines some
+    outcomes explicitly (crash, deadlock) and infers others from user
+    feedback (hang via forceful termination, §3.1). *)
+
+module Ir := Softborg_prog.Ir
+
+type crash_kind =
+  | Assertion_failure
+  | Division_by_zero
+
+type t =
+  | Success
+  | Crash of { site : Ir.site; kind : crash_kind; message : string }
+  | Deadlock of { waiting : (int * int) list }
+      (** The wait-for cycle: each [(thread, lock)] pair is a thread
+          blocked on a lock held by another member of the cycle. *)
+  | Hang
+      (** Step budget exhausted; in the field this is the execution the
+          user forcefully terminates. *)
+
+val is_failure : t -> bool
+(** Everything except [Success]. *)
+
+val crash_kind_name : crash_kind -> string
+
+val bucket_key : t -> string
+(** WER-style bucketing key: failures with the same key are the same
+    "bucket" (same crash site and kind, or same deadlock lock set).
+    [Success] buckets to ["ok"]. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

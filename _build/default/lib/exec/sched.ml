@@ -1,0 +1,56 @@
+module Rng = Softborg_util.Rng
+
+type policy =
+  | Round_robin
+  | Random_sched of Rng.t
+  | Replay of int list
+  | Guided of { prefix : int list; fallback : Rng.t }
+
+type t = {
+  policy : policy;
+  mutable pending : int list;  (* remaining replay/guided choices *)
+  mutable last : int;  (* last chosen thread, for round-robin *)
+  mutable chosen : int list;  (* reverse-order record of contended choices *)
+}
+
+let create policy =
+  let pending =
+    match policy with Replay l -> l | Guided { prefix; _ } -> prefix | Round_robin | Random_sched _ -> []
+  in
+  { policy; pending; last = -1; chosen = [] }
+
+let round_robin t runnable =
+  (* First runnable thread strictly greater than the last choice,
+     wrapping around. *)
+  match List.find_opt (fun id -> id > t.last) runnable with
+  | Some id -> id
+  | None -> List.hd runnable
+
+let default_choice t runnable =
+  match t.policy with
+  | Random_sched rng | Guided { fallback = rng; _ } -> Rng.choice rng (Array.of_list runnable)
+  | Round_robin | Replay _ -> round_robin t runnable
+
+let choose t ~runnable =
+  match runnable with
+  | [] -> invalid_arg "Sched.choose: no runnable threads"
+  | [ only ] ->
+    t.last <- only;
+    only
+  | _ ->
+    let chosen =
+      match t.pending with
+      | wanted :: rest when List.mem wanted runnable ->
+        t.pending <- rest;
+        wanted
+      | wanted :: rest when not (List.mem wanted runnable) ->
+        (* Skip stale choices (the wanted thread finished or blocked). *)
+        t.pending <- rest;
+        default_choice t runnable
+      | _ -> default_choice t runnable
+    in
+    t.last <- chosen;
+    t.chosen <- chosen :: t.chosen;
+    chosen
+
+let record t = List.rev t.chosen

@@ -1,0 +1,33 @@
+(** Thread schedulers.
+
+    Thread interleavings weave different executions out of identical
+    per-thread paths (paper §3.2), so the schedule is part of the
+    by-product record.  A scheduler picks, at every step, which
+    runnable thread executes next; the choice is recorded only at
+    {e contended} points (more than one runnable thread), which keeps
+    single-threaded schedules empty. *)
+
+module Rng := Softborg_util.Rng
+
+type policy =
+  | Round_robin  (** Deterministic rotation — the default OS-ish baseline. *)
+  | Random_sched of Rng.t  (** Uniform choice; models preemption noise. *)
+  | Replay of int list
+      (** Thread ids to pick at successive contended points; falls back
+          to round-robin when exhausted (used for trace replay). *)
+  | Guided of { prefix : int list; fallback : Rng.t }
+      (** Follow the hive-supplied prefix, then explore randomly —
+          the paper's schedule steering (§3.3). *)
+
+type t
+
+val create : policy -> t
+
+val choose : t -> runnable:int list -> int
+(** [choose t ~runnable] picks one of the (non-empty, ascending)
+    runnable thread ids.  If a replay/guided choice is not currently
+    runnable, the scheduler falls back to its default rather than
+    wedging. *)
+
+val record : t -> int list
+(** Contended-point choices made so far, oldest first. *)

@@ -1,0 +1,1 @@
+lib/hive/allocate.ml: Float List Softborg_util

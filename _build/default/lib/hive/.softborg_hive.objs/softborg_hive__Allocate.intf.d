@@ -1,0 +1,1 @@
+lib/hive/allocate.mli: Softborg_util

@@ -1,0 +1,1 @@
+lib/hive/coop_symexec.ml: Allocate Array Hashtbl List Option Printf Softborg_exec Softborg_net Softborg_prog Softborg_symexec Softborg_tree Softborg_util

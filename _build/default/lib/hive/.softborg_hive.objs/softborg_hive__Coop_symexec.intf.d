@@ -1,0 +1,1 @@
+lib/hive/coop_symexec.mli: Allocate Softborg_net Softborg_prog Softborg_symexec Softborg_tree

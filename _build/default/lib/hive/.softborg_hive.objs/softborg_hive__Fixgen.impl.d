@@ -1,0 +1,1 @@
+lib/hive/fixgen.ml: Array Format Int List Printf Softborg_conc Softborg_exec Softborg_prog Softborg_solver Softborg_symexec Softborg_util String

@@ -1,0 +1,1 @@
+lib/hive/fixgen.mli: Format Softborg_exec Softborg_prog Softborg_solver Softborg_symexec Softborg_util

@@ -1,0 +1,1 @@
+lib/hive/guidance.ml: Array Format List Printf Softborg_exec Softborg_prog Softborg_symexec Softborg_tree Softborg_util String

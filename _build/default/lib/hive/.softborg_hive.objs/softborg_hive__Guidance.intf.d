@@ -1,0 +1,1 @@
+lib/hive/guidance.mli: Format Softborg_prog Softborg_symexec Softborg_tree Softborg_util

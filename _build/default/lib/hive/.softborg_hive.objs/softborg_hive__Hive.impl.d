@@ -1,0 +1,1 @@
+lib/hive/hive.ml: Array Fixgen Guidance Hashtbl Knowledge List Logs Option Protocol Prover Softborg_exec Softborg_net Softborg_prog Softborg_symexec Softborg_trace Softborg_tree

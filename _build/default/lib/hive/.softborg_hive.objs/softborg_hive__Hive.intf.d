@@ -1,0 +1,1 @@
+lib/hive/hive.mli: Knowledge Softborg_net Softborg_prog Softborg_symexec

@@ -1,0 +1,1 @@
+lib/hive/isolate.ml: Float Hashtbl Int List Map Softborg_exec Softborg_prog Softborg_trace

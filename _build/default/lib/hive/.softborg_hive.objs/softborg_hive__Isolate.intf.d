@@ -1,0 +1,1 @@
+lib/hive/isolate.mli: Softborg_exec Softborg_prog Softborg_trace

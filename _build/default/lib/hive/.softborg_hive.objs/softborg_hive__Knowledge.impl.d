@@ -1,0 +1,1 @@
+lib/hive/knowledge.ml: Fixgen Hashtbl Int Isolate List Prover Softborg_conc Softborg_exec Softborg_prog Softborg_solver Softborg_symexec Softborg_trace Softborg_tree Trace_store

@@ -1,0 +1,1 @@
+lib/hive/protocol.ml: Fixgen Guidance Printf Softborg_prog Softborg_trace Softborg_util

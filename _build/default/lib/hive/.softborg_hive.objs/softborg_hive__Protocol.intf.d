@@ -1,0 +1,1 @@
+lib/hive/protocol.mli: Fixgen Guidance Softborg_trace

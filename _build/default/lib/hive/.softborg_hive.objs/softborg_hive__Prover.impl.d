@@ -1,0 +1,1 @@
+lib/hive/prover.ml: Array Format List Option Softborg_conc Softborg_exec Softborg_prog Softborg_symexec Softborg_tree

@@ -1,0 +1,1 @@
+lib/hive/prover.mli: Format Softborg_exec Softborg_prog Softborg_symexec Softborg_tree

@@ -1,0 +1,1 @@
+lib/hive/report.ml: Buffer Fixgen Format Isolate Knowledge List Printf Prover Softborg_prog Softborg_trace Softborg_tree String Trace_store

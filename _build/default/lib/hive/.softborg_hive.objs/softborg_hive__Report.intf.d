@@ -1,0 +1,1 @@
+lib/hive/report.mli: Knowledge

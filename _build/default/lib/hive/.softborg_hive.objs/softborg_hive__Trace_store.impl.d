@@ -1,0 +1,1 @@
+lib/hive/trace_store.ml: Digest Hashtbl Int List Softborg_trace Softborg_util String

@@ -1,0 +1,1 @@
+lib/hive/trace_store.mli: Softborg_trace

@@ -1,0 +1,68 @@
+module Stats = Softborg_util.Stats
+
+type task = {
+  task_id : int;
+  reward : Stats.Online.t;
+}
+
+let task task_id = { task_id; reward = Stats.Online.create () }
+
+let observe_reward t x = Stats.Online.add t.reward x
+
+type policy =
+  | Uniform
+  | Greedy
+  | Mean_variance of { risk_aversion : float }
+
+let policy_name = function
+  | Uniform -> "uniform"
+  | Greedy -> "greedy"
+  | Mean_variance _ -> "mean-variance"
+
+(* Priors for unobserved tasks: optimistic mean, maximal uncertainty. *)
+let task_mean t =
+  if Stats.Online.count t.reward = 0 then 1.0 else Stats.Online.mean t.reward
+
+let task_variance t =
+  if Stats.Online.count t.reward < 2 then 4.0 else Stats.Online.variance t.reward
+
+(* Largest-remainder apportionment of [nodes] by weight. *)
+let apportion ~nodes weighted =
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 weighted in
+  let weighted =
+    if total <= 0.0 then List.map (fun (id, _) -> (id, 1.0)) weighted else weighted
+  in
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 weighted in
+  let quotas = List.map (fun (id, w) -> (id, float_of_int nodes *. w /. total)) weighted in
+  let floors = List.map (fun (id, q) -> (id, int_of_float (floor q), q -. floor q)) quotas in
+  let used = List.fold_left (fun acc (_, f, _) -> acc + f) 0 floors in
+  let remainder = nodes - used in
+  let by_fraction =
+    List.sort (fun (_, _, f1) (_, _, f2) -> Float.compare f2 f1) floors
+  in
+  let with_extra =
+    List.mapi (fun i (id, f, _) -> (id, if i < remainder then f + 1 else f)) by_fraction
+  in
+  (* Restore the input order. *)
+  List.map (fun (id, _) -> (id, List.assoc id with_extra)) weighted
+
+let allocate policy ~nodes tasks =
+  if tasks = [] then invalid_arg "Allocate.allocate: no tasks";
+  if nodes < 0 then invalid_arg "Allocate.allocate: negative nodes";
+  match policy with
+  | Uniform -> apportion ~nodes (List.map (fun t -> (t.task_id, 1.0)) tasks)
+  | Greedy ->
+    let best =
+      List.fold_left
+        (fun acc t -> match acc with None -> Some t | Some b -> if task_mean t > task_mean b then Some t else acc)
+        None tasks
+    in
+    let best_id = match best with Some t -> t.task_id | None -> assert false in
+    List.map (fun t -> (t.task_id, if t.task_id = best_id then nodes else 0)) tasks
+  | Mean_variance { risk_aversion } ->
+    let weight t =
+      let w = task_mean t /. (1.0 +. (risk_aversion *. task_variance t)) in
+      (* Exploration floor: never fully starve a task. *)
+      max w 0.05
+    in
+    apportion ~nodes (List.map (fun t -> (t.task_id, weight t)) tasks)

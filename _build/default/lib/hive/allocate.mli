@@ -1,0 +1,38 @@
+(** Portfolio-theoretic allocation of hive nodes to analysis tasks
+    (paper §4).
+
+    Exploring a subtree of the execution tree has an unknown payoff:
+    "the contents and shape of the execution tree remain unknown until
+    the tree is actually explored, and thus finding an appropriate
+    partition is undecidable."  SoftBorg treats subtrees as equities
+    and hive nodes as capital, and allocates by modern portfolio theory
+    (Markowitz): weight tasks by expected reward, discounted by reward
+    variance — diversification over uncertain bets rather than going
+    all-in on the current best estimate. *)
+
+module Stats := Softborg_util.Stats
+
+type task = {
+  task_id : int;
+  reward : Stats.Online.t;  (** Observed per-node-hour reward samples. *)
+}
+
+val task : int -> task
+
+val observe_reward : task -> float -> unit
+
+type policy =
+  | Uniform  (** Equal split regardless of evidence. *)
+  | Greedy  (** Everything on the highest-mean task. *)
+  | Mean_variance of { risk_aversion : float }
+      (** Markowitz-style: weight ∝ mean / (1 + λ·variance), with an
+          exploration floor so no task starves. *)
+
+val policy_name : policy -> string
+
+val allocate : policy -> nodes:int -> task list -> (int * int) list
+(** Distribute [nodes] whole workers over the tasks; returns
+    [(task_id, node_count)] covering every task, summing to [nodes].
+    Tasks with no reward observations get the prior mean 1.0 and a
+    large variance (maximum uncertainty).
+    @raise Invalid_argument on an empty task list or negative nodes. *)

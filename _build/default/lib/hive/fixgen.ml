@@ -1,0 +1,265 @@
+module Ir = Softborg_prog.Ir
+module Ir_codec = Softborg_prog.Ir_codec
+module Outcome = Softborg_exec.Outcome
+module Path_cond = Softborg_solver.Path_cond
+module Codec = Softborg_util.Codec
+module Sym_exec = Softborg_symexec.Sym_exec
+module Consistency = Softborg_symexec.Consistency
+
+type kind =
+  | Deadlock_immunity of int list
+  | Input_guard of {
+      bucket : string;
+      condition : Path_cond.t;
+      site : Ir.site;
+      crash_kind : Outcome.crash_kind;
+    }
+  | Crash_suppression of { bucket : string; site : Ir.site; crash_kind : Outcome.crash_kind }
+  | Patch_candidate of { bucket : string; site : Ir.site; description : string }
+
+type fix = {
+  id : int;
+  epoch : int;
+  kind : kind;
+}
+
+let is_deployable fix =
+  match fix.kind with
+  | Deadlock_immunity _ | Input_guard _ | Crash_suppression _ -> true
+  | Patch_candidate _ -> false
+
+let kind_name = function
+  | Deadlock_immunity _ -> "deadlock-immunity"
+  | Input_guard _ -> "input-guard"
+  | Crash_suppression _ -> "crash-suppression"
+  | Patch_candidate _ -> "patch-candidate"
+
+let pp fmt fix =
+  match fix.kind with
+  | Deadlock_immunity locks ->
+    Format.fprintf fmt "fix#%d@e%d immunity{%s}" fix.id fix.epoch
+      (String.concat "," (List.map string_of_int locks))
+  | Input_guard { bucket; condition; _ } ->
+    Format.fprintf fmt "fix#%d@e%d guard[%s]{%a}" fix.id fix.epoch bucket Path_cond.pp condition
+  | Crash_suppression { bucket; site; _ } ->
+    Format.fprintf fmt "fix#%d@e%d suppress[%s]@%a" fix.id fix.epoch bucket Ir.pp_site site
+  | Patch_candidate { bucket; site; description } ->
+    Format.fprintf fmt "fix#%d@e%d candidate[%s]@%a: %s" fix.id fix.epoch bucket Ir.pp_site
+      site description
+
+type crash_evidence = {
+  site : Ir.site;
+  crash_kind : Outcome.crash_kind;
+  bucket : string;
+  count : int;
+}
+
+let next_fix_id = ref 0
+
+let make_fix epoch kind =
+  incr next_fix_id;
+  { id = !next_fix_id; epoch; kind }
+
+let covers_deadlock existing locks =
+  List.exists
+    (fun fix -> match fix.kind with Deadlock_immunity l -> l = locks | _ -> false)
+    existing
+
+let covers_bucket existing bucket =
+  List.exists
+    (fun fix ->
+      match fix.kind with
+      | Input_guard g -> String.equal g.bucket bucket
+      | Crash_suppression s -> String.equal s.bucket bucket
+      | Deadlock_immunity _ | Patch_candidate _ -> false)
+    existing
+
+let has_candidate existing bucket =
+  List.exists
+    (fun fix ->
+      match fix.kind with
+      | Patch_candidate c -> String.equal c.bucket bucket
+      | Deadlock_immunity _ | Input_guard _ | Crash_suppression _ -> false)
+    existing
+
+(* An input guard is only usable by a pod if it speaks about real
+   program inputs (slots below n_inputs); syscall symbols are not
+   observable before the run. *)
+let input_only_condition ~n_inputs condition =
+  condition <> []
+  && List.for_all (fun i -> i < n_inputs) (Path_cond.inputs_used condition)
+
+(* Find a feasible symbolic crash path matching the evidence, to derive
+   an input guard from its path condition. *)
+let guard_condition ?symexec_config ~program evidence =
+  if Array.length program.Ir.threads > 1 then None
+  else
+    let report = Sym_exec.explore ?config:symexec_config program Consistency.Strict in
+    List.find_map
+      (fun (p : Sym_exec.path) ->
+        match (p.Sym_exec.outcome, p.Sym_exec.solver_verdict) with
+        | Sym_exec.Crashed { site; kind; _ }, `Sat
+          when Ir.site_equal site evidence.site && kind = evidence.crash_kind ->
+          if input_only_condition ~n_inputs:program.Ir.n_inputs p.Sym_exec.condition then
+            Some p.Sym_exec.condition
+          else None
+        | _ -> None)
+      report.Sym_exec.paths
+
+let propose ?symexec_config ~program ~deadlock_patterns ~crashes ~existing ~next_epoch () =
+  let fixes = ref [] in
+  let emit kind = fixes := make_fix next_epoch kind :: !fixes in
+  List.iter
+    (fun locks ->
+      let locks = List.sort_uniq Int.compare locks in
+      if not (covers_deadlock existing locks) then emit (Deadlock_immunity locks))
+    deadlock_patterns;
+  List.iter
+    (fun evidence ->
+      if not (covers_bucket existing evidence.bucket) then begin
+        (match guard_condition ?symexec_config ~program evidence with
+        | Some condition ->
+          emit
+            (Input_guard
+               {
+                 bucket = evidence.bucket;
+                 condition;
+                 site = evidence.site;
+                 crash_kind = evidence.crash_kind;
+               })
+        | None ->
+          emit
+            (Crash_suppression
+               { bucket = evidence.bucket; site = evidence.site; crash_kind = evidence.crash_kind }));
+        if not (has_candidate existing evidence.bucket) then
+          emit
+            (Patch_candidate
+               {
+                 bucket = evidence.bucket;
+                 site = evidence.site;
+                 description =
+                   Printf.sprintf "handle %s at %s (seen %d times)"
+                     (Outcome.crash_kind_name evidence.crash_kind)
+                     (Format.asprintf "%a" Ir.pp_site evidence.site)
+                     evidence.count;
+               })
+      end)
+    crashes;
+  List.rev !fixes
+
+module Interp = Softborg_exec.Interp
+module Immunity = Softborg_conc.Immunity
+
+let runtime_hooks ?epoch fixes =
+  let in_force fix = match epoch with None -> true | Some e -> fix.epoch <= e in
+  let patterns =
+    List.filter_map
+      (fun fix ->
+        match fix.kind with Deadlock_immunity locks when in_force fix -> Some locks | _ -> None)
+      fixes
+  in
+  let suppressions =
+    List.filter_map
+      (fun fix ->
+        match fix.kind with
+        | Crash_suppression { site; crash_kind; _ } when in_force fix -> Some (site, crash_kind)
+        | Input_guard { site; crash_kind; _ } when in_force fix ->
+          (* The guard's site protection is unconditional so that hive
+             replay under the same epoch reproduces pod behavior; the
+             input condition itself is the pod's predictive flag. *)
+          Some (site, crash_kind)
+        | _ -> None)
+      fixes
+  in
+  let immunity_hooks = Immunity.hooks (Immunity.create ~patterns) in
+  {
+    immunity_hooks with
+    Interp.on_crash =
+      (fun ~site ~kind ->
+        if List.exists (fun (s, k) -> Ir.site_equal s site && k = kind) suppressions then
+          `Suppress
+        else `Propagate);
+  }
+
+(* ---- Wire format ---------------------------------------------------- *)
+
+let crash_kind_tag = function
+  | Outcome.Assertion_failure -> 0
+  | Outcome.Division_by_zero -> 1
+
+let crash_kind_of_tag = function
+  | 0 -> Outcome.Assertion_failure
+  | 1 -> Outcome.Division_by_zero
+  | n -> raise (Codec.Malformed (Printf.sprintf "crash kind tag %d" n))
+
+let write_site w (site : Ir.site) =
+  Codec.Writer.varint w site.Ir.thread;
+  Codec.Writer.varint w site.Ir.pc
+
+let read_site r =
+  let thread = Codec.Reader.varint r in
+  let pc = Codec.Reader.varint r in
+  { Ir.thread; pc }
+
+let write_condition w condition =
+  Codec.Writer.list w
+    (fun (atom : Path_cond.atom) ->
+      Ir_codec.write_expr w atom.Path_cond.cond;
+      Codec.Writer.bool w atom.Path_cond.expected)
+    condition
+
+let read_condition r =
+  Codec.Reader.list r (fun r ->
+      let cond = Ir_codec.read_expr r in
+      let expected = Codec.Reader.bool r in
+      Path_cond.atom cond expected)
+
+let write_fix w fix =
+  Codec.Writer.varint w fix.id;
+  Codec.Writer.varint w fix.epoch;
+  match fix.kind with
+  | Deadlock_immunity locks ->
+    Codec.Writer.byte w 0;
+    Codec.Writer.list w (Codec.Writer.varint w) locks
+  | Input_guard { bucket; condition; site; crash_kind } ->
+    Codec.Writer.byte w 1;
+    Codec.Writer.bytes w bucket;
+    write_condition w condition;
+    write_site w site;
+    Codec.Writer.byte w (crash_kind_tag crash_kind)
+  | Crash_suppression { bucket; site; crash_kind } ->
+    Codec.Writer.byte w 2;
+    Codec.Writer.bytes w bucket;
+    write_site w site;
+    Codec.Writer.byte w (crash_kind_tag crash_kind)
+  | Patch_candidate { bucket; site; description } ->
+    Codec.Writer.byte w 3;
+    Codec.Writer.bytes w bucket;
+    write_site w site;
+    Codec.Writer.bytes w description
+
+let read_fix r =
+  let id = Codec.Reader.varint r in
+  let epoch = Codec.Reader.varint r in
+  let kind =
+    match Codec.Reader.byte r with
+    | 0 -> Deadlock_immunity (Codec.Reader.list r Codec.Reader.varint)
+    | 1 ->
+      let bucket = Codec.Reader.bytes r in
+      let condition = read_condition r in
+      let site = read_site r in
+      let crash_kind = crash_kind_of_tag (Codec.Reader.byte r) in
+      Input_guard { bucket; condition; site; crash_kind }
+    | 2 ->
+      let bucket = Codec.Reader.bytes r in
+      let site = read_site r in
+      let crash_kind = crash_kind_of_tag (Codec.Reader.byte r) in
+      Crash_suppression { bucket; site; crash_kind }
+    | 3 ->
+      let bucket = Codec.Reader.bytes r in
+      let site = read_site r in
+      let description = Codec.Reader.bytes r in
+      Patch_candidate { bucket; site; description }
+    | n -> raise (Codec.Malformed (Printf.sprintf "fix kind tag %d" n))
+  in
+  { id; epoch; kind }

@@ -1,0 +1,81 @@
+(** Fix synthesis (paper §3.3).
+
+    From the hive's aggregated evidence, synthesize fixes that avert
+    future failures and push them to pods:
+
+    - {b deadlock immunity}: a lock-order cycle becomes avoidance
+      instrumentation (after Jula et al. [16]);
+    - {b input guards}: a crash whose symbolic path condition mentions
+      only real program inputs becomes a predicate the pod checks
+      before running — the run is flagged and protected;
+    - {b crash suppression}: a crash site becomes a runtime patch that
+      skips the failing instruction (after Perkins et al. [24]);
+    - {b patch candidates}: every bug also yields a repair-lab entry
+      for a human developer ("we provision for a repair lab that
+      suggests plausible fixes to developers", §3.3).
+
+    Fixes are serializable: they travel from hive to pods over the
+    simulated network. *)
+
+module Ir := Softborg_prog.Ir
+module Outcome := Softborg_exec.Outcome
+module Path_cond := Softborg_solver.Path_cond
+module Codec := Softborg_util.Codec
+module Sym_exec := Softborg_symexec.Sym_exec
+
+type kind =
+  | Deadlock_immunity of int list  (** Lock set to serialize entry to. *)
+  | Input_guard of {
+      bucket : string;
+      condition : Path_cond.t;
+      site : Ir.site;  (** Crash site the guard protects. *)
+      crash_kind : Outcome.crash_kind;
+    }
+  | Crash_suppression of { bucket : string; site : Ir.site; crash_kind : Outcome.crash_kind }
+  | Patch_candidate of { bucket : string; site : Ir.site; description : string }
+
+type fix = {
+  id : int;
+  epoch : int;  (** Fix-set version this fix first appears in. *)
+  kind : kind;
+}
+
+val is_deployable : fix -> bool
+(** Patch candidates await a human; everything else deploys
+    automatically. *)
+
+val kind_name : kind -> string
+val pp : Format.formatter -> fix -> unit
+
+type crash_evidence = {
+  site : Ir.site;
+  crash_kind : Outcome.crash_kind;
+  bucket : string;
+  count : int;
+}
+
+val propose :
+  ?symexec_config:Sym_exec.config ->
+  program:Ir.t ->
+  deadlock_patterns:int list list ->
+  crashes:crash_evidence list ->
+  existing:fix list ->
+  next_epoch:int ->
+  unit ->
+  fix list
+(** Synthesize fixes for evidence not yet covered by [existing] ones.
+    Each crash bucket yields one deployable fix (an input guard when
+    the bucket's path condition is input-only, otherwise a crash
+    suppression) plus one repair-lab patch candidate. *)
+
+module Interp := Softborg_exec.Interp
+
+val runtime_hooks : ?epoch:int -> fix list -> Interp.hooks
+(** The runtime instrumentation a fix list induces: deadlock-immunity
+    lock hooks plus crash-suppression hooks.  With [epoch], only fixes
+    at or below that epoch are in force (used by the hive to replay a
+    trace exactly as the recording pod ran it). *)
+
+val write_fix : Codec.Writer.t -> fix -> unit
+val read_fix : Codec.Reader.t -> fix
+(** @raise Softborg_util.Codec.Malformed on invalid input. *)

@@ -1,0 +1,342 @@
+module Ir = Softborg_prog.Ir
+module Outcome = Softborg_exec.Outcome
+module Env = Softborg_exec.Env
+module Wire = Softborg_trace.Wire
+module Trace = Softborg_trace.Trace
+module Exec_tree = Softborg_tree.Exec_tree
+module Sim = Softborg_net.Sim
+module Transport = Softborg_net.Transport
+module Sym_exec = Softborg_symexec.Sym_exec
+
+let src = Logs.Src.create "softborg.hive" ~doc:"SoftBorg hive"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type mode =
+  | Full
+  | Wer
+  | Cbi
+
+let mode_name = function Full -> "softborg" | Wer -> "wer" | Cbi -> "cbi"
+
+type config = {
+  mode : mode;
+  analysis_interval : float;
+  guidance_max : int;
+  human_fix_threshold : int;
+  human_fix_delay : float;
+  cbi_localization_speedup : float;
+  prove : bool;
+  symexec_config : Sym_exec.config option;
+}
+
+let default_config mode =
+  {
+    mode;
+    analysis_interval = 30.0;
+    guidance_max = 8;
+    human_fix_threshold = 10;
+    human_fix_delay = 2000.0;
+    cbi_localization_speedup = 3.0;
+    prove = (mode = Full);
+    symexec_config =
+      (* The hive analyzes many programs per tick; bound each symbolic
+         operation tightly and rely on repetition across ticks. *)
+      Some
+        {
+          Sym_exec.default_config with
+          Sym_exec.max_paths = 96;
+          max_steps_per_path = 1500;
+          solver_budget = 20_000;
+        };
+  }
+
+type stats = {
+  traces_received : int;
+  messages_received : int;
+  analysis_ticks : int;
+  fixes_deployed : int;
+  fix_updates_sent : int;
+  guidance_sent : int;
+  proofs_established : int;
+  human_fixes_scheduled : int;
+}
+
+type t = {
+  sim : Sim.t;
+  config : config;
+  programs : (string, Knowledge.t) Hashtbl.t;
+  mutable endpoints : Transport.endpoint list;
+  mutable next_guidance_target : int;
+  pending_human_fixes : (string, unit) Hashtbl.t;  (* bucket keys already scheduled *)
+  (* Throttles: symbolic work is expensive, so gaps already issued to a
+     pod are not re-planned, and proofs are only re-attempted when the
+     knowledge actually changed. *)
+  issued_guidance : (string, (Ir.site * bool) list ref) Hashtbl.t;
+  proof_state : (string, int * int * int) Hashtbl.t;  (* paths, epoch, frontier *)
+  mutable traces_received : int;
+  mutable messages_received : int;
+  mutable analysis_ticks : int;
+  mutable fixes_deployed : int;
+  mutable fix_updates_sent : int;
+  mutable guidance_sent : int;
+  mutable proofs_established : int;
+  mutable human_fixes_scheduled : int;
+}
+
+let create ?config ~sim () =
+  let config = Option.value ~default:(default_config Full) config in
+  {
+    sim;
+    config;
+    programs = Hashtbl.create 4;
+    endpoints = [];
+    next_guidance_target = 0;
+    pending_human_fixes = Hashtbl.create 16;
+    issued_guidance = Hashtbl.create 8;
+    proof_state = Hashtbl.create 8;
+    traces_received = 0;
+    messages_received = 0;
+    analysis_ticks = 0;
+    fixes_deployed = 0;
+    fix_updates_sent = 0;
+    guidance_sent = 0;
+    proofs_established = 0;
+    human_fixes_scheduled = 0;
+  }
+
+let register_program t program =
+  let digest = Ir.digest program in
+  match Hashtbl.find_opt t.programs digest with
+  | Some k -> k
+  | None ->
+    let k = Knowledge.create program in
+    Hashtbl.replace t.programs digest k;
+    k
+
+let knowledge t ~digest = Hashtbl.find_opt t.programs digest
+let knowledge_list t = Hashtbl.fold (fun _ k acc -> k :: acc) t.programs []
+
+let broadcast t message =
+  let payload = Protocol.encode message in
+  List.iter (fun endpoint -> Transport.send endpoint payload) t.endpoints
+
+let send_fix_update t k =
+  let deployable = List.filter Fixgen.is_deployable (Knowledge.fixes k) in
+  broadcast t
+    (Protocol.Fix_update
+       { program_digest = Knowledge.digest k; epoch = Knowledge.epoch k; fixes = deployable });
+  t.fix_updates_sent <- t.fix_updates_sent + 1
+
+(* ---- Ingestion -------------------------------------------------------- *)
+
+let handle_trace t payload =
+  match Wire.decode payload with
+  | Error _ -> ()
+  | Ok trace -> (
+    t.traces_received <- t.traces_received + 1;
+    match Hashtbl.find_opt t.programs trace.Trace.program_digest with
+    | None -> ()
+    | Some k -> (
+      match t.config.mode with
+      | Full -> ignore (Knowledge.ingest_trace k trace)
+      | Wer | Cbi -> Knowledge.ingest_outcome_only k trace))
+
+let handle_message t payload =
+  t.messages_received <- t.messages_received + 1;
+  match Protocol.decode payload with
+  | Error _ -> ()
+  | Ok (Protocol.Trace_upload payload) -> handle_trace t payload
+  | Ok (Protocol.Sampled_report { program_digest; report }) -> (
+    t.traces_received <- t.traces_received + 1;
+    match Hashtbl.find_opt t.programs program_digest with
+    | None -> ()
+    | Some k -> Knowledge.ingest_sampled k report)
+  | Ok (Protocol.Fix_update _ | Protocol.Guidance_update _) ->
+    (* Downstream-only messages; ignore if echoed back. *)
+    ()
+
+let attach_pod t endpoint =
+  t.endpoints <- endpoint :: t.endpoints;
+  Transport.on_receive endpoint (handle_message t)
+
+(* ---- Human repair lab (Wer/Cbi modes) --------------------------------- *)
+
+let human_delay t =
+  match t.config.mode with
+  | Cbi -> t.config.human_fix_delay /. t.config.cbi_localization_speedup
+  | Wer | Full -> t.config.human_fix_delay
+
+let schedule_human_fix t k bucket_key kind =
+  if not (Hashtbl.mem t.pending_human_fixes bucket_key) then begin
+    Hashtbl.replace t.pending_human_fixes bucket_key ();
+    t.human_fixes_scheduled <- t.human_fixes_scheduled + 1;
+    Log.info (fun m ->
+        m "human fix for %s scheduled at t=%.0f (+%.0f)" bucket_key (Sim.now t.sim)
+          (human_delay t));
+    Sim.schedule t.sim ~delay:(human_delay t) (fun () ->
+        ignore (Knowledge.add_fix k kind);
+        t.fixes_deployed <- t.fixes_deployed + 1;
+        send_fix_update t k)
+  end
+
+let human_tick t k =
+  (* Crashes: once a bucket has enough reports, a developer fixes it
+     (deployed as a suppression patch after the delay). *)
+  List.iter
+    (fun (ev : Fixgen.crash_evidence) ->
+      if ev.Fixgen.count >= t.config.human_fix_threshold then
+        schedule_human_fix t k ev.Fixgen.bucket
+          (Fixgen.Crash_suppression
+             { bucket = ev.Fixgen.bucket; site = ev.Fixgen.site; crash_kind = ev.Fixgen.crash_kind }))
+    (Knowledge.crash_evidence k);
+  (* Deadlocks: the human adds a lock-ordering fix for the cycle. *)
+  List.iter
+    (fun (bucket_key, locks, count) ->
+      if count >= t.config.human_fix_threshold then
+        schedule_human_fix t k bucket_key (Fixgen.Deadlock_immunity locks))
+    (Knowledge.deadlock_bucket_info k)
+
+(* ---- Proof attempts ---------------------------------------------------- *)
+
+let has_valid_proof k property =
+  List.exists
+    (fun (p : Prover.proof) -> p.Prover.valid && p.Prover.property = property)
+    (Knowledge.proofs k)
+
+let knowledge_state k =
+  ( Exec_tree.n_distinct_paths (Knowledge.tree k),
+    Knowledge.epoch k,
+    List.length (Exec_tree.frontier (Knowledge.tree k)) )
+
+let prove_tick t k =
+  let program = Knowledge.program k in
+  ignore (Prover.close_gaps ?config:t.config.symexec_config program (Knowledge.tree k));
+  if not (has_valid_proof k Prover.Assert_safety) then begin
+    match
+      Prover.attempt_assert_safety ?config:t.config.symexec_config ~program
+        ~tree:(Knowledge.tree k)
+        ~crash_observations:
+          (List.fold_left (fun acc (e : Fixgen.crash_evidence) -> acc + e.Fixgen.count) 0
+             (Knowledge.crash_evidence k))
+        ~epoch:(Knowledge.epoch k) ()
+    with
+    | Some proof ->
+      Knowledge.record_proof k proof;
+      t.proofs_established <- t.proofs_established + 1
+    | None -> ()
+  end;
+  if not (has_valid_proof k Prover.Deadlock_freedom) then begin
+    let deadlock_observations =
+      List.fold_left (fun acc (_, _, n) -> acc + n) 0 (Knowledge.deadlock_bucket_info k)
+    in
+    let make_env () = Env.make ~seed:7 ~inputs:(Array.make program.Ir.n_inputs 1) () in
+    match
+      Prover.attempt_deadlock_freedom ~program ~tree:(Knowledge.tree k)
+        ~deadlock_observations ~lock_cycles:(Knowledge.deadlock_pattern_sets k) ~make_env
+        ~hooks:(Knowledge.current_hooks k) ~epoch:(Knowledge.epoch k) ()
+    with
+    | Some proof ->
+      Knowledge.record_proof k proof;
+      t.proofs_established <- t.proofs_established + 1
+    | None -> ()
+  end
+
+(* ---- Guidance ----------------------------------------------------------- *)
+
+let issued_for t k =
+  let digest = Knowledge.digest k in
+  match Hashtbl.find_opt t.issued_guidance digest with
+  | Some issued -> issued
+  | None ->
+    let issued = ref [] in
+    Hashtbl.replace t.issued_guidance digest issued;
+    issued
+
+let guidance_tick t k =
+  if t.endpoints <> [] then begin
+    let issued = issued_for t k in
+    let result =
+      Guidance.plan ?config:t.config.symexec_config ~max_directives:t.config.guidance_max
+        ~exclude:!issued (Knowledge.program k) (Knowledge.tree k)
+    in
+    (* Remember what was handed out (and what came back Unknown) so the
+       next tick does not redo the symbolic work. *)
+    List.iter
+      (fun directive ->
+        match directive with
+        | Guidance.Cover_direction { site; direction; _ } ->
+          issued := (site, direction) :: !issued
+        | Guidance.Probe_schedules _ -> ())
+      result.Guidance.directives;
+    if result.Guidance.gaps_unknown > 0 then
+      List.iter
+        (fun (gap : Exec_tree.gap) ->
+          issued := (gap.Exec_tree.site, gap.Exec_tree.missing) :: !issued)
+        (Exec_tree.frontier (Knowledge.tree k));
+    if result.Guidance.directives <> [] then begin
+      (* Round-robin over pods: steering only needs *some* instances. *)
+      let target =
+        List.nth t.endpoints (t.next_guidance_target mod List.length t.endpoints)
+      in
+      t.next_guidance_target <- t.next_guidance_target + 1;
+      Transport.send target
+        (Protocol.encode
+           (Protocol.Guidance_update
+              { program_digest = Knowledge.digest k; directives = result.Guidance.directives }));
+      t.guidance_sent <- t.guidance_sent + List.length result.Guidance.directives
+    end
+  end
+
+(* ---- The analysis tick --------------------------------------------------- *)
+
+let tick t =
+  t.analysis_ticks <- t.analysis_ticks + 1;
+  (* Periodically forget the issued-guidance memory: directives can be
+     lost with their pod, and a stale exclusion must not shadow a gap
+     forever. *)
+  if t.analysis_ticks mod 10 = 0 then Hashtbl.reset t.issued_guidance;
+  Hashtbl.iter
+    (fun digest k ->
+      match t.config.mode with
+      | Full ->
+        let new_fixes = Knowledge.analyze ?symexec_config:t.config.symexec_config k in
+        let deployable = List.filter Fixgen.is_deployable new_fixes in
+        if deployable <> [] then begin
+          t.fixes_deployed <- t.fixes_deployed + List.length deployable;
+          send_fix_update t k
+        end;
+        (* Guidance and proofs involve symbolic exploration: only
+           re-run them when this program's knowledge changed. *)
+        let state = knowledge_state k in
+        let changed =
+          match Hashtbl.find_opt t.proof_state digest with
+          | Some previous -> previous <> state
+          | None -> true
+        in
+        if changed then begin
+          guidance_tick t k;
+          if t.config.prove then prove_tick t k;
+          Hashtbl.replace t.proof_state digest (knowledge_state k)
+        end
+      | Wer | Cbi -> human_tick t k)
+    t.programs
+
+let rec arm t =
+  Sim.schedule t.sim ~delay:t.config.analysis_interval (fun () ->
+      tick t;
+      arm t)
+
+let start t = arm t
+
+let stats t =
+  {
+    traces_received = t.traces_received;
+    messages_received = t.messages_received;
+    analysis_ticks = t.analysis_ticks;
+    fixes_deployed = t.fixes_deployed;
+    fix_updates_sent = t.fix_updates_sent;
+    guidance_sent = t.guidance_sent;
+    proofs_established = t.proofs_established;
+    human_fixes_scheduled = t.human_fixes_scheduled;
+  }

@@ -1,0 +1,78 @@
+(** The hive service (paper §3, Figure 1).
+
+    The hive sits at the center of the platform: it receives by-product
+    uploads from pods over the simulated network, folds them into
+    per-program {!Knowledge}, runs a periodic analysis tick that
+    synthesizes fixes and plans guidance, pushes both back to the pods,
+    and attempts cumulative proofs.
+
+    Three operating modes make the paper's §5 comparison a switch, not
+    a separate codebase:
+
+    - [Full]: the SoftBorg loop — automatic fix synthesis, guidance,
+      proofs;
+    - [Wer]: WER-style crash reporting — outcome buckets only; a
+      simulated human fixes a bucket once it has enough reports, after
+      a development delay;
+    - [Cbi]: cooperative bug isolation — sampled predicate reports;
+      the human acts faster because statistical isolation localizes
+      the bug first. *)
+
+module Ir := Softborg_prog.Ir
+module Sim := Softborg_net.Sim
+module Transport := Softborg_net.Transport
+module Sym_exec := Softborg_symexec.Sym_exec
+
+type mode =
+  | Full
+  | Wer
+  | Cbi
+
+val mode_name : mode -> string
+
+type config = {
+  mode : mode;
+  analysis_interval : float;  (** Seconds between analysis ticks. *)
+  guidance_max : int;  (** Directives per program per tick. *)
+  human_fix_threshold : int;  (** Reports before the human acts (Wer/Cbi). *)
+  human_fix_delay : float;  (** Seconds from threshold to deployed fix. *)
+  cbi_localization_speedup : float;
+      (** Cbi human delay = [human_fix_delay /. cbi_localization_speedup]
+          — statistical localization shortens debugging. *)
+  prove : bool;  (** Attempt cumulative proofs on each tick (Full only). *)
+  symexec_config : Sym_exec.config option;
+}
+
+val default_config : mode -> config
+
+type stats = {
+  traces_received : int;
+  messages_received : int;
+  analysis_ticks : int;
+  fixes_deployed : int;
+  fix_updates_sent : int;
+  guidance_sent : int;
+  proofs_established : int;
+  human_fixes_scheduled : int;
+}
+
+type t
+
+val create : ?config:config -> sim:Sim.t -> unit -> t
+
+val register_program : t -> Ir.t -> Knowledge.t
+(** Tell the hive about a program build (idempotent per digest). *)
+
+val knowledge : t -> digest:string -> Knowledge.t option
+val knowledge_list : t -> Knowledge.t list
+
+val attach_pod : t -> Transport.endpoint -> unit
+(** Wire up the hive side of one pod's connection. *)
+
+val start : t -> unit
+(** Schedule the periodic analysis tick on the simulator. *)
+
+val tick : t -> unit
+(** Run one analysis tick immediately (also called by the schedule). *)
+
+val stats : t -> stats

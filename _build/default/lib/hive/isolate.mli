@@ -1,0 +1,45 @@
+(** Statistical bug isolation, after Cooperative Bug Isolation
+    (Liblit et al.; paper §3.1 and §5).
+
+    The hive aggregates (possibly sparsely sampled) branch-predicate
+    observations across the user community, labelled by run outcome,
+    and ranks predicates by how much being observed {e increases} the
+    probability of failure.  The top-ranked predicates localize the
+    bug: for an input-triggered crash, the branch guarding the buggy
+    path scores highest. *)
+
+module Ir := Softborg_prog.Ir
+module Sampling := Softborg_trace.Sampling
+module Outcome := Softborg_exec.Outcome
+
+type t
+
+val create : unit -> t
+
+val record : t -> Sampling.t -> unit
+(** Fold one run's sampled predicate observations in. *)
+
+val record_path : t -> full_path:(Ir.site * bool) list -> outcome:Outcome.t -> unit
+(** Convenience for unsampled traces: record every decision. *)
+
+val runs : t -> int
+val failing_runs : t -> int
+
+type ranked = {
+  predicate : Sampling.predicate;
+  score : float;  (** Increase(P) = Failure(P) − Context(P). *)
+  failure_ratio : float;  (** F(P) / (F(P) + S(P)). *)
+  context_ratio : float;  (** Failure ratio of the site regardless of direction. *)
+  failing_observations : int;
+  passing_observations : int;
+}
+
+val rank : t -> ranked list
+(** Predicates by decreasing score; ties by failing observations. *)
+
+val top_predicate : t -> ranked option
+(** Highest-ranked predicate with a positive score, if any. *)
+
+val localization_rank : t -> target:Sampling.predicate -> int option
+(** 1-based position of [target] in the ranking (quality metric for
+    experiment E5); [None] if never observed. *)

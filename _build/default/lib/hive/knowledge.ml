@@ -1,0 +1,178 @@
+module Ir = Softborg_prog.Ir
+module Outcome = Softborg_exec.Outcome
+module Interp = Softborg_exec.Interp
+module Trace = Softborg_trace.Trace
+module Sampling = Softborg_trace.Sampling
+module Exec_tree = Softborg_tree.Exec_tree
+module Deadlock = Softborg_conc.Deadlock
+module Immunity = Softborg_conc.Immunity
+module Sym_exec = Softborg_symexec.Sym_exec
+module Path_cond = Softborg_solver.Path_cond
+
+type crash_bucket = {
+  site : Ir.site;
+  crash_kind : Outcome.crash_kind;
+  mutable count : int;
+}
+
+type t = {
+  program : Ir.t;
+  digest : string;
+  tree : Exec_tree.t;
+  deadlocks : Deadlock.t;
+  isolate : Isolate.t;
+  store : Trace_store.t;
+  crash_buckets : (string, crash_bucket) Hashtbl.t;
+  deadlock_buckets : (string, int list * int ref) Hashtbl.t;  (* lock set, count *)
+  other_buckets : (string, int ref) Hashtbl.t;  (* hang buckets *)
+  mutable fixes : Fixgen.fix list;
+  mutable epoch : int;
+  mutable traces_ingested : int;
+  mutable failures : int;
+  mutable replay_errors : int;
+  mutable proofs : Prover.proof list;
+}
+
+let create program =
+  {
+    program;
+    digest = Ir.digest program;
+    tree = Exec_tree.create ();
+    deadlocks = Deadlock.create ();
+    isolate = Isolate.create ();
+    store = Trace_store.create ();
+    crash_buckets = Hashtbl.create 8;
+    deadlock_buckets = Hashtbl.create 8;
+    other_buckets = Hashtbl.create 8;
+    fixes = [];
+    epoch = 0;
+    traces_ingested = 0;
+    failures = 0;
+    replay_errors = 0;
+    proofs = [];
+  }
+
+let program t = t.program
+let digest t = t.digest
+let tree t = t.tree
+let isolate t = t.isolate
+let epoch t = t.epoch
+let fixes t = t.fixes
+let proofs t = t.proofs
+let traces_ingested t = t.traces_ingested
+let failures_observed t = t.failures
+let replay_errors t = t.replay_errors
+
+let hooks_for_epoch t target_epoch = Fixgen.runtime_hooks ~epoch:target_epoch t.fixes
+
+let current_hooks t = hooks_for_epoch t t.epoch
+
+let input_guards t =
+  List.filter_map
+    (fun fix ->
+      match fix.Fixgen.kind with Fixgen.Input_guard { condition; _ } -> Some condition | _ -> None)
+    t.fixes
+
+let record_failure t (outcome : Outcome.t) =
+  match outcome with
+  | Outcome.Success -> ()
+  | Outcome.Crash { site; kind; _ } ->
+    t.failures <- t.failures + 1;
+    let key = Outcome.bucket_key outcome in
+    (match Hashtbl.find_opt t.crash_buckets key with
+    | Some bucket -> bucket.count <- bucket.count + 1
+    | None -> Hashtbl.replace t.crash_buckets key { site; crash_kind = kind; count = 1 })
+  | Outcome.Deadlock { waiting } ->
+    t.failures <- t.failures + 1;
+    let key = Outcome.bucket_key outcome in
+    let locks = List.map snd waiting |> List.sort_uniq Int.compare in
+    (match Hashtbl.find_opt t.deadlock_buckets key with
+    | Some (_, count) -> incr count
+    | None -> Hashtbl.replace t.deadlock_buckets key (locks, ref 1))
+  | Outcome.Hang ->
+    t.failures <- t.failures + 1;
+    let key = Outcome.bucket_key outcome in
+    (match Hashtbl.find_opt t.other_buckets key with
+    | Some count -> incr count
+    | None -> Hashtbl.replace t.other_buckets key (ref 1))
+
+let store t = t.store
+
+let ingest_trace t (trace : Trace.t) =
+  t.traces_ingested <- t.traces_ingested + 1;
+  ignore (Trace_store.admit t.store trace);
+  record_failure t trace.Trace.outcome;
+  if trace.Trace.steps = 0 && trace.Trace.n_decisions = 0 then
+    (* Outcome-only disclosure: nothing to replay or merge. *)
+    Ok ()
+  else
+  let hooks = hooks_for_epoch t trace.Trace.fix_epoch in
+  match
+    Interp.reconstruct ~hooks ~program:t.program ~bits:trace.Trace.bits
+      ~schedule:trace.Trace.schedule ~total_decisions:trace.Trace.n_decisions
+      ~total_steps:trace.Trace.steps ()
+  with
+  | Ok { Interp.decisions; locks } ->
+    ignore (Exec_tree.add_path t.tree decisions trace.Trace.outcome);
+    Deadlock.observe t.deadlocks ~outcome:trace.Trace.outcome ~locks;
+    Isolate.record_path t.isolate ~full_path:decisions ~outcome:trace.Trace.outcome;
+    Ok ()
+  | Error msg ->
+    t.replay_errors <- t.replay_errors + 1;
+    Error msg
+
+let ingest_sampled t sampled =
+  t.traces_ingested <- t.traces_ingested + 1;
+  record_failure t sampled.Sampling.outcome;
+  Isolate.record t.isolate sampled
+
+let ingest_outcome_only t (trace : Trace.t) =
+  t.traces_ingested <- t.traces_ingested + 1;
+  record_failure t trace.Trace.outcome
+
+let crash_evidence t =
+  Hashtbl.fold
+    (fun key bucket acc ->
+      { Fixgen.site = bucket.site; crash_kind = bucket.crash_kind; bucket = key; count = bucket.count }
+      :: acc)
+    t.crash_buckets []
+  |> List.sort (fun (a : Fixgen.crash_evidence) b -> Int.compare b.Fixgen.count a.Fixgen.count)
+
+let deadlock_pattern_sets t =
+  List.map (fun (p : Deadlock.pattern) -> p.Deadlock.locks) (Deadlock.patterns t.deadlocks)
+
+let deadlock_bucket_info t =
+  Hashtbl.fold (fun key (locks, count) acc -> (key, locks, !count) :: acc) t.deadlock_buckets []
+
+let bucket_counts t =
+  let crash = Hashtbl.fold (fun key b acc -> (key, b.count) :: acc) t.crash_buckets [] in
+  let dl = Hashtbl.fold (fun key (_, n) acc -> (key, !n) :: acc) t.deadlock_buckets [] in
+  let other = Hashtbl.fold (fun key n acc -> (key, !n) :: acc) t.other_buckets [] in
+  List.sort (fun (_, a) (_, b) -> Int.compare b a) (crash @ dl @ other)
+
+let bump_epoch t =
+  t.epoch <- t.epoch + 1;
+  ignore (Prover.invalidate t.proofs ~current_epoch:t.epoch)
+
+let analyze ?symexec_config t =
+  let new_fixes =
+    Fixgen.propose ?symexec_config ~program:t.program
+      ~deadlock_patterns:(deadlock_pattern_sets t) ~crashes:(crash_evidence t)
+      ~existing:t.fixes ~next_epoch:(t.epoch + 1) ()
+  in
+  let deployable = List.filter Fixgen.is_deployable new_fixes in
+  if deployable <> [] then bump_epoch t;
+  t.fixes <- t.fixes @ new_fixes;
+  new_fixes
+
+let add_fix t kind =
+  let fix = { Fixgen.id = 0; epoch = t.epoch + 1; kind } in
+  (* Re-number through Fixgen's private counter by proposing directly:
+     simplest is to build the fix here with a locally unique id. *)
+  let fix = { fix with Fixgen.id = 1_000_000 + List.length t.fixes } in
+  bump_epoch t;
+  t.fixes <- t.fixes @ [ fix ];
+  fix
+
+let record_proof t proof = t.proofs <- proof :: t.proofs
+let valid_proofs t = List.filter (fun (p : Prover.proof) -> p.Prover.valid) t.proofs

@@ -1,0 +1,81 @@
+(** The hive's per-program knowledge base.
+
+    "The hive merges information extracted from by-products with its
+    existing knowledge of P, identifies misbehaviors in P, synthesizes
+    fixes, and distributes these fixes back to the pods" (paper §3).
+    One [Knowledge.t] holds everything the hive knows about one program
+    build: the collective execution tree, the deadlock miner, the
+    statistical bug isolator, the failure buckets, the synthesized
+    fixes (versioned by epoch), and the proofs established so far. *)
+
+module Ir := Softborg_prog.Ir
+module Interp := Softborg_exec.Interp
+module Trace := Softborg_trace.Trace
+module Sampling := Softborg_trace.Sampling
+module Exec_tree := Softborg_tree.Exec_tree
+module Sym_exec := Softborg_symexec.Sym_exec
+module Path_cond := Softborg_solver.Path_cond
+
+type t
+
+val create : Ir.t -> t
+val program : t -> Ir.t
+val digest : t -> string
+val tree : t -> Exec_tree.t
+val isolate : t -> Isolate.t
+
+val epoch : t -> int
+(** Current fix-set version; pods at an older epoch get an update. *)
+
+val fixes : t -> Fixgen.fix list
+val proofs : t -> Prover.proof list
+val traces_ingested : t -> int
+val failures_observed : t -> int
+val replay_errors : t -> int
+
+val hooks_for_epoch : t -> int -> Interp.hooks
+(** The runtime instrumentation (deadlock immunity + crash
+    suppression) in force at a given epoch — used both by pods and by
+    the hive when replaying a trace recorded under that epoch. *)
+
+val current_hooks : t -> Interp.hooks
+
+val input_guards : t -> Path_cond.t list
+(** Deployed input-guard conditions. *)
+
+val store : t -> Trace_store.t
+(** The content-addressed store backing full-trace ingestion; exposes
+    dedup/storage accounting. *)
+
+val ingest_trace : t -> Trace.t -> (unit, string) result
+(** Full ingestion: replay the by-products, merge the path into the
+    tree, feed the deadlock miner and the isolator, bucket failures. *)
+
+val ingest_sampled : t -> Sampling.t -> unit
+(** CBI-mode ingestion: sparse predicate counts and an outcome label;
+    no tree merge (there is no full path to merge). *)
+
+val ingest_outcome_only : t -> Trace.t -> unit
+(** WER-mode ingestion: bucket the outcome, nothing else. *)
+
+val crash_evidence : t -> Fixgen.crash_evidence list
+val deadlock_pattern_sets : t -> int list list
+
+val deadlock_bucket_info : t -> (string * int list * int) list
+(** Manifested deadlock buckets: key, lock set, count — what a human
+    in WER mode has to go on. *)
+
+val bucket_counts : t -> (string * int) list
+
+val analyze : ?symexec_config:Sym_exec.config -> t -> Fixgen.fix list
+(** Synthesize fixes for uncovered evidence.  Deploying fixes bumps
+    the epoch and invalidates proofs established against older
+    epochs.  Returns the newly created fixes (including repair-lab
+    candidates, which do not deploy and do not bump the epoch). *)
+
+val add_fix : t -> Fixgen.kind -> Fixgen.fix
+(** Install an externally-decided fix (the human repair lab of WER
+    mode); bumps the epoch and invalidates stale proofs. *)
+
+val record_proof : t -> Prover.proof -> unit
+val valid_proofs : t -> Prover.proof list

@@ -1,0 +1,89 @@
+module Codec = Softborg_util.Codec
+module Ir = Softborg_prog.Ir
+module Sampling = Softborg_trace.Sampling
+module Wire = Softborg_trace.Wire
+
+type message =
+  | Trace_upload of string
+  | Sampled_report of { program_digest : string; report : Sampling.t }
+  | Fix_update of { program_digest : string; epoch : int; fixes : Fixgen.fix list }
+  | Guidance_update of { program_digest : string; directives : Guidance.directive list }
+
+let message_name = function
+  | Trace_upload _ -> "trace-upload"
+  | Sampled_report _ -> "sampled-report"
+  | Fix_update _ -> "fix-update"
+  | Guidance_update _ -> "guidance-update"
+
+let write_sampled w (report : Sampling.t) =
+  Codec.Writer.varint w report.Sampling.rate;
+  Codec.Writer.varint w report.Sampling.observed;
+  Codec.Writer.varint w report.Sampling.total;
+  Codec.Writer.list w
+    (fun ((p : Sampling.predicate), count) ->
+      Codec.Writer.varint w p.Sampling.site.Ir.thread;
+      Codec.Writer.varint w p.Sampling.site.Ir.pc;
+      Codec.Writer.bool w p.Sampling.direction;
+      Codec.Writer.varint w count)
+    report.Sampling.counts;
+  Wire.encode_outcome w report.Sampling.outcome
+
+let read_sampled r =
+  let rate = Codec.Reader.varint r in
+  let observed = Codec.Reader.varint r in
+  let total = Codec.Reader.varint r in
+  let counts =
+    Codec.Reader.list r (fun r ->
+        let thread = Codec.Reader.varint r in
+        let pc = Codec.Reader.varint r in
+        let direction = Codec.Reader.bool r in
+        let count = Codec.Reader.varint r in
+        ({ Sampling.site = { Ir.thread; pc }; direction }, count))
+  in
+  let outcome = Wire.decode_outcome r in
+  { Sampling.rate; counts; observed; total; outcome }
+
+let encode message =
+  let w = Codec.Writer.create () in
+  (match message with
+  | Trace_upload payload ->
+    Codec.Writer.byte w 0;
+    Codec.Writer.bytes w payload
+  | Sampled_report { program_digest; report } ->
+    Codec.Writer.byte w 1;
+    Codec.Writer.bytes w program_digest;
+    write_sampled w report
+  | Fix_update { program_digest; epoch; fixes } ->
+    Codec.Writer.byte w 2;
+    Codec.Writer.bytes w program_digest;
+    Codec.Writer.varint w epoch;
+    Codec.Writer.list w (Fixgen.write_fix w) fixes
+  | Guidance_update { program_digest; directives } ->
+    Codec.Writer.byte w 3;
+    Codec.Writer.bytes w program_digest;
+    Codec.Writer.list w (Guidance.write_directive w) directives);
+  Codec.Writer.contents w
+
+let decode s =
+  match
+    let r = Codec.Reader.of_string s in
+    match Codec.Reader.byte r with
+    | 0 -> Trace_upload (Codec.Reader.bytes r)
+    | 1 ->
+      let program_digest = Codec.Reader.bytes r in
+      let report = read_sampled r in
+      Sampled_report { program_digest; report }
+    | 2 ->
+      let program_digest = Codec.Reader.bytes r in
+      let epoch = Codec.Reader.varint r in
+      let fixes = Codec.Reader.list r Fixgen.read_fix in
+      Fix_update { program_digest; epoch; fixes }
+    | 3 ->
+      let program_digest = Codec.Reader.bytes r in
+      let directives = Codec.Reader.list r Guidance.read_directive in
+      Guidance_update { program_digest; directives }
+    | n -> raise (Codec.Malformed (Printf.sprintf "message tag %d" n))
+  with
+  | message -> Ok message
+  | exception Codec.Truncated -> Error "truncated message"
+  | exception Codec.Malformed msg -> Error msg

@@ -1,0 +1,23 @@
+(** The pod↔hive message protocol (paper Figure 1).
+
+    Pods send by-products up; the hive sends fixes and guidance down.
+    All messages are length-delimited binary strings carried by the
+    reliable transport ({!Softborg_net.Transport}). *)
+
+module Sampling := Softborg_trace.Sampling
+
+type message =
+  | Trace_upload of string
+      (** A {!Softborg_trace.Wire}-encoded trace (possibly anonymized
+          by the pod before encoding). *)
+  | Sampled_report of { program_digest : string; report : Sampling.t }
+      (** CBI-mode upload: sparse predicate counts plus outcome. *)
+  | Fix_update of { program_digest : string; epoch : int; fixes : Fixgen.fix list }
+      (** The hive's current deployable fix set for a program. *)
+  | Guidance_update of { program_digest : string; directives : Guidance.directive list }
+      (** Execution-steering directives for this pod. *)
+
+val encode : message -> string
+val decode : string -> (message, string) result
+
+val message_name : message -> string

@@ -1,0 +1,177 @@
+module Ir = Softborg_prog.Ir
+module Env = Softborg_exec.Env
+module Interp = Softborg_exec.Interp
+module Exec_tree = Softborg_tree.Exec_tree
+module Sym_exec = Softborg_symexec.Sym_exec
+module Schedule_explore = Softborg_conc.Schedule_explore
+
+type property =
+  | Assert_safety
+  | Deadlock_freedom
+
+type strength =
+  | Proved of { domain : int * int }
+  | Tested of { executions : int; schedules : int }
+
+type proof = {
+  id : int;
+  property : property;
+  strength : strength;
+  epoch : int;
+  distinct_paths : int;
+  mutable valid : bool;
+}
+
+let property_name = function
+  | Assert_safety -> "assert-safety"
+  | Deadlock_freedom -> "deadlock-freedom"
+
+let strength_name = function
+  | Proved _ -> "proved"
+  | Tested _ -> "tested"
+
+let pp fmt proof =
+  Format.fprintf fmt "proof#%d %s (%s, paths=%d, epoch=%d%s)" proof.id
+    (property_name proof.property) (strength_name proof.strength) proof.distinct_paths
+    proof.epoch
+    (if proof.valid then "" else ", INVALID")
+
+let next_proof_id = ref 0
+
+let make_proof property strength epoch distinct_paths =
+  incr next_proof_id;
+  { id = !next_proof_id; property; strength; epoch; distinct_paths; valid = true }
+
+let close_gaps ?config ?(limit = 24) program tree =
+  let closed = ref 0 in
+  let considered = ref 0 in
+  List.iter
+    (fun (gap : Exec_tree.gap) ->
+      if !considered >= limit then ()
+      else begin
+      incr considered;
+      match
+        Sym_exec.direction_feasible ?config program ~site:gap.Exec_tree.site
+          ~direction:gap.Exec_tree.missing
+      with
+      | Sym_exec.Infeasible ->
+        if
+          Exec_tree.mark_infeasible tree ~prefix:gap.Exec_tree.prefix ~site:gap.Exec_tree.site
+            ~direction:gap.Exec_tree.missing
+        then incr closed
+      | Sym_exec.Feasible _ | Sym_exec.Unknown -> ()
+      end)
+    (Exec_tree.frontier tree);
+  !closed
+
+let attempt_assert_safety ?config ~program ~tree ~crash_observations ~epoch () =
+  if crash_observations > 0 then None
+  else begin
+    let cfg = Option.value ~default:Sym_exec.default_config config in
+    let single_threaded = Array.length program.Ir.threads <= 1 in
+    if single_threaded then begin
+      let report = Sym_exec.explore ?config program Softborg_symexec.Consistency.Strict in
+      let fully_solved =
+        List.for_all
+          (fun (p : Sym_exec.path) ->
+            match p.Sym_exec.solver_verdict with `Sat | `Unsat -> true | `Timeout | `Unsolved -> false)
+          report.Sym_exec.paths
+      in
+      let feasible_crash =
+        List.exists
+          (fun (p : Sym_exec.path) ->
+            match (p.Sym_exec.outcome, p.Sym_exec.solver_verdict) with
+            | Sym_exec.Crashed _, `Sat -> true
+            | _ -> false)
+          report.Sym_exec.paths
+      in
+      let clean_paths_terminate =
+        List.for_all
+          (fun (p : Sym_exec.path) ->
+            match (p.Sym_exec.outcome, p.Sym_exec.solver_verdict) with
+            | _, `Unsat -> true
+            | (Sym_exec.Completed | Sym_exec.Path_deadlock), _ -> true
+            | Sym_exec.Crashed _, _ -> false
+            | Sym_exec.Step_limit, _ -> false)
+          report.Sym_exec.paths
+      in
+      if
+        (not report.Sym_exec.truncated)
+        && fully_solved && (not feasible_crash) && clean_paths_terminate
+      then
+        Some
+          (make_proof Assert_safety
+             (Proved { domain = cfg.Sym_exec.domain })
+             epoch
+             (Exec_tree.n_distinct_paths tree))
+      else if Exec_tree.n_executions tree > 0 then
+        Some
+          (make_proof Assert_safety
+             (Tested { executions = Exec_tree.n_executions tree; schedules = 1 })
+             epoch
+             (Exec_tree.n_distinct_paths tree))
+      else None
+    end
+    else if Exec_tree.n_executions tree > 0 then
+      Some
+        (make_proof Assert_safety
+           (Tested { executions = Exec_tree.n_executions tree; schedules = 0 })
+           epoch
+           (Exec_tree.n_distinct_paths tree))
+    else None
+  end
+
+let attempt_deadlock_freedom ?(max_runs = 100) ~program ~tree ~deadlock_observations
+    ~lock_cycles ~make_env ~hooks ~epoch () =
+  if deadlock_observations > 0 || lock_cycles <> [] then None
+  else begin
+    let takes_locks = Ir.lock_sites program <> [] in
+    let single_threaded = Array.length program.Ir.threads <= 1 in
+    if (not takes_locks) || single_threaded then
+      (* A single thread can still self-deadlock by re-acquiring; but
+         that is a lock-order self-cycle, excluded above only if
+         observed.  Conservatively require no locks for Proved when
+         single-threaded-with-locks hasn't been explored. *)
+      if not takes_locks then
+        Some
+          (make_proof Deadlock_freedom
+             (Proved { domain = Sym_exec.default_config.Sym_exec.domain })
+             epoch
+             (Exec_tree.n_distinct_paths tree))
+      else
+        Some
+          (make_proof Deadlock_freedom
+             (Tested { executions = Exec_tree.n_executions tree; schedules = 1 })
+             epoch
+             (Exec_tree.n_distinct_paths tree))
+    else begin
+      let result = Schedule_explore.explore ~max_runs ~hooks ~program ~make_env () in
+      let deadlocked =
+        List.exists
+          (fun (o, _) ->
+            match o with Softborg_exec.Outcome.Deadlock _ -> true | _ -> false)
+          result.Schedule_explore.outcomes
+      in
+      if deadlocked then None
+      else
+        Some
+          (make_proof Deadlock_freedom
+             (Tested
+                {
+                  executions = Exec_tree.n_executions tree;
+                  schedules = result.Schedule_explore.distinct_schedules;
+                })
+             epoch
+             (Exec_tree.n_distinct_paths tree))
+    end
+  end
+
+let invalidate proofs ~current_epoch =
+  List.fold_left
+    (fun acc proof ->
+      if proof.valid && proof.epoch < current_epoch then begin
+        proof.valid <- false;
+        acc + 1
+      end
+      else acc)
+    0 proofs

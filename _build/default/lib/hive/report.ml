@@ -1,0 +1,84 @@
+module Ir = Softborg_prog.Ir
+module Exec_tree = Softborg_tree.Exec_tree
+
+let buf_add = Buffer.add_string
+
+let section buffer title =
+  buf_add buffer "\n";
+  buf_add buffer title;
+  buf_add buffer "\n";
+  buf_add buffer (String.make (String.length title) '-');
+  buf_add buffer "\n"
+
+let render k =
+  let buffer = Buffer.create 1024 in
+  let program = Knowledge.program k in
+  buf_add buffer (Printf.sprintf "SoftBorg reliability report: %s\n" program.Ir.name);
+  buf_add buffer (Printf.sprintf "build digest: %s\n" (Knowledge.digest k));
+  buf_add buffer
+    (Printf.sprintf "fix epoch: %d | traces ingested: %d | failures observed: %d\n"
+       (Knowledge.epoch k) (Knowledge.traces_ingested k) (Knowledge.failures_observed k));
+
+  section buffer "Collective execution tree";
+  let tree = Knowledge.tree k in
+  buf_add buffer
+    (Printf.sprintf "distinct paths: %d | nodes: %d | completeness: %.1f%% | open gaps: %d\n"
+       (Exec_tree.n_distinct_paths tree) (Exec_tree.n_nodes tree)
+       (100.0 *. Exec_tree.completeness tree)
+       (List.length (Exec_tree.frontier tree)));
+  let store = Knowledge.store k in
+  buf_add buffer
+    (Printf.sprintf "trace store: %d distinct contents for %d uploads (dedup %.1fx)\n"
+       (Trace_store.distinct store) (Trace_store.received store)
+       (Trace_store.dedup_ratio store));
+
+  section buffer "Failure buckets";
+  (match Knowledge.bucket_counts k with
+  | [] -> buf_add buffer "none observed\n"
+  | buckets ->
+    List.iter
+      (fun (key, count) -> buf_add buffer (Printf.sprintf "%6d  %s\n" count key))
+      buckets);
+
+  section buffer "Fixes";
+  (match Knowledge.fixes k with
+  | [] -> buf_add buffer "none synthesized\n"
+  | fixes ->
+    List.iter
+      (fun fix ->
+        buf_add buffer
+          (Printf.sprintf "%s %s\n"
+             (if Fixgen.is_deployable fix then "[deployed] " else "[repair lab]")
+             (Format.asprintf "%a" Fixgen.pp fix)))
+      fixes);
+
+  section buffer "Proofs";
+  (match Knowledge.proofs k with
+  | [] -> buf_add buffer "none attempted or established\n"
+  | proofs ->
+    List.iter
+      (fun proof -> buf_add buffer (Format.asprintf "%a\n" Prover.pp proof))
+      proofs);
+
+  section buffer "Top bug predictors (statistical isolation)";
+  (match Isolate.rank (Knowledge.isolate k) with
+  | [] -> buf_add buffer "no predicate observations\n"
+  | ranked ->
+    List.iteri
+      (fun i (r : Isolate.ranked) ->
+        if i < 5 && r.Isolate.score > 0.0 then
+          buf_add buffer
+            (Printf.sprintf "%d. %s  score=%.2f (fail %d / pass %d)\n" (i + 1)
+               (Format.asprintf "%a" Softborg_trace.Sampling.pp_predicate r.Isolate.predicate)
+               r.Isolate.score r.Isolate.failing_observations r.Isolate.passing_observations))
+      ranked;
+    if List.for_all (fun (r : Isolate.ranked) -> r.Isolate.score <= 0.0) ranked then
+      buf_add buffer "no positively-correlated predicates\n");
+  Buffer.contents buffer
+
+let summary_line k =
+  Printf.sprintf "%-14s traces=%-6d failures=%-4d fixes=%-2d proofs=%d"
+    (Knowledge.program k).Ir.name (Knowledge.traces_ingested k)
+    (Knowledge.failures_observed k)
+    (List.length (Knowledge.fixes k))
+    (List.length (Knowledge.valid_proofs k))

@@ -1,0 +1,13 @@
+(** Published per-program reliability reports.
+
+    "For correct behaviors, SoftBorg's hive produces and publishes
+    proofs of P's properties" (paper §3).  The report is the hive's
+    public artifact for one program build: what was observed, what was
+    fixed, what is proven, and how complete the collective picture is.
+    Rendered as plain text so it can be published anywhere. *)
+
+val render : Knowledge.t -> string
+(** The full report. *)
+
+val summary_line : Knowledge.t -> string
+(** One line: name, traces, failures, fixes, proofs. *)

@@ -1,0 +1,64 @@
+module Trace = Softborg_trace.Trace
+module Wire = Softborg_trace.Wire
+module Bitvec = Softborg_util.Bitvec
+
+type entry = {
+  mutable count : int;
+  size : int;
+}
+
+type t = {
+  entries : (string, entry) Hashtbl.t;
+  mutable received : int;
+  mutable bytes_received : int;
+  mutable bytes_stored : int;
+}
+
+let create () =
+  { entries = Hashtbl.create 64; received = 0; bytes_received = 0; bytes_stored = 0 }
+
+(* Content digest: everything except the per-upload identifiers (trace
+   id and reporting pod) — two pods reporting the same execution
+   content deduplicate. *)
+let content_key (trace : Trace.t) =
+  let canonical =
+    { trace with Trace.trace_id = Softborg_util.Ids.Trace_id.of_int 0; pod = 0 }
+  in
+  Digest.to_hex (Digest.string (Wire.encode canonical))
+
+type admission =
+  | Novel
+  | Duplicate of int
+
+let admit t trace =
+  let key = content_key trace in
+  let size = String.length (Wire.encode trace) in
+  t.received <- t.received + 1;
+  t.bytes_received <- t.bytes_received + size;
+  match Hashtbl.find_opt t.entries key with
+  | Some entry ->
+    entry.count <- entry.count + 1;
+    Duplicate entry.count
+  | None ->
+    Hashtbl.replace t.entries key { count = 1; size };
+    t.bytes_stored <- t.bytes_stored + size;
+    Novel
+
+let distinct t = Hashtbl.length t.entries
+let received t = t.received
+let bytes_received t = t.bytes_received
+let bytes_stored t = t.bytes_stored
+
+let dedup_ratio t =
+  if t.bytes_stored = 0 then 1.0
+  else float_of_int t.bytes_received /. float_of_int t.bytes_stored
+
+let multiplicity t trace =
+  match Hashtbl.find_opt t.entries (content_key trace) with
+  | Some entry -> entry.count
+  | None -> 0
+
+let heaviest t ~n =
+  Hashtbl.fold (fun key entry acc -> (key, entry.count) :: acc) t.entries []
+  |> List.sort (fun (_, a) (_, b) -> Int.compare b a)
+  |> List.filteri (fun i _ -> i < n)

@@ -1,0 +1,44 @@
+(** Content-addressed trace storage with deduplication.
+
+    "Users execute software billions of times around the world" (paper
+    §2): the overwhelming majority of those executions repeat paths the
+    hive has already seen, so storing every upload verbatim would be
+    absurd.  The store keys each trace by a digest of its {e content}
+    (path bits, schedule, syscall summary, outcome) and keeps one copy
+    plus a multiplicity counter; the accounting exposes how much the
+    popularity skew saves. *)
+
+module Trace := Softborg_trace.Trace
+
+type t
+
+val create : unit -> t
+
+type admission =
+  | Novel  (** First time this exact execution content was seen. *)
+  | Duplicate of int  (** Seen before; the new multiplicity. *)
+
+val admit : t -> Trace.t -> admission
+(** Record one uploaded trace. *)
+
+val distinct : t -> int
+(** Distinct execution contents stored. *)
+
+val received : t -> int
+(** Total uploads admitted (with multiplicity). *)
+
+val bytes_received : t -> int
+(** Wire bytes across all uploads. *)
+
+val bytes_stored : t -> int
+(** Wire bytes actually kept (one copy per distinct content). *)
+
+val dedup_ratio : t -> float
+(** bytes_received / bytes_stored (1.0 when everything is novel). *)
+
+val multiplicity : t -> Trace.t -> int
+(** How often this exact content has been seen (0 if never). *)
+
+val heaviest : t -> n:int -> (string * int) list
+(** The [n] most frequent content digests with their counts — the
+    "hot paths" of the user population. *)

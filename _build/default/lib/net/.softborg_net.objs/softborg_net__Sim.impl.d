@@ -1,0 +1,1 @@
+lib/net/sim.ml: Float Int Map

@@ -1,0 +1,1 @@
+lib/net/transport.ml: Hashtbl Link Printf Sim Softborg_util

@@ -1,0 +1,1 @@
+lib/net/transport.mli: Link Sim Softborg_util

@@ -1,0 +1,44 @@
+module Rng = Softborg_util.Rng
+
+type config = {
+  drop_probability : float;
+  mean_latency : float;
+  min_latency : float;
+}
+
+let default_config = { drop_probability = 0.01; mean_latency = 0.05; min_latency = 0.005 }
+let lan = { drop_probability = 0.0; mean_latency = 0.0005; min_latency = 0.0001 }
+
+type t = {
+  config : config;
+  sim : Sim.t;
+  rng : Rng.t;
+  mutable sent : int;
+  mutable dropped : int;
+  mutable delivered : int;
+  mutable bytes_sent : int;
+}
+
+let create ?(config = default_config) ~sim ~rng () =
+  { config; sim; rng; sent = 0; dropped = 0; delivered = 0; bytes_sent = 0 }
+
+let send t ~payload ~deliver =
+  t.sent <- t.sent + 1;
+  t.bytes_sent <- t.bytes_sent + String.length payload;
+  if Rng.bernoulli t.rng t.config.drop_probability then t.dropped <- t.dropped + 1
+  else begin
+    let latency =
+      t.config.min_latency
+      +.
+      if t.config.mean_latency <= 0.0 then 0.0
+      else Rng.exponential t.rng (1.0 /. t.config.mean_latency)
+    in
+    Sim.schedule t.sim ~delay:latency (fun () ->
+        t.delivered <- t.delivered + 1;
+        deliver payload)
+  end
+
+let sent t = t.sent
+let dropped t = t.dropped
+let delivered t = t.delivered
+let bytes_sent t = t.bytes_sent

@@ -1,0 +1,34 @@
+(** Unidirectional lossy, latent links.
+
+    Models the "potentially unreliable network" between pods and the
+    hive (paper §4): each packet is independently dropped with a fixed
+    probability and otherwise delivered after an exponential latency
+    around a configurable mean.  Determinism comes from the link's own
+    PRNG stream. *)
+
+module Rng := Softborg_util.Rng
+
+type config = {
+  drop_probability : float;  (** Per-packet loss, in [0,1]. *)
+  mean_latency : float;  (** Seconds; exponential distribution. *)
+  min_latency : float;  (** Floor added to the exponential draw. *)
+}
+
+val default_config : config
+(** 1% loss, 50ms mean, 5ms floor. *)
+
+val lan : config
+(** Lossless, sub-millisecond — for hive-internal traffic. *)
+
+type t
+
+val create : ?config:config -> sim:Sim.t -> rng:Rng.t -> unit -> t
+
+val send : t -> payload:string -> deliver:(string -> unit) -> unit
+(** Transmit one packet; [deliver] fires after the sampled latency
+    unless the packet is dropped. *)
+
+val sent : t -> int
+val dropped : t -> int
+val delivered : t -> int
+val bytes_sent : t -> int

@@ -1,0 +1,55 @@
+(* Event queue as a map keyed by (time, sequence): O(log n) insert and
+   pop-min, deterministic tie-breaking by insertion order. *)
+
+module Key = struct
+  type t = float * int
+
+  let compare (t1, s1) (t2, s2) =
+    match Float.compare t1 t2 with 0 -> Int.compare s1 s2 | c -> c
+end
+
+module Queue_map = Map.Make (Key)
+
+type t = {
+  mutable clock : float;
+  mutable queue : (unit -> unit) Queue_map.t;
+  mutable next_seq : int;
+  mutable fired : int;
+}
+
+let create () = { clock = 0.0; queue = Queue_map.empty; next_seq = 0; fired = 0 }
+
+let now t = t.clock
+
+let schedule_at t ~time callback =
+  let time = if time < t.clock then t.clock else time in
+  t.queue <- Queue_map.add (time, t.next_seq) callback t.queue;
+  t.next_seq <- t.next_seq + 1
+
+let schedule t ~delay callback =
+  let delay = if delay < 0.0 then 0.0 else delay in
+  schedule_at t ~time:(t.clock +. delay) callback
+
+let step t =
+  match Queue_map.min_binding_opt t.queue with
+  | None -> false
+  | Some (((time, _) as key), callback) ->
+    t.queue <- Queue_map.remove key t.queue;
+    t.clock <- time;
+    t.fired <- t.fired + 1;
+    callback ();
+    true
+
+let run ?until t =
+  let continue () =
+    match Queue_map.min_binding_opt t.queue with
+    | None -> false
+    | Some ((time, _), _) -> (
+      match until with None -> true | Some limit -> time <= limit)
+  in
+  while continue () do
+    ignore (step t)
+  done
+
+let pending t = Queue_map.cardinal t.queue
+let fired t = t.fired

@@ -1,0 +1,35 @@
+(** Discrete-event simulator.
+
+    SoftBorg's pods relay by-products "over the Internet to the hive"
+    (paper §3); the hive may itself be distributed over end-user
+    machines on a potentially unreliable network (§4).  The whole
+    platform simulation therefore runs on one logical clock: every
+    component schedules callbacks, and the simulator fires them in
+    timestamp order.  Determinism: ties break by insertion order. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current simulation time (seconds, starts at 0). *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** Run the callback [delay] seconds from now.  Negative delays clamp
+    to zero (fire on the next step). *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> unit
+(** Run the callback at an absolute time (clamped to [now]). *)
+
+val step : t -> bool
+(** Fire the earliest pending event; false if none are pending. *)
+
+val run : ?until:float -> t -> unit
+(** Fire events in order until none remain or the clock would pass
+    [until]. *)
+
+val pending : t -> int
+(** Events waiting to fire. *)
+
+val fired : t -> int
+(** Events fired so far. *)

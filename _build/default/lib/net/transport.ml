@@ -1,0 +1,156 @@
+module Rng = Softborg_util.Rng
+module Codec = Softborg_util.Codec
+
+type config = {
+  link : Link.config;
+  retry_timeout : float;
+  max_retries : int;
+  backoff : float;
+}
+
+let default_config =
+  { link = Link.default_config; retry_timeout = 0.25; max_retries = 20; backoff = 1.5 }
+
+type stats = {
+  messages_sent : int;
+  retransmissions : int;
+  delivered : int;
+  duplicates_suppressed : int;
+  gave_up : int;
+  acks_sent : int;
+}
+
+type packet =
+  | Data of { seq : int; payload : string }
+  | Ack of { seq : int }
+
+let encode_packet packet =
+  let w = Codec.Writer.create () in
+  (match packet with
+  | Data { seq; payload } ->
+    Codec.Writer.byte w 0;
+    Codec.Writer.varint w seq;
+    Codec.Writer.bytes w payload
+  | Ack { seq } ->
+    Codec.Writer.byte w 1;
+    Codec.Writer.varint w seq);
+  Codec.Writer.contents w
+
+let decode_packet s =
+  let r = Codec.Reader.of_string s in
+  match Codec.Reader.byte r with
+  | 0 ->
+    let seq = Codec.Reader.varint r in
+    let payload = Codec.Reader.bytes r in
+    Data { seq; payload }
+  | 1 -> Ack { seq = Codec.Reader.varint r }
+  | n -> raise (Codec.Malformed (Printf.sprintf "packet tag %d" n))
+
+type endpoint = {
+  sim : Sim.t;
+  config : config;
+  mutable out_link : Link.t option;  (* towards the peer *)
+  mutable peer : endpoint option;
+  mutable next_seq : int;
+  mutable unacked : (int, string * int) Hashtbl.t option;  (* seq -> payload, retries *)
+  acked : (int, unit) Hashtbl.t;
+  seen : (int, unit) Hashtbl.t;
+  mutable handler : string -> unit;
+  mutable messages_sent : int;
+  mutable retransmissions : int;
+  mutable delivered : int;
+  mutable duplicates_suppressed : int;
+  mutable gave_up : int;
+  mutable acks_sent : int;
+}
+
+let make_endpoint ~sim ~config =
+  {
+    sim;
+    config;
+    out_link = None;
+    peer = None;
+    next_seq = 0;
+    unacked = Some (Hashtbl.create 16);
+    acked = Hashtbl.create 16;
+    seen = Hashtbl.create 16;
+    handler = ignore;
+    messages_sent = 0;
+    retransmissions = 0;
+    delivered = 0;
+    duplicates_suppressed = 0;
+    gave_up = 0;
+    acks_sent = 0;
+  }
+
+let unacked t = match t.unacked with Some h -> h | None -> assert false
+
+let rec transmit t packet =
+  match (t.out_link, t.peer) with
+  | Some link, Some peer ->
+    Link.send link ~payload:(encode_packet packet) ~deliver:(fun s -> receive peer s)
+  | _ -> ()
+
+and receive t raw =
+  match decode_packet raw with
+  | exception (Codec.Truncated | Codec.Malformed _) -> ()
+  | Ack { seq } ->
+    Hashtbl.replace t.acked seq ();
+    Hashtbl.remove (unacked t) seq
+  | Data { seq; payload } ->
+    (* Always (re-)acknowledge; the previous ack may have been lost. *)
+    t.acks_sent <- t.acks_sent + 1;
+    transmit t (Ack { seq });
+    if Hashtbl.mem t.seen seq then t.duplicates_suppressed <- t.duplicates_suppressed + 1
+    else begin
+      Hashtbl.replace t.seen seq ();
+      t.delivered <- t.delivered + 1;
+      t.handler payload
+    end
+
+let rec arm_retry t seq timeout =
+  Sim.schedule t.sim ~delay:timeout (fun () ->
+      match Hashtbl.find_opt (unacked t) seq with
+      | None -> ()  (* acked in the meantime *)
+      | Some (payload, retries) ->
+        if retries >= t.config.max_retries then begin
+          Hashtbl.remove (unacked t) seq;
+          t.gave_up <- t.gave_up + 1
+        end
+        else begin
+          Hashtbl.replace (unacked t) seq (payload, retries + 1);
+          t.retransmissions <- t.retransmissions + 1;
+          transmit t (Data { seq; payload });
+          arm_retry t seq (timeout *. t.config.backoff)
+        end)
+
+let send t payload =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  t.messages_sent <- t.messages_sent + 1;
+  Hashtbl.replace (unacked t) seq (payload, 0);
+  transmit t (Data { seq; payload });
+  arm_retry t seq t.config.retry_timeout
+
+let on_receive t handler = t.handler <- handler
+
+let stats t =
+  {
+    messages_sent = t.messages_sent;
+    retransmissions = t.retransmissions;
+    delivered = t.delivered;
+    duplicates_suppressed = t.duplicates_suppressed;
+    gave_up = t.gave_up;
+    acks_sent = t.acks_sent;
+  }
+
+let endpoint_pair ?(config = default_config) ~sim ~rng () =
+  let a = make_endpoint ~sim ~config in
+  let b = make_endpoint ~sim ~config in
+  let link_ab = Link.create ~config:config.link ~sim ~rng:(Rng.split rng) () in
+  let link_ba = Link.create ~config:config.link ~sim ~rng:(Rng.split rng) () in
+  a.out_link <- Some link_ab;
+  a.peer <- Some b;
+  b.out_link <- Some link_ba;
+  b.peer <- Some a;
+  (a, b)

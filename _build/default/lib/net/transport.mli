@@ -1,0 +1,44 @@
+(** Reliable, ordered-enough transport over a lossy link.
+
+    Pods must not lose trace batches to packet drops, and the hive
+    must not double-count retransmitted ones.  This transport gives
+    at-least-once delivery with receiver-side deduplication (so the
+    application sees each message exactly once), via sequence numbers,
+    acknowledgements, and timeout-based retransmission with capped
+    exponential backoff.  Delivery order is not guaranteed — the hive's
+    ingestion is order-insensitive by design (tree merging commutes). *)
+
+module Rng := Softborg_util.Rng
+
+type config = {
+  link : Link.config;
+  retry_timeout : float;  (** Seconds before the first retransmission. *)
+  max_retries : int;  (** Give up after this many retransmissions. *)
+  backoff : float;  (** Timeout multiplier per retry (>= 1). *)
+}
+
+val default_config : config
+
+type stats = {
+  messages_sent : int;
+  retransmissions : int;
+  delivered : int;  (** Unique messages handed to the application. *)
+  duplicates_suppressed : int;
+  gave_up : int;  (** Messages abandoned after [max_retries]. *)
+  acks_sent : int;
+}
+
+type endpoint
+
+val endpoint_pair :
+  ?config:config -> sim:Sim.t -> rng:Rng.t -> unit -> endpoint * endpoint
+(** A bidirectional connection: two endpoints over two lossy link
+    directions sharing one configuration. *)
+
+val send : endpoint -> string -> unit
+(** Queue a message for reliable delivery to the peer. *)
+
+val on_receive : endpoint -> (string -> unit) -> unit
+(** Install the application handler (replaces any previous one). *)
+
+val stats : endpoint -> stats

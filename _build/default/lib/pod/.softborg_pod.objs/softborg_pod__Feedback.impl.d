@@ -1,0 +1,1 @@
+lib/pod/feedback.ml: Softborg_exec

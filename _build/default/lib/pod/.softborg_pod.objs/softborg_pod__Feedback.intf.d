@@ -1,0 +1,1 @@
+lib/pod/feedback.mli: Softborg_exec

@@ -1,0 +1,1 @@
+lib/pod/pod.ml: Feedback List Softborg_exec Softborg_hive Softborg_net Softborg_prog Softborg_solver Softborg_symexec Softborg_trace Softborg_util String Workload

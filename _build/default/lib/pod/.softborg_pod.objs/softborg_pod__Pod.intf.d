@@ -1,0 +1,1 @@
+lib/pod/pod.mli: Feedback Softborg_net Softborg_prog Softborg_trace Softborg_util Workload

@@ -1,0 +1,1 @@
+lib/pod/workload.ml: Array Softborg_util

@@ -1,0 +1,1 @@
+lib/pod/workload.mli: Softborg_util

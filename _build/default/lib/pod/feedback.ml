@@ -1,0 +1,27 @@
+module Outcome = Softborg_exec.Outcome
+
+type signal =
+  | Normal_exit
+  | Crash_report
+  | Forceful_termination
+  | Jerky_mouse
+
+let signal_name = function
+  | Normal_exit -> "normal-exit"
+  | Crash_report -> "crash-report"
+  | Forceful_termination -> "forceful-termination"
+  | Jerky_mouse -> "jerky-mouse"
+
+let signal_of_run ~outcome ~steps ~slow_threshold =
+  match outcome with
+  | Outcome.Crash _ -> Crash_report
+  | Outcome.Deadlock _ | Outcome.Hang -> Forceful_termination
+  | Outcome.Success -> if steps > slow_threshold then Jerky_mouse else Normal_exit
+
+let label_of_signal signal ~outcome =
+  match signal with
+  | Normal_exit | Jerky_mouse | Crash_report -> outcome
+  | Forceful_termination -> (
+    (* The pod detects a manifest deadlock via its own watchdog, but a
+       user-killed hang is just "hang". *)
+    match outcome with Outcome.Deadlock _ -> outcome | _ -> Outcome.Hang)

@@ -1,0 +1,32 @@
+(** User-feedback inference.
+
+    "The outcome of an execution is either determined by the pod
+    explicitly (e.g., for crashes or deadlocks), or can reflect
+    feedback provided by the end-user directly (e.g., via forceful
+    program termination) or indirectly (e.g., an erratically jerked
+    mouse suggests a program is being unusually slow)" — paper §3.1.
+
+    The interpreter reports ground truth; this module models the
+    pod-side inference channel: which user signal reveals each
+    outcome, and the label the pod attaches based on it. *)
+
+module Outcome := Softborg_exec.Outcome
+
+type signal =
+  | Normal_exit
+  | Crash_report  (** The process died; the pod sees it directly. *)
+  | Forceful_termination  (** User killed a wedged program. *)
+  | Jerky_mouse  (** User frustration with a slow-but-alive program. *)
+
+val signal_name : signal -> string
+
+val signal_of_run : outcome:Outcome.t -> steps:int -> slow_threshold:int -> signal
+(** What the pod observes for a run: failures surface as crash reports
+    or forceful termination; successful-but-slow runs (steps beyond
+    [slow_threshold]) surface as jerky-mouse frustration. *)
+
+val label_of_signal : signal -> outcome:Outcome.t -> Outcome.t
+(** The outcome label the pod attaches to the trace.  Explicit
+    failures keep the precise outcome; [Forceful_termination] of a
+    live program is labelled [Hang] (the pod cannot distinguish a
+    livelock from a deadlock it did not detect). *)

@@ -1,0 +1,237 @@
+module Rng = Softborg_util.Rng
+module Ir = Softborg_prog.Ir
+module Env = Softborg_exec.Env
+module Sched = Softborg_exec.Sched
+module Interp = Softborg_exec.Interp
+module Outcome = Softborg_exec.Outcome
+module Trace = Softborg_trace.Trace
+module Wire = Softborg_trace.Wire
+module Sampling = Softborg_trace.Sampling
+module Anonymize = Softborg_trace.Anonymize
+module Sim = Softborg_net.Sim
+module Transport = Softborg_net.Transport
+module Fixgen = Softborg_hive.Fixgen
+module Guidance = Softborg_hive.Guidance
+module Protocol = Softborg_hive.Protocol
+module Path_cond = Softborg_solver.Path_cond
+
+type upload_mode =
+  | Full_traces
+  | Sampled_reports of int
+  | Outcomes_only
+
+type config = {
+  arrival_rate : float;
+  workload : Workload.profile;
+  fault_probability : float;
+  max_steps : int;
+  anonymize : Anonymize.level;
+  upload : upload_mode;
+  slow_threshold : int;
+}
+
+let default_config =
+  {
+    arrival_rate = 1.0;
+    workload = Workload.default;
+    fault_probability = 0.02;
+    max_steps = 20_000;
+    anonymize = Anonymize.Full;
+    upload = Full_traces;
+    slow_threshold = 15_000;
+  }
+
+type metrics = {
+  sessions : int;
+  guided_runs : int;
+  user_failures : int;
+  guided_failures : int;
+  averted_crashes : int;
+  deferred_acquisitions : int;
+  guard_flags : int;
+  traces_uploaded : int;
+  fix_epoch : int;
+  signals : (Feedback.signal * int) list;
+}
+
+type t = {
+  config : config;
+  sim : Sim.t;
+  rng : Rng.t;
+  program : Ir.t;
+  digest : string;
+  endpoint : Transport.endpoint;
+  pod_id : int;
+  mutable fixes : Fixgen.fix list;
+  mutable fix_epoch : int;
+  mutable pending_guidance : Guidance.directive list;
+  mutable sessions : int;
+  mutable guided_runs : int;
+  mutable user_failures : int;
+  mutable guided_failures : int;
+  mutable averted_crashes : int;
+  mutable deferred_acquisitions : int;
+  mutable guard_flags : int;
+  mutable traces_uploaded : int;
+  mutable signal_counts : (Feedback.signal * int) list;
+}
+
+let next_pod_id = ref 0
+
+let bump_signal t signal =
+  let rec loop = function
+    | [] -> [ (signal, 1) ]
+    | (s, n) :: rest when s = signal -> (s, n + 1) :: rest
+    | pair :: rest -> pair :: loop rest
+  in
+  t.signal_counts <- loop t.signal_counts
+
+let handle_message t payload =
+  match Protocol.decode payload with
+  | Error _ -> ()
+  | Ok (Protocol.Fix_update { program_digest; epoch; fixes }) ->
+    if String.equal program_digest t.digest && epoch > t.fix_epoch then begin
+      t.fixes <- fixes;
+      t.fix_epoch <- epoch
+    end
+  | Ok (Protocol.Guidance_update { program_digest; directives }) ->
+    if String.equal program_digest t.digest then
+      t.pending_guidance <- t.pending_guidance @ directives
+  | Ok (Protocol.Trace_upload _ | Protocol.Sampled_report _) ->
+    (* Upstream-only messages. *)
+    ()
+
+let create ?(config = default_config) ~sim ~rng ~program ~endpoint () =
+  incr next_pod_id;
+  let t =
+    {
+      config;
+      sim;
+      rng;
+      program;
+      digest = Ir.digest program;
+      endpoint;
+      pod_id = !next_pod_id;
+      fixes = [];
+      fix_epoch = 0;
+      pending_guidance = [];
+      sessions = 0;
+      guided_runs = 0;
+      user_failures = 0;
+      guided_failures = 0;
+      averted_crashes = 0;
+      deferred_acquisitions = 0;
+      guard_flags = 0;
+      traces_uploaded = 0;
+      signal_counts = [];
+    }
+  in
+  Transport.on_receive endpoint (handle_message t);
+  t
+
+let guards t =
+  List.filter_map
+    (fun fix ->
+      match fix.Fixgen.kind with
+      | Fixgen.Input_guard { condition; site; crash_kind; _ } -> Some (condition, site, crash_kind)
+      | _ -> None)
+    t.fixes
+
+let upload t (result : Interp.result) ~label =
+  let trace =
+    Trace.of_result ~program_digest:t.digest ~pod:t.pod_id ~fix_epoch:t.fix_epoch
+      { result with Interp.outcome = label }
+  in
+  match t.config.upload with
+  | Full_traces ->
+    let scrubbed = Anonymize.apply t.config.anonymize trace in
+    Transport.send t.endpoint (Protocol.encode (Protocol.Trace_upload (Wire.encode scrubbed)));
+    t.traces_uploaded <- t.traces_uploaded + 1
+  | Outcomes_only ->
+    let scrubbed = Anonymize.apply Anonymize.Outcome_only trace in
+    Transport.send t.endpoint (Protocol.encode (Protocol.Trace_upload (Wire.encode scrubbed)));
+    t.traces_uploaded <- t.traces_uploaded + 1
+  | Sampled_reports rate ->
+    let report =
+      Sampling.sample t.rng ~rate ~full_path:result.Interp.full_path ~outcome:label
+    in
+    Transport.send t.endpoint
+      (Protocol.encode (Protocol.Sampled_report { program_digest = t.digest; report }));
+    t.traces_uploaded <- t.traces_uploaded + 1
+
+let execute t ~user ~inputs ~fault_plan ~sched =
+  let env = Env.make ~fault_plan ~seed:(Rng.int t.rng 1_000_000) ~inputs () in
+  let hooks = Fixgen.runtime_hooks t.fixes in
+  (* Input guards: the pod knows these inputs used to crash (the
+     unconditional site protection is already in [hooks]); flag the
+     session as a predicted failure. *)
+  if
+    List.exists
+      (fun (condition, _, _) -> Path_cond.satisfied_by condition inputs)
+      (guards t)
+  then t.guard_flags <- t.guard_flags + 1;
+  let result =
+    Interp.run ~max_steps:t.config.max_steps ~hooks ~program:t.program ~env ~sched ()
+  in
+  if Outcome.is_failure result.Interp.outcome then
+    if user then t.user_failures <- t.user_failures + 1
+    else t.guided_failures <- t.guided_failures + 1;
+  t.averted_crashes <- t.averted_crashes + result.Interp.suppressed_crashes;
+  t.deferred_acquisitions <- t.deferred_acquisitions + result.Interp.deferred_acquisitions;
+  let signal =
+    Feedback.signal_of_run ~outcome:result.Interp.outcome ~steps:result.Interp.steps
+      ~slow_threshold:t.config.slow_threshold
+  in
+  bump_signal t signal;
+  let label = Feedback.label_of_signal signal ~outcome:result.Interp.outcome in
+  upload t result ~label
+
+let run_directive t directive =
+  t.guided_runs <- t.guided_runs + 1;
+  match directive with
+  | Guidance.Cover_direction { test; _ } ->
+    execute t ~user:false ~inputs:test.Softborg_symexec.Testgen.inputs
+      ~fault_plan:test.Softborg_symexec.Testgen.fault_plan ~sched:Sched.Round_robin
+  | Guidance.Probe_schedules { inputs; seeds } ->
+    List.iter
+      (fun seed ->
+        execute t ~user:false ~inputs ~fault_plan:Env.No_faults
+          ~sched:(Sched.Random_sched (Rng.create seed)))
+      seeds
+
+let run_session t =
+  t.sessions <- t.sessions + 1;
+  let inputs = Workload.draw t.rng t.config.workload ~n_inputs:t.program.Ir.n_inputs in
+  let fault_plan =
+    if t.config.fault_probability > 0.0 then Env.Random_faults t.config.fault_probability
+    else Env.No_faults
+  in
+  execute t ~user:true ~inputs ~fault_plan ~sched:(Sched.Random_sched (Rng.split t.rng))
+
+let rec schedule_next t =
+  let gap = Rng.exponential t.rng t.config.arrival_rate in
+  Sim.schedule t.sim ~delay:gap (fun () ->
+      (* Guidance directives take priority over natural sessions: the
+         hive asked for specific evidence. *)
+      (match t.pending_guidance with
+      | directive :: rest ->
+        t.pending_guidance <- rest;
+        run_directive t directive
+      | [] -> run_session t);
+      schedule_next t)
+
+let start t = schedule_next t
+
+let metrics t =
+  {
+    sessions = t.sessions;
+    guided_runs = t.guided_runs;
+    user_failures = t.user_failures;
+    guided_failures = t.guided_failures;
+    averted_crashes = t.averted_crashes;
+    deferred_acquisitions = t.deferred_acquisitions;
+    guard_flags = t.guard_flags;
+    traces_uploaded = t.traces_uploaded;
+    fix_epoch = t.fix_epoch;
+    signals = t.signal_counts;
+  }

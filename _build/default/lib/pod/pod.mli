@@ -1,0 +1,67 @@
+(** The pod: the per-instance agent of Figure 1.
+
+    A pod "lies underneath" one instance of a program: it runs user
+    sessions against the instrumented interpreter, captures by-products
+    (optionally sampled and anonymized), relays them to the hive over
+    the reliable transport, applies fix updates the hive pushes down,
+    and executes guidance directives — all on the shared simulated
+    clock. *)
+
+module Rng := Softborg_util.Rng
+module Ir := Softborg_prog.Ir
+module Anonymize := Softborg_trace.Anonymize
+module Sim := Softborg_net.Sim
+module Transport := Softborg_net.Transport
+
+(** What the pod uploads, per platform mode. *)
+type upload_mode =
+  | Full_traces  (** SoftBorg: the whole by-product bundle. *)
+  | Sampled_reports of int  (** CBI: predicate counts at rate 1/n. *)
+  | Outcomes_only  (** WER: the failure bucket, nothing else. *)
+
+type config = {
+  arrival_rate : float;  (** User sessions per simulated second. *)
+  workload : Workload.profile;
+  fault_probability : float;  (** Ambient environment-fault rate. *)
+  max_steps : int;  (** Watchdog budget per session. *)
+  anonymize : Anonymize.level;
+  upload : upload_mode;
+  slow_threshold : int;  (** Steps beyond which users get frustrated. *)
+}
+
+val default_config : config
+
+type metrics = {
+  sessions : int;  (** Natural user sessions executed. *)
+  guided_runs : int;  (** Hive-directed executions. *)
+  user_failures : int;  (** Failures the user actually experienced. *)
+  guided_failures : int;
+      (** Failures during hive-directed runs — evidence, not user pain. *)
+  averted_crashes : int;  (** Suppression-hook saves. *)
+  deferred_acquisitions : int;  (** Immunity overhead. *)
+  guard_flags : int;  (** Sessions whose inputs matched an input guard. *)
+  traces_uploaded : int;
+  fix_epoch : int;  (** Current fix version the pod runs with. *)
+  signals : (Feedback.signal * int) list;  (** User-signal histogram. *)
+}
+
+type t
+
+val create :
+  ?config:config ->
+  sim:Sim.t ->
+  rng:Rng.t ->
+  program:Ir.t ->
+  endpoint:Transport.endpoint ->
+  unit ->
+  t
+(** [endpoint] is the pod's side of its connection to the hive; the
+    pod installs its receive handler. *)
+
+val start : t -> unit
+(** Schedule the first user session. *)
+
+val run_session : t -> unit
+(** Execute one natural session immediately (also used by tests). *)
+
+val metrics : t -> metrics

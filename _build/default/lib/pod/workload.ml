@@ -1,0 +1,18 @@
+module Rng = Softborg_util.Rng
+
+type profile =
+  | Uniform_inputs of { lo : int; hi : int }
+  | Zipf_inputs of { lo : int; hi : int; exponent : float }
+
+let default = Zipf_inputs { lo = 0; hi = 191; exponent = 1.1 }
+
+let profile_name = function
+  | Uniform_inputs _ -> "uniform"
+  | Zipf_inputs _ -> "zipf"
+
+let draw rng profile ~n_inputs =
+  Array.init n_inputs (fun _ ->
+      match profile with
+      | Uniform_inputs { lo; hi } -> Rng.int_in rng lo hi
+      | Zipf_inputs { lo; hi; exponent } ->
+        lo + Rng.zipf rng ~n:(hi - lo + 1) ~s:exponent)

@@ -1,0 +1,24 @@
+(** End-user workload models.
+
+    The aggregate user population is SoftBorg's test generator
+    (paper §2), and its shape matters: real input distributions are
+    heavily skewed, so common paths saturate early while rare paths —
+    where the bugs hide — straggle.  That skew is what makes execution
+    guidance valuable (E4). *)
+
+module Rng := Softborg_util.Rng
+
+type profile =
+  | Uniform_inputs of { lo : int; hi : int }
+  | Zipf_inputs of { lo : int; hi : int; exponent : float }
+      (** Values near [lo] dominate with Zipf weight; the tail toward
+          [hi] is rarely exercised. *)
+
+val default : profile
+(** Zipf over [0, 191] with exponent 1.1 — matches the solver's
+    default symbol domain. *)
+
+val profile_name : profile -> string
+
+val draw : Rng.t -> profile -> n_inputs:int -> int array
+(** One session's input vector. *)

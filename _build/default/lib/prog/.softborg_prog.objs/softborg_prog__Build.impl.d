@@ -1,0 +1,1 @@
+lib/prog/build.ml: Array Ir List Printf

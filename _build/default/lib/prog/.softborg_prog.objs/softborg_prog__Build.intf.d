@@ -1,0 +1,1 @@
+lib/prog/build.mli: Ir

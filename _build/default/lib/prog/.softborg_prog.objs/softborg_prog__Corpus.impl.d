@@ -1,0 +1,1 @@
+lib/prog/corpus.ml: Build Ir

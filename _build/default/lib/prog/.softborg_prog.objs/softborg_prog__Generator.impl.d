@@ -1,0 +1,1 @@
+lib/prog/generator.ml: Array Build Int64 Ir List Printf Softborg_util

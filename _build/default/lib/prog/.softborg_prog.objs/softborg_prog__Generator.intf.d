@@ -1,0 +1,1 @@
+lib/prog/generator.mli: Ir Softborg_util

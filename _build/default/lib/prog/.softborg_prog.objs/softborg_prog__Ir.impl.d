@@ -1,0 +1,1 @@
+lib/prog/ir.ml: Array Digest Format Int List Marshal

@@ -1,0 +1,1 @@
+lib/prog/ir.mli: Format

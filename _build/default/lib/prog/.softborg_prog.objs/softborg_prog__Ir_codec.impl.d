@@ -1,0 +1,1 @@
+lib/prog/ir_codec.ml: Ir Printf Softborg_util

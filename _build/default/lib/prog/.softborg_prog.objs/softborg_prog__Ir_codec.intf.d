@@ -1,0 +1,1 @@
+lib/prog/ir_codec.mli: Ir Softborg_util

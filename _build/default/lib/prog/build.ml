@@ -1,0 +1,108 @@
+type stmt =
+  | S_assign of Ir.var * Ir.expr
+  | S_if of Ir.expr * stmt list * stmt list
+  | S_while of Ir.expr * stmt list
+  | S_syscall of Ir.syscall_kind * Ir.var
+  | S_lock of int
+  | S_unlock of int
+  | S_assert of Ir.expr * string
+  | S_yield
+  | S_halt
+
+let assign v e = S_assign (v, e)
+let if_ cond then_ else_ = S_if (cond, then_, else_)
+let while_ cond body = S_while (cond, body)
+let syscall kind dst = S_syscall (kind, dst)
+let lock l = S_lock l
+let unlock l = S_unlock l
+let assert_ cond message = S_assert (cond, message)
+let yield = S_yield
+let halt = S_halt
+
+let glob name = Ir.Var (Ir.Global name)
+let local name = Ir.Var (Ir.Local name)
+let const c = Ir.Const c
+let input i = Ir.Input i
+let gvar name = Ir.Global name
+let lvar name = Ir.Local name
+
+module Infix = struct
+  let bin op a b = Ir.Binop (op, a, b)
+  let ( +: ) = bin Ir.Add
+  let ( -: ) = bin Ir.Sub
+  let ( *: ) = bin Ir.Mul
+  let ( /: ) = bin Ir.Div
+  let ( %: ) = bin Ir.Mod
+  let ( ==: ) = bin Ir.Eq
+  let ( <>: ) = bin Ir.Ne
+  let ( <: ) = bin Ir.Lt
+  let ( <=: ) = bin Ir.Le
+  let ( >: ) = bin Ir.Gt
+  let ( >=: ) = bin Ir.Ge
+  let ( &&: ) = bin Ir.And
+  let ( ||: ) = bin Ir.Or
+  let not_ e = Ir.Unop (Ir.Not, e)
+end
+
+(* Compilation emits into a growable buffer of instructions; forward
+   targets are emitted as placeholders and patched once known. *)
+type emitter = { mutable instrs : Ir.instr array; mutable len : int }
+
+let emitter () = { instrs = Array.make 16 Ir.Halt; len = 0 }
+
+let emit em instr =
+  if em.len = Array.length em.instrs then begin
+    let grown = Array.make (2 * em.len) Ir.Halt in
+    Array.blit em.instrs 0 grown 0 em.len;
+    em.instrs <- grown
+  end;
+  em.instrs.(em.len) <- instr;
+  em.len <- em.len + 1;
+  em.len - 1
+
+let patch em at instr = em.instrs.(at) <- instr
+
+let rec compile_stmt em = function
+  | S_assign (v, e) -> ignore (emit em (Ir.Assign (v, e)))
+  | S_syscall (kind, dst) -> ignore (emit em (Ir.Syscall { kind; dst }))
+  | S_lock l -> ignore (emit em (Ir.Lock l))
+  | S_unlock l -> ignore (emit em (Ir.Unlock l))
+  | S_assert (cond, message) -> ignore (emit em (Ir.Assert { cond; message }))
+  | S_yield -> ignore (emit em Ir.Yield)
+  | S_halt -> ignore (emit em Ir.Halt)
+  | S_if (cond, then_, else_) ->
+    let branch_at = emit em Ir.Halt in
+    List.iter (compile_stmt em) then_;
+    let jump_at = emit em Ir.Halt in
+    let else_start = em.len in
+    List.iter (compile_stmt em) else_;
+    let end_pc = em.len in
+    patch em branch_at (Ir.Branch { cond; if_true = branch_at + 1; if_false = else_start });
+    patch em jump_at (Ir.Jump end_pc)
+  | S_while (cond, body) ->
+    let top = em.len in
+    let branch_at = emit em Ir.Halt in
+    List.iter (compile_stmt em) body;
+    ignore (emit em (Ir.Jump top));
+    let end_pc = em.len in
+    patch em branch_at (Ir.Branch { cond; if_true = branch_at + 1; if_false = end_pc })
+
+let compile_thread stmts =
+  let em = emitter () in
+  List.iter (compile_stmt em) stmts;
+  ignore (emit em Ir.Halt);
+  Array.sub em.instrs 0 em.len
+
+let program ~name ?(globals = []) ?(n_inputs = 0) ?(n_locks = 0) bodies =
+  let prog =
+    {
+      Ir.name;
+      globals;
+      n_inputs;
+      n_locks;
+      threads = Array.of_list (List.map compile_thread bodies);
+    }
+  in
+  match Ir.validate prog with
+  | Ok () -> prog
+  | Error msg -> invalid_arg (Printf.sprintf "Build.program %s: %s" name msg)

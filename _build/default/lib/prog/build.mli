@@ -1,0 +1,62 @@
+(** Structured program construction.
+
+    The IR is flat (absolute branch targets), which is hostile to
+    hand-writing corpus programs and to the random generator.  This
+    module provides structured statements ([if_]/[while_]/[seq]) that
+    compile down to well-formed flat thread bodies with patched jump
+    targets. *)
+
+type stmt
+
+val assign : Ir.var -> Ir.expr -> stmt
+val if_ : Ir.expr -> stmt list -> stmt list -> stmt
+val while_ : Ir.expr -> stmt list -> stmt
+val syscall : Ir.syscall_kind -> Ir.var -> stmt
+val lock : int -> stmt
+val unlock : int -> stmt
+val assert_ : Ir.expr -> string -> stmt
+val yield : stmt
+val halt : stmt
+
+val glob : string -> Ir.expr
+(** [glob "g"] reads global [g]. *)
+
+val local : string -> Ir.expr
+(** [local "x"] reads thread-local [x]. *)
+
+val const : int -> Ir.expr
+val input : int -> Ir.expr
+
+val gvar : string -> Ir.var
+val lvar : string -> Ir.var
+
+(** Infix expression operators; open locally when building programs. *)
+module Infix : sig
+  val ( +: ) : Ir.expr -> Ir.expr -> Ir.expr
+  val ( -: ) : Ir.expr -> Ir.expr -> Ir.expr
+  val ( *: ) : Ir.expr -> Ir.expr -> Ir.expr
+  val ( /: ) : Ir.expr -> Ir.expr -> Ir.expr
+  val ( %: ) : Ir.expr -> Ir.expr -> Ir.expr
+  val ( ==: ) : Ir.expr -> Ir.expr -> Ir.expr
+  val ( <>: ) : Ir.expr -> Ir.expr -> Ir.expr
+  val ( <: ) : Ir.expr -> Ir.expr -> Ir.expr
+  val ( <=: ) : Ir.expr -> Ir.expr -> Ir.expr
+  val ( >: ) : Ir.expr -> Ir.expr -> Ir.expr
+  val ( >=: ) : Ir.expr -> Ir.expr -> Ir.expr
+  val ( &&: ) : Ir.expr -> Ir.expr -> Ir.expr
+  val ( ||: ) : Ir.expr -> Ir.expr -> Ir.expr
+  val not_ : Ir.expr -> Ir.expr
+end
+
+val compile_thread : stmt list -> Ir.instr array
+(** Flatten one thread body; a trailing [Halt] is always appended. *)
+
+val program :
+  name:string ->
+  ?globals:string list ->
+  ?n_inputs:int ->
+  ?n_locks:int ->
+  stmt list list ->
+  Ir.t
+(** [program ~name bodies] compiles one structured body per thread.
+    @raise Invalid_argument if the result fails {!Ir.validate}. *)

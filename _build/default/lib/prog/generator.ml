@@ -1,0 +1,297 @@
+module Rng = Softborg_util.Rng
+open Build
+open Build.Infix
+
+type bug_kind =
+  | Rare_assert
+  | Unchecked_syscall
+  | Deadlock_pair
+  | Atomicity_race
+  | Div_by_zero
+  | Hang_loop
+
+let bug_kind_name = function
+  | Rare_assert -> "rare-assert"
+  | Unchecked_syscall -> "unchecked-syscall"
+  | Deadlock_pair -> "deadlock"
+  | Atomicity_race -> "atomicity-race"
+  | Div_by_zero -> "div-by-zero"
+  | Hang_loop -> "hang-loop"
+
+let all_bug_kinds =
+  [ Rare_assert; Unchecked_syscall; Deadlock_pair; Atomicity_race; Div_by_zero; Hang_loop ]
+
+type params = {
+  block_depth : int;
+  stmts_per_block : int;
+  n_inputs : int;
+  rare_modulus : int;
+  bugs : bug_kind list;
+}
+
+let default_params =
+  { block_depth = 3; stmts_per_block = 4; n_inputs = 4; rare_modulus = 64; bugs = [ Rare_assert ] }
+
+type planted = {
+  kind : bug_kind;
+  description : string;
+  trigger_input : int option;
+  trigger_residue : int option;
+}
+
+(* Fresh-name supply local to one generation run. *)
+type gen_state = { rng : Rng.t; params : params; mutable next_var : int; mutable globals : string list }
+
+let fresh_local g =
+  g.next_var <- g.next_var + 1;
+  Printf.sprintf "v%d" g.next_var
+
+let declare_global g name = if not (List.mem name g.globals) then g.globals <- name :: g.globals
+
+let random_input g = Rng.int g.rng g.params.n_inputs
+
+(* Random side-effect-free expression over inputs, a given local, and
+   constants.  Depth-bounded; division-safe (only by non-zero consts). *)
+let rec random_expr g ~depth ~locals =
+  if depth = 0 || Rng.bool g.rng then
+    match Rng.int g.rng 3 with
+    | 0 -> const (Rng.int_in g.rng (-8) 8)
+    | 1 -> input (random_input g)
+    | _ -> (
+      match locals with
+      | [] -> input (random_input g)
+      | _ -> local (Rng.choice g.rng (Array.of_list locals)))
+  else
+    let a = random_expr g ~depth:(depth - 1) ~locals in
+    let b = random_expr g ~depth:(depth - 1) ~locals in
+    match Rng.int g.rng 5 with
+    | 0 -> a +: b
+    | 1 -> a -: b
+    | 2 -> a *: const (Rng.int_in g.rng (-3) 3)
+    | 3 -> a %: const (Rng.int_in g.rng 2 9)
+    | _ -> a +: (b *: const 2)
+
+let random_cond g ~locals =
+  let a = random_expr g ~depth:1 ~locals in
+  let threshold = const (Rng.int_in g.rng (-4) 12) in
+  match Rng.int g.rng 4 with
+  | 0 -> a <: threshold
+  | 1 -> a >: threshold
+  | 2 -> a %: const (Rng.int_in g.rng 2 5) ==: const 0
+  | _ -> a <=: threshold
+
+(* A bounded counting loop: always terminates, exercises repeated
+   branch sites (loops make the execution tree deep, paper Fig. 2). *)
+let counting_loop g ~locals ~body_of =
+  let counter = fresh_local g in
+  let bound = Rng.int_in g.rng 1 4 in
+  [
+    assign (lvar counter) (input (random_input g) %: const (bound + 1));
+    while_
+      (local counter >: const 0)
+      (body_of (counter :: locals) @ [ assign (lvar counter) (local counter -: const 1) ]);
+  ]
+
+let rec random_block g ~depth ~locals =
+  let n = 1 + Rng.int g.rng g.params.stmts_per_block in
+  List.concat
+    (List.init n (fun _ ->
+         match Rng.int g.rng (if depth > 0 then 6 else 3) with
+         | 0 | 1 ->
+           let v = fresh_local g in
+           [ assign (lvar v) (random_expr g ~depth:2 ~locals) ]
+         | 2 ->
+           let v = fresh_local g in
+           let kind =
+             Rng.choice g.rng [| Ir.Sys_read; Ir.Sys_open; Ir.Sys_write; Ir.Sys_net; Ir.Sys_time |]
+           in
+           (* Well-behaved code checks the result before use. *)
+           [
+             syscall kind (lvar v);
+             if_ (local v >=: const 0) [ assign (lvar v) (local v +: const 1) ] [ assign (lvar v) (const 0) ];
+           ]
+         | 3 ->
+           [
+             if_ (random_cond g ~locals)
+               (random_block g ~depth:(depth - 1) ~locals)
+               (random_block g ~depth:(depth - 1) ~locals);
+           ]
+         | 4 -> counting_loop g ~locals ~body_of:(fun locals -> random_block g ~depth:(depth - 1) ~locals)
+         | _ ->
+           let v = fresh_local g in
+           [ assign (lvar v) (random_expr g ~depth:2 ~locals) ]))
+
+(* ---- Bug payloads ------------------------------------------------- *)
+
+(* Wrap a payload under a rare input predicate in[slot] mod m = r. *)
+let rare_guard g payload =
+  let slot = random_input g in
+  let m = g.params.rare_modulus in
+  let residue = Rng.int g.rng m in
+  let stmts = [ if_ (input slot %: const m ==: const residue) payload [] ] in
+  (stmts, slot, residue)
+
+let plant_main_thread_bug g kind =
+  match kind with
+  | Rare_assert ->
+    let stmts, slot, residue =
+      rare_guard g [ assert_ (const 0) "planted rare-path assertion" ]
+    in
+    ( stmts,
+      {
+        kind;
+        description = Printf.sprintf "assert fails when in[%d] %% %d = %d" slot g.params.rare_modulus residue;
+        trigger_input = Some slot;
+        trigger_residue = Some residue;
+      } )
+  | Div_by_zero ->
+    let slot = random_input g in
+    let m = g.params.rare_modulus in
+    let residue = Rng.int g.rng m in
+    let v = fresh_local g in
+    (* Divisor is zero exactly when in[slot] mod m = residue. *)
+    let stmts = [ assign (lvar v) (const 100 /: ((input slot %: const m) -: const residue)) ] in
+    ( stmts,
+      {
+        kind;
+        description = Printf.sprintf "division by zero when in[%d] %% %d = %d" slot m residue;
+        trigger_input = Some slot;
+        trigger_residue = Some residue;
+      } )
+  | Hang_loop ->
+    let payload = [ while_ (const 1) [ yield ] ] in
+    let stmts, slot, residue = rare_guard g payload in
+    ( stmts,
+      {
+        kind;
+        description = Printf.sprintf "infinite loop when in[%d] %% %d = %d" slot g.params.rare_modulus residue;
+        trigger_input = Some slot;
+        trigger_residue = Some residue;
+      } )
+  | Unchecked_syscall ->
+    let v = fresh_local g in
+    let sink = fresh_local g in
+    (* The missing error check: a faulted syscall returns -1 and the
+       result is used as a divisor offset, crashing on the fault path. *)
+    let stmts =
+      [ syscall Ir.Sys_open (lvar v); assign (lvar sink) (const 100 /: (local v +: const 1)) ]
+    in
+    ( stmts,
+      {
+        kind;
+        description = "crash when open() fault goes unchecked";
+        trigger_input = None;
+        trigger_residue = None;
+      } )
+  | Deadlock_pair | Atomicity_race ->
+    invalid_arg "plant_main_thread_bug: thread-level bug"
+
+(* Splice payload statements into a block at a random position. *)
+let splice g block payload =
+  let arr = Array.of_list block in
+  let cut = Rng.int g.rng (Array.length arr + 1) in
+  let before = Array.to_list (Array.sub arr 0 cut) in
+  let after = Array.to_list (Array.sub arr cut (Array.length arr - cut)) in
+  before @ payload @ after
+
+let deadlock_threads g =
+  (* Classic lock inversion: both threads guarded by a moderately rare
+     input condition so the deadlock needs input *and* schedule luck. *)
+  let slot = random_input g in
+  let thread_a =
+    [
+      if_
+        (input slot %: const 4 ==: const 0)
+        [ lock 0; yield; lock 1; assign (gvar "shared") (glob "shared" +: const 1); unlock 1; unlock 0 ]
+        [];
+    ]
+  in
+  let thread_b =
+    [
+      if_
+        (input slot %: const 4 ==: const 0)
+        [ lock 1; yield; lock 0; assign (gvar "shared") (glob "shared" +: const 2); unlock 0; unlock 1 ]
+        [];
+    ]
+  in
+  (thread_a, thread_b, slot)
+
+let race_threads () =
+  (* Unlocked read-modify-write; under an unlucky interleaving one
+     increment is lost and the final assertion fails. *)
+  let body =
+    [
+      assign (lvar "tmp") (glob "counter");
+      yield;
+      assign (lvar "tmp") (local "tmp" +: const 1);
+      assign (gvar "counter") (local "tmp");
+    ]
+  in
+  let checker =
+    [
+      yield;
+      yield;
+      yield;
+      assert_ (glob "done_a" ==: const 0 ||: (glob "done_b" ==: const 0) ||: (glob "counter" ==: const 2))
+        "lost update on shared counter";
+    ]
+  in
+  let mark flag = [ assign (gvar flag) (const 1) ] in
+  (body @ mark "done_a", body @ mark "done_b", checker)
+
+let generate rng params =
+  let g = { rng; params; next_var = 0; globals = [] } in
+  let main_bugs, thread_bugs =
+    List.partition (function Deadlock_pair | Atomicity_race -> false | _ -> true) params.bugs
+  in
+  (* Base main-thread logic. *)
+  let block = random_block g ~depth:params.block_depth ~locals:[] in
+  (* Splice input-triggered bugs into the main thread. *)
+  let block, planted_main =
+    List.fold_left
+      (fun (block, planted) kind ->
+        let payload, info = plant_main_thread_bug g kind in
+        (splice g block payload, info :: planted))
+      (block, []) main_bugs
+  in
+  (* Thread-level bugs add extra threads. *)
+  let extra_threads, planted_threads, n_locks =
+    List.fold_left
+      (fun (threads, planted, n_locks) kind ->
+        match kind with
+        | Deadlock_pair ->
+          declare_global g "shared";
+          let a, b, slot = deadlock_threads g in
+          ( threads @ [ a; b ],
+            {
+              kind;
+              description = Printf.sprintf "lock inversion armed when in[%d] %% 4 = 0" slot;
+              trigger_input = Some slot;
+              trigger_residue = Some 0;
+            }
+            :: planted,
+            max n_locks 2 )
+        | Atomicity_race ->
+          declare_global g "counter";
+          declare_global g "done_a";
+          declare_global g "done_b";
+          let a, b, checker = race_threads () in
+          ( threads @ [ a; b; checker ],
+            {
+              kind;
+              description = "unlocked read-modify-write on shared counter";
+              trigger_input = None;
+              trigger_residue = None;
+            }
+            :: planted,
+            n_locks )
+        | Rare_assert | Unchecked_syscall | Div_by_zero | Hang_loop ->
+          (threads, planted, n_locks))
+      ([], [], 0) thread_bugs
+  in
+  let name = Printf.sprintf "gen-%d" (abs (Int64.to_int (Rng.bits64 rng)) mod 1_000_000) in
+  let prog =
+    Build.program ~name ~globals:g.globals ~n_inputs:params.n_inputs ~n_locks
+      (block :: extra_threads)
+  in
+  (prog, List.rev planted_main @ List.rev planted_threads)

@@ -1,0 +1,53 @@
+(** Random program generation with seeded bug patterns.
+
+    The paper's hypothesis is statistical — bug density across a
+    population of programs drops as executions are recycled — so the
+    evaluation needs a {e population} of distinct buggy programs.  The
+    generator emits structurally random programs (nested branches over
+    inputs, loops, syscalls, locks, threads) and plants bugs from the
+    classic defect classes the paper discusses: rare-path assertion
+    violations, crashes on unchecked environment failures, lock-order
+    deadlocks, schedule-dependent atomicity violations, and rare-path
+    hangs. *)
+
+module Rng := Softborg_util.Rng
+
+(** Bug classes that can be planted. *)
+type bug_kind =
+  | Rare_assert  (** Assertion that fails on a rare input predicate. *)
+  | Unchecked_syscall  (** Crash when a syscall fault goes unchecked. *)
+  | Deadlock_pair  (** Two threads acquiring two locks in opposite order. *)
+  | Atomicity_race  (** Unlocked read-modify-write on a shared counter. *)
+  | Div_by_zero  (** Division whose divisor is zero for rare inputs. *)
+  | Hang_loop  (** Infinite loop entered on a rare input predicate. *)
+
+val bug_kind_name : bug_kind -> string
+val all_bug_kinds : bug_kind list
+
+type params = {
+  block_depth : int;  (** Max nesting depth of generated blocks. *)
+  stmts_per_block : int;  (** Statements per block (upper bound). *)
+  n_inputs : int;
+  rare_modulus : int;
+      (** Rare-path predicates have the form [in\[k\] mod rare_modulus = r];
+          larger ⇒ rarer ⇒ harder to hit naturally (motivates guidance). *)
+  bugs : bug_kind list;  (** Bugs to plant, in order. *)
+}
+
+val default_params : params
+
+type planted = {
+  kind : bug_kind;
+  description : string;
+  trigger_input : int option;
+      (** Input slot involved in the trigger predicate, when the bug is
+          input-triggered (None for purely schedule-triggered bugs). *)
+  trigger_residue : int option;
+      (** Residue [r] such that [in\[slot\] mod rare_modulus = r]
+          triggers the bug. *)
+}
+
+val generate : Rng.t -> params -> Ir.t * planted list
+(** [generate rng params] is a validated random program plus the ground
+    truth of every planted bug (used by experiments to score detection
+    and fixing, never shown to the hive). *)

@@ -1,0 +1,173 @@
+type var =
+  | Global of string
+  | Local of string
+
+type unop = Neg | Not
+type binop = Add | Sub | Mul | Div | Mod | Eq | Ne | Lt | Le | Gt | Ge | And | Or
+
+type expr =
+  | Const of int
+  | Var of var
+  | Input of int
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+
+type syscall_kind = Sys_read | Sys_open | Sys_write | Sys_net | Sys_time
+
+type instr =
+  | Assign of var * expr
+  | Branch of { cond : expr; if_true : int; if_false : int }
+  | Jump of int
+  | Syscall of { kind : syscall_kind; dst : var }
+  | Lock of int
+  | Unlock of int
+  | Assert of { cond : expr; message : string }
+  | Yield
+  | Halt
+
+type t = {
+  name : string;
+  globals : string list;
+  n_inputs : int;
+  n_locks : int;
+  threads : instr array array;
+}
+
+type site = { thread : int; pc : int }
+
+let site_equal a b = a.thread = b.thread && a.pc = b.pc
+
+let site_compare a b =
+  match Int.compare a.thread b.thread with 0 -> Int.compare a.pc b.pc | c -> c
+
+let pp_site fmt s = Format.fprintf fmt "t%d:%d" s.thread s.pc
+
+let syscall_name = function
+  | Sys_read -> "read"
+  | Sys_open -> "open"
+  | Sys_write -> "write"
+  | Sys_net -> "net"
+  | Sys_time -> "time"
+
+let unop_name = function Neg -> "-" | Not -> "!"
+
+let binop_name = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | And -> "&&"
+  | Or -> "||"
+
+let pp_var fmt = function
+  | Global g -> Format.fprintf fmt "@%s" g
+  | Local l -> Format.pp_print_string fmt l
+
+let rec pp_expr fmt = function
+  | Const c -> Format.pp_print_int fmt c
+  | Var v -> pp_var fmt v
+  | Input i -> Format.fprintf fmt "in[%d]" i
+  | Unop (op, e) -> Format.fprintf fmt "%s(%a)" (unop_name op) pp_expr e
+  | Binop (op, a, b) -> Format.fprintf fmt "(%a %s %a)" pp_expr a (binop_name op) pp_expr b
+
+let pp_instr fmt = function
+  | Assign (v, e) -> Format.fprintf fmt "%a := %a" pp_var v pp_expr e
+  | Branch { cond; if_true; if_false } ->
+    Format.fprintf fmt "if %a then %d else %d" pp_expr cond if_true if_false
+  | Jump pc -> Format.fprintf fmt "jump %d" pc
+  | Syscall { kind; dst } -> Format.fprintf fmt "%a := sys_%s()" pp_var dst (syscall_name kind)
+  | Lock l -> Format.fprintf fmt "lock %d" l
+  | Unlock l -> Format.fprintf fmt "unlock %d" l
+  | Assert { cond; message } -> Format.fprintf fmt "assert %a (%s)" pp_expr cond message
+  | Yield -> Format.pp_print_string fmt "yield"
+  | Halt -> Format.pp_print_string fmt "halt"
+
+let pp fmt t =
+  Format.fprintf fmt "program %s (inputs=%d locks=%d)@." t.name t.n_inputs t.n_locks;
+  Array.iteri
+    (fun ti body ->
+      Format.fprintf fmt "thread %d:@." ti;
+      Array.iteri (fun pc instr -> Format.fprintf fmt "  %3d: %a@." pc pp_instr instr) body)
+    t.threads
+
+let fold_instrs f init t =
+  let acc = ref init in
+  Array.iteri
+    (fun thread body ->
+      Array.iteri (fun pc instr -> acc := f !acc { thread; pc } instr) body)
+    t.threads;
+  !acc
+
+let branch_sites t =
+  fold_instrs (fun acc site -> function Branch _ -> site :: acc | _ -> acc) [] t |> List.rev
+
+let assert_sites t =
+  fold_instrs (fun acc site -> function Assert _ -> site :: acc | _ -> acc) [] t |> List.rev
+
+let lock_sites t =
+  fold_instrs (fun acc site -> function Lock l -> (site, l) :: acc | _ -> acc) [] t |> List.rev
+
+let instr_count t = Array.fold_left (fun acc body -> acc + Array.length body) 0 t.threads
+
+let digest t =
+  Digest.to_hex (Digest.string (Marshal.to_string (t.name, t.globals, t.n_inputs, t.n_locks, t.threads) []))
+
+let validate t =
+  let fail fmt = Format.kasprintf (fun msg -> Error msg) fmt in
+  let rec check_expr site = function
+    | Const _ -> Ok ()
+    | Var (Global g) ->
+      if List.mem g t.globals then Ok ()
+      else fail "%a: undeclared global %s" pp_site site g
+    | Var (Local _) -> Ok ()
+    | Input i ->
+      if i >= 0 && i < t.n_inputs then Ok ()
+      else fail "%a: input slot %d out of range" pp_site site i
+    | Unop (_, e) -> check_expr site e
+    | Binop (_, a, b) -> (
+      match check_expr site a with Ok () -> check_expr site b | e -> e)
+  in
+  let check_target site body pc =
+    if pc >= 0 && pc <= Array.length body then Ok ()
+    else fail "%a: jump target %d out of range" pp_site site pc
+  in
+  let check_lock site l =
+    if l >= 0 && l < t.n_locks then Ok ()
+    else fail "%a: lock %d out of range" pp_site site l
+  in
+  if Array.length t.threads = 0 then Error "program has no threads"
+  else
+    fold_instrs
+      (fun acc site instr ->
+        match acc with
+        | Error _ -> acc
+        | Ok () -> (
+          let body = t.threads.(site.thread) in
+          match instr with
+          | Assign (Global g, e) ->
+            if not (List.mem g t.globals) then fail "%a: undeclared global %s" pp_site site g
+            else check_expr site e
+          | Assign (Local _, e) -> check_expr site e
+          | Branch { cond; if_true; if_false } -> (
+            match check_expr site cond with
+            | Ok () -> (
+              match check_target site body if_true with
+              | Ok () -> check_target site body if_false
+              | e -> e)
+            | e -> e)
+          | Jump pc -> check_target site body pc
+          | Syscall { dst = Global g; _ } ->
+            if List.mem g t.globals then Ok ()
+            else fail "%a: undeclared global %s" pp_site site g
+          | Syscall { dst = Local _; _ } -> Ok ()
+          | Lock l | Unlock l -> check_lock site l
+          | Assert { cond; _ } -> check_expr site cond
+          | Yield | Halt -> Ok ()))
+      (Ok ()) t

@@ -1,0 +1,103 @@
+(** Program intermediate representation.
+
+    SoftBorg's mechanisms consume execution {e by-products} — branch
+    bits, syscall summaries, lock and schedule events (paper §2).  This
+    IR is the substitute for real instrumented binaries: a small
+    imperative multi-threaded language whose interpreter emits exactly
+    those by-products.  A program is a fixed set of thread bodies, each
+    a flat array of instructions over integer-valued variables; inputs
+    and system-call results are the only {e program-external} value
+    sources, and branches whose condition depends on them are the
+    input-dependent branches the paper records one bit for (§3.1). *)
+
+(** Variables.  Globals are shared between threads; locals are
+    per-thread.  All variables default to 0. *)
+type var =
+  | Global of string
+  | Local of string
+
+type unop =
+  | Neg  (** Arithmetic negation. *)
+  | Not  (** Logical negation (0 ↦ 1, non-zero ↦ 0). *)
+
+type binop = Add | Sub | Mul | Div | Mod | Eq | Ne | Lt | Le | Gt | Ge | And | Or
+
+(** Integer expressions.  Comparison and logical operators evaluate to
+    0 or 1.  [Input i] reads program input slot [i] — an external,
+    taint-carrying value. *)
+type expr =
+  | Const of int
+  | Var of var
+  | Input of int
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+
+(** Modeled system calls.  Their return values come from the
+    environment model and are external (tainted); the environment may
+    inject faults (negative returns), which is how the paper's guidance
+    "injects a short socket read" (§3.3). *)
+type syscall_kind =
+  | Sys_read
+  | Sys_open
+  | Sys_write
+  | Sys_net
+  | Sys_time
+
+(** Instructions.  [Branch] falls through to [if_true] or jumps to
+    [if_false]; both are absolute program counters within the same
+    thread body.  [Assert] with a false condition is a crash site.
+    [Yield] is a scheduling point hint. *)
+type instr =
+  | Assign of var * expr
+  | Branch of { cond : expr; if_true : int; if_false : int }
+  | Jump of int
+  | Syscall of { kind : syscall_kind; dst : var }
+  | Lock of int
+  | Unlock of int
+  | Assert of { cond : expr; message : string }
+  | Yield
+  | Halt
+
+type t = {
+  name : string;
+  globals : string list;  (** Declared shared variables. *)
+  n_inputs : int;  (** Size of the input vector. *)
+  n_locks : int;  (** Number of mutexes. *)
+  threads : instr array array;  (** One body per thread; thread 0 is main. *)
+}
+
+(** A branch site, uniquely identifying one [Branch] instruction. *)
+type site = { thread : int; pc : int }
+
+val site_equal : site -> site -> bool
+val site_compare : site -> site -> int
+val pp_site : Format.formatter -> site -> unit
+
+val syscall_name : syscall_kind -> string
+
+val pp_expr : Format.formatter -> expr -> unit
+val pp_instr : Format.formatter -> instr -> unit
+val pp : Format.formatter -> t -> unit
+(** Full program listing, one thread at a time. *)
+
+val branch_sites : t -> site list
+(** All [Branch] instruction sites, in (thread, pc) order.  This is the
+    static branch-site universe used for coverage accounting. *)
+
+val assert_sites : t -> site list
+(** All [Assert] sites (potential crash sites). *)
+
+val lock_sites : t -> (site * int) list
+(** All [Lock] sites with the lock they acquire. *)
+
+val instr_count : t -> int
+(** Total instructions across all threads. *)
+
+val digest : t -> string
+(** Structural digest (hex); the hive keys its per-program knowledge by
+    this, so two pods running the same build aggregate together. *)
+
+val validate : t -> (unit, string) result
+(** Checks structural well-formedness: jump/branch targets in range,
+    lock ids within [n_locks], input slots within [n_inputs], globals
+    referenced only if declared, and at least one thread. *)

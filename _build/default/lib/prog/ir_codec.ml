@@ -1,0 +1,78 @@
+module Codec = Softborg_util.Codec
+
+let unop_tag = function Ir.Neg -> 0 | Ir.Not -> 1
+
+let unop_of_tag = function
+  | 0 -> Ir.Neg
+  | 1 -> Ir.Not
+  | n -> raise (Codec.Malformed (Printf.sprintf "unop tag %d" n))
+
+let binop_tag = function
+  | Ir.Add -> 0
+  | Ir.Sub -> 1
+  | Ir.Mul -> 2
+  | Ir.Div -> 3
+  | Ir.Mod -> 4
+  | Ir.Eq -> 5
+  | Ir.Ne -> 6
+  | Ir.Lt -> 7
+  | Ir.Le -> 8
+  | Ir.Gt -> 9
+  | Ir.Ge -> 10
+  | Ir.And -> 11
+  | Ir.Or -> 12
+
+let binop_of_tag = function
+  | 0 -> Ir.Add
+  | 1 -> Ir.Sub
+  | 2 -> Ir.Mul
+  | 3 -> Ir.Div
+  | 4 -> Ir.Mod
+  | 5 -> Ir.Eq
+  | 6 -> Ir.Ne
+  | 7 -> Ir.Lt
+  | 8 -> Ir.Le
+  | 9 -> Ir.Gt
+  | 10 -> Ir.Ge
+  | 11 -> Ir.And
+  | 12 -> Ir.Or
+  | n -> raise (Codec.Malformed (Printf.sprintf "binop tag %d" n))
+
+let rec write_expr w = function
+  | Ir.Const c ->
+    Codec.Writer.byte w 0;
+    Codec.Writer.zigzag w c
+  | Ir.Input i ->
+    Codec.Writer.byte w 1;
+    Codec.Writer.varint w i
+  | Ir.Var (Ir.Global name) ->
+    Codec.Writer.byte w 2;
+    Codec.Writer.bytes w name
+  | Ir.Var (Ir.Local name) ->
+    Codec.Writer.byte w 3;
+    Codec.Writer.bytes w name
+  | Ir.Unop (op, e) ->
+    Codec.Writer.byte w 4;
+    Codec.Writer.byte w (unop_tag op);
+    write_expr w e
+  | Ir.Binop (op, a, b) ->
+    Codec.Writer.byte w 5;
+    Codec.Writer.byte w (binop_tag op);
+    write_expr w a;
+    write_expr w b
+
+let rec read_expr r =
+  match Codec.Reader.byte r with
+  | 0 -> Ir.Const (Codec.Reader.zigzag r)
+  | 1 -> Ir.Input (Codec.Reader.varint r)
+  | 2 -> Ir.Var (Ir.Global (Codec.Reader.bytes r))
+  | 3 -> Ir.Var (Ir.Local (Codec.Reader.bytes r))
+  | 4 ->
+    let op = unop_of_tag (Codec.Reader.byte r) in
+    Ir.Unop (op, read_expr r)
+  | 5 ->
+    let op = binop_of_tag (Codec.Reader.byte r) in
+    let a = read_expr r in
+    let b = read_expr r in
+    Ir.Binop (op, a, b)
+  | n -> raise (Codec.Malformed (Printf.sprintf "expr tag %d" n))

@@ -1,0 +1,13 @@
+(** Binary encoding of IR expressions.
+
+    Synthesized fixes (input guards) and guidance directives carry
+    path-condition expressions from the hive back to pods over the
+    wire, so expressions need a compact serialization. *)
+
+module Codec := Softborg_util.Codec
+
+val write_expr : Codec.Writer.t -> Ir.expr -> unit
+
+val read_expr : Codec.Reader.t -> Ir.expr
+(** @raise Softborg_util.Codec.Malformed on invalid input.
+    @raise Softborg_util.Codec.Truncated on premature end. *)

@@ -1,0 +1,1 @@
+lib/solver/brute.ml: Array Cnf Printf

@@ -1,0 +1,1 @@
+lib/solver/cnf.ml: Array Format List Printf

@@ -1,0 +1,1 @@
+lib/solver/interval.ml: Array Int List Path_cond Softborg_prog

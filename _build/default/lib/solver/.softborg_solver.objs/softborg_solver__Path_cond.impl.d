@@ -1,0 +1,1 @@
+lib/solver/path_cond.ml: Array Format Int List Softborg_prog

@@ -1,0 +1,1 @@
+lib/solver/path_cond.mli: Format Softborg_prog

@@ -1,0 +1,1 @@
+lib/solver/portfolio.ml: Cnf Dpll Float Int List Softborg_util Walksat

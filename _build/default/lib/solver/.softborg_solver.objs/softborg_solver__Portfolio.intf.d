@@ -1,0 +1,1 @@
+lib/solver/portfolio.mli: Cnf Dpll Softborg_util

@@ -1,0 +1,1 @@
+lib/solver/walksat.ml: Array Cnf List Softborg_util

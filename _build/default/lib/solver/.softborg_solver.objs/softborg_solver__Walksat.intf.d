@@ -1,0 +1,1 @@
+lib/solver/walksat.mli: Cnf Softborg_util

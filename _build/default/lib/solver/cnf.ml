@@ -1,0 +1,75 @@
+type literal = int
+type clause = literal list
+
+type formula = {
+  n_vars : int;
+  clauses : clause list;
+}
+
+let make ~n_vars clauses =
+  List.iter
+    (fun clause ->
+      List.iter
+        (fun lit ->
+          if lit = 0 || abs lit > n_vars then
+            invalid_arg (Printf.sprintf "Cnf.make: literal %d out of range (n_vars=%d)" lit n_vars))
+        clause)
+    clauses;
+  { n_vars; clauses }
+
+type assignment = bool array
+
+let eval_literal assignment lit = if lit > 0 then assignment.(lit) else not assignment.(-lit)
+let eval_clause assignment clause = List.exists (eval_literal assignment) clause
+let eval assignment formula = List.for_all (eval_clause assignment) formula.clauses
+let n_clauses formula = List.length formula.clauses
+
+let unsatisfied assignment formula =
+  List.filter (fun clause -> not (eval_clause assignment clause)) formula.clauses
+
+type bexpr =
+  | Var of int
+  | Const of bool
+  | Not of bexpr
+  | And of bexpr list
+  | Or of bexpr list
+
+let tseitin ~n_vars expr =
+  let next = ref n_vars in
+  let fresh () =
+    incr next;
+    !next
+  in
+  let clauses = ref [] in
+  let emit clause = clauses := clause :: !clauses in
+  (* Returns a literal equivalent to the subexpression. *)
+  let rec encode = function
+    | Var v ->
+      if v < 1 || v > n_vars then invalid_arg (Printf.sprintf "Cnf.tseitin: variable %d" v);
+      v
+    | Const b ->
+      let v = fresh () in
+      emit [ (if b then v else -v) ];
+      v
+    | Not e -> -encode e
+    | And es ->
+      let lits = List.map encode es in
+      let v = fresh () in
+      (* v -> each lit; (all lits) -> v *)
+      List.iter (fun lit -> emit [ -v; lit ]) lits;
+      emit (v :: List.map (fun lit -> -lit) lits);
+      v
+    | Or es ->
+      let lits = List.map encode es in
+      let v = fresh () in
+      (* lit -> v for each; v -> some lit *)
+      List.iter (fun lit -> emit [ v; -lit ]) lits;
+      emit (-v :: lits);
+      v
+  in
+  let root = encode expr in
+  emit [ root ];
+  { n_vars = !next; clauses = List.rev !clauses }
+
+let pp fmt formula =
+  Format.fprintf fmt "cnf(vars=%d, clauses=%d)" formula.n_vars (n_clauses formula)

@@ -1,0 +1,49 @@
+(** Propositional formulas in conjunctive normal form.
+
+    The hive's symbolic analyses bottom out in satisfiability queries
+    (paper §3.2: deciding branch feasibility "amounts to deciding
+    propositional satisfiability").  This module is the shared
+    representation for the SAT-solver portfolio of §4: variables are
+    positive integers, literals are non-zero integers (negative =
+    negated), clauses are literal lists. *)
+
+type literal = int
+(** Non-zero; [-v] is the negation of [v]. *)
+
+type clause = literal list
+
+type formula = {
+  n_vars : int;  (** Variables are numbered 1..n_vars. *)
+  clauses : clause list;
+}
+
+val make : n_vars:int -> clause list -> formula
+(** @raise Invalid_argument on a literal of 0 or out of range. *)
+
+type assignment = bool array
+(** Index v holds the value of variable v; index 0 is unused. *)
+
+val eval_clause : assignment -> clause -> bool
+val eval : assignment -> formula -> bool
+
+val n_clauses : formula -> int
+
+val unsatisfied : assignment -> formula -> clause list
+(** Clauses the assignment falsifies. *)
+
+(** Boolean expressions, converted to CNF via the Tseitin transform. *)
+type bexpr =
+  | Var of int
+  | Const of bool
+  | Not of bexpr
+  | And of bexpr list
+  | Or of bexpr list
+
+val tseitin : n_vars:int -> bexpr -> formula
+(** [tseitin ~n_vars e] is an equisatisfiable CNF over variables
+    [1..n_vars] plus fresh auxiliaries; a model of the CNF restricted
+    to [1..n_vars] satisfies [e].
+    @raise Invalid_argument if [e] mentions a variable above
+    [n_vars] or below 1. *)
+
+val pp : Format.formatter -> formula -> unit

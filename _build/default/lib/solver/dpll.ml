@@ -1,0 +1,164 @@
+module Rng = Softborg_util.Rng
+
+type heuristic =
+  | Max_occurrence
+  | Jeroslow_wang
+  | Random_branch of Rng.t
+
+type verdict =
+  | Sat of Cnf.assignment
+  | Unsat
+  | Timeout
+
+type outcome = {
+  verdict : verdict;
+  steps : int;
+}
+
+type assign_state =
+  | Unset
+  | True_at of int  (* decision level *)
+  | False_at of int
+
+exception Out_of_budget
+
+let solve ?(heuristic = Max_occurrence) ?(budget = 10_000_000) formula =
+  let clauses = Array.of_list (List.map Array.of_list formula.Cnf.clauses) in
+  let n = formula.Cnf.n_vars in
+  let state = Array.make (n + 1) Unset in
+  let steps = ref 0 in
+  let spend cost =
+    steps := !steps + cost;
+    if !steps > budget then raise Out_of_budget
+  in
+  let value lit =
+    match state.(abs lit) with
+    | Unset -> None
+    | True_at _ -> Some (lit > 0)
+    | False_at _ -> Some (lit < 0)
+  in
+  let assign lit level = state.(abs lit) <- (if lit > 0 then True_at level else False_at level) in
+  let unassign_level level =
+    for v = 1 to n do
+      match state.(v) with
+      | True_at l | False_at l -> if l >= level then state.(v) <- Unset
+      | Unset -> ()
+    done
+  in
+  (* Scan all clauses once: detect conflicts and collect unit literals.
+     Returns `Conflict, `Units of literals, or `Stable. *)
+  let scan () =
+    let units = ref [] in
+    let conflict = ref false in
+    Array.iter
+      (fun clause ->
+        if not !conflict then begin
+          spend 1;
+          let satisfied = ref false in
+          let unassigned = ref [] in
+          Array.iter
+            (fun lit ->
+              match value lit with
+              | Some true -> satisfied := true
+              | Some false -> ()
+              | None -> unassigned := lit :: !unassigned)
+            clause;
+          if not !satisfied then
+            match !unassigned with
+            | [] -> conflict := true
+            | [ lit ] -> units := lit :: !units
+            | _ -> ()
+        end)
+      clauses;
+    if !conflict then `Conflict else match !units with [] -> `Stable | lits -> `Units lits
+  in
+  (* Unit propagation at [level] until fixpoint. *)
+  let rec propagate level =
+    match scan () with
+    | `Conflict -> false
+    | `Stable -> true
+    | `Units lits ->
+      let progressed = ref false in
+      let ok = ref true in
+      List.iter
+        (fun lit ->
+          match value lit with
+          | None ->
+            assign lit level;
+            progressed := true
+          | Some true -> ()
+          | Some false -> ok := false)
+        lits;
+      if not !ok then false
+      else if !progressed then propagate level
+      else true
+  in
+  let pick_branch_variable () =
+    match heuristic with
+    | Random_branch rng ->
+      let candidates = ref [] in
+      for v = 1 to n do
+        if state.(v) = Unset then candidates := v :: !candidates
+      done;
+      (match !candidates with
+      | [] -> None
+      | vs -> Some (Rng.choice rng (Array.of_list vs)))
+    | Max_occurrence | Jeroslow_wang ->
+      let score = Array.make (n + 1) 0.0 in
+      Array.iter
+        (fun clause ->
+          spend 1;
+          let satisfied = Array.exists (fun lit -> value lit = Some true) clause in
+          if not satisfied then begin
+            let weight =
+              match heuristic with
+              | Jeroslow_wang -> Float.pow 2.0 (-.float_of_int (Array.length clause))
+              | Max_occurrence | Random_branch _ -> 1.0
+            in
+            Array.iter
+              (fun lit -> if value lit = None then score.(abs lit) <- score.(abs lit) +. weight)
+              clause
+          end)
+        clauses;
+      let best = ref 0 and best_score = ref (-1.0) in
+      for v = 1 to n do
+        if state.(v) = Unset && score.(v) > !best_score then begin
+          best := v;
+          best_score := score.(v)
+        end
+      done;
+      if !best = 0 then None else Some !best
+  in
+  let all_satisfied () =
+    Array.for_all
+      (fun clause ->
+        spend 1;
+        Array.exists (fun lit -> value lit = Some true) clause)
+      clauses
+  in
+  let rec search level =
+    if not (propagate level) then false
+    else if all_satisfied () then true
+    else
+      match pick_branch_variable () with
+      | None -> all_satisfied ()
+      | Some v ->
+        let try_phase phase =
+          assign (if phase then v else -v) (level + 1);
+          if search (level + 1) then true
+          else begin
+            unassign_level (level + 1);
+            false
+          end
+        in
+        try_phase true || try_phase false
+  in
+  match search 0 with
+  | true ->
+    let assignment = Array.make (n + 1) false in
+    for v = 1 to n do
+      assignment.(v) <- (match state.(v) with True_at _ -> true | False_at _ | Unset -> false)
+    done;
+    { verdict = Sat assignment; steps = !steps }
+  | false -> { verdict = Unsat; steps = !steps }
+  | exception Out_of_budget -> { verdict = Timeout; steps = !steps }

@@ -1,0 +1,31 @@
+(** A DPLL SAT solver: systematic backtracking search with unit
+    propagation.
+
+    One member of the cooperative prover's solver portfolio (paper §4).
+    Two branching heuristics give two genuinely different performance
+    profiles — part of the diversity the portfolio exploits.  Cost is
+    counted in {e steps} (clause examinations), a machine-independent
+    unit shared by every solver in the portfolio so that speedup and
+    resource ratios are well-defined. *)
+
+module Rng := Softborg_util.Rng
+
+type heuristic =
+  | Max_occurrence  (** Branch on the variable occurring most among open clauses. *)
+  | Jeroslow_wang  (** Weight occurrences by 2^-|clause| (short clauses first). *)
+  | Random_branch of Rng.t  (** Uniform over unassigned variables. *)
+
+type verdict =
+  | Sat of Cnf.assignment
+  | Unsat
+  | Timeout
+
+type outcome = {
+  verdict : verdict;
+  steps : int;  (** Clause examinations performed. *)
+}
+
+val solve : ?heuristic:heuristic -> ?budget:int -> Cnf.formula -> outcome
+(** Decide satisfiability within [budget] steps (default 10_000_000).
+    A [Sat] assignment always satisfies the formula (checked by the
+    test suite against brute force). *)

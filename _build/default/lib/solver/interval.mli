@@ -1,0 +1,37 @@
+(** Interval-propagation solver for path conditions.
+
+    The portfolio's third profile (paper §4): an incomplete-but-fast
+    bound propagator strengthened to a complete decision procedure over
+    a finite input domain by backtracking enumeration with interval
+    pruning and constraint-derived value ordering.  This is also the
+    model generator behind execution guidance and frontier-feasibility
+    checks: a [Sat] verdict carries concrete inputs that drive a pod
+    down the wanted path (paper §3.3). *)
+
+type verdict =
+  | Sat of int array  (** A model: one value per input slot. *)
+  | Unsat  (** No model within the given domain. *)
+  | Timeout
+
+type outcome = {
+  verdict : verdict;
+  steps : int;  (** Constraint evaluations performed. *)
+}
+
+val solve :
+  ?budget:int ->
+  domain:int * int ->
+  n_inputs:int ->
+  Path_cond.t ->
+  outcome
+(** Decide whether some input vector in [domain]^n_inputs satisfies
+    the path condition (default budget 2_000_000 steps).  Complete
+    relative to the domain: [Unsat] means no model exists with every
+    input inside [domain].
+    @raise Invalid_argument on an empty domain, negative [n_inputs],
+    or a path condition mentioning program variables. *)
+
+val check_interval_only : domain:int * int -> n_inputs:int -> Path_cond.t -> [ `Feasible | `Infeasible | `Unknown ]
+(** Pure bound propagation, no search: cheap and sound ([`Infeasible]
+    is definitive) but incomplete ([`Feasible] here means "not
+    refuted"). *)

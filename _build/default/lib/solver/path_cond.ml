@@ -1,0 +1,92 @@
+module Ir = Softborg_prog.Ir
+
+type atom = {
+  cond : Ir.expr;
+  expected : bool;
+}
+
+type t = atom list
+
+let atom cond expected = { cond; expected }
+
+let rec expr_input_only = function
+  | Ir.Const _ -> true
+  | Ir.Input _ -> true
+  | Ir.Var _ -> false
+  | Ir.Unop (_, e) -> expr_input_only e
+  | Ir.Binop (_, a, b) -> expr_input_only a && expr_input_only b
+
+let well_formed t = List.for_all (fun a -> expr_input_only a.cond) t
+
+let rec expr_inputs acc = function
+  | Ir.Const _ | Ir.Var _ -> acc
+  | Ir.Input i -> i :: acc
+  | Ir.Unop (_, e) -> expr_inputs acc e
+  | Ir.Binop (_, a, b) -> expr_inputs (expr_inputs acc a) b
+
+let inputs_used t =
+  List.fold_left (fun acc a -> expr_inputs acc a.cond) [] t |> List.sort_uniq Int.compare
+
+let of_bool b = if b then 1 else 0
+let truth n = n <> 0
+
+let rec eval_expr inputs = function
+  | Ir.Const c -> Some c
+  | Ir.Var _ -> None
+  | Ir.Input i -> if i >= 0 && i < Array.length inputs then Some inputs.(i) else None
+  | Ir.Unop (op, e) -> (
+    match eval_expr inputs e with
+    | None -> None
+    | Some x -> Some (match op with Ir.Neg -> -x | Ir.Not -> of_bool (not (truth x))))
+  | Ir.Binop (op, a, b) -> (
+    match (eval_expr inputs a, eval_expr inputs b) with
+    | Some x, Some y -> (
+      match op with
+      | Ir.Add -> Some (x + y)
+      | Ir.Sub -> Some (x - y)
+      | Ir.Mul -> Some (x * y)
+      | Ir.Div -> if y = 0 then None else Some (x / y)
+      | Ir.Mod -> if y = 0 then None else Some (x mod y)
+      | Ir.Eq -> Some (of_bool (x = y))
+      | Ir.Ne -> Some (of_bool (x <> y))
+      | Ir.Lt -> Some (of_bool (x < y))
+      | Ir.Le -> Some (of_bool (x <= y))
+      | Ir.Gt -> Some (of_bool (x > y))
+      | Ir.Ge -> Some (of_bool (x >= y))
+      | Ir.And -> Some (of_bool (truth x && truth y))
+      | Ir.Or -> Some (of_bool (truth x || truth y)))
+    | (None, _ | _, None) -> None)
+
+let satisfied_by t inputs =
+  List.for_all
+    (fun a ->
+      match eval_expr inputs a.cond with
+      | Some v -> truth v = a.expected
+      | None -> false)
+    t
+
+let rec expr_constants acc = function
+  | Ir.Const c -> c :: acc
+  | Ir.Input _ | Ir.Var _ -> acc
+  | Ir.Unop (_, e) -> expr_constants acc e
+  | Ir.Binop (_, a, b) -> expr_constants (expr_constants acc a) b
+
+let constants t =
+  List.fold_left (fun acc a -> expr_constants acc a.cond) [] t |> List.sort_uniq Int.compare
+
+let rec expr_moduli acc = function
+  | Ir.Const _ | Ir.Input _ | Ir.Var _ -> acc
+  | Ir.Unop (_, e) -> expr_moduli acc e
+  | Ir.Binop (Ir.Mod, a, Ir.Const m) -> expr_moduli (m :: acc) a
+  | Ir.Binop (_, a, b) -> expr_moduli (expr_moduli acc a) b
+
+let moduli t =
+  List.fold_left (fun acc a -> expr_moduli acc a.cond) [] t |> List.sort_uniq Int.compare
+
+let pp fmt t =
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " /\\ ")
+    (fun fmt a ->
+      if a.expected then Ir.pp_expr fmt a.cond
+      else Format.fprintf fmt "!(%a)" Ir.pp_expr a.cond)
+    fmt t

@@ -1,0 +1,41 @@
+(** Path conditions: the constraints a symbolic execution accumulates
+    along one path of the execution tree (paper §3.2).
+
+    A path condition is a conjunction of branch conditions — IR
+    expressions over [Input] slots only — each required to evaluate
+    true or false.  Feasibility of an unexplored tree direction is
+    exactly satisfiability of its path condition. *)
+
+module Ir := Softborg_prog.Ir
+
+type atom = {
+  cond : Ir.expr;  (** Over [Const]/[Input]/operators; no [Var]s. *)
+  expected : bool;
+}
+
+type t = atom list
+
+val atom : Ir.expr -> bool -> atom
+
+val well_formed : t -> bool
+(** True iff no atom mentions a program variable (only inputs). *)
+
+val inputs_used : t -> int list
+(** Input slots mentioned, ascending, deduplicated. *)
+
+val eval_expr : int array -> Ir.expr -> int option
+(** Evaluate an input-only expression under concrete inputs; [None] on
+    division/modulo by zero or a stray [Var]. *)
+
+val satisfied_by : t -> int array -> bool
+(** All atoms hold and no atom traps. *)
+
+val constants : t -> int list
+(** All integer constants appearing in the atoms (deduplicated);
+    solver value-ordering hints. *)
+
+val moduli : t -> int list
+(** Constant right-hand sides of [Mod] operations (deduplicated);
+    solver hints for residue-style rare predicates. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,82 @@
+module Rng = Softborg_util.Rng
+
+type verdict =
+  | V_sat
+  | V_unsat
+  | V_unknown
+
+type run = {
+  solver : string;
+  verdict : verdict;
+  steps : int;
+}
+
+type solver = {
+  name : string;
+  execute : Cnf.formula -> run;
+}
+
+let dpll_solver ?heuristic ~budget name =
+  {
+    name;
+    execute =
+      (fun formula ->
+        let outcome = Dpll.solve ?heuristic ~budget formula in
+        let verdict =
+          match outcome.Dpll.verdict with
+          | Dpll.Sat _ -> V_sat
+          | Dpll.Unsat -> V_unsat
+          | Dpll.Timeout -> V_unknown
+        in
+        { solver = name; verdict; steps = outcome.Dpll.steps });
+  }
+
+let walksat_solver ~budget ~seed name =
+  {
+    name;
+    execute =
+      (fun formula ->
+        (* A fresh generator per instance keeps runs independent. *)
+        let outcome = Walksat.solve ~budget ~rng:(Rng.create seed) formula in
+        let verdict =
+          match outcome.Walksat.verdict with
+          | Walksat.Sat _ -> V_sat
+          | Walksat.Timeout -> V_unknown
+        in
+        { solver = name; verdict; steps = outcome.Walksat.steps });
+  }
+
+let standard_three ~budget ~seed =
+  [
+    dpll_solver ~heuristic:Dpll.Max_occurrence ~budget "dpll-maxocc";
+    (* Random branching is a genuinely different systematic profile:
+       on uniform 3-SAT, Jeroslow–Wang degenerates to max-occurrence. *)
+    dpll_solver ~heuristic:(Dpll.Random_branch (Rng.create (seed + 1))) ~budget "dpll-rand";
+    walksat_solver ~budget ~seed "walksat";
+  ]
+
+type race_result = {
+  verdict : verdict;
+  winner : string option;
+  wall_steps : int;
+  resource_steps : int;
+  runs : run list;
+}
+
+let race members formula =
+  if members = [] then invalid_arg "Portfolio.race: empty portfolio";
+  let runs = List.map (fun solver -> solver.execute formula) members in
+  let deciders = List.filter (fun (r : run) -> r.verdict <> V_unknown) runs in
+  match List.sort (fun (a : run) (b : run) -> Int.compare a.steps b.steps) deciders with
+  | [] ->
+    (* Nobody decided: the race runs until every member gives up. *)
+    let wall = List.fold_left (fun acc r -> max acc r.steps) 0 runs in
+    let resources = List.fold_left (fun acc r -> acc + r.steps) 0 runs in
+    { verdict = V_unknown; winner = None; wall_steps = wall; resource_steps = resources; runs }
+  | best :: _ ->
+    let wall = best.steps in
+    let resources = List.fold_left (fun acc r -> acc + min r.steps wall) 0 runs in
+    { verdict = best.verdict; winner = Some best.solver; wall_steps = wall; resource_steps = resources; runs }
+
+let speedup ~single_steps ~portfolio_steps =
+  if portfolio_steps <= 0.0 then Float.nan else single_steps /. portfolio_steps

@@ -1,0 +1,57 @@
+(** Solver portfolios (paper §4).
+
+    "Choosing the equities with the highest return is undecidable, so
+    one invests in several in parallel."  A portfolio runs k
+    heterogeneous SAT solvers on the same instance; the race ends when
+    the first solver reaches a verdict.  The paper's preliminary
+    result — a portfolio of three SAT solvers giving a 10× speedup in
+    solving time for a 3× increase in resources — is reproduced by
+    experiment E3 on top of this module.
+
+    Costs are in solver {e steps} (clause examinations), the shared
+    machine-independent unit: wall-clock of a parallel race is the
+    winner's steps; resources consumed are the sum over members of
+    the steps each had spent when the race ended. *)
+
+module Rng := Softborg_util.Rng
+
+type verdict =
+  | V_sat
+  | V_unsat
+  | V_unknown  (** Budget exhausted with no decision. *)
+
+type run = {
+  solver : string;
+  verdict : verdict;
+  steps : int;
+}
+
+type solver = {
+  name : string;
+  execute : Cnf.formula -> run;
+}
+
+val dpll_solver : ?heuristic:Dpll.heuristic -> budget:int -> string -> solver
+val walksat_solver : budget:int -> seed:int -> string -> solver
+
+val standard_three : budget:int -> seed:int -> solver list
+(** The paper's "three different SAT solvers": DPLL/max-occurrence,
+    DPLL/random-branching, and WalkSAT — three genuinely different
+    performance profiles. *)
+
+type race_result = {
+  verdict : verdict;
+  winner : string option;  (** First solver to decide, if any. *)
+  wall_steps : int;  (** Steps until the race ended. *)
+  resource_steps : int;  (** Total steps spent across all members. *)
+  runs : run list;
+}
+
+val race : solver list -> Cnf.formula -> race_result
+(** Simulated parallel race: all members run on the instance; the
+    winner is the decider with the fewest steps, and every member is
+    charged [min(own steps, wall_steps)].
+    @raise Invalid_argument on an empty portfolio. *)
+
+val speedup : single_steps:float -> portfolio_steps:float -> float
+(** Ratio, guarding against zero. *)

@@ -1,0 +1,25 @@
+(** WalkSAT: stochastic local search for SAT.
+
+    The portfolio's incomplete member (paper §4): it cannot prove
+    unsatisfiability, but on loosely-constrained satisfiable instances
+    it typically finds a model orders of magnitude faster than
+    systematic search — exactly the performance diversity portfolio
+    theory wants ("each solver is fast on some path constraints but
+    slow on others"). *)
+
+module Rng := Softborg_util.Rng
+
+type verdict =
+  | Sat of Cnf.assignment
+  | Timeout  (** No model found within budget (says nothing about UNSAT). *)
+
+type outcome = {
+  verdict : verdict;
+  steps : int;  (** Clause examinations performed. *)
+}
+
+val solve :
+  ?noise:float -> ?budget:int -> rng:Rng.t -> Cnf.formula -> outcome
+(** Local search with random-walk probability [noise] (default 0.5)
+    until a model is found or [budget] steps (default 10_000_000) are
+    spent.  Restarts from a fresh random assignment periodically. *)

@@ -1,0 +1,1 @@
+lib/symexec/consistency.ml: Format Printf

@@ -1,0 +1,1 @@
+lib/symexec/consistency.mli: Format

@@ -1,0 +1,1 @@
+lib/symexec/sym_exec.ml: Array Consistency List Map Softborg_exec Softborg_prog Softborg_solver String Sym_state

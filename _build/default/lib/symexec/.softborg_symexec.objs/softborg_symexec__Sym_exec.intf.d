@@ -1,0 +1,1 @@
+lib/symexec/sym_exec.mli: Consistency Softborg_exec Softborg_prog Softborg_solver

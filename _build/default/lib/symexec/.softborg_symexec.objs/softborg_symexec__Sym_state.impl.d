@@ -1,0 +1,1 @@
+lib/symexec/sym_state.ml: Format Softborg_prog

@@ -1,0 +1,1 @@
+lib/symexec/sym_state.mli: Format Softborg_prog

@@ -1,0 +1,1 @@
+lib/symexec/testgen.ml: Array Int List Softborg_exec Softborg_prog Sym_exec

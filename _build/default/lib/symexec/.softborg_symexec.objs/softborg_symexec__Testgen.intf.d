@@ -1,0 +1,1 @@
+lib/symexec/testgen.mli: Softborg_exec Softborg_prog Sym_exec

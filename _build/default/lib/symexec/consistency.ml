@@ -1,0 +1,9 @@
+type level =
+  | Strict
+  | Local of { thread : int }
+
+let level_name = function
+  | Strict -> "strict"
+  | Local { thread } -> Printf.sprintf "local(t%d)" thread
+
+let pp fmt level = Format.pp_print_string fmt (level_name level)

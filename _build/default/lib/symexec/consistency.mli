@@ -1,0 +1,21 @@
+(** Execution-consistency levels (paper §4, after S2E).
+
+    Strict consistency analyzes the whole program from its true initial
+    state: every reported path is feasible in a real system-level
+    execution.  Local consistency analyzes one thread (a "unit") in
+    isolation with its shared environment {e havoced} — globals start
+    as fresh symbols, over-approximating anything other threads could
+    have done.  That over-approximation admits paths no real execution
+    produces, but it is sound for universal properties: if the unit is
+    correct for the superset of paths, it is correct for the feasible
+    subset — and it is far cheaper, because the other threads'
+    interleavings vanish from the search space. *)
+
+type level =
+  | Strict
+  | Local of { thread : int }
+      (** Analyze only [thread], havocing the globals it reads. *)
+
+val level_name : level -> string
+
+val pp : Format.formatter -> level -> unit

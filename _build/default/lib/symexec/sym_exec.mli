@@ -1,0 +1,73 @@
+(** The symbolic-execution engine.
+
+    Explores the execution tree of a program statically (paper §3.2,
+    Fig. 2), forking at every branch whose condition depends on a
+    symbol and pruning forks whose path condition interval-propagation
+    refutes.  Unlike classic whole-program symbolic execution, SoftBorg
+    uses this engine {e around} the collectively-built tree: to decide
+    whether an unexplored direction is feasible (and produce the
+    concrete inputs that reach it, §3.3), and to close the remaining
+    gaps of a cumulative proof. *)
+
+module Ir := Softborg_prog.Ir
+module Outcome := Softborg_exec.Outcome
+module Path_cond := Softborg_solver.Path_cond
+
+(** Where each symbol of a path came from — needed to turn a model
+    back into an executable test (inputs vs. syscall faults). *)
+type sym_origin =
+  | From_input of int  (** Program input slot. *)
+  | From_syscall of { occurrence : int; kind : Ir.syscall_kind }
+  | From_global of string  (** Havoced global (Local consistency). *)
+
+type path_outcome =
+  | Completed
+  | Crashed of { site : Ir.site; kind : Outcome.crash_kind; message : string }
+  | Path_deadlock
+  | Step_limit
+
+type path = {
+  decisions : (Ir.site * bool) list;  (** Branch decisions along the path. *)
+  condition : Path_cond.t;  (** Conjunction over symbols. *)
+  outcome : path_outcome;
+  origins : sym_origin array;  (** Origin of symbol [i], for all symbols. *)
+  model : int array option;  (** Satisfying symbol values, if solved SAT. *)
+  solver_verdict : [ `Sat | `Unsat | `Timeout | `Unsolved ];
+}
+
+type config = {
+  max_paths : int;  (** Fork budget (default 512). *)
+  max_steps_per_path : int;  (** Instruction budget per path (default 4000). *)
+  solver_budget : int;  (** Steps for each end-of-path solve (default 200_000). *)
+  domain : int * int;  (** Symbol domain for solving (default (-64, 255)). *)
+  solve_models : bool;  (** Solve each surviving path for a model (default true). *)
+}
+
+val default_config : config
+
+type report = {
+  paths : path list;  (** Surviving (not interval-refuted) paths. *)
+  pruned_infeasible : int;  (** Forks refuted by interval propagation. *)
+  truncated : bool;  (** Hit [max_paths]; the enumeration is partial. *)
+  total_steps : int;  (** Interpreter steps across all paths. *)
+  solver_steps : int;  (** Constraint-solver steps across all solves. *)
+}
+
+val explore : ?config:config -> Ir.t -> Consistency.level -> report
+(** Enumerate paths under the given consistency level, scheduling
+    threads round-robin.  With [solve_models], each surviving path is
+    solved: [`Unsat] paths are over-approximation artifacts (possible
+    under [Local] consistency or after conservative pruning), [`Sat]
+    paths carry a model. *)
+
+type direction_verdict =
+  | Feasible of { model : int array; origins : sym_origin array }
+  | Infeasible
+      (** No input in the domain reaches the direction.  Only claimed
+          for single-threaded programs with exhaustive exploration. *)
+  | Unknown
+
+val direction_feasible :
+  ?config:config -> Ir.t -> site:Ir.site -> direction:bool -> direction_verdict
+(** Directed query: can some execution take branch [site] in
+    [direction]?  Returns with the first SAT model found. *)

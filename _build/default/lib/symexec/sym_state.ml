@@ -1,0 +1,84 @@
+module Ir = Softborg_prog.Ir
+
+type value =
+  | Concrete of int
+  | Symbolic of Ir.expr
+
+let const n = Concrete n
+let symbol i = Symbolic (Ir.Input i)
+let is_concrete = function Concrete _ -> true | Symbolic _ -> false
+let to_expr = function Concrete n -> Ir.Const n | Symbolic e -> e
+
+type crash =
+  | Sym_div_by_zero
+  | Sym_assert_failure of string
+
+type eval_result =
+  | Value of value
+  | Trap of crash
+  | Guarded of { guard : Ir.expr; on_zero : crash; value : value }
+
+let of_bool b = if b then 1 else 0
+let truthy n = n <> 0
+
+let eval_unop op v =
+  match (op, v) with
+  | Ir.Neg, Concrete n -> Concrete (-n)
+  | Ir.Not, Concrete n -> Concrete (of_bool (not (truthy n)))
+  | (Ir.Neg | Ir.Not), Symbolic e -> Symbolic (Ir.Unop (op, e))
+
+(* Light algebraic simplification: constant folding plus arithmetic
+   identities that keep path-condition expressions small. *)
+let simplify_binop op a b =
+  match (op, a, b) with
+  | Ir.Add, e, Ir.Const 0 | Ir.Add, Ir.Const 0, e -> e
+  | Ir.Sub, e, Ir.Const 0 -> e
+  | Ir.Mul, _, Ir.Const 0 | Ir.Mul, Ir.Const 0, _ -> Ir.Const 0
+  | Ir.Mul, e, Ir.Const 1 | Ir.Mul, Ir.Const 1, e -> e
+  | Ir.And, e, Ir.Const 1 | Ir.And, Ir.Const 1, e -> e
+  | Ir.And, _, Ir.Const 0 | Ir.And, Ir.Const 0, _ -> Ir.Const 0
+  | Ir.Or, e, Ir.Const 0 | Ir.Or, Ir.Const 0, e -> e
+  | _ -> Ir.Binop (op, a, b)
+
+let concrete_binop op x y =
+  match op with
+  | Ir.Add -> Some (x + y)
+  | Ir.Sub -> Some (x - y)
+  | Ir.Mul -> Some (x * y)
+  | Ir.Div -> if y = 0 then None else Some (x / y)
+  | Ir.Mod -> if y = 0 then None else Some (x mod y)
+  | Ir.Eq -> Some (of_bool (x = y))
+  | Ir.Ne -> Some (of_bool (x <> y))
+  | Ir.Lt -> Some (of_bool (x < y))
+  | Ir.Le -> Some (of_bool (x <= y))
+  | Ir.Gt -> Some (of_bool (x > y))
+  | Ir.Ge -> Some (of_bool (x >= y))
+  | Ir.And -> Some (of_bool (truthy x && truthy y))
+  | Ir.Or -> Some (of_bool (truthy x || truthy y))
+
+let eval_binop op a b =
+  match (a, b) with
+  | Concrete x, Concrete y -> (
+    match concrete_binop op x y with
+    | Some v -> Value (Concrete v)
+    | None -> Trap Sym_div_by_zero)
+  | _ -> (
+    let ea = to_expr a and eb = to_expr b in
+    match op with
+    | Ir.Div | Ir.Mod -> (
+      match b with
+      | Concrete 0 -> Trap Sym_div_by_zero
+      | Concrete _ -> Value (Symbolic (simplify_binop op ea eb))
+      | Symbolic guard ->
+        Guarded { guard; on_zero = Sym_div_by_zero; value = Symbolic (simplify_binop op ea eb) })
+    | Ir.Add | Ir.Sub | Ir.Mul | Ir.Eq | Ir.Ne | Ir.Lt | Ir.Le | Ir.Gt | Ir.Ge | Ir.And | Ir.Or
+      ->
+      Value (Symbolic (simplify_binop op ea eb)))
+
+let truth = function
+  | Concrete n -> Some (truthy n)
+  | Symbolic _ -> None
+
+let pp fmt = function
+  | Concrete n -> Format.pp_print_int fmt n
+  | Symbolic e -> Format.fprintf fmt "sym(%a)" Ir.pp_expr e

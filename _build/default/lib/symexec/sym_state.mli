@@ -1,0 +1,52 @@
+(** Symbolic values and their evaluation.
+
+    The hive's symbolic analyses (paper §3.3–§4) run the same IR as the
+    concrete interpreter but over values that are either concrete
+    integers or expressions over {e symbols}.  Symbols are numbered
+    like extra input slots: real program inputs keep their indices, and
+    fresh symbols (system-call results; havoced globals under relaxed
+    consistency) are allocated above [n_inputs], so a path condition
+    over symbols is directly a {!Softborg_solver.Path_cond.t}. *)
+
+module Ir := Softborg_prog.Ir
+
+type value =
+  | Concrete of int
+  | Symbolic of Ir.expr  (** Over [Input]/[Const]/operators only. *)
+
+val const : int -> value
+val symbol : int -> value
+(** [symbol i] is the i-th symbol (an [Input i] expression). *)
+
+val is_concrete : value -> bool
+
+val to_expr : value -> Ir.expr
+
+type crash =
+  | Sym_div_by_zero
+  | Sym_assert_failure of string
+
+(** Evaluating an operator can succeed, trap concretely, or
+    {e conditionally} trap: dividing by a symbolic value yields the
+    quotient plus the zero-divisor condition the explorer must fork
+    on. *)
+type eval_result =
+  | Value of value
+  | Trap of crash
+  | Guarded of { guard : Ir.expr; on_zero : crash; value : value }
+      (** [guard] is the divisor expression: if it evaluates to zero
+          the operation traps with [on_zero]; otherwise the result is
+          [value]. *)
+
+val eval_unop : Ir.unop -> value -> value
+
+val eval_binop : Ir.binop -> value -> value -> eval_result
+(** Constant-folds when both operands are concrete (including the
+    trap on a concrete zero divisor); otherwise builds a simplified
+    symbolic expression. *)
+
+val truth : value -> bool option
+(** [Some b] when the value's truthiness is decided (concrete), [None]
+    when symbolic. *)
+
+val pp : Format.formatter -> value -> unit

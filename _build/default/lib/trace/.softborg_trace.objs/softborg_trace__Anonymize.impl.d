@@ -1,0 +1,1 @@
+lib/trace/anonymize.ml: Int List Softborg_util Trace

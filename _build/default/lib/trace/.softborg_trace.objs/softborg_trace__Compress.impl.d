@@ -1,0 +1,1 @@
+lib/trace/compress.ml: List Printf Softborg_util String

@@ -1,0 +1,1 @@
+lib/trace/compress.mli: Softborg_util

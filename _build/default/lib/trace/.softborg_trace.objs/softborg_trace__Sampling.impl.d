@@ -1,0 +1,1 @@
+lib/trace/sampling.ml: Bool Format List Map Softborg_exec Softborg_prog Softborg_util

@@ -1,0 +1,1 @@
+lib/trace/trace.ml: Format List Softborg_exec Softborg_prog Softborg_util String

@@ -1,0 +1,1 @@
+lib/trace/trace.mli: Format Softborg_exec Softborg_prog Softborg_util

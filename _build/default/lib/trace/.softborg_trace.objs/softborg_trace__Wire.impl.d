@@ -1,0 +1,1 @@
+lib/trace/wire.ml: Compress Format Printf Softborg_exec Softborg_prog Softborg_util String Trace

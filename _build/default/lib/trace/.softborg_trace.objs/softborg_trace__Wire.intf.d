@@ -1,0 +1,1 @@
+lib/trace/wire.mli: Format Softborg_exec Softborg_util Trace

@@ -1,0 +1,52 @@
+module Bitvec = Softborg_util.Bitvec
+
+type level =
+  | Full
+  | Coarse_syscalls
+  | Drop_syscalls
+  | Bits_only
+  | Outcome_only
+
+let all_levels = [ Full; Coarse_syscalls; Drop_syscalls; Bits_only; Outcome_only ]
+
+let level_name = function
+  | Full -> "full"
+  | Coarse_syscalls -> "coarse-syscalls"
+  | Drop_syscalls -> "drop-syscalls"
+  | Bits_only -> "bits-only"
+  | Outcome_only -> "outcome-only"
+
+let coarsen_syscall (kind, result) = (kind, if result >= 0 then 1 else -1)
+
+let apply level (t : Trace.t) =
+  match level with
+  | Full -> t
+  | Coarse_syscalls -> { t with syscalls = List.map coarsen_syscall t.syscalls }
+  | Drop_syscalls -> { t with syscalls = [] }
+  | Bits_only -> { t with syscalls = []; schedule = [] }
+  | Outcome_only ->
+    {
+      t with
+      syscalls = [];
+      schedule = [];
+      bits = Bitvec.create ();
+      n_decisions = 0;
+      steps = 0;
+    }
+
+let is_coarse result = result = 1 || result = -1
+
+let residual_bits (t : Trace.t) =
+  let branch_bits = float_of_int (Bitvec.length t.bits) in
+  let syscall_bits =
+    List.fold_left (fun acc (_, result) -> acc +. if is_coarse result then 1.0 else 8.0) 0.0 t.syscalls
+  in
+  let schedule_bits =
+    match t.schedule with
+    | [] -> 0.0
+    | entries ->
+      let distinct = List.sort_uniq Int.compare entries |> List.length in
+      let per_entry = if distinct <= 1 then 0.0 else log (float_of_int distinct) /. log 2.0 in
+      per_entry *. float_of_int (List.length entries)
+  in
+  branch_bits +. syscall_bits +. schedule_bits +. 4.0

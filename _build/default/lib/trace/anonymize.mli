@@ -1,0 +1,33 @@
+(** Trace anonymization and information-content accounting.
+
+    Traces might disclose private end-user information (paper §3.1,
+    citing Castro et al.); the paper calls for a principled framework
+    for trading control-flow detail against privacy.  This module
+    implements a ladder of scrubbing levels and an entropy-based
+    estimate of the residual information a trace carries, which
+    experiment E9 sweeps against hive diagnosis quality. *)
+
+(** Scrubbing levels, strictly decreasing in disclosed information. *)
+type level =
+  | Full  (** Everything the pod captured. *)
+  | Coarse_syscalls
+      (** Syscall return values reduced to success (1) / fault (-1):
+          keeps failure correlation, hides payload sizes and fds. *)
+  | Drop_syscalls  (** No syscall summary at all. *)
+  | Bits_only
+      (** Branch bits and decision count only — no schedule, no
+          syscalls.  Multi-threaded traces stop being replayable. *)
+  | Outcome_only  (** Only the outcome label (WER-grade disclosure). *)
+
+val all_levels : level list
+val level_name : level -> string
+
+val apply : level -> Trace.t -> Trace.t
+(** Scrub a trace down to [level].  Idempotent; [Full] is identity. *)
+
+val residual_bits : Trace.t -> float
+(** Estimated information content of a trace in bits: 1 bit per branch
+    decision recorded, 8 per raw syscall value (1 if coarsened),
+    log2(#distinct threads) per schedule entry, ~4 for the outcome.
+    Monotonically non-increasing down the {!level} ladder (property-
+    tested). *)

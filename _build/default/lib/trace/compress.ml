@@ -1,0 +1,74 @@
+module Bitvec = Softborg_util.Bitvec
+module Codec = Softborg_util.Codec
+
+let bit_runs v =
+  let n = Bitvec.length v in
+  if n = 0 then []
+  else begin
+    let runs = ref [] in
+    let current = ref (Bitvec.get v 0) in
+    let run = ref 1 in
+    for i = 1 to n - 1 do
+      let b = Bitvec.get v i in
+      if b = !current then incr run
+      else begin
+        runs := (!current, !run) :: !runs;
+        current := b;
+        run := 1
+      end
+    done;
+    runs := (!current, !run) :: !runs;
+    List.rev !runs
+  end
+
+let runs_to_bits runs =
+  let v = Bitvec.create () in
+  List.iter
+    (fun (b, n) ->
+      for _ = 1 to n do
+        Bitvec.push v b
+      done)
+    runs;
+  v
+
+let encode_runs runs =
+  let w = Codec.Writer.create () in
+  (match runs with
+  | [] -> Codec.Writer.byte w 2  (* sentinel: empty *)
+  | (first, _) :: _ ->
+    Codec.Writer.byte w (if first then 1 else 0);
+    List.iter (fun (_, n) -> Codec.Writer.varint w n) runs);
+  Codec.Writer.contents w
+
+let decode_runs s =
+  let r = Codec.Reader.of_string s in
+  match Codec.Reader.byte r with
+  | 2 -> []
+  | (0 | 1) as first ->
+    let rec loop value acc =
+      if Codec.Reader.remaining r = 0 then List.rev acc
+      else
+        let n = Codec.Reader.varint r in
+        if n = 0 then raise (Codec.Malformed "zero-length run");
+        loop (not value) ((value, n) :: acc)
+    in
+    loop (first = 1) []
+  | n -> raise (Codec.Malformed (Printf.sprintf "run encoding head %d" n))
+
+let int_runs xs =
+  let rec loop acc = function
+    | [] -> List.rev acc
+    | x :: rest -> (
+      match acc with
+      | (y, n) :: tail when y = x -> loop ((y, n + 1) :: tail) rest
+      | _ -> loop ((x, 1) :: acc) rest)
+  in
+  loop [] xs
+
+let expand_int_runs runs =
+  List.concat_map (fun (x, n) -> List.init n (fun _ -> x)) runs
+
+let compression_ratio v =
+  let packed = max 1 (String.length (Bitvec.to_bytes v)) in
+  let rle = max 1 (String.length (encode_runs (bit_runs v))) in
+  float_of_int packed /. float_of_int rle

@@ -1,0 +1,30 @@
+(** Run-length compression for by-product streams.
+
+    Branch bit-vectors from loop-heavy code and thread schedules from
+    run-to-completion schedulers are highly repetitive; run-length
+    encoding routinely shrinks them severalfold, directly reducing the
+    pod→hive upload volume the paper worries about (§3.1). *)
+
+module Bitvec := Softborg_util.Bitvec
+
+val bit_runs : Bitvec.t -> (bool * int) list
+(** Maximal runs of equal bits, in order.  [runs_to_bits (bit_runs v)]
+    equals [v]. *)
+
+val runs_to_bits : (bool * int) list -> Bitvec.t
+
+val encode_runs : (bool * int) list -> string
+(** Varint stream: first byte is the value of the first run; then run
+    lengths, alternating values. *)
+
+val decode_runs : string -> (bool * int) list
+(** @raise Softborg_util.Codec.Malformed on invalid input. *)
+
+val int_runs : int list -> (int * int) list
+(** Maximal runs of equal integers: [[1;1;1;2]] becomes
+    [[(1,3);(2,1)]]. *)
+
+val expand_int_runs : (int * int) list -> int list
+
+val compression_ratio : Bitvec.t -> float
+(** Packed size / RLE size for this vector (>1 means RLE wins). *)

@@ -1,0 +1,67 @@
+module Rng = Softborg_util.Rng
+module Ir = Softborg_prog.Ir
+module Outcome = Softborg_exec.Outcome
+
+type predicate = { site : Ir.site; direction : bool }
+
+let predicate_equal a b = Ir.site_equal a.site b.site && a.direction = b.direction
+
+let predicate_compare a b =
+  match Ir.site_compare a.site b.site with
+  | 0 -> Bool.compare a.direction b.direction
+  | c -> c
+
+let pp_predicate fmt p =
+  Format.fprintf fmt "%a=%c" Ir.pp_site p.site (if p.direction then 'T' else 'F')
+
+type t = {
+  rate : int;
+  counts : (predicate * int) list;
+  observed : int;
+  total : int;
+  outcome : Outcome.t;
+}
+
+module Pred_map = Map.Make (struct
+  type t = predicate
+
+  let compare = predicate_compare
+end)
+
+let sample rng ~rate ~full_path ~outcome =
+  if rate <= 0 then invalid_arg "Sampling.sample: rate must be positive";
+  (* Geometric countdown (Liblit's trick): draw the gap to the next
+     observation instead of a coin per decision. *)
+  let gap = ref (if rate = 1 then 0 else Rng.geometric rng (1.0 /. float_of_int rate)) in
+  let observed = ref 0 in
+  let total = ref 0 in
+  let counts =
+    List.fold_left
+      (fun acc (site, direction) ->
+        incr total;
+        if !gap = 0 then begin
+          incr observed;
+          gap := (if rate = 1 then 0 else Rng.geometric rng (1.0 /. float_of_int rate));
+          let p = { site; direction } in
+          Pred_map.update p (function None -> Some 1 | Some n -> Some (n + 1)) acc
+        end
+        else begin
+          decr gap;
+          acc
+        end)
+      Pred_map.empty full_path
+  in
+  {
+    rate;
+    counts = Pred_map.bindings counts;
+    observed = !observed;
+    total = !total;
+    outcome;
+  }
+
+let observed_fraction t =
+  if t.total = 0 then 0.0 else float_of_int t.observed /. float_of_int t.total
+
+let modeled_overhead t = if t.rate = 1 then 1.0 else 0.01 +. observed_fraction t
+
+let family_width_log2 t = float_of_int (t.total - t.observed)

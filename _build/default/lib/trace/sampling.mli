@@ -1,0 +1,45 @@
+(** Coordinated sparse sampling of branch predicates, after Cooperative
+    Bug Isolation (Liblit et al., paper §3.1 and §5).
+
+    Instead of recording every input-dependent branch, a pod may record
+    each branch observation with probability 1/rate.  A sampled trace
+    no longer pins down one path — it denotes a {e family} of paths —
+    but aggregation across the user community still localizes bugs:
+    the hive correlates predicate observations with failure labels
+    ({!Softborg_hive.Isolate}). *)
+
+module Rng := Softborg_util.Rng
+module Ir := Softborg_prog.Ir
+module Outcome := Softborg_exec.Outcome
+
+(** A branch predicate: "execution went [direction] at [site]". *)
+type predicate = { site : Ir.site; direction : bool }
+
+val predicate_equal : predicate -> predicate -> bool
+val predicate_compare : predicate -> predicate -> int
+val pp_predicate : Format.formatter -> predicate -> unit
+
+type t = {
+  rate : int;  (** Sampling rate denominator (1 = record everything). *)
+  counts : (predicate * int) list;  (** Observation counts, deduplicated. *)
+  observed : int;  (** Observations recorded. *)
+  total : int;  (** Branch decisions that occurred. *)
+  outcome : Outcome.t;
+}
+
+val sample :
+  Rng.t -> rate:int -> full_path:(Ir.site * bool) list -> outcome:Outcome.t -> t
+(** Sample one run's decisions at 1/rate.  [rate = 1] records all. *)
+
+val observed_fraction : t -> float
+(** observed / total (0 when the path was empty). *)
+
+val modeled_overhead : t -> float
+(** Runtime-overhead model: a 1% always-on countdown fast path plus
+    full instrumentation cost on the observed fraction.  Full
+    recording ([rate=1]) costs 1.0 by definition. *)
+
+val family_width_log2 : t -> float
+(** log2 of the number of paths compatible with the sampled
+    observations: each unobserved binary decision doubles the family
+    (paper §3.1: "a recorded trace specifies a family of paths"). *)

@@ -1,0 +1,52 @@
+module Bitvec = Softborg_util.Bitvec
+module Ids = Softborg_util.Ids
+module Ir = Softborg_prog.Ir
+module Outcome = Softborg_exec.Outcome
+module Interp = Softborg_exec.Interp
+
+type t = {
+  trace_id : Ids.Trace_id.t;
+  program_digest : string;
+  pod : int;
+  bits : Bitvec.t;
+  n_decisions : int;
+  schedule : int list;
+  syscalls : (Ir.syscall_kind * int) list;
+  outcome : Outcome.t;
+  steps : int;
+  fix_epoch : int;
+}
+
+let of_result ~program_digest ~pod ~fix_epoch (r : Interp.result) =
+  {
+    trace_id = Ids.Trace_id.fresh ();
+    program_digest;
+    pod;
+    bits = Bitvec.copy r.bits;
+    n_decisions = List.length r.full_path;
+    schedule = r.schedule;
+    syscalls = r.syscalls;
+    outcome = r.outcome;
+    steps = r.steps;
+    fix_epoch;
+  }
+
+let recorded_fraction t =
+  if t.n_decisions = 0 then 0.0
+  else float_of_int (Bitvec.length t.bits) /. float_of_int t.n_decisions
+
+let equal a b =
+  String.equal a.program_digest b.program_digest
+  && a.pod = b.pod
+  && Bitvec.equal a.bits b.bits
+  && a.n_decisions = b.n_decisions
+  && a.schedule = b.schedule
+  && a.syscalls = b.syscalls
+  && Outcome.equal a.outcome b.outcome
+  && a.steps = b.steps
+  && a.fix_epoch = b.fix_epoch
+
+let pp fmt t =
+  Format.fprintf fmt "trace{pod=%d bits=%d/%d sched=%d sys=%d outcome=%a}" t.pod
+    (Bitvec.length t.bits) t.n_decisions (List.length t.schedule) (List.length t.syscalls)
+    Outcome.pp t.outcome

@@ -1,0 +1,41 @@
+(** Execution trace records: the by-product bundle a pod relays to the
+    hive (paper §3.1).
+
+    A trace is deliberately {e not} the program's inputs: control flow
+    is captured as the input-dependent branch bit-vector, external
+    effects as the syscall return-value summary, concurrency as the
+    contended-point schedule.  Everything the hive does — tree
+    merging, bug isolation, fix synthesis — consumes these fields. *)
+
+module Bitvec := Softborg_util.Bitvec
+module Ids := Softborg_util.Ids
+module Ir := Softborg_prog.Ir
+module Outcome := Softborg_exec.Outcome
+module Interp := Softborg_exec.Interp
+
+type t = {
+  trace_id : Ids.Trace_id.t;
+  program_digest : string;  (** Keys hive knowledge to a program build. *)
+  pod : int;  (** Reporting pod. *)
+  bits : Bitvec.t;  (** Input-dependent branch decisions. *)
+  n_decisions : int;  (** Full-path decision count (replay stop). *)
+  schedule : int list;
+  syscalls : (Ir.syscall_kind * int) list;
+  outcome : Outcome.t;
+  steps : int;
+  fix_epoch : int;  (** Fix version active in the pod when recorded. *)
+}
+
+val of_result :
+  program_digest:string -> pod:int -> fix_epoch:int -> Interp.result -> t
+(** Package an interpreter result as a relayable trace. *)
+
+val recorded_fraction : t -> float
+(** Recorded bits / full-path decisions: the capture-saving from
+    recording only input-dependent branches (1.0 when every branch
+    was input-dependent; 0 when the path was fully deterministic). *)
+
+val equal : t -> t -> bool
+(** Equality on content (ignores [trace_id]). *)
+
+val pp : Format.formatter -> t -> unit

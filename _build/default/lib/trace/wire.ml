@@ -1,0 +1,159 @@
+module Bitvec = Softborg_util.Bitvec
+module Codec = Softborg_util.Codec
+module Ids = Softborg_util.Ids
+module Ir = Softborg_prog.Ir
+module Outcome = Softborg_exec.Outcome
+
+type decode_error =
+  | Truncated
+  | Malformed of string
+
+let pp_error fmt = function
+  | Truncated -> Format.pp_print_string fmt "truncated"
+  | Malformed msg -> Format.fprintf fmt "malformed: %s" msg
+
+let syscall_tag = function
+  | Ir.Sys_read -> 0
+  | Ir.Sys_open -> 1
+  | Ir.Sys_write -> 2
+  | Ir.Sys_net -> 3
+  | Ir.Sys_time -> 4
+
+let syscall_of_tag = function
+  | 0 -> Ir.Sys_read
+  | 1 -> Ir.Sys_open
+  | 2 -> Ir.Sys_write
+  | 3 -> Ir.Sys_net
+  | 4 -> Ir.Sys_time
+  | n -> raise (Codec.Malformed (Printf.sprintf "syscall tag %d" n))
+
+let crash_tag = function
+  | Outcome.Assertion_failure -> 0
+  | Outcome.Division_by_zero -> 1
+
+let crash_of_tag = function
+  | 0 -> Outcome.Assertion_failure
+  | 1 -> Outcome.Division_by_zero
+  | n -> raise (Codec.Malformed (Printf.sprintf "crash tag %d" n))
+
+let encode_outcome w = function
+  | Outcome.Success -> Codec.Writer.byte w 0
+  | Outcome.Crash { site; kind; message } ->
+    Codec.Writer.byte w 1;
+    Codec.Writer.varint w site.Ir.thread;
+    Codec.Writer.varint w site.Ir.pc;
+    Codec.Writer.byte w (crash_tag kind);
+    Codec.Writer.bytes w message
+  | Outcome.Deadlock { waiting } ->
+    Codec.Writer.byte w 2;
+    Codec.Writer.list w
+      (fun (thread, lock) ->
+        Codec.Writer.varint w thread;
+        Codec.Writer.varint w lock)
+      waiting
+  | Outcome.Hang -> Codec.Writer.byte w 3
+
+let decode_outcome r =
+  match Codec.Reader.byte r with
+  | 0 -> Outcome.Success
+  | 1 ->
+    let thread = Codec.Reader.varint r in
+    let pc = Codec.Reader.varint r in
+    let kind = crash_of_tag (Codec.Reader.byte r) in
+    let message = Codec.Reader.bytes r in
+    Outcome.Crash { site = { Ir.thread; pc }; kind; message }
+  | 2 ->
+    let waiting =
+      Codec.Reader.list r (fun r ->
+          let thread = Codec.Reader.varint r in
+          let lock = Codec.Reader.varint r in
+          (thread, lock))
+    in
+    Outcome.Deadlock { waiting }
+  | 3 -> Outcome.Hang
+  | n -> raise (Codec.Malformed (Printf.sprintf "outcome tag %d" n))
+
+let encode (t : Trace.t) =
+  let w = Codec.Writer.create () in
+  Codec.Writer.bytes w t.program_digest;
+  Codec.Writer.varint w t.pod;
+  Codec.Writer.varint w t.fix_epoch;
+  Codec.Writer.varint w t.steps;
+  Codec.Writer.varint w t.n_decisions;
+  (* Branch bits: packed or RLE, whichever is smaller. *)
+  let n_bits = Bitvec.length t.bits in
+  Codec.Writer.varint w n_bits;
+  let packed = Bitvec.to_bytes t.bits in
+  let runs = Compress.bit_runs t.bits in
+  let rle = Compress.encode_runs runs in
+  if String.length rle < String.length packed then begin
+    Codec.Writer.byte w 1;
+    Codec.Writer.bytes w rle
+  end
+  else begin
+    Codec.Writer.byte w 0;
+    Codec.Writer.bytes w packed
+  end;
+  (* Schedule: RLE of thread runs. *)
+  Codec.Writer.list w
+    (fun (thread, run) ->
+      Codec.Writer.varint w thread;
+      Codec.Writer.varint w run)
+    (Compress.int_runs t.schedule);
+  Codec.Writer.list w
+    (fun (kind, result) ->
+      Codec.Writer.byte w (syscall_tag kind);
+      Codec.Writer.zigzag w result)
+    t.syscalls;
+  encode_outcome w t.outcome;
+  Codec.Writer.contents w
+
+let decode s =
+  match
+    let r = Codec.Reader.of_string s in
+    let program_digest = Codec.Reader.bytes r in
+    let pod = Codec.Reader.varint r in
+    let fix_epoch = Codec.Reader.varint r in
+    let steps = Codec.Reader.varint r in
+    let n_decisions = Codec.Reader.varint r in
+    let n_bits = Codec.Reader.varint r in
+    let bits =
+      match Codec.Reader.byte r with
+      | 0 -> Bitvec.of_bytes (Codec.Reader.bytes r) n_bits
+      | 1 ->
+        let bits = Compress.runs_to_bits (Compress.decode_runs (Codec.Reader.bytes r)) in
+        if Bitvec.length bits <> n_bits then raise (Codec.Malformed "RLE bit count mismatch");
+        bits
+      | n -> raise (Codec.Malformed (Printf.sprintf "bits encoding tag %d" n))
+    in
+    let schedule_runs =
+      Codec.Reader.list r (fun r ->
+          let thread = Codec.Reader.varint r in
+          let run = Codec.Reader.varint r in
+          (thread, run))
+    in
+    let schedule = Compress.expand_int_runs schedule_runs in
+    let syscalls =
+      Codec.Reader.list r (fun r ->
+          let kind = syscall_of_tag (Codec.Reader.byte r) in
+          let result = Codec.Reader.zigzag r in
+          (kind, result))
+    in
+    let outcome = decode_outcome r in
+    {
+      Trace.trace_id = Ids.Trace_id.fresh ();
+      program_digest;
+      pod;
+      bits;
+      n_decisions;
+      schedule;
+      syscalls;
+      outcome;
+      steps;
+      fix_epoch;
+    }
+  with
+  | trace -> Ok trace
+  | exception Codec.Truncated -> Error Truncated
+  | exception Codec.Malformed msg -> Error (Malformed msg)
+  | exception Invalid_argument msg -> Error (Malformed msg)

@@ -1,0 +1,26 @@
+(** Wire format for traces.
+
+    Capture and upload cost is a first-order concern (paper §3.1), so
+    traces travel in a compact binary form: varint-framed fields, the
+    branch bit-vector packed 8-per-byte or run-length encoded
+    (whichever is smaller), and the schedule run-length encoded
+    (threads run in long bursts under realistic schedulers). *)
+
+type decode_error =
+  | Truncated
+  | Malformed of string
+
+val encode : Trace.t -> string
+val decode : string -> (Trace.t, decode_error) result
+(** [decode (encode t)] re-creates [t] up to {!Trace.equal} (a fresh
+    trace id is assigned). *)
+
+val pp_error : Format.formatter -> decode_error -> unit
+
+module Codec := Softborg_util.Codec
+module Outcome := Softborg_exec.Outcome
+
+val encode_outcome : Codec.Writer.t -> Outcome.t -> unit
+val decode_outcome : Codec.Reader.t -> Outcome.t
+(** Outcome sub-codec, shared with the hive↔pod message protocol.
+    @raise Softborg_util.Codec.Malformed on invalid input. *)

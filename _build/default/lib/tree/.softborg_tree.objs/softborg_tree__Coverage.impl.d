@@ -1,0 +1,1 @@
+lib/tree/coverage.ml: Exec_tree Format List Option

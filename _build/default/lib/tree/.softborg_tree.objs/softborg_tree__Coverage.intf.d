@@ -1,0 +1,1 @@
+lib/tree/coverage.mli: Exec_tree Format

@@ -1,0 +1,1 @@
+lib/tree/exec_tree.ml: Bool Hashtbl Int List Map Option Set Softborg_exec Softborg_prog String

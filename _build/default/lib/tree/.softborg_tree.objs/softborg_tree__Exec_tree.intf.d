@@ -1,0 +1,1 @@
+lib/tree/exec_tree.mli: Softborg_exec Softborg_prog

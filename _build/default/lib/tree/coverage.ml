@@ -1,0 +1,36 @@
+type snapshot = {
+  executions : int;
+  distinct_paths : int;
+  nodes : int;
+  frontier_size : int;
+  completeness : float;
+}
+
+type t = { mutable snaps : snapshot list (* reversed *) }
+
+let create () = { snaps = [] }
+
+let observe t tree =
+  let snap =
+    {
+      executions = Exec_tree.n_executions tree;
+      distinct_paths = Exec_tree.n_distinct_paths tree;
+      nodes = Exec_tree.n_nodes tree;
+      frontier_size = List.length (Exec_tree.frontier tree);
+      completeness = Exec_tree.completeness tree;
+    }
+  in
+  t.snaps <- snap :: t.snaps
+
+let snapshots t = List.rev t.snaps
+
+let executions_to_reach t ~paths =
+  List.find_opt (fun s -> s.distinct_paths >= paths) (snapshots t)
+  |> Option.map (fun s -> s.executions)
+
+let pp_series fmt t =
+  List.iter
+    (fun s ->
+      Format.fprintf fmt "execs=%-6d paths=%-5d nodes=%-6d frontier=%-4d complete=%.2f@."
+        s.executions s.distinct_paths s.nodes s.frontier_size s.completeness)
+    (snapshots t)

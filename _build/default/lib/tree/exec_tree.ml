@@ -1,0 +1,197 @@
+module Ir = Softborg_prog.Ir
+module Outcome = Softborg_exec.Outcome
+
+(* Edge keys: (site, direction). *)
+module Edge_key = struct
+  type t = Ir.site * bool
+
+  let compare (s1, d1) (s2, d2) =
+    match Ir.site_compare s1 s2 with 0 -> Bool.compare d1 d2 | c -> c
+end
+
+module Edge_map = Map.Make (Edge_key)
+
+module Site_key = struct
+  type t = Ir.site
+
+  let compare = Ir.site_compare
+end
+
+module Site_set = Set.Make (Site_key)
+module Site_map = Map.Make (Site_key)
+
+type node = {
+  mutable edges : (node * int ref) Edge_map.t;  (* child, traversal count *)
+  mutable infeasible : Edge_map.key list;  (* directions proven infeasible *)
+  mutable hits : int;
+  mutable terminal : (string * int) list;  (* outcome bucket -> count *)
+}
+
+type t = {
+  root : node;
+  mutable nodes : int;
+  mutable executions : int;
+  mutable distinct_paths : int;
+}
+
+let new_node () = { edges = Edge_map.empty; infeasible = []; hits = 0; terminal = [] }
+
+let create () = { root = new_node (); nodes = 1; executions = 0; distinct_paths = 0 }
+
+let bump_bucket assoc key =
+  let rec loop = function
+    | [] -> [ (key, 1) ]
+    | (k, n) :: rest when String.equal k key -> (k, n + 1) :: rest
+    | pair :: rest -> pair :: loop rest
+  in
+  loop assoc
+
+type merge_stats = {
+  shared_depth : int;
+  new_nodes : int;
+  new_path : bool;
+}
+
+let add_path t path outcome =
+  t.executions <- t.executions + 1;
+  let rec walk node remaining shared created =
+    node.hits <- node.hits + 1;
+    match remaining with
+    | [] ->
+      let bucket = Outcome.bucket_key outcome in
+      let fresh_terminal = not (List.mem_assoc bucket node.terminal) in
+      node.terminal <- bump_bucket node.terminal bucket;
+      let new_path = created > 0 || fresh_terminal in
+      if new_path then t.distinct_paths <- t.distinct_paths + 1;
+      { shared_depth = shared; new_nodes = created; new_path }
+    | decision :: rest -> (
+      match Edge_map.find_opt decision node.edges with
+      | Some (child, count) ->
+        incr count;
+        walk child rest (if created = 0 then shared + 1 else shared) created
+      | None ->
+        let child = new_node () in
+        t.nodes <- t.nodes + 1;
+        node.edges <- Edge_map.add decision (child, ref 1) node.edges;
+        walk child rest shared (created + 1))
+  in
+  walk t.root path 0 0
+
+let n_nodes t = t.nodes
+let n_executions t = t.executions
+let n_distinct_paths t = t.distinct_paths
+
+let rec fold_nodes f acc node =
+  let acc = f acc node in
+  Edge_map.fold (fun _ (child, _) acc -> fold_nodes f acc child) node.edges acc
+
+let n_edges t = fold_nodes (fun acc node -> acc + Edge_map.cardinal node.edges) 0 t.root
+
+let outcome_buckets t =
+  let table = Hashtbl.create 16 in
+  ignore
+    (fold_nodes
+       (fun () node ->
+         List.iter
+           (fun (bucket, count) ->
+             let prev = Option.value ~default:0 (Hashtbl.find_opt table bucket) in
+             Hashtbl.replace table bucket (prev + count))
+           node.terminal)
+       () t.root);
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) table []
+  |> List.sort (fun (_, a) (_, b) -> Int.compare b a)
+
+type gap = {
+  prefix : (Ir.site * bool) list;
+  site : Ir.site;
+  missing : bool;
+  hits : int;
+}
+
+(* The branch sites observed at a node, from its outgoing edges. *)
+let sites_at node =
+  Edge_map.fold (fun (site, _) _ acc -> Site_set.add site acc) node.edges Site_set.empty
+
+let has_edge node site direction = Edge_map.mem (site, direction) node.edges
+
+let marked_infeasible node site direction =
+  List.exists (fun (s, d) -> Ir.site_equal s site && d = direction) node.infeasible
+
+let gaps_at node prefix =
+  Site_set.fold
+    (fun site acc ->
+      let missing direction =
+        (not (has_edge node site direction)) && not (marked_infeasible node site direction)
+      in
+      let acc = if missing true then { prefix; site; missing = true; hits = node.hits } :: acc else acc in
+      if missing false then { prefix; site; missing = false; hits = node.hits } :: acc else acc)
+    (sites_at node) []
+
+let frontier t =
+  let rec collect node prefix_rev acc =
+    let acc = gaps_at node (List.rev prefix_rev) @ acc in
+    Edge_map.fold
+      (fun decision (child, _) acc -> collect child (decision :: prefix_rev) acc)
+      node.edges acc
+  in
+  collect t.root [] [] |> List.sort (fun a b -> Int.compare b.hits a.hits)
+
+let find_node t prefix =
+  let rec walk node = function
+    | [] -> Some node
+    | decision :: rest -> (
+      match Edge_map.find_opt decision node.edges with
+      | Some (child, _) -> walk child rest
+      | None -> None)
+  in
+  walk t.root prefix
+
+let mark_infeasible t ~prefix ~site ~direction =
+  match find_node t prefix with
+  | None -> false
+  | Some node ->
+    if not (marked_infeasible node site direction) then
+      node.infeasible <- (site, direction) :: node.infeasible;
+    true
+
+(* Direction-pair accounting: for every (node, observed site), each of
+   the two directions is "closed" if explored or proven infeasible. *)
+let direction_pairs t =
+  fold_nodes
+    (fun (closed, total) node ->
+      Site_set.fold
+        (fun site (closed, total) ->
+          let closed_dir direction =
+            has_edge node site direction || marked_infeasible node site direction
+          in
+          let closed = closed + (if closed_dir true then 1 else 0) + if closed_dir false then 1 else 0 in
+          (closed, total + 2))
+        (sites_at node) (closed, total))
+    (0, 0) t.root
+
+let completeness t =
+  let closed, total = direction_pairs t in
+  if total = 0 then 1.0 else float_of_int closed /. float_of_int total
+
+let is_complete t =
+  let closed, total = direction_pairs t in
+  closed = total
+
+let path_outcomes t =
+  let rec collect node prefix_rev acc =
+    let acc =
+      List.fold_left
+        (fun acc (bucket, count) -> (List.rev prefix_rev, bucket, count) :: acc)
+        acc node.terminal
+    in
+    Edge_map.fold
+      (fun decision (child, _) acc -> collect child (decision :: prefix_rev) acc)
+      node.edges acc
+  in
+  List.rev (collect t.root [] [])
+
+let depth t =
+  let rec go node =
+    Edge_map.fold (fun _ (child, _) acc -> max acc (1 + go child)) node.edges 0
+  in
+  go t.root

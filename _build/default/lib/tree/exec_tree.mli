@@ -1,0 +1,78 @@
+(** Collective execution trees (paper §3.2, Figures 2 and 3).
+
+    Every program encodes a decision tree; every execution materializes
+    one root-to-leaf path.  The hive reconstructs the tree {e
+    dynamically} by merging naturally-occurring paths: find the lowest
+    common ancestor of the incoming path and the existing tree (the
+    shared decision prefix) and paste the divergent suffix.  Because
+    each path came from a real execution it is feasible by
+    construction, so no constraint solving happens at ingestion.
+
+    Nodes are decision-sequence prefixes; edges are labeled with the
+    branch site and direction taken.  Under multi-threaded programs the
+    same prefix can be followed by different branch sites (the schedule
+    weaves different executions, §3.2), so a node may carry edges for
+    more than one site. *)
+
+module Ir := Softborg_prog.Ir
+module Outcome := Softborg_exec.Outcome
+
+type t
+
+val create : unit -> t
+
+type merge_stats = {
+  shared_depth : int;  (** Length of the prefix shared with the tree (the LCA depth). *)
+  new_nodes : int;  (** Nodes created to paste the suffix. *)
+  new_path : bool;  (** True if this exact path had never been seen. *)
+}
+
+val add_path : t -> (Ir.site * bool) list -> Outcome.t -> merge_stats
+(** Merge one execution path (its full decision sequence, in order)
+    ending with the given outcome. *)
+
+val n_nodes : t -> int
+val n_executions : t -> int
+(** Total paths merged (with multiplicity). *)
+
+val n_distinct_paths : t -> int
+val n_edges : t -> int
+
+val outcome_buckets : t -> (string * int) list
+(** WER-style bucket key → execution count, over all merged paths. *)
+
+(** A gap in the tree: a node reached [hits] times whose branch [site]
+    has only been observed going one way.  [prefix] is the decision
+    sequence leading to the node; taking [(site, missing)] next would
+    cover the gap.  These are the targets execution guidance steers
+    pods toward (paper §3.3). *)
+type gap = {
+  prefix : (Ir.site * bool) list;
+  site : Ir.site;
+  missing : bool;
+  hits : int;
+}
+
+val frontier : t -> gap list
+(** All gaps, most-frequently-reached nodes first.  Gaps proven
+    infeasible by symbolic analysis are excluded. *)
+
+val mark_infeasible : t -> prefix:(Ir.site * bool) list -> site:Ir.site -> direction:bool -> bool
+(** Record that symbolic analysis proved the given gap infeasible,
+    removing it from the frontier and from completeness accounting.
+    Returns false if the prefix does not denote a tree node. *)
+
+val is_complete : t -> bool
+(** True when every observed branch site in the tree has both
+    directions explored or proven infeasible — the "complete tree"
+    precondition for a cumulative proof (paper §3.3). *)
+
+val completeness : t -> float
+(** Fraction of (node, site) direction pairs that are explored or
+    proven infeasible; 1.0 iff {!is_complete} (1.0 on an empty tree). *)
+
+val path_outcomes : t -> ((Ir.site * bool) list * string * int) list
+(** Every distinct terminal path with its outcome bucket and count. *)
+
+val depth : t -> int
+(** Length of the longest path. *)

@@ -1,0 +1,26 @@
+(** Typed identifiers for the entities that flow between pods and the
+    hive.  Keeping them abstract prevents, e.g., a pod id from being
+    used where a trace id is expected. *)
+
+module type S = sig
+  type t
+
+  val of_int : int -> t
+  val to_int : t -> int
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val hash : t -> int
+  val pp : Format.formatter -> t -> unit
+
+  val fresh : unit -> t
+  (** Process-wide fresh id (monotonic).  Deterministic given call
+      order, which the simulator guarantees. *)
+end
+
+module Pod_id : S
+module Trace_id : S
+module Program_id : S
+module Bug_id : S
+module Fix_id : S
+module Proof_id : S
+module Node_id : S

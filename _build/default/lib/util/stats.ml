@@ -1,0 +1,115 @@
+type summary = {
+  count : int;
+  mean : float;
+  variance : float;
+  stddev : float;
+  min : float;
+  max : float;
+}
+
+module Online = struct
+  type t = { mutable n : int; mutable mean : float; mutable m2 : float }
+
+  let create () = { n = 0; mean = 0.0; m2 = 0.0 }
+
+  let add t x =
+    t.n <- t.n + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean))
+
+  let count t = t.n
+  let mean t = t.mean
+  let variance t = if t.n = 0 then 0.0 else t.m2 /. float_of_int t.n
+  let stddev t = sqrt (variance t)
+end
+
+let summarize xs =
+  match xs with
+  | [] -> { count = 0; mean = 0.0; variance = 0.0; stddev = 0.0; min = 0.0; max = 0.0 }
+  | first :: _ ->
+    let online = Online.create () in
+    let mn = ref first and mx = ref first in
+    List.iter
+      (fun x ->
+        Online.add online x;
+        if x < !mn then mn := x;
+        if x > !mx then mx := x)
+      xs;
+    {
+      count = Online.count online;
+      mean = Online.mean online;
+      variance = Online.variance online;
+      stddev = Online.stddev online;
+      min = !mn;
+      max = !mx;
+    }
+
+let percentile xs p =
+  if xs = [] then invalid_arg "Stats.percentile: empty sample";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = List.sort Float.compare xs in
+  let arr = Array.of_list sorted in
+  let n = Array.length arr in
+  if n = 1 then arr.(0)
+  else
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    arr.(lo) +. (frac *. (arr.(hi) -. arr.(lo)))
+
+let median xs = percentile xs 50.0
+
+let geometric_mean xs =
+  if xs = [] then invalid_arg "Stats.geometric_mean: empty sample";
+  let log_sum =
+    List.fold_left
+      (fun acc x ->
+        if x <= 0.0 then invalid_arg "Stats.geometric_mean: non-positive value";
+        acc +. log x)
+      0.0 xs
+  in
+  exp (log_sum /. float_of_int (List.length xs))
+
+let histogram ~buckets xs =
+  if buckets <= 0 then invalid_arg "Stats.histogram: buckets must be positive";
+  match xs with
+  | [] -> []
+  | _ ->
+    let s = summarize xs in
+    let width =
+      let raw = (s.max -. s.min) /. float_of_int buckets in
+      if raw <= 0.0 then 1.0 else raw
+    in
+    let counts = Array.make buckets 0 in
+    List.iter
+      (fun x ->
+        let idx = int_of_float ((x -. s.min) /. width) in
+        let idx = if idx >= buckets then buckets - 1 else max 0 idx in
+        counts.(idx) <- counts.(idx) + 1)
+      xs;
+    List.init buckets (fun i ->
+        let lo = s.min +. (float_of_int i *. width) in
+        (lo, lo +. width, counts.(i)))
+
+let entropy_bits weights =
+  let total = List.fold_left (fun acc w -> acc +. max 0.0 w) 0.0 weights in
+  if total <= 0.0 then 0.0
+  else
+    List.fold_left
+      (fun acc w ->
+        let p = max 0.0 w /. total in
+        if p <= 0.0 then acc else acc -. (p *. (log p /. log 2.0)))
+      0.0 weights
+
+let pearson xs ys =
+  if List.length xs <> List.length ys then invalid_arg "Stats.pearson: length mismatch";
+  let sx = summarize xs and sy = summarize ys in
+  if sx.stddev = 0.0 || sy.stddev = 0.0 || sx.count = 0 then 0.0
+  else
+    let cov =
+      List.fold_left2 (fun acc x y -> acc +. ((x -. sx.mean) *. (y -. sy.mean))) 0.0 xs ys
+      /. float_of_int sx.count
+    in
+    cov /. (sx.stddev *. sy.stddev)

@@ -1,0 +1,53 @@
+(** Statistics used by experiment harnesses and by the hive's
+    portfolio-theoretic allocator (mean/variance of subtree reward). *)
+
+type summary = {
+  count : int;
+  mean : float;
+  variance : float;  (** Population variance. *)
+  stddev : float;
+  min : float;
+  max : float;
+}
+
+val summarize : float list -> summary
+(** Summary of a sample; an empty sample yields zeros. *)
+
+(** Online mean/variance accumulation (Welford's algorithm), used where
+    streaming values must not be buffered — e.g. the hive tracking
+    per-subtree reward across thousands of exploration reports. *)
+module Online : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val variance : t -> float
+  val stddev : t -> float
+end
+
+val percentile : float list -> float -> float
+(** [percentile xs p] for [p] in [\[0,100\]], with linear interpolation.
+    @raise Invalid_argument on an empty list or [p] out of range. *)
+
+val median : float list -> float
+(** [median xs = percentile xs 50.]. *)
+
+val geometric_mean : float list -> float
+(** Geometric mean of strictly positive values; used for aggregate
+    speedup factors.  @raise Invalid_argument on empty or non-positive
+    input. *)
+
+val histogram : buckets:int -> float list -> (float * float * int) list
+(** [histogram ~buckets xs] partitions [\[min,max\]] into equal-width
+    buckets and returns [(lo, hi, count)] per bucket. *)
+
+val entropy_bits : float list -> float
+(** Shannon entropy (base 2) of a discrete distribution given as
+    non-negative weights (normalized internally).  Used by the trace
+    anonymizer to account residual information content (paper §3.1). *)
+
+val pearson : float list -> float list -> float
+(** Pearson correlation of two equal-length samples; 0 when either
+    sample is constant.  @raise Invalid_argument on length mismatch. *)

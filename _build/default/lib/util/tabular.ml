@@ -1,0 +1,51 @@
+type align = Left | Right
+type column = { title : string; align : align }
+
+let column ?(align = Left) title = { title; align }
+
+let pad align width s =
+  let deficit = width - String.length s in
+  if deficit <= 0 then s
+  else
+    match align with
+    | Left -> s ^ String.make deficit ' '
+    | Right -> String.make deficit ' ' ^ s
+
+let render cols rows =
+  let ncols = List.length cols in
+  let rows =
+    List.map
+      (fun row ->
+        let n = List.length row in
+        if n > ncols then invalid_arg "Tabular.render: row wider than header"
+        else row @ List.init (ncols - n) (fun _ -> ""))
+      rows
+  in
+  let widths =
+    List.mapi
+      (fun i col ->
+        List.fold_left (fun acc row -> max acc (String.length (List.nth row i))) (String.length col.title) rows)
+      cols
+  in
+  let render_row cells =
+    let parts = List.map2 (fun (col, width) cell -> pad col.align width cell) (List.combine cols widths) cells in
+    String.concat "  " parts
+  in
+  let header = render_row (List.map (fun c -> c.title) cols) in
+  let rule = String.make (String.length header) '-' in
+  String.concat "\n" (header :: rule :: List.map render_row rows)
+
+let print ?title cols rows =
+  (match title with
+  | Some t ->
+    print_newline ();
+    print_endline t;
+    print_endline (String.make (String.length t) '=')
+  | None -> ());
+  print_endline (render cols rows)
+
+let fmt_float ?(decimals = 2) f =
+  if Float.is_nan f then "-" else Printf.sprintf "%.*f" decimals f
+
+let fmt_pct f = Printf.sprintf "%.1f%%" (100.0 *. f)
+let fmt_ratio f = Printf.sprintf "%.1fx" f

@@ -1,0 +1,30 @@
+(** Fixed-width text tables for experiment output.
+
+    Every experiment in the benchmark harness prints its results as an
+    aligned table (the reproduction's analogue of the paper's tables),
+    so the formatting lives in one place. *)
+
+type align = Left | Right
+
+type column = { title : string; align : align }
+
+val column : ?align:align -> string -> column
+(** [column name] is a left-aligned column by default. *)
+
+val render : column list -> string list list -> string
+(** [render cols rows] lays out [rows] under [cols] with a separator
+    rule.  Rows shorter than the header are padded with empty cells;
+    longer rows raise [Invalid_argument]. *)
+
+val print : ?title:string -> column list -> string list list -> unit
+(** [print ~title cols rows] writes an optional underlined title and
+    the rendered table to stdout. *)
+
+val fmt_float : ?decimals:int -> float -> string
+(** Fixed-decimal rendering (default 2), with ["-"] for NaN. *)
+
+val fmt_pct : float -> string
+(** [fmt_pct 0.123] is ["12.3%"]. *)
+
+val fmt_ratio : float -> string
+(** [fmt_ratio 9.8] is ["9.8x"]. *)

@@ -1,0 +1,1 @@
+test/test_conc.ml: Alcotest Int List Printf Softborg_conc Softborg_exec Softborg_prog Softborg_util

@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Array Hashtbl Int List Printf QCheck QCheck_alcotest Softborg_exec Softborg_prog Softborg_util

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest List Printf QCheck QCheck_alcotest Softborg_net Softborg_util

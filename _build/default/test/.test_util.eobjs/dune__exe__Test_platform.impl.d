@@ -1,0 +1,1 @@
+test/test_platform.ml: Alcotest List Softborg Softborg_hive Softborg_net Softborg_pod Softborg_prog Softborg_tree

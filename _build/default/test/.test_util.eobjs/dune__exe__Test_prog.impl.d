@@ -1,0 +1,1 @@
+test/test_prog.ml: Alcotest Array List QCheck QCheck_alcotest Softborg_prog Softborg_util String

@@ -1,0 +1,1 @@
+test/test_solver.ml: Alcotest Array Float List Printf QCheck QCheck_alcotest Softborg_prog Softborg_solver Softborg_util

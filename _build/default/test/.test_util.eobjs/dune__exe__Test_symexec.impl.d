@@ -1,0 +1,1 @@
+test/test_symexec.ml: Alcotest Array Hashtbl List QCheck QCheck_alcotest Softborg_exec Softborg_prog Softborg_solver Softborg_symexec Softborg_util

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array List QCheck QCheck_alcotest Softborg_exec Softborg_prog Softborg_trace Softborg_util String

@@ -1,0 +1,1 @@
+test/test_tree.ml: Alcotest List QCheck QCheck_alcotest Softborg_exec Softborg_prog Softborg_tree Softborg_util String

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Int List Printf QCheck QCheck_alcotest Softborg_util String

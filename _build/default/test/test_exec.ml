@@ -1,0 +1,440 @@
+(* Tests for the interpreter: concrete semantics, by-product capture,
+   outcome classification, and the record→replay reconstruction
+   property that underpins execution-tree merging (paper §3.2). *)
+
+module Ir = Softborg_prog.Ir
+module Build = Softborg_prog.Build
+module Corpus = Softborg_prog.Corpus
+module Generator = Softborg_prog.Generator
+module Env = Softborg_exec.Env
+module Sched = Softborg_exec.Sched
+module Interp = Softborg_exec.Interp
+module Outcome = Softborg_exec.Outcome
+module Bitvec = Softborg_util.Bitvec
+module Rng = Softborg_util.Rng
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+let run_prog ?max_steps ?hooks ?(fault_plan = Env.No_faults) ?(seed = 1)
+    ?(sched = Sched.Round_robin) prog inputs =
+  let env = Env.make ~fault_plan ~seed ~inputs () in
+  Interp.run ?max_steps ?hooks ~program:prog ~env ~sched ()
+
+let is_success r = r.Interp.outcome = Outcome.Success
+
+let is_crash r =
+  match r.Interp.outcome with Outcome.Crash _ -> true | _ -> false
+
+let is_deadlock r =
+  match r.Interp.outcome with Outcome.Deadlock _ -> true | _ -> false
+
+(* ---- Concrete semantics ------------------------------------------- *)
+
+let test_fig2_small_p () =
+  (* p = 5: takes p<MAX true, p>0 true. *)
+  let r = run_prog Corpus.fig2_write [| 5 |] in
+  checkb "success" true (is_success r);
+  checki "two decisions" 2 (List.length r.Interp.full_path);
+  checki "both input-dependent" 2 (Bitvec.length r.Interp.bits)
+
+let test_fig2_large_p () =
+  (* p = 200: p<MAX false, p>3 true -> close() syscall path. *)
+  let r = run_prog Corpus.fig2_write [| 200 |] in
+  checkb "success" true (is_success r);
+  checki "one syscall on close path" 1 (List.length r.Interp.syscalls)
+
+let test_fig2_distinct_paths () =
+  (* With MAX=100, the (p>=MAX, p<=3) leaf is infeasible, so Figure 2
+     has exactly three reachable leaves. *)
+  let path p = (run_prog Corpus.fig2_write [| p |]).Interp.full_path in
+  let paths = [ path 5; path (-1); path 200; path 101 ] in
+  Alcotest.(check int) "3 distinct paths" 3 (List.length (List.sort_uniq compare paths))
+
+let test_fig2_unreachable_leaf () =
+  (* With MAX=100 the (p>=MAX, p<=3) leaf is infeasible: every >=100
+     input satisfies p>3.  Check a sweep never reaches a 4th leaf. *)
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun p ->
+      let r = run_prog Corpus.fig2_write [| p |] in
+      Hashtbl.replace seen r.Interp.full_path ())
+    [ -50; -1; 0; 1; 50; 99; 100; 101; 1000 ];
+  checki "three reachable leaves" 3 (Hashtbl.length seen)
+
+let test_div_by_zero_crash () =
+  let open Build in
+  let open Build.Infix in
+  let prog =
+    program ~name:"div0" ~n_inputs:1 [ [ assign (lvar "x") (const 10 /: input 0) ] ]
+  in
+  let r = run_prog prog [| 0 |] in
+  (match r.Interp.outcome with
+  | Outcome.Crash { kind = Outcome.Division_by_zero; _ } -> ()
+  | o -> Alcotest.failf "expected div0 crash, got %a" Outcome.pp o);
+  let r2 = run_prog prog [| 2 |] in
+  checkb "no crash with nonzero divisor" true (is_success r2)
+
+let test_assert_crash_site () =
+  let open Build in
+  let prog =
+    program ~name:"assert-fail" ~n_inputs:0 [ [ assign (lvar "x") (const 1); assert_ (const 0) "boom" ] ]
+  in
+  let r = run_prog prog [||] in
+  match r.Interp.outcome with
+  | Outcome.Crash { site; kind = Outcome.Assertion_failure; message } ->
+    checki "crash pc" 1 site.Ir.pc;
+    Alcotest.(check string) "message" "boom" message
+  | o -> Alcotest.failf "expected assert crash, got %a" Outcome.pp o
+
+let test_parser_trigger () =
+  let r = run_prog Corpus.parser Corpus.parser_trigger in
+  checkb "trigger crashes" true (is_crash r);
+  let r2 = run_prog Corpus.parser [| 1; 2; 3 |] in
+  checkb "benign input passes" true (is_success r2)
+
+let test_hang_detection () =
+  let open Build in
+  let open Build.Infix in
+  let prog =
+    program ~name:"spin" ~n_inputs:0 [ [ while_ (const 1 >: const 0) [ yield ] ] ]
+  in
+  let r = run_prog ~max_steps:100 prog [||] in
+  checkb "hang" true (r.Interp.outcome = Outcome.Hang);
+  checki "stopped at budget" 100 r.Interp.steps
+
+let test_deterministic_branch_not_recorded () =
+  let open Build in
+  let open Build.Infix in
+  let prog =
+    program ~name:"det" ~n_inputs:1
+      [
+        [
+          (* Deterministic branch: condition over constants. *)
+          if_ (const 3 >: const 2) [ assign (lvar "a") (const 1) ] [];
+          (* Input-dependent branch. *)
+          if_ (input 0 >: const 5) [ assign (lvar "b") (const 1) ] [];
+        ];
+      ]
+  in
+  let r = run_prog prog [| 9 |] in
+  checki "two decisions total" 2 (List.length r.Interp.full_path);
+  checki "one recorded bit" 1 (Bitvec.length r.Interp.bits)
+
+let test_taint_through_vars () =
+  let open Build in
+  let open Build.Infix in
+  let prog =
+    program ~name:"taintflow" ~n_inputs:1
+      [
+        [
+          assign (lvar "x") (input 0 +: const 1);
+          assign (lvar "y") (local "x" *: const 2);
+          if_ (local "y" >: const 10) [] [];
+        ];
+      ]
+  in
+  let r = run_prog prog [| 3 |] in
+  checki "derived branch recorded" 1 (Bitvec.length r.Interp.bits)
+
+let test_checksum_mostly_deterministic () =
+  (* The 32-round mixing loop's branches are deterministic; only the
+     two input predicates are recorded (paper §3.1's saving). *)
+  let r = run_prog Corpus.checksum [| 42; 7 |] in
+  checkb "success" true (is_success r);
+  checkb "many decisions" true (List.length r.Interp.full_path > 60);
+  checki "only two recorded bits" 2 (Bitvec.length r.Interp.bits);
+  match
+    Interp.reconstruct ~program:Corpus.checksum ~bits:r.Interp.bits ~schedule:r.Interp.schedule
+      ~total_decisions:(List.length r.Interp.full_path) ~total_steps:r.Interp.steps ()
+  with
+  | Ok rec_ -> checkb "checksum reconstructs" true (rec_.Interp.decisions = r.Interp.full_path)
+  | Error msg -> Alcotest.failf "reconstruct failed: %s" msg
+
+let test_syscall_taints () =
+  let open Build in
+  let open Build.Infix in
+  let prog =
+    program ~name:"sys-taint" ~n_inputs:0
+      [ [ syscall Ir.Sys_read (lvar "n"); if_ (local "n" >: const 100) [] [] ] ]
+  in
+  let r = run_prog prog [||] in
+  checki "syscall-dependent branch recorded" 1 (Bitvec.length r.Interp.bits);
+  checki "syscall summarized" 1 (List.length r.Interp.syscalls)
+
+let test_fault_injection_targeted () =
+  let open Build in
+  let open Build.Infix in
+  let prog =
+    program ~name:"faulty" ~n_inputs:0
+      [
+        [
+          syscall Ir.Sys_open (lvar "fd");
+          assign (lvar "x") (const 10 /: (local "fd" +: const 1));
+        ];
+      ]
+  in
+  (* Unfaulted: fd >= 3, no crash. *)
+  let ok = run_prog prog [||] in
+  checkb "no fault no crash" true (is_success ok);
+  (* Fault syscall 0: fd = -1, fd+1 = 0, crash. *)
+  let bad = run_prog ~fault_plan:(Env.Targeted [ 0 ]) prog [||] in
+  checkb "fault crashes" true (is_crash bad)
+
+(* ---- Concurrency --------------------------------------------------- *)
+
+let test_worker_pool_deadlocks_under_some_schedule () =
+  (* Search schedules: with the lock inversion armed (even input), some
+     interleaving deadlocks. *)
+  let deadlocked = ref false in
+  for seed = 0 to 49 do
+    let r =
+      run_prog ~sched:(Sched.Random_sched (Rng.create seed)) Corpus.worker_pool [| 2 |]
+    in
+    if is_deadlock r then deadlocked := true
+  done;
+  checkb "some schedule deadlocks" true !deadlocked
+
+let test_worker_pool_odd_input_safe () =
+  (* Odd input disarms the guard: no thread touches the locks. *)
+  for seed = 0 to 19 do
+    let r =
+      run_prog ~sched:(Sched.Random_sched (Rng.create seed)) Corpus.worker_pool [| 3 |]
+    in
+    checkb "odd input never deadlocks" true (not (is_deadlock r))
+  done
+
+let test_deadlock_wait_cycle_shape () =
+  let rec find seed =
+    if seed > 200 then Alcotest.fail "no deadlock found in 200 schedules"
+    else
+      let r =
+        run_prog ~sched:(Sched.Random_sched (Rng.create seed)) Corpus.worker_pool [| 0 |]
+      in
+      match r.Interp.outcome with
+      | Outcome.Deadlock { waiting } -> waiting
+      | _ -> find (seed + 1)
+  in
+  let waiting = find 0 in
+  checki "two waiters" 2 (List.length waiting);
+  let locks = List.map snd waiting |> List.sort_uniq Int.compare in
+  Alcotest.(check (list int)) "waiting on both locks" [ 0; 1 ] locks
+
+let test_racy_counter_sometimes_fails () =
+  let failures = ref 0 and successes = ref 0 in
+  for seed = 0 to 99 do
+    let r = run_prog ~sched:(Sched.Random_sched (Rng.create seed)) Corpus.racy_counter [||] in
+    if is_crash r then incr failures else incr successes
+  done;
+  checkb "race manifests sometimes" true (!failures > 0);
+  checkb "race passes sometimes" true (!successes > 0)
+
+let test_lock_events_balanced () =
+  let r = run_prog ~sched:Sched.Round_robin Corpus.worker_pool [| 1 |] in
+  (* Odd input: guards false, no lock events at all. *)
+  checki "no lock events when disarmed" 0 (List.length r.Interp.lock_events)
+
+let test_schedule_replay_reproduces () =
+  let run sched = run_prog ~sched Corpus.racy_counter [||] in
+  let original = run (Sched.Random_sched (Rng.create 4242)) in
+  let replayed = run (Sched.Replay original.Interp.schedule) in
+  checkb "same outcome" true (Outcome.equal original.Interp.outcome replayed.Interp.outcome);
+  Alcotest.(check (list (pair (pair int int) bool)))
+    "same decisions"
+    (List.map (fun (s, d) -> ((s.Ir.thread, s.Ir.pc), d)) original.Interp.full_path)
+    (List.map (fun (s, d) -> ((s.Ir.thread, s.Ir.pc), d)) replayed.Interp.full_path)
+
+let test_single_thread_schedule_empty () =
+  let r = run_prog Corpus.fig2_write [| 7 |] in
+  checki "no contended points" 0 (List.length r.Interp.schedule)
+
+(* ---- Hooks (fix application mechanism) ------------------------------ *)
+
+let test_defer_hook_counts () =
+  (* A hook that defers the very first lock acquisition once. *)
+  let deferred_once = ref false in
+  let hooks =
+    {
+      Interp.no_hooks with
+      Interp.on_lock_request =
+        (fun ~thread:_ ~lock:_ ~holding:_ ~owner:_ ->
+          if !deferred_once then `Proceed
+          else begin
+            deferred_once := true;
+            `Defer
+          end);
+    }
+  in
+  let r = run_prog ~hooks Corpus.worker_pool [| 0 |] in
+  checki "one deferral counted" 1 r.Interp.deferred_acquisitions;
+  checkb "program still completes" true (not (r.Interp.outcome = Outcome.Hang))
+
+(* ---- Record → replay reconstruction -------------------------------- *)
+
+let reconstruct_matches ?hooks prog (r : Interp.result) =
+  match
+    Interp.reconstruct ?hooks ~program:prog ~bits:r.Interp.bits ~schedule:r.Interp.schedule
+      ~total_decisions:(List.length r.Interp.full_path) ~total_steps:r.Interp.steps ()
+  with
+  | Ok rec_ -> rec_.Interp.decisions = r.Interp.full_path && rec_.Interp.locks = r.Interp.lock_events
+  | Error _ -> false
+
+let test_reconstruct_fig2 () =
+  List.iter
+    (fun p ->
+      let r = run_prog Corpus.fig2_write [| p |] in
+      checkb (Printf.sprintf "reconstruct p=%d" p) true (reconstruct_matches Corpus.fig2_write r))
+    [ -10; 0; 5; 99; 100; 500 ]
+
+let test_reconstruct_crash_path () =
+  let r = run_prog Corpus.parser Corpus.parser_trigger in
+  checkb "crashing path reconstructs" true (reconstruct_matches Corpus.parser r)
+
+let test_reconstruct_multithreaded () =
+  for seed = 0 to 30 do
+    let r = run_prog ~sched:(Sched.Random_sched (Rng.create seed)) Corpus.racy_counter [||] in
+    checkb (Printf.sprintf "racy seed %d" seed) true (reconstruct_matches Corpus.racy_counter r)
+  done
+
+let test_reconstruct_deadlock_path () =
+  let rec find seed =
+    if seed > 200 then Alcotest.fail "no deadlock found"
+    else
+      let r =
+        run_prog ~sched:(Sched.Random_sched (Rng.create seed)) Corpus.worker_pool [| 0 |]
+      in
+      if is_deadlock r then r else find (seed + 1)
+  in
+  let r = find 0 in
+  checkb "deadlocked path reconstructs" true (reconstruct_matches Corpus.worker_pool r)
+
+let test_reconstruct_rejects_garbage_bits () =
+  let r = run_prog Corpus.fig2_write [| 5 |] in
+  let garbled = Bitvec.copy r.Interp.bits in
+  Bitvec.truncate garbled (Bitvec.length garbled - 1);
+  match
+    Interp.reconstruct ~program:Corpus.fig2_write ~bits:garbled ~schedule:[]
+      ~total_decisions:(List.length r.Interp.full_path) ~total_steps:r.Interp.steps ()
+  with
+  | Ok rec_ ->
+    (* A flipped path may still be structurally valid but must not
+       silently claim the original decision count if bits run dry. *)
+    checki "decision count honored" (List.length r.Interp.full_path)
+      (List.length rec_.Interp.decisions)
+  | Error _ -> ()
+
+let prop_reconstruct_random_programs =
+  QCheck.Test.make ~name:"record->replay reconstructs full path (random programs)" ~count:120
+    QCheck.(triple small_nat small_nat small_nat)
+    (fun (pseed, iseed, sseed) ->
+      let bugs =
+        (* Rotate through bug cocktails, including concurrency. *)
+        match pseed mod 4 with
+        | 0 -> []
+        | 1 -> [ Generator.Rare_assert; Generator.Div_by_zero ]
+        | 2 -> [ Generator.Deadlock_pair ]
+        | _ -> [ Generator.Atomicity_race; Generator.Unchecked_syscall ]
+      in
+      let prog, _ =
+        Generator.generate (Rng.create (pseed + 1)) { Generator.default_params with Generator.bugs }
+      in
+      let input_rng = Rng.create (iseed + 10_000) in
+      let inputs = Array.init prog.Ir.n_inputs (fun _ -> Rng.int_in input_rng (-100) 500) in
+      let fault_plan =
+        if iseed mod 3 = 0 then Env.Random_faults 0.2 else Env.No_faults
+      in
+      let env = Env.make ~fault_plan ~seed:(iseed + 5) ~inputs () in
+      let r =
+        Interp.run ~max_steps:3000 ~program:prog ~env
+          ~sched:(Sched.Random_sched (Rng.create (sseed + 77)))
+          ()
+      in
+      match
+        Interp.reconstruct ~program:prog ~bits:r.Interp.bits ~schedule:r.Interp.schedule
+          ~total_decisions:(List.length r.Interp.full_path) ~total_steps:r.Interp.steps ()
+      with
+      | Ok rec_ ->
+        rec_.Interp.decisions = r.Interp.full_path && rec_.Interp.locks = r.Interp.lock_events
+      | Error msg -> QCheck.Test.fail_reportf "reconstruct error: %s" msg)
+
+let prop_recorded_fraction_bounded =
+  QCheck.Test.make ~name:"recorded bits never exceed decisions" ~count:100
+    QCheck.(pair small_nat small_nat)
+    (fun (pseed, iseed) ->
+      let prog, _ = Generator.generate (Rng.create (pseed + 1)) Generator.default_params in
+      let input_rng = Rng.create (iseed + 1) in
+      let inputs = Array.init prog.Ir.n_inputs (fun _ -> Rng.int_in input_rng (-50) 200) in
+      let env = Env.make ~seed:3 ~inputs () in
+      let r = Interp.run ~max_steps:3000 ~program:prog ~env ~sched:Sched.Round_robin () in
+      Bitvec.length r.Interp.bits <= List.length r.Interp.full_path)
+
+(* ---- Outcome ------------------------------------------------------- *)
+
+let test_bucket_keys () =
+  let site = { Ir.thread = 0; pc = 7 } in
+  let crash = Outcome.Crash { site; kind = Outcome.Assertion_failure; message = "m" } in
+  Alcotest.(check string) "crash bucket" "crash:assert:t0:7" (Outcome.bucket_key crash);
+  Alcotest.(check string) "ok bucket" "ok" (Outcome.bucket_key Outcome.Success);
+  let dl = Outcome.Deadlock { waiting = [ (1, 1); (2, 0) ] } in
+  Alcotest.(check string) "deadlock bucket" "deadlock:0,1" (Outcome.bucket_key dl)
+
+let test_bucket_same_site_same_key () =
+  let site = { Ir.thread = 0; pc = 3 } in
+  let a = Outcome.Crash { site; kind = Outcome.Division_by_zero; message = "x" } in
+  let b = Outcome.Crash { site; kind = Outcome.Division_by_zero; message = "y" } in
+  Alcotest.(check string) "messages don't split buckets" (Outcome.bucket_key a) (Outcome.bucket_key b)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "softborg_exec"
+    [
+      ( "semantics",
+        [
+          Alcotest.test_case "fig2 small p" `Quick test_fig2_small_p;
+          Alcotest.test_case "fig2 large p" `Quick test_fig2_large_p;
+          Alcotest.test_case "fig2 distinct paths" `Quick test_fig2_distinct_paths;
+          Alcotest.test_case "fig2 unreachable leaf" `Quick test_fig2_unreachable_leaf;
+          Alcotest.test_case "div by zero" `Quick test_div_by_zero_crash;
+          Alcotest.test_case "assert crash site" `Quick test_assert_crash_site;
+          Alcotest.test_case "parser trigger" `Quick test_parser_trigger;
+          Alcotest.test_case "hang detection" `Quick test_hang_detection;
+        ] );
+      ( "byproducts",
+        [
+          Alcotest.test_case "deterministic branch unrecorded" `Quick
+            test_deterministic_branch_not_recorded;
+          Alcotest.test_case "taint through vars" `Quick test_taint_through_vars;
+          Alcotest.test_case "checksum mostly deterministic" `Quick
+            test_checksum_mostly_deterministic;
+          Alcotest.test_case "syscall taints" `Quick test_syscall_taints;
+          Alcotest.test_case "targeted fault injection" `Quick test_fault_injection_targeted;
+        ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "worker pool deadlocks" `Quick
+            test_worker_pool_deadlocks_under_some_schedule;
+          Alcotest.test_case "odd input safe" `Quick test_worker_pool_odd_input_safe;
+          Alcotest.test_case "wait cycle shape" `Quick test_deadlock_wait_cycle_shape;
+          Alcotest.test_case "racy counter flaky" `Quick test_racy_counter_sometimes_fails;
+          Alcotest.test_case "lock events disarmed" `Quick test_lock_events_balanced;
+          Alcotest.test_case "schedule replay" `Quick test_schedule_replay_reproduces;
+          Alcotest.test_case "single thread empty schedule" `Quick
+            test_single_thread_schedule_empty;
+          Alcotest.test_case "defer hook" `Quick test_defer_hook_counts;
+        ] );
+      ( "reconstruction",
+        [
+          Alcotest.test_case "fig2" `Quick test_reconstruct_fig2;
+          Alcotest.test_case "crash path" `Quick test_reconstruct_crash_path;
+          Alcotest.test_case "multithreaded" `Quick test_reconstruct_multithreaded;
+          Alcotest.test_case "deadlock path" `Quick test_reconstruct_deadlock_path;
+          Alcotest.test_case "garbage bits" `Quick test_reconstruct_rejects_garbage_bits;
+          q prop_reconstruct_random_programs;
+          q prop_recorded_fraction_bounded;
+        ] );
+      ( "outcome",
+        [
+          Alcotest.test_case "bucket keys" `Quick test_bucket_keys;
+          Alcotest.test_case "bucket ignores message" `Quick test_bucket_same_site_same_key;
+        ] );
+    ]

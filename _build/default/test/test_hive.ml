@@ -1,0 +1,798 @@
+(* Tests for the hive: statistical isolation, fix synthesis, knowledge
+   ingestion, the prover, guidance planning, allocation, the message
+   protocol, and the hive service loop. *)
+
+module Ir = Softborg_prog.Ir
+module Corpus = Softborg_prog.Corpus
+module Env = Softborg_exec.Env
+module Sched = Softborg_exec.Sched
+module Interp = Softborg_exec.Interp
+module Outcome = Softborg_exec.Outcome
+module Trace = Softborg_trace.Trace
+module Sampling = Softborg_trace.Sampling
+module Exec_tree = Softborg_tree.Exec_tree
+module Path_cond = Softborg_solver.Path_cond
+module Isolate = Softborg_hive.Isolate
+module Fixgen = Softborg_hive.Fixgen
+module Knowledge = Softborg_hive.Knowledge
+module Prover = Softborg_hive.Prover
+module Guidance = Softborg_hive.Guidance
+module Allocate = Softborg_hive.Allocate
+module Protocol = Softborg_hive.Protocol
+module Hive = Softborg_hive.Hive
+module Sim = Softborg_net.Sim
+module Transport = Softborg_net.Transport
+module Codec = Softborg_util.Codec
+module Rng = Softborg_util.Rng
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+let run_once ?(fault_plan = Env.No_faults) ?(seed = 7) program inputs =
+  let env = Env.make ~fault_plan ~seed ~inputs () in
+  Interp.run ~program ~env ~sched:Sched.Round_robin ()
+
+let trace_of ?(pod = 1) ?(fix_epoch = 0) program r =
+  Trace.of_result ~program_digest:(Ir.digest program) ~pod ~fix_epoch r
+
+let parser_true_predicate () =
+  let r = run_once Corpus.parser Corpus.parser_trigger in
+  match List.rev r.Interp.full_path with
+  | (site, direction) :: _ -> { Sampling.site; direction }
+  | [] -> Alcotest.fail "no decisions"
+
+(* ---- Isolate -------------------------------------------------------- *)
+
+let feed_isolate isolate ~crashing ~passing =
+  for i = 1 to crashing do
+    let r = run_once ~seed:i Corpus.parser Corpus.parser_trigger in
+    Isolate.record_path isolate ~full_path:r.Interp.full_path ~outcome:r.Interp.outcome
+  done;
+  let rng = Rng.create 5 in
+  for i = 1 to passing do
+    let inputs = Array.init 3 (fun _ -> Rng.int_in rng 0 100) in
+    let r = run_once ~seed:i Corpus.parser inputs in
+    Isolate.record_path isolate ~full_path:r.Interp.full_path ~outcome:r.Interp.outcome
+  done
+
+let test_isolate_localizes_parser_bug () =
+  let isolate = Isolate.create () in
+  feed_isolate isolate ~crashing:10 ~passing:200;
+  (* Classic CBI behavior: the top-ranked predicate lies on the crash
+     path (the deepest guard or one of its ancestors, whichever has
+     the highest Increase), and the exact guard ranks near the top. *)
+  let crash_run = run_once Corpus.parser Corpus.parser_trigger in
+  let crash_predicates =
+    List.map (fun (site, direction) -> { Sampling.site; direction }) crash_run.Interp.full_path
+  in
+  (match Isolate.top_predicate isolate with
+  | Some ranked ->
+    checkb "top predicate lies on the crash path" true
+      (List.exists (Sampling.predicate_equal ranked.Isolate.predicate) crash_predicates)
+  | None -> Alcotest.fail "no top predicate");
+  match Isolate.localization_rank isolate ~target:(parser_true_predicate ()) with
+  | Some rank -> checkb "exact guard near the top" true (rank <= 5)
+  | None -> Alcotest.fail "true predicate never observed"
+
+let test_isolate_top_predicate_positive () =
+  let isolate = Isolate.create () in
+  feed_isolate isolate ~crashing:5 ~passing:100;
+  match Isolate.top_predicate isolate with
+  | Some ranked -> checkb "positive score" true (ranked.Isolate.score > 0.0)
+  | None -> Alcotest.fail "no top predicate"
+
+let test_isolate_counts () =
+  let isolate = Isolate.create () in
+  feed_isolate isolate ~crashing:3 ~passing:7;
+  checki "runs" 10 (Isolate.runs isolate);
+  checki "failing" 3 (Isolate.failing_runs isolate)
+
+let test_isolate_no_failures_no_positive_score () =
+  let isolate = Isolate.create () in
+  feed_isolate isolate ~crashing:0 ~passing:50;
+  checkb "no positively-scored predicate" true (Isolate.top_predicate isolate = None)
+
+let test_isolate_from_sampled_reports () =
+  let isolate = Isolate.create () in
+  let rng = Rng.create 3 in
+  for i = 1 to 30 do
+    let r = run_once ~seed:i Corpus.parser Corpus.parser_trigger in
+    Isolate.record isolate
+      (Sampling.sample rng ~rate:2 ~full_path:r.Interp.full_path ~outcome:r.Interp.outcome)
+  done;
+  for i = 1 to 300 do
+    let inputs = Array.init 3 (fun _ -> Rng.int_in rng 0 100) in
+    let r = run_once ~seed:i Corpus.parser inputs in
+    Isolate.record isolate
+      (Sampling.sample rng ~rate:2 ~full_path:r.Interp.full_path ~outcome:r.Interp.outcome)
+  done;
+  match Isolate.localization_rank isolate ~target:(parser_true_predicate ()) with
+  | Some rank -> checkb "localized from sampled data" true (rank <= 3)
+  | None -> Alcotest.fail "lost under sampling"
+
+(* ---- Fixgen ----------------------------------------------------------- *)
+
+let parser_crash_evidence () =
+  let r = run_once Corpus.parser Corpus.parser_trigger in
+  match r.Interp.outcome with
+  | Outcome.Crash { site; kind; _ } ->
+    {
+      Fixgen.site;
+      crash_kind = kind;
+      bucket = Outcome.bucket_key r.Interp.outcome;
+      count = 3;
+    }
+  | o -> Alcotest.failf "expected crash, got %a" Outcome.pp o
+
+let test_fixgen_derives_input_guard () =
+  let fixes =
+    Fixgen.propose ~program:Corpus.parser ~deadlock_patterns:[]
+      ~crashes:[ parser_crash_evidence () ] ~existing:[] ~next_epoch:1 ()
+  in
+  let guard =
+    List.find_map
+      (fun f ->
+        match f.Fixgen.kind with Fixgen.Input_guard { condition; _ } -> Some condition | _ -> None)
+      fixes
+  in
+  (match guard with
+  | Some condition ->
+    checkb "guard matches the trigger" true
+      (Path_cond.satisfied_by condition Corpus.parser_trigger);
+    checkb "guard rejects benign input" false (Path_cond.satisfied_by condition [| 1; 2; 3 |])
+  | None -> Alcotest.fail "no input guard derived");
+  checkb "repair-lab candidate also proposed" true
+    (List.exists
+       (fun f -> match f.Fixgen.kind with Fixgen.Patch_candidate _ -> true | _ -> false)
+       fixes)
+
+let test_fixgen_deadlock_immunity () =
+  let fixes =
+    Fixgen.propose ~program:Corpus.worker_pool ~deadlock_patterns:[ [ 1; 0 ] ] ~crashes:[]
+      ~existing:[] ~next_epoch:1 ()
+  in
+  match fixes with
+  | [ { Fixgen.kind = Fixgen.Deadlock_immunity [ 0; 1 ]; _ } ] -> ()
+  | _ -> Alcotest.failf "expected one normalized immunity fix, got %d" (List.length fixes)
+
+let test_fixgen_dedupes_existing () =
+  let first =
+    Fixgen.propose ~program:Corpus.parser ~deadlock_patterns:[ [ 0; 1 ] ]
+      ~crashes:[ parser_crash_evidence () ] ~existing:[] ~next_epoch:1 ()
+  in
+  let second =
+    Fixgen.propose ~program:Corpus.parser ~deadlock_patterns:[ [ 0; 1 ] ]
+      ~crashes:[ parser_crash_evidence () ] ~existing:first ~next_epoch:2 ()
+  in
+  checki "nothing new" 0 (List.length second)
+
+let test_fixgen_multithreaded_falls_back_to_suppression () =
+  let r =
+    Interp.run ~program:Corpus.racy_counter
+      ~env:(Env.make ~seed:1 ~inputs:[||] ())
+      ~sched:(Sched.Random_sched (Rng.create 1))
+      ()
+  in
+  let rec find seed =
+    if seed > 100 then Alcotest.fail "race never manifested"
+    else
+      let r =
+        Interp.run ~program:Corpus.racy_counter
+          ~env:(Env.make ~seed:1 ~inputs:[||] ())
+          ~sched:(Sched.Random_sched (Rng.create seed))
+          ()
+      in
+      match r.Interp.outcome with Outcome.Crash _ -> r | _ -> find (seed + 1)
+  in
+  let r = match r.Interp.outcome with Outcome.Crash _ -> r | _ -> find 0 in
+  let evidence =
+    match r.Interp.outcome with
+    | Outcome.Crash { site; kind; _ } ->
+      { Fixgen.site; crash_kind = kind; bucket = Outcome.bucket_key r.Interp.outcome; count = 1 }
+    | _ -> assert false
+  in
+  let fixes =
+    Fixgen.propose ~program:Corpus.racy_counter ~deadlock_patterns:[] ~crashes:[ evidence ]
+      ~existing:[] ~next_epoch:1 ()
+  in
+  checkb "suppression for schedule-dependent crash" true
+    (List.exists
+       (fun f -> match f.Fixgen.kind with Fixgen.Crash_suppression _ -> true | _ -> false)
+       fixes)
+
+let test_fix_wire_roundtrip () =
+  let fixes =
+    Fixgen.propose ~program:Corpus.parser ~deadlock_patterns:[ [ 0; 1 ] ]
+      ~crashes:[ parser_crash_evidence () ] ~existing:[] ~next_epoch:3 ()
+  in
+  List.iter
+    (fun fix ->
+      let w = Codec.Writer.create () in
+      Fixgen.write_fix w fix;
+      let r = Codec.Reader.of_string (Codec.Writer.contents w) in
+      let back = Fixgen.read_fix r in
+      checkb (Fixgen.kind_name fix.Fixgen.kind ^ " roundtrips") true (back = fix))
+    fixes
+
+let test_runtime_hooks_epoch_filtering () =
+  let site = { Ir.thread = 0; pc = 6 } in
+  let fixes =
+    [
+      {
+        Fixgen.id = 1;
+        epoch = 1;
+        kind =
+          Fixgen.Crash_suppression
+            { bucket = "b"; site; crash_kind = Outcome.Assertion_failure };
+      };
+    ]
+  in
+  let hooks_e0 = Fixgen.runtime_hooks ~epoch:0 fixes in
+  let hooks_e1 = Fixgen.runtime_hooks ~epoch:1 fixes in
+  checkb "not in force at epoch 0" true
+    (hooks_e0.Interp.on_crash ~site ~kind:Outcome.Assertion_failure = `Propagate);
+  checkb "in force at epoch 1" true
+    (hooks_e1.Interp.on_crash ~site ~kind:Outcome.Assertion_failure = `Suppress)
+
+(* ---- Knowledge --------------------------------------------------------- *)
+
+let ingest_n k program ~inputs_for n =
+  for i = 1 to n do
+    let r = run_once ~seed:i program (inputs_for i) in
+    ignore (Knowledge.ingest_trace k (trace_of program r))
+  done
+
+let test_knowledge_ingest_builds_tree () =
+  let k = Knowledge.create Corpus.fig2_write in
+  let rng = Rng.create 2 in
+  ingest_n k Corpus.fig2_write ~inputs_for:(fun _ -> [| Rng.int_in rng (-64) 255 |]) 200;
+  checki "traces counted" 200 (Knowledge.traces_ingested k);
+  checki "no replay errors" 0 (Knowledge.replay_errors k);
+  checki "three paths" 3 (Exec_tree.n_distinct_paths (Knowledge.tree k))
+
+let test_knowledge_buckets_crashes () =
+  let k = Knowledge.create Corpus.parser in
+  ingest_n k Corpus.parser ~inputs_for:(fun _ -> Array.copy Corpus.parser_trigger) 5;
+  checki "failures" 5 (Knowledge.failures_observed k);
+  match Knowledge.crash_evidence k with
+  | [ ev ] -> checki "bucket count" 5 ev.Fixgen.count
+  | evs -> Alcotest.failf "expected one bucket, got %d" (List.length evs)
+
+let test_knowledge_analyze_bumps_epoch () =
+  let k = Knowledge.create Corpus.parser in
+  ingest_n k Corpus.parser ~inputs_for:(fun _ -> Array.copy Corpus.parser_trigger) 2;
+  checki "epoch 0 before" 0 (Knowledge.epoch k);
+  let fixes = Knowledge.analyze k in
+  checkb "fixes proposed" true (fixes <> []);
+  checki "epoch bumped" 1 (Knowledge.epoch k);
+  (* Re-analysis with no new evidence is a no-op. *)
+  checki "no new fixes" 0 (List.length (Knowledge.analyze k));
+  checki "epoch stable" 1 (Knowledge.epoch k)
+
+let test_knowledge_replay_respects_fix_epoch () =
+  (* A trace recorded under a suppression fix must be replayed with
+     that fix in force, or reconstruction diverges. *)
+  let k = Knowledge.create Corpus.parser in
+  ingest_n k Corpus.parser ~inputs_for:(fun _ -> Array.copy Corpus.parser_trigger) 1;
+  ignore (Knowledge.analyze k);
+  let hooks = Knowledge.current_hooks k in
+  let env = Env.make ~seed:1 ~inputs:Corpus.parser_trigger () in
+  let r = Interp.run ~hooks ~program:Corpus.parser ~env ~sched:Sched.Round_robin () in
+  checkb "fix suppresses the crash" true (r.Interp.outcome = Outcome.Success);
+  let trace = trace_of ~fix_epoch:(Knowledge.epoch k) Corpus.parser r in
+  (match Knowledge.ingest_trace k trace with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "replay failed: %s" msg);
+  checki "still no replay errors" 0 (Knowledge.replay_errors k)
+
+let test_knowledge_deadlock_buckets () =
+  let k = Knowledge.create Corpus.worker_pool in
+  let rec ingest_deadlock seed =
+    if seed > 300 then Alcotest.fail "no deadlock found"
+    else
+      let env = Env.make ~seed:1 ~inputs:[| 0 |] () in
+      let r =
+        Interp.run ~program:Corpus.worker_pool ~env
+          ~sched:(Sched.Random_sched (Rng.create seed))
+          ()
+      in
+      match r.Interp.outcome with
+      | Outcome.Deadlock _ -> ignore (Knowledge.ingest_trace k (trace_of Corpus.worker_pool r))
+      | _ -> ingest_deadlock (seed + 1)
+  in
+  ingest_deadlock 0;
+  match Knowledge.deadlock_bucket_info k with
+  | [ (_, locks, 1) ] -> Alcotest.(check (list int)) "lock set" [ 0; 1 ] locks
+  | info -> Alcotest.failf "expected one deadlock bucket, got %d" (List.length info)
+
+(* ---- Prover -------------------------------------------------------------- *)
+
+let test_prover_proves_fig2 () =
+  let k = Knowledge.create Corpus.fig2_write in
+  let rng = Rng.create 4 in
+  ingest_n k Corpus.fig2_write ~inputs_for:(fun _ -> [| Rng.int_in rng (-64) 255 |]) 100;
+  let closed = Prover.close_gaps Corpus.fig2_write (Knowledge.tree k) in
+  checkb "infeasible leaf closed" true (closed >= 1);
+  checkb "tree complete after closure" true (Exec_tree.is_complete (Knowledge.tree k));
+  match
+    Prover.attempt_assert_safety ~program:Corpus.fig2_write ~tree:(Knowledge.tree k)
+      ~crash_observations:0 ~epoch:0 ()
+  with
+  | Some { Prover.strength = Prover.Proved _; _ } -> ()
+  | Some { Prover.strength = Prover.Tested _; _ } -> Alcotest.fail "expected Proved, got Tested"
+  | None -> Alcotest.fail "no proof"
+
+let test_prover_refuses_buggy_program () =
+  match
+    Prover.attempt_assert_safety ~program:Corpus.parser ~tree:(Exec_tree.create ())
+      ~crash_observations:3 ~epoch:0 ()
+  with
+  | None -> ()
+  | Some _ -> Alcotest.fail "proved a program with observed crashes"
+
+let test_prover_symbolic_counterexample_blocks_proof () =
+  (* Even with zero *observed* crashes, the symbolic crash path in
+     parser must block a Proved verdict (a Tested one is fine). *)
+  let k = Knowledge.create Corpus.parser in
+  ingest_n k Corpus.parser ~inputs_for:(fun i -> [| i; i + 1; i + 2 |]) 20;
+  match
+    Prover.attempt_assert_safety ~program:Corpus.parser ~tree:(Knowledge.tree k)
+      ~crash_observations:0 ~epoch:0 ()
+  with
+  | Some { Prover.strength = Prover.Proved _; _ } -> Alcotest.fail "proved a buggy program"
+  | Some { Prover.strength = Prover.Tested _; _ } -> ()
+  | None -> Alcotest.fail "expected at least Tested"
+
+let test_prover_deadlock_freedom_lockless () =
+  match
+    Prover.attempt_deadlock_freedom ~program:Corpus.parser ~tree:(Exec_tree.create ())
+      ~deadlock_observations:0 ~lock_cycles:[]
+      ~make_env:(fun () -> Env.make ~seed:1 ~inputs:[| 0; 0; 0 |] ())
+      ~hooks:Interp.no_hooks ~epoch:0 ()
+  with
+  | Some { Prover.strength = Prover.Proved _; _ } -> ()
+  | _ -> Alcotest.fail "lockless program should be trivially deadlock-free"
+
+let test_prover_deadlock_freedom_blocked_by_cycle () =
+  match
+    Prover.attempt_deadlock_freedom ~program:Corpus.worker_pool ~tree:(Exec_tree.create ())
+      ~deadlock_observations:0
+      ~lock_cycles:[ [ 0; 1 ] ]
+      ~make_env:(fun () -> Env.make ~seed:1 ~inputs:[| 0 |] ())
+      ~hooks:Interp.no_hooks ~epoch:0 ()
+  with
+  | None -> ()
+  | Some _ -> Alcotest.fail "proved freedom despite a known cycle"
+
+let test_prover_deadlock_freedom_explores_schedules () =
+  (* Unprotected worker-pool deadlocks under exploration: no proof. *)
+  (match
+     Prover.attempt_deadlock_freedom ~program:Corpus.worker_pool ~tree:(Exec_tree.create ())
+       ~deadlock_observations:0 ~lock_cycles:[]
+       ~make_env:(fun () -> Env.make ~seed:1 ~inputs:[| 0 |] ())
+       ~hooks:Interp.no_hooks ~epoch:0 ()
+   with
+  | None -> ()
+  | Some _ -> Alcotest.fail "exploration should have found the deadlock");
+  (* Under immunity hooks, exploration stays clean: Tested evidence. *)
+  let immunizer = Softborg_conc.Immunity.create ~patterns:[ [ 0; 1 ] ] in
+  match
+    Prover.attempt_deadlock_freedom ~program:Corpus.worker_pool ~tree:(Exec_tree.create ())
+      ~deadlock_observations:0 ~lock_cycles:[]
+      ~make_env:(fun () -> Env.make ~seed:1 ~inputs:[| 0 |] ())
+      ~hooks:(Softborg_conc.Immunity.hooks immunizer) ~epoch:1 ()
+  with
+  | Some { Prover.strength = Prover.Tested { schedules; _ }; _ } ->
+    checkb "multiple schedules explored" true (schedules > 1)
+  | _ -> Alcotest.fail "expected Tested evidence under immunity"
+
+let test_proof_invalidation () =
+  let k = Knowledge.create Corpus.fig2_write in
+  (match
+     Prover.attempt_assert_safety ~program:Corpus.fig2_write ~tree:(Knowledge.tree k)
+       ~crash_observations:0 ~epoch:(Knowledge.epoch k) ()
+   with
+  | Some proof -> Knowledge.record_proof k proof
+  | None -> Alcotest.fail "no proof");
+  checki "one valid proof" 1 (List.length (Knowledge.valid_proofs k));
+  ignore
+    (Knowledge.add_fix k
+       (Fixgen.Crash_suppression
+          {
+            bucket = "x";
+            site = { Ir.thread = 0; pc = 0 };
+            crash_kind = Outcome.Assertion_failure;
+          }));
+  checki "proof invalidated by fix deployment" 0 (List.length (Knowledge.valid_proofs k))
+
+(* ---- Guidance -------------------------------------------------------------- *)
+
+let test_guidance_covers_gaps () =
+  let tree = Exec_tree.create () in
+  (* Only common paths seen: the rare branch directions are gaps. *)
+  let rng = Rng.create 6 in
+  for i = 1 to 50 do
+    let inputs = Array.init 3 (fun _ -> Rng.int_in rng 0 6) in
+    let r = run_once ~seed:i Corpus.parser inputs in
+    ignore (Exec_tree.add_path tree r.Interp.full_path r.Interp.outcome)
+  done;
+  let result = Guidance.plan Corpus.parser tree in
+  checkb "directives produced" true (result.Guidance.directives <> []);
+  (* Each directive's test must actually cover its target direction. *)
+  List.iter
+    (fun directive ->
+      match directive with
+      | Guidance.Cover_direction { site; direction; test } ->
+        let env =
+          Env.make ~fault_plan:test.Softborg_symexec.Testgen.fault_plan ~seed:1
+            ~inputs:test.Softborg_symexec.Testgen.inputs ()
+        in
+        let r = Interp.run ~program:Corpus.parser ~env ~sched:Sched.Round_robin () in
+        checkb "directive reaches its target" true
+          (List.exists
+             (fun (s, d) -> Ir.site_equal s site && d = direction)
+             r.Interp.full_path)
+      | Guidance.Probe_schedules _ -> ())
+    result.Guidance.directives
+
+let test_guidance_exclude_respected () =
+  let tree = Exec_tree.create () in
+  let r = run_once Corpus.parser [| 1; 2; 3 |] in
+  ignore (Exec_tree.add_path tree r.Interp.full_path r.Interp.outcome);
+  let first = Guidance.plan Corpus.parser tree in
+  let issued =
+    List.filter_map
+      (fun d ->
+        match d with
+        | Guidance.Cover_direction { site; direction; _ } -> Some (site, direction)
+        | Guidance.Probe_schedules _ -> None)
+      first.Guidance.directives
+  in
+  let second = Guidance.plan ~exclude:issued Corpus.parser tree in
+  checkb "excluded gaps not re-planned" true
+    (List.for_all
+       (fun d ->
+         match d with
+         | Guidance.Cover_direction { site; direction; _ } ->
+           not
+             (List.exists
+                (fun (s, dir) -> Ir.site_equal s site && dir = direction)
+                issued)
+         | Guidance.Probe_schedules _ -> true)
+       second.Guidance.directives)
+
+let test_directive_wire_roundtrip () =
+  let directives =
+    [
+      Guidance.Cover_direction
+        {
+          site = { Ir.thread = 0; pc = 3 };
+          direction = true;
+          test =
+            {
+              Softborg_symexec.Testgen.inputs = [| 7; -3; 100 |];
+              fault_plan = Env.Targeted [ 0; 2 ];
+            };
+        };
+      Guidance.Probe_schedules { inputs = [| 1; 2 |]; seeds = [ 5; 6; 7 ] };
+    ]
+  in
+  List.iter
+    (fun directive ->
+      let w = Codec.Writer.create () in
+      Guidance.write_directive w directive;
+      let r = Codec.Reader.of_string (Codec.Writer.contents w) in
+      checkb "directive roundtrips" true (Guidance.read_directive r = directive))
+    directives
+
+(* ---- Allocate ---------------------------------------------------------------- *)
+
+let test_allocate_uniform () =
+  let tasks = List.init 4 Allocate.task in
+  let allocation = Allocate.allocate Allocate.Uniform ~nodes:8 tasks in
+  List.iter (fun (_, n) -> checki "equal split" 2 n) allocation
+
+let test_allocate_greedy_concentrates () =
+  let tasks = List.init 3 Allocate.task in
+  Allocate.observe_reward (List.nth tasks 1) 10.0;
+  Allocate.observe_reward (List.nth tasks 0) 1.0;
+  Allocate.observe_reward (List.nth tasks 2) 1.0;
+  let allocation = Allocate.allocate Allocate.Greedy ~nodes:6 tasks in
+  checki "all on the best" 6 (List.assoc 1 allocation);
+  checki "none elsewhere" 0 (List.assoc 0 allocation)
+
+let test_allocate_mean_variance_diversifies () =
+  let tasks = List.init 3 Allocate.task in
+  (* Task 0: high mean, huge variance.  Task 1: moderate, steady. *)
+  List.iter (Allocate.observe_reward (List.nth tasks 0)) [ 20.0; 0.0; 0.0; 20.0 ];
+  List.iter (Allocate.observe_reward (List.nth tasks 1)) [ 5.0; 5.0; 5.0; 5.0 ];
+  List.iter (Allocate.observe_reward (List.nth tasks 2)) [ 0.1; 0.1; 0.1; 0.1 ];
+  let allocation =
+    Allocate.allocate (Allocate.Mean_variance { risk_aversion = 1.0 }) ~nodes:12 tasks
+  in
+  let n0 = List.assoc 0 allocation and n1 = List.assoc 1 allocation in
+  checkb "steady task beats volatile despite lower mean" true (n1 > n0);
+  checkb "volatile task not starved" true (n0 >= 0);
+  checki "sums to nodes" 12 (List.fold_left (fun acc (_, n) -> acc + n) 0 allocation)
+
+let prop_allocate_sums_and_covers =
+  QCheck.Test.make ~name:"allocation covers tasks and sums to nodes" ~count:200
+    QCheck.(triple (int_range 1 8) (int_range 0 64) (int_range 0 2))
+    (fun (n_tasks, nodes, policy_idx) ->
+      let policy =
+        match policy_idx with
+        | 0 -> Allocate.Uniform
+        | 1 -> Allocate.Greedy
+        | _ -> Allocate.Mean_variance { risk_aversion = 0.5 }
+      in
+      let rng = Rng.create (n_tasks + nodes) in
+      let tasks = List.init n_tasks Allocate.task in
+      List.iter
+        (fun t ->
+          for _ = 1 to Rng.int rng 4 do
+            Allocate.observe_reward t (Rng.float rng 10.0)
+          done)
+        tasks;
+      let allocation = Allocate.allocate policy ~nodes tasks in
+      List.length allocation = n_tasks
+      && List.fold_left (fun acc (_, n) -> acc + n) 0 allocation = nodes
+      && List.for_all (fun (_, n) -> n >= 0) allocation)
+
+(* ---- Protocol ------------------------------------------------------------------ *)
+
+let test_protocol_roundtrips () =
+  let r = run_once Corpus.parser [| 1; 2; 3 |] in
+  let trace = trace_of Corpus.parser r in
+  let sampled =
+    Sampling.sample (Rng.create 1) ~rate:3 ~full_path:r.Interp.full_path
+      ~outcome:r.Interp.outcome
+  in
+  let fixes =
+    Fixgen.propose ~program:Corpus.parser ~deadlock_patterns:[ [ 0; 1 ] ]
+      ~crashes:[ parser_crash_evidence () ] ~existing:[] ~next_epoch:1 ()
+  in
+  let messages =
+    [
+      Protocol.Trace_upload (Softborg_trace.Wire.encode trace);
+      Protocol.Sampled_report { program_digest = "d"; report = sampled };
+      Protocol.Fix_update { program_digest = "d"; epoch = 2; fixes };
+      Protocol.Guidance_update
+        {
+          program_digest = "d";
+          directives = [ Guidance.Probe_schedules { inputs = [| 0 |]; seeds = [ 1 ] } ];
+        };
+    ]
+  in
+  List.iter
+    (fun message ->
+      match Protocol.decode (Protocol.encode message) with
+      | Ok back -> checkb (Protocol.message_name message ^ " roundtrips") true (back = message)
+      | Error msg -> Alcotest.failf "decode failed: %s" msg)
+    messages
+
+let test_protocol_rejects_garbage () =
+  match Protocol.decode "\xffgarbage" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "decoded garbage"
+
+(* ---- Trace store ------------------------------------------------------------------ *)
+
+module Trace_store = Softborg_hive.Trace_store
+module Report = Softborg_hive.Report
+
+let test_store_dedups_identical_content () =
+  let store = Trace_store.create () in
+  let r = run_once Corpus.fig2_write [| 5 |] in
+  (* Same content from two different pods must deduplicate. *)
+  let t1 = Trace.of_result ~program_digest:"d" ~pod:1 ~fix_epoch:0 r in
+  let t2 = Trace.of_result ~program_digest:"d" ~pod:2 ~fix_epoch:0 r in
+  checkb "first is novel" true (Trace_store.admit store t1 = Trace_store.Novel);
+  checkb "second is duplicate" true (Trace_store.admit store t2 = Trace_store.Duplicate 2);
+  checki "one distinct" 1 (Trace_store.distinct store);
+  checki "two received" 2 (Trace_store.received store);
+  checkb "dedup ratio ~2" true (Trace_store.dedup_ratio store > 1.9);
+  checki "multiplicity" 2 (Trace_store.multiplicity store t1)
+
+let test_store_distinguishes_content () =
+  let store = Trace_store.create () in
+  let admit inputs =
+    let r = run_once Corpus.fig2_write [| inputs |] in
+    ignore (Trace_store.admit store (Trace.of_result ~program_digest:"d" ~pod:1 ~fix_epoch:0 r))
+  in
+  admit 5;
+  admit (-1);
+  admit 200;
+  checki "three distinct paths stored" 3 (Trace_store.distinct store)
+
+let test_store_heaviest () =
+  let store = Trace_store.create () in
+  let admit inputs =
+    let r = run_once Corpus.fig2_write [| inputs |] in
+    ignore (Trace_store.admit store (Trace.of_result ~program_digest:"d" ~pod:1 ~fix_epoch:0 r))
+  in
+  for _ = 1 to 5 do
+    admit 5
+  done;
+  admit (-1);
+  match Trace_store.heaviest store ~n:1 with
+  | [ (_, 5) ] -> ()
+  | other -> Alcotest.failf "expected the hot path with count 5, got %d entries" (List.length other)
+
+let test_knowledge_store_accounting () =
+  let k = Knowledge.create Corpus.fig2_write in
+  for _ = 1 to 50 do
+    let r = run_once Corpus.fig2_write [| 5 |] in
+    ignore (Knowledge.ingest_trace k (trace_of Corpus.fig2_write r))
+  done;
+  let store = Knowledge.store k in
+  checki "50 uploads" 50 (Trace_store.received store);
+  checki "one distinct content" 1 (Trace_store.distinct store);
+  checkb "dedup saves ~50x" true (Trace_store.dedup_ratio store > 40.0)
+
+(* ---- Report ------------------------------------------------------------------------ *)
+
+let test_report_renders_everything () =
+  let k = Knowledge.create Corpus.parser in
+  ingest_n k Corpus.parser ~inputs_for:(fun _ -> Array.copy Corpus.parser_trigger) 3;
+  let rng = Rng.create 1 in
+  ingest_n k Corpus.parser ~inputs_for:(fun _ -> Array.init 3 (fun _ -> Rng.int_in rng 0 100)) 50;
+  ignore (Knowledge.analyze k);
+  (match
+     Prover.attempt_assert_safety ~program:Corpus.parser ~tree:(Knowledge.tree k)
+       ~crash_observations:3 ~epoch:(Knowledge.epoch k) ()
+   with
+  | Some proof -> Knowledge.record_proof k proof
+  | None -> ());
+  let report = Report.render k in
+  let contains needle =
+    let n = String.length needle and h = String.length report in
+    let rec loop i = i + n <= h && (String.sub report i n = needle || loop (i + 1)) in
+    loop 0
+  in
+  checkb "names the program" true (contains "parser");
+  checkb "has bucket section" true (contains "Failure buckets");
+  checkb "lists the guard fix" true (contains "guard[");
+  checkb "has tree stats" true (contains "distinct paths");
+  checkb "has store stats" true (contains "dedup");
+  checkb "summary line" true
+    (String.length (Report.summary_line k) > 10)
+
+(* ---- Hive service ----------------------------------------------------------------- *)
+
+let test_hive_end_to_end_fix_distribution () =
+  let sim = Sim.create () in
+  let hive = Hive.create ~sim () in
+  ignore (Hive.register_program hive Corpus.parser);
+  let pod_end, hive_end = Transport.endpoint_pair ~sim ~rng:(Rng.create 3) () in
+  Hive.attach_pod hive hive_end;
+  let received_fixes = ref [] in
+  Transport.on_receive pod_end (fun payload ->
+      match Protocol.decode payload with
+      | Ok (Protocol.Fix_update { fixes; _ }) -> received_fixes := fixes @ !received_fixes
+      | _ -> ());
+  (* Pod uploads a crashing trace. *)
+  let r = run_once Corpus.parser Corpus.parser_trigger in
+  let trace = trace_of Corpus.parser r in
+  Transport.send pod_end
+    (Protocol.encode (Protocol.Trace_upload (Softborg_trace.Wire.encode trace)));
+  Sim.run sim;
+  Hive.tick hive;
+  Sim.run sim;
+  checkb "pod received a fix update" true (!received_fixes <> []);
+  checkb "fix set includes a guard or suppression" true
+    (List.exists
+       (fun f ->
+         match f.Fixgen.kind with
+         | Fixgen.Input_guard _ | Fixgen.Crash_suppression _ -> true
+         | _ -> false)
+       !received_fixes);
+  let stats = Hive.stats hive in
+  checki "one trace ingested" 1 stats.Hive.traces_received;
+  checkb "fixes deployed counted" true (stats.Hive.fixes_deployed >= 1)
+
+let test_hive_wer_mode_uses_human_delay () =
+  let config =
+    { (Hive.default_config Hive.Wer) with Hive.human_fix_threshold = 2; human_fix_delay = 100.0 }
+  in
+  let sim = Sim.create () in
+  let hive = Hive.create ~config ~sim () in
+  let k = Hive.register_program hive Corpus.parser in
+  let pod_end, hive_end = Transport.endpoint_pair ~sim ~rng:(Rng.create 5) () in
+  Hive.attach_pod hive hive_end;
+  for i = 1 to 3 do
+    let r = run_once ~seed:i Corpus.parser Corpus.parser_trigger in
+    let trace = Softborg_trace.Anonymize.apply Softborg_trace.Anonymize.Outcome_only
+        (trace_of Corpus.parser r)
+    in
+    Transport.send pod_end
+      (Protocol.encode (Protocol.Trace_upload (Softborg_trace.Wire.encode trace)))
+  done;
+  Sim.run sim;
+  Hive.tick hive;
+  (* The human fix is scheduled but lands only after the delay. *)
+  checki "no fix yet" 0 (List.length (Knowledge.fixes k));
+  Sim.run sim;
+  checkb "human fix landed after delay" true (Knowledge.fixes k <> []);
+  checkb "hive scheduled exactly one human fix" true
+    ((Hive.stats hive).Hive.human_fixes_scheduled = 1)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "softborg_hive"
+    [
+      ( "isolate",
+        [
+          Alcotest.test_case "localizes parser bug" `Quick test_isolate_localizes_parser_bug;
+          Alcotest.test_case "top predicate" `Quick test_isolate_top_predicate_positive;
+          Alcotest.test_case "counts" `Quick test_isolate_counts;
+          Alcotest.test_case "no failures" `Quick test_isolate_no_failures_no_positive_score;
+          Alcotest.test_case "from sampled" `Quick test_isolate_from_sampled_reports;
+        ] );
+      ( "fixgen",
+        [
+          Alcotest.test_case "input guard" `Quick test_fixgen_derives_input_guard;
+          Alcotest.test_case "deadlock immunity" `Quick test_fixgen_deadlock_immunity;
+          Alcotest.test_case "dedupes" `Quick test_fixgen_dedupes_existing;
+          Alcotest.test_case "multithreaded suppression" `Quick
+            test_fixgen_multithreaded_falls_back_to_suppression;
+          Alcotest.test_case "wire roundtrip" `Quick test_fix_wire_roundtrip;
+          Alcotest.test_case "epoch filtering" `Quick test_runtime_hooks_epoch_filtering;
+        ] );
+      ( "knowledge",
+        [
+          Alcotest.test_case "ingest builds tree" `Quick test_knowledge_ingest_builds_tree;
+          Alcotest.test_case "buckets crashes" `Quick test_knowledge_buckets_crashes;
+          Alcotest.test_case "analyze bumps epoch" `Quick test_knowledge_analyze_bumps_epoch;
+          Alcotest.test_case "replay respects epoch" `Quick
+            test_knowledge_replay_respects_fix_epoch;
+          Alcotest.test_case "deadlock buckets" `Quick test_knowledge_deadlock_buckets;
+        ] );
+      ( "prover",
+        [
+          Alcotest.test_case "proves fig2" `Quick test_prover_proves_fig2;
+          Alcotest.test_case "refuses buggy" `Quick test_prover_refuses_buggy_program;
+          Alcotest.test_case "symbolic counterexample" `Quick
+            test_prover_symbolic_counterexample_blocks_proof;
+          Alcotest.test_case "deadlock-free lockless" `Quick
+            test_prover_deadlock_freedom_lockless;
+          Alcotest.test_case "blocked by cycle" `Quick
+            test_prover_deadlock_freedom_blocked_by_cycle;
+          Alcotest.test_case "explores schedules" `Quick
+            test_prover_deadlock_freedom_explores_schedules;
+          Alcotest.test_case "invalidation" `Quick test_proof_invalidation;
+        ] );
+      ( "guidance",
+        [
+          Alcotest.test_case "covers gaps" `Quick test_guidance_covers_gaps;
+          Alcotest.test_case "exclude respected" `Quick test_guidance_exclude_respected;
+          Alcotest.test_case "wire roundtrip" `Quick test_directive_wire_roundtrip;
+        ] );
+      ( "allocate",
+        [
+          Alcotest.test_case "uniform" `Quick test_allocate_uniform;
+          Alcotest.test_case "greedy concentrates" `Quick test_allocate_greedy_concentrates;
+          Alcotest.test_case "mean-variance diversifies" `Quick
+            test_allocate_mean_variance_diversifies;
+          q prop_allocate_sums_and_covers;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "roundtrips" `Quick test_protocol_roundtrips;
+          Alcotest.test_case "rejects garbage" `Quick test_protocol_rejects_garbage;
+        ] );
+      ( "trace_store",
+        [
+          Alcotest.test_case "dedups identical content" `Quick test_store_dedups_identical_content;
+          Alcotest.test_case "distinguishes content" `Quick test_store_distinguishes_content;
+          Alcotest.test_case "heaviest" `Quick test_store_heaviest;
+          Alcotest.test_case "knowledge accounting" `Quick test_knowledge_store_accounting;
+        ] );
+      ( "report",
+        [ Alcotest.test_case "renders everything" `Quick test_report_renders_everything ] );
+      ( "service",
+        [
+          Alcotest.test_case "end-to-end fix distribution" `Quick
+            test_hive_end_to_end_fix_distribution;
+          Alcotest.test_case "WER human delay" `Quick test_hive_wer_mode_uses_human_delay;
+        ] );
+    ]

@@ -1,0 +1,184 @@
+(* Integration tests for the whole platform: metrics, the three modes,
+   determinism, and behavior under a degraded network. *)
+
+module Corpus = Softborg_prog.Corpus
+module Exec_tree = Softborg_tree.Exec_tree
+module Knowledge = Softborg_hive.Knowledge
+module Hive = Softborg_hive.Hive
+module Transport = Softborg_net.Transport
+module Pod = Softborg_pod.Pod
+module Workload = Softborg_pod.Workload
+module Platform = Softborg.Platform
+module Scenario = Softborg.Scenario
+module Metrics = Softborg.Metrics
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+let checkf msg = Alcotest.check (Alcotest.float 1e-9) msg
+
+(* ---- Metrics ---------------------------------------------------------- *)
+
+let snap ~time ~sessions ~failures =
+  {
+    Metrics.time;
+    sessions;
+    guided_runs = 0;
+    user_failures = failures;
+    averted_crashes = 0;
+    deferred_acquisitions = 0;
+    guard_flags = 0;
+    traces_uploaded = 0;
+    fixes_deployed = 0;
+    proofs_valid = 0;
+    tree_paths = 0;
+    tree_completeness = 0.0;
+  }
+
+let test_metrics_failure_rate () =
+  checkf "rate" 0.1 (Metrics.failure_rate (snap ~time:0.0 ~sessions:100 ~failures:10));
+  checkf "empty" 0.0 (Metrics.failure_rate (snap ~time:0.0 ~sessions:0 ~failures:0))
+
+let test_metrics_windows () =
+  let snaps =
+    [
+      snap ~time:0.0 ~sessions:0 ~failures:0;
+      snap ~time:10.0 ~sessions:100 ~failures:5;
+      snap ~time:20.0 ~sessions:250 ~failures:5;
+    ]
+  in
+  match Metrics.windows snaps with
+  | [ w1; w2 ] ->
+    checki "w1 sessions" 100 w1.Metrics.w_sessions;
+    checki "w1 failures" 5 w1.Metrics.w_failures;
+    checkf "w1 rate" 0.05 w1.Metrics.w_failure_rate;
+    checki "w2 sessions" 150 w2.Metrics.w_sessions;
+    checkf "w2 rate" 0.0 w2.Metrics.w_failure_rate
+  | ws -> Alcotest.failf "expected 2 windows, got %d" (List.length ws)
+
+let test_metrics_windows_degenerate () =
+  checki "no windows from one snapshot" 0
+    (List.length (Metrics.windows [ snap ~time:0.0 ~sessions:0 ~failures:0 ]));
+  checki "none from empty" 0 (List.length (Metrics.windows []))
+
+(* ---- Platform runs ------------------------------------------------------ *)
+
+let quick_config ?mode program =
+  let config = Scenario.single_program ?mode program in
+  {
+    config with
+    Platform.n_pods = 3;
+    duration = 120.0;
+    sample_interval = 30.0;
+    pod_config =
+      {
+        config.Platform.pod_config with
+        Pod.arrival_rate = 1.0;
+        workload = Workload.Uniform_inputs { lo = 0; hi = 40 };
+      };
+  }
+
+let test_platform_full_mode_runs () =
+  let report = Platform.run (quick_config Corpus.fig2_write) in
+  let f = report.Platform.final in
+  checkb "sessions happened" true (f.Metrics.sessions > 50);
+  checkb "traces reached the hive" true (report.Platform.hive_stats.Hive.traces_received > 0);
+  (match report.Platform.knowledge with
+  | [ k ] ->
+    checkb "tree built" true (Exec_tree.n_distinct_paths (Knowledge.tree k) >= 2);
+    checki "no replay errors" 0 (Knowledge.replay_errors k)
+  | ks -> Alcotest.failf "expected one knowledge entry, got %d" (List.length ks));
+  (* Snapshot series is monotone in time and counters. *)
+  let rec monotone = function
+    | (a : Metrics.snapshot) :: (b :: _ as rest) ->
+      a.Metrics.time < b.Metrics.time && a.Metrics.sessions <= b.Metrics.sessions && monotone rest
+    | _ -> true
+  in
+  checkb "snapshots monotone" true (monotone report.Platform.snapshots)
+
+let test_platform_deterministic () =
+  let run () =
+    let report = Platform.run (quick_config Corpus.parser) in
+    let f = report.Platform.final in
+    (f.Metrics.sessions, f.Metrics.user_failures, f.Metrics.traces_uploaded)
+  in
+  let a = run () in
+  let b = run () in
+  checkb "same seed, same outcome" true (a = b)
+
+let test_platform_wer_mode_builds_no_tree () =
+  let report = Platform.run (quick_config ~mode:Hive.Wer Corpus.fig2_write) in
+  match report.Platform.knowledge with
+  | [ k ] ->
+    checki "no tree from outcome-only uploads" 0 (Exec_tree.n_distinct_paths (Knowledge.tree k));
+    checkb "but traces were counted" true (Knowledge.traces_ingested k > 0)
+  | _ -> Alcotest.fail "expected one knowledge entry"
+
+let test_platform_cbi_mode_feeds_isolator () =
+  let report = Platform.run (quick_config ~mode:Hive.Cbi Corpus.parser) in
+  match report.Platform.knowledge with
+  | [ k ] ->
+    checkb "isolator saw runs" true (Softborg_hive.Isolate.runs (Knowledge.isolate k) > 0)
+  | _ -> Alcotest.fail "expected one knowledge entry"
+
+let test_platform_lossy_network_loses_nothing () =
+  let config = Scenario.lossy_network (quick_config Corpus.fig2_write) in
+  let report = Platform.run config in
+  (* The reliable transport must deliver every pod upload despite 10%
+     packet loss (retransmissions cover the gap). *)
+  List.iter
+    (fun (s : Transport.stats) ->
+      checki "nothing abandoned" 0 s.Transport.gave_up)
+    report.Platform.transport_stats;
+  let uploaded = report.Platform.final.Metrics.traces_uploaded in
+  checkb "hive received all uploads" true
+    (report.Platform.hive_stats.Hive.traces_received >= uploaded * 9 / 10);
+  let retrans =
+    List.fold_left
+      (fun acc (s : Transport.stats) -> acc + s.Transport.retransmissions)
+      0 report.Platform.transport_stats
+  in
+  checkb "retransmissions occurred" true (retrans > 0)
+
+let test_platform_guided_fix_before_user_failure () =
+  (* Rare bug + skewed workload: guidance finds and fixes it with no
+     user-visible failure (the E4 headline, as a regression test). *)
+  let config = Scenario.single_program ~seed:21 Corpus.parser in
+  let config =
+    {
+      config with
+      Platform.duration = 400.0;
+      sample_interval = 100.0;
+      n_pods = 4;
+      pod_config =
+        {
+          config.Platform.pod_config with
+          Pod.workload = Workload.Zipf_inputs { lo = 0; hi = 191; exponent = 1.3 };
+          arrival_rate = 1.0;
+        };
+    }
+  in
+  let report = Platform.run config in
+  let k = List.hd report.Platform.knowledge in
+  let deployable = List.filter Softborg_hive.Fixgen.is_deployable (Knowledge.fixes k) in
+  checkb "guided exploration produced a fix" true (deployable <> []);
+  checki "no user-visible failures" 0 report.Platform.final.Metrics.user_failures
+
+let () =
+  Alcotest.run "softborg_platform"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "failure rate" `Quick test_metrics_failure_rate;
+          Alcotest.test_case "windows" `Quick test_metrics_windows;
+          Alcotest.test_case "degenerate windows" `Quick test_metrics_windows_degenerate;
+        ] );
+      ( "platform",
+        [
+          Alcotest.test_case "full mode" `Quick test_platform_full_mode_runs;
+          Alcotest.test_case "deterministic" `Quick test_platform_deterministic;
+          Alcotest.test_case "wer mode" `Quick test_platform_wer_mode_builds_no_tree;
+          Alcotest.test_case "cbi mode" `Quick test_platform_cbi_mode_feeds_isolator;
+          Alcotest.test_case "lossy network" `Quick test_platform_lossy_network_loses_nothing;
+          Alcotest.test_case "guided fix first" `Quick test_platform_guided_fix_before_user_failure;
+        ] );
+    ]

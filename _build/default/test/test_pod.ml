@@ -1,0 +1,271 @@
+(* Tests for the pod: workload models, user-feedback inference, and the
+   pod agent itself (capture, upload, fix application, guidance). *)
+
+module Ir = Softborg_prog.Ir
+module Corpus = Softborg_prog.Corpus
+module Env = Softborg_exec.Env
+module Outcome = Softborg_exec.Outcome
+module Anonymize = Softborg_trace.Anonymize
+module Wire = Softborg_trace.Wire
+module Trace = Softborg_trace.Trace
+module Sim = Softborg_net.Sim
+module Transport = Softborg_net.Transport
+module Protocol = Softborg_hive.Protocol
+module Fixgen = Softborg_hive.Fixgen
+module Guidance = Softborg_hive.Guidance
+module Pod = Softborg_pod.Pod
+module Workload = Softborg_pod.Workload
+module Feedback = Softborg_pod.Feedback
+module Rng = Softborg_util.Rng
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+(* ---- Workload --------------------------------------------------------- *)
+
+let test_workload_uniform_in_range () =
+  let rng = Rng.create 1 in
+  for _ = 1 to 500 do
+    let inputs =
+      Workload.draw rng (Workload.Uniform_inputs { lo = -5; hi = 5 }) ~n_inputs:3
+    in
+    Array.iter (fun v -> checkb "in range" true (v >= -5 && v <= 5)) inputs
+  done
+
+let test_workload_zipf_skewed () =
+  let rng = Rng.create 2 in
+  let low = ref 0 in
+  let n = 2000 in
+  for _ = 1 to n do
+    let inputs =
+      Workload.draw rng (Workload.Zipf_inputs { lo = 0; hi = 99; exponent = 1.2 }) ~n_inputs:1
+    in
+    if inputs.(0) < 10 then incr low
+  done;
+  checkb "head dominates" true (!low > n / 2)
+
+let test_workload_sizes () =
+  let rng = Rng.create 3 in
+  checki "n_inputs respected" 5 (Array.length (Workload.draw rng Workload.default ~n_inputs:5));
+  checki "zero inputs" 0 (Array.length (Workload.draw rng Workload.default ~n_inputs:0))
+
+(* ---- Feedback ----------------------------------------------------------- *)
+
+let test_feedback_signals () =
+  let crash =
+    Outcome.Crash
+      { site = { Ir.thread = 0; pc = 1 }; kind = Outcome.Assertion_failure; message = "m" }
+  in
+  checkb "crash reports directly" true
+    (Feedback.signal_of_run ~outcome:crash ~steps:10 ~slow_threshold:100 = Feedback.Crash_report);
+  checkb "hang is user-killed" true
+    (Feedback.signal_of_run ~outcome:Outcome.Hang ~steps:10 ~slow_threshold:100
+    = Feedback.Forceful_termination);
+  checkb "slow success frustrates" true
+    (Feedback.signal_of_run ~outcome:Outcome.Success ~steps:500 ~slow_threshold:100
+    = Feedback.Jerky_mouse);
+  checkb "fast success is silent" true
+    (Feedback.signal_of_run ~outcome:Outcome.Success ~steps:50 ~slow_threshold:100
+    = Feedback.Normal_exit)
+
+let test_feedback_labels () =
+  let deadlock = Outcome.Deadlock { waiting = [ (0, 1); (1, 0) ] } in
+  checkb "detected deadlock keeps its label" true
+    (Feedback.label_of_signal Feedback.Forceful_termination ~outcome:deadlock = deadlock);
+  checkb "killed hang labels as hang" true
+    (Feedback.label_of_signal Feedback.Forceful_termination ~outcome:Outcome.Hang
+    = Outcome.Hang)
+
+(* ---- Pod ------------------------------------------------------------------ *)
+
+let make_pod ?(config = Pod.default_config) ?(program = Corpus.parser) () =
+  let sim = Sim.create () in
+  let pod_end, hive_end = Transport.endpoint_pair ~sim ~rng:(Rng.create 7) () in
+  let received = ref [] in
+  Transport.on_receive hive_end (fun payload -> received := payload :: !received);
+  let pod = Pod.create ~config ~sim ~rng:(Rng.create 11) ~program ~endpoint:pod_end () in
+  (sim, pod, hive_end, received)
+
+let test_pod_session_uploads_trace () =
+  let sim, pod, _, received = make_pod () in
+  Pod.run_session pod;
+  Sim.run sim;
+  checki "one upload" 1 (List.length !received);
+  match Protocol.decode (List.hd !received) with
+  | Ok (Protocol.Trace_upload payload) -> (
+    match Wire.decode payload with
+    | Ok trace ->
+      Alcotest.(check string) "right program" (Ir.digest Corpus.parser) trace.Trace.program_digest
+    | Error _ -> Alcotest.fail "bad trace payload")
+  | _ -> Alcotest.fail "expected a trace upload"
+
+let test_pod_outcome_only_mode_strips () =
+  let config = { Pod.default_config with Pod.upload = Pod.Outcomes_only } in
+  let sim, pod, _, received = make_pod ~config () in
+  Pod.run_session pod;
+  Sim.run sim;
+  match Protocol.decode (List.hd !received) with
+  | Ok (Protocol.Trace_upload payload) -> (
+    match Wire.decode payload with
+    | Ok trace ->
+      checki "no bits" 0 (Softborg_util.Bitvec.length trace.Trace.bits);
+      checki "no syscalls" 0 (List.length trace.Trace.syscalls)
+    | Error _ -> Alcotest.fail "bad trace payload")
+  | _ -> Alcotest.fail "expected a trace upload"
+
+let test_pod_sampled_mode_sends_reports () =
+  let config = { Pod.default_config with Pod.upload = Pod.Sampled_reports 10 } in
+  let sim, pod, _, received = make_pod ~config () in
+  Pod.run_session pod;
+  Sim.run sim;
+  match Protocol.decode (List.hd !received) with
+  | Ok (Protocol.Sampled_report { report; _ }) ->
+    checki "rate preserved" 10 report.Softborg_trace.Sampling.rate
+  | _ -> Alcotest.fail "expected a sampled report"
+
+let test_pod_applies_fix_update () =
+  let sim, pod, hive_end, _ = make_pod () in
+  let site =
+    match (Softborg_exec.Interp.run ~program:Corpus.parser
+             ~env:(Env.make ~seed:1 ~inputs:Corpus.parser_trigger ())
+             ~sched:Softborg_exec.Sched.Round_robin ()).Softborg_exec.Interp.outcome
+    with
+    | Outcome.Crash { site; _ } -> site
+    | _ -> Alcotest.fail "trigger should crash"
+  in
+  let fix =
+    {
+      Fixgen.id = 9;
+      epoch = 1;
+      kind =
+        Fixgen.Crash_suppression
+          { bucket = "b"; site; crash_kind = Outcome.Assertion_failure };
+    }
+  in
+  Transport.send hive_end
+    (Protocol.encode
+       (Protocol.Fix_update
+          { program_digest = Ir.digest Corpus.parser; epoch = 1; fixes = [ fix ] }));
+  Sim.run sim;
+  checki "pod at epoch 1" 1 (Pod.metrics pod).Pod.fix_epoch;
+  (* Older epochs must not roll the pod back. *)
+  Transport.send hive_end
+    (Protocol.encode
+       (Protocol.Fix_update { program_digest = Ir.digest Corpus.parser; epoch = 0; fixes = [] }));
+  Sim.run sim;
+  checki "stale update ignored" 1 (Pod.metrics pod).Pod.fix_epoch
+
+let test_pod_guidance_takes_priority () =
+  let sim, pod, hive_end, received = make_pod () in
+  let directive =
+    Guidance.Cover_direction
+      {
+        site = { Ir.thread = 0; pc = 1 };
+        direction = true;
+        test =
+          {
+            Softborg_symexec.Testgen.inputs = Array.copy Corpus.parser_trigger;
+            fault_plan = Env.No_faults;
+          };
+      }
+  in
+  Transport.send hive_end
+    (Protocol.encode
+       (Protocol.Guidance_update
+          { program_digest = Ir.digest Corpus.parser; directives = [ directive ] }));
+  Sim.run sim;
+  Pod.start pod;
+  Sim.run ~until:10.0 sim;
+  let m = Pod.metrics pod in
+  checkb "guided run executed" true (m.Pod.guided_runs >= 1);
+  checkb "guided crash is not a user failure" true (m.Pod.guided_failures >= 1);
+  checkb "uploads flowed" true (!received <> [])
+
+let test_pod_fix_averts_failures () =
+  (* A pod running the trigger inputs crashes; with a suppression fix
+     deployed, the same session is averted. *)
+  let config =
+    {
+      Pod.default_config with
+      Pod.workload = Workload.Uniform_inputs { lo = 7; hi = 7 };
+      fault_probability = 0.0;
+    }
+  in
+  (* lo=hi=7 gives inputs [|7;7;7|]: tok=7, arg=7 -> no crash.  Use
+     guidance-style direct sessions instead: run the trigger via a
+     directive, then compare user failures with/without the fix. *)
+  ignore config;
+  let sim, pod, hive_end, _ = make_pod () in
+  let site =
+    match (Softborg_exec.Interp.run ~program:Corpus.parser
+             ~env:(Env.make ~seed:1 ~inputs:Corpus.parser_trigger ())
+             ~sched:Softborg_exec.Sched.Round_robin ()).Softborg_exec.Interp.outcome
+    with
+    | Outcome.Crash { site; _ } -> site
+    | _ -> Alcotest.fail "trigger should crash"
+  in
+  let fix =
+    {
+      Fixgen.id = 10;
+      epoch = 1;
+      kind =
+        Fixgen.Crash_suppression
+          { bucket = "b"; site; crash_kind = Outcome.Assertion_failure };
+    }
+  in
+  Transport.send hive_end
+    (Protocol.encode
+       (Protocol.Fix_update
+          { program_digest = Ir.digest Corpus.parser; epoch = 1; fixes = [ fix ] }));
+  Sim.run sim;
+  (* Drive the crash inputs through a guidance directive. *)
+  Transport.send hive_end
+    (Protocol.encode
+       (Protocol.Guidance_update
+          {
+            program_digest = Ir.digest Corpus.parser;
+            directives =
+              [
+                Guidance.Cover_direction
+                  {
+                    site;
+                    direction = true;
+                    test =
+                      {
+                        Softborg_symexec.Testgen.inputs = Array.copy Corpus.parser_trigger;
+                        fault_plan = Env.No_faults;
+                      };
+                  };
+              ];
+          }));
+  Sim.run sim;
+  Pod.start pod;
+  Sim.run ~until:5.0 sim;
+  let m = Pod.metrics pod in
+  checkb "crash averted by the fix" true (m.Pod.averted_crashes >= 1);
+  checki "no guided failures with fix" 0 m.Pod.guided_failures
+
+let () =
+  Alcotest.run "softborg_pod"
+    [
+      ( "workload",
+        [
+          Alcotest.test_case "uniform range" `Quick test_workload_uniform_in_range;
+          Alcotest.test_case "zipf skew" `Quick test_workload_zipf_skewed;
+          Alcotest.test_case "sizes" `Quick test_workload_sizes;
+        ] );
+      ( "feedback",
+        [
+          Alcotest.test_case "signals" `Quick test_feedback_signals;
+          Alcotest.test_case "labels" `Quick test_feedback_labels;
+        ] );
+      ( "pod",
+        [
+          Alcotest.test_case "session uploads" `Quick test_pod_session_uploads_trace;
+          Alcotest.test_case "outcome-only mode" `Quick test_pod_outcome_only_mode_strips;
+          Alcotest.test_case "sampled mode" `Quick test_pod_sampled_mode_sends_reports;
+          Alcotest.test_case "applies fix update" `Quick test_pod_applies_fix_update;
+          Alcotest.test_case "guidance priority" `Quick test_pod_guidance_takes_priority;
+          Alcotest.test_case "fix averts failures" `Quick test_pod_fix_averts_failures;
+        ] );
+    ]

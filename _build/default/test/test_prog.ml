@@ -1,0 +1,208 @@
+(* Tests for the program IR, builder, corpus, and generator. *)
+
+module Ir = Softborg_prog.Ir
+module Build = Softborg_prog.Build
+module Corpus = Softborg_prog.Corpus
+module Generator = Softborg_prog.Generator
+module Rng = Softborg_util.Rng
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+let is_valid prog = match Ir.validate prog with Ok () -> true | Error _ -> false
+
+(* ---- Builder ------------------------------------------------------ *)
+
+let test_compile_straight_line () =
+  let open Build in
+  let body = compile_thread [ assign (lvar "x") (const 1); assign (lvar "y") (const 2) ] in
+  checki "two assigns + halt" 3 (Array.length body);
+  checkb "trailing halt" true (body.(2) = Ir.Halt)
+
+let test_compile_if_targets () =
+  let open Build in
+  let open Build.Infix in
+  let body =
+    compile_thread [ if_ (const 1 >: const 0) [ assign (lvar "t") (const 1) ] [ assign (lvar "e") (const 2) ] ]
+  in
+  (* Layout: 0 branch, 1 then-assign, 2 jump, 3 else-assign, 4 halt. *)
+  (match body.(0) with
+  | Ir.Branch { if_true; if_false; _ } ->
+    checki "then target" 1 if_true;
+    checki "else target" 3 if_false
+  | _ -> Alcotest.fail "expected branch at 0");
+  match body.(2) with
+  | Ir.Jump target -> checki "join target" 4 target
+  | _ -> Alcotest.fail "expected jump at 2"
+
+let test_compile_while_targets () =
+  let open Build in
+  let open Build.Infix in
+  let body = compile_thread [ while_ (local "i" >: const 0) [ assign (lvar "i") (local "i" -: const 1) ] ] in
+  (* Layout: 0 branch, 1 body-assign, 2 jump back to 0, 3 halt. *)
+  (match body.(0) with
+  | Ir.Branch { if_true; if_false; _ } ->
+    checki "loop body" 1 if_true;
+    checki "loop exit" 3 if_false
+  | _ -> Alcotest.fail "expected branch at 0");
+  match body.(2) with
+  | Ir.Jump 0 -> ()
+  | _ -> Alcotest.fail "expected back jump at 2"
+
+let test_nested_if_compiles_validly () =
+  let open Build in
+  let open Build.Infix in
+  let prog =
+    program ~name:"nested" ~n_inputs:2
+      [
+        [
+          if_
+            (input 0 <: const 5)
+            [ if_ (input 1 <: const 3) [ assign (lvar "a") (const 1) ] [ assign (lvar "a") (const 2) ] ]
+            [ while_ (local "a" <: const 3) [ assign (lvar "a") (local "a" +: const 1) ] ];
+        ];
+      ]
+  in
+  checkb "valid" true (is_valid prog)
+
+let test_program_rejects_bad_global () =
+  let open Build in
+  Alcotest.check_raises "undeclared global"
+    (Invalid_argument "Build.program bad: t0:0: undeclared global nope") (fun () ->
+      ignore (program ~name:"bad" [ [ assign (gvar "nope") (const 1) ] ]))
+
+let test_program_rejects_bad_input () =
+  let open Build in
+  checkb "bad input rejected" true
+    (try
+       ignore (program ~name:"bad-input" ~n_inputs:1 [ [ assign (lvar "x") (input 3) ] ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_program_rejects_bad_lock () =
+  let open Build in
+  checkb "bad lock rejected" true
+    (try
+       ignore (program ~name:"bad-lock" ~n_locks:1 [ [ lock 2 ] ]);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- IR static info ----------------------------------------------- *)
+
+let test_fig2_shape () =
+  let prog = Corpus.fig2_write in
+  checkb "valid" true (is_valid prog);
+  checki "single thread" 1 (Array.length prog.Ir.threads);
+  (* Fig. 2 has three branch sites: p<MAX, p>0, p>3. *)
+  checki "three branch sites" 3 (List.length (Ir.branch_sites prog))
+
+let test_corpus_all_valid () =
+  List.iter
+    (fun (name, prog) -> checkb (name ^ " valid") true (is_valid prog))
+    Corpus.all
+
+let test_digest_distinguishes_programs () =
+  let digests = List.map (fun (_, p) -> Ir.digest p) Corpus.all in
+  checki "all digests distinct" (List.length digests)
+    (List.length (List.sort_uniq String.compare digests))
+
+let test_digest_stable () =
+  Alcotest.check Alcotest.string "same program same digest" (Ir.digest Corpus.parser)
+    (Ir.digest Corpus.parser)
+
+let test_lock_sites () =
+  let sites = Ir.lock_sites Corpus.worker_pool in
+  checki "two lock acquisitions per worker" 4 (List.length sites)
+
+let test_instr_count_positive () =
+  List.iter
+    (fun (name, prog) -> checkb (name ^ " nonempty") true (Ir.instr_count prog > 0))
+    Corpus.all
+
+(* ---- Generator ----------------------------------------------------- *)
+
+let gen_params bugs =
+  { Generator.default_params with Generator.bugs; n_inputs = 4 }
+
+let test_generator_validity_all_bug_kinds () =
+  List.iter
+    (fun kind ->
+      let rng = Rng.create 1234 in
+      let prog, planted = Generator.generate rng (gen_params [ kind ]) in
+      checkb (Generator.bug_kind_name kind ^ " valid") true (is_valid prog);
+      checki (Generator.bug_kind_name kind ^ " planted") 1 (List.length planted))
+    Generator.all_bug_kinds
+
+let test_generator_deadlock_adds_threads () =
+  let rng = Rng.create 99 in
+  let prog, _ = Generator.generate rng (gen_params [ Generator.Deadlock_pair ]) in
+  checki "three threads" 3 (Array.length prog.Ir.threads);
+  checki "two locks" 2 prog.Ir.n_locks
+
+let test_generator_race_adds_threads () =
+  let rng = Rng.create 100 in
+  let prog, _ = Generator.generate rng (gen_params [ Generator.Atomicity_race ]) in
+  checki "four threads" 4 (Array.length prog.Ir.threads)
+
+let test_generator_deterministic () =
+  let p1, _ = Generator.generate (Rng.create 7) (gen_params [ Generator.Rare_assert ]) in
+  let p2, _ = Generator.generate (Rng.create 7) (gen_params [ Generator.Rare_assert ]) in
+  Alcotest.check Alcotest.string "same seed same program" (Ir.digest p1) (Ir.digest p2)
+
+let test_generator_multiple_bugs () =
+  let rng = Rng.create 55 in
+  let prog, planted =
+    Generator.generate rng (gen_params [ Generator.Rare_assert; Generator.Div_by_zero; Generator.Deadlock_pair ])
+  in
+  checkb "valid" true (is_valid prog);
+  checki "three planted" 3 (List.length planted)
+
+let prop_generator_always_valid =
+  QCheck.Test.make ~name:"generated programs validate" ~count:150 QCheck.small_nat (fun seed ->
+      let rng = Rng.create (seed + 1) in
+      let n_bugs = seed mod 3 in
+      let bugs = List.filteri (fun i _ -> i < n_bugs) Generator.all_bug_kinds in
+      let prog, _ = Generator.generate rng { Generator.default_params with Generator.bugs } in
+      is_valid prog)
+
+let prop_generator_branch_sites_exist =
+  QCheck.Test.make ~name:"generated programs have branches" ~count:100 QCheck.small_nat
+    (fun seed ->
+      let rng = Rng.create (seed + 1000) in
+      let prog, _ = Generator.generate rng Generator.default_params in
+      List.length (Ir.branch_sites prog) > 0)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "softborg_prog"
+    [
+      ( "builder",
+        [
+          Alcotest.test_case "straight line" `Quick test_compile_straight_line;
+          Alcotest.test_case "if targets" `Quick test_compile_if_targets;
+          Alcotest.test_case "while targets" `Quick test_compile_while_targets;
+          Alcotest.test_case "nested constructs" `Quick test_nested_if_compiles_validly;
+          Alcotest.test_case "rejects bad global" `Quick test_program_rejects_bad_global;
+          Alcotest.test_case "rejects bad input" `Quick test_program_rejects_bad_input;
+          Alcotest.test_case "rejects bad lock" `Quick test_program_rejects_bad_lock;
+        ] );
+      ( "ir",
+        [
+          Alcotest.test_case "fig2 shape" `Quick test_fig2_shape;
+          Alcotest.test_case "corpus valid" `Quick test_corpus_all_valid;
+          Alcotest.test_case "digests distinct" `Quick test_digest_distinguishes_programs;
+          Alcotest.test_case "digest stable" `Quick test_digest_stable;
+          Alcotest.test_case "lock sites" `Quick test_lock_sites;
+          Alcotest.test_case "instr counts" `Quick test_instr_count_positive;
+        ] );
+      ( "generator",
+        [
+          Alcotest.test_case "all bug kinds valid" `Quick test_generator_validity_all_bug_kinds;
+          Alcotest.test_case "deadlock threads" `Quick test_generator_deadlock_adds_threads;
+          Alcotest.test_case "race threads" `Quick test_generator_race_adds_threads;
+          Alcotest.test_case "deterministic" `Quick test_generator_deterministic;
+          Alcotest.test_case "multiple bugs" `Quick test_generator_multiple_bugs;
+          q prop_generator_always_valid;
+          q prop_generator_branch_sites_exist;
+        ] );
+    ]

@@ -1,0 +1,416 @@
+(* Tests for the constraint-solver stack: CNF/Tseitin, DPLL vs brute
+   force, WalkSAT soundness, the interval path-condition solver, and
+   portfolio racing. *)
+
+module Ir = Softborg_prog.Ir
+module Cnf = Softborg_solver.Cnf
+module Dpll = Softborg_solver.Dpll
+module Walksat = Softborg_solver.Walksat
+module Brute = Softborg_solver.Brute
+module Path_cond = Softborg_solver.Path_cond
+module Interval = Softborg_solver.Interval
+module Portfolio = Softborg_solver.Portfolio
+module Rng = Softborg_util.Rng
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+(* ---- CNF ----------------------------------------------------------- *)
+
+let test_cnf_eval () =
+  let f = Cnf.make ~n_vars:2 [ [ 1; 2 ]; [ -1; 2 ] ] in
+  let a = [| false; false; true |] in
+  checkb "satisfied" true (Cnf.eval a f);
+  let b = [| false; true; false |] in
+  checkb "unsatisfied" false (Cnf.eval b f);
+  checki "one unsatisfied clause" 1 (List.length (Cnf.unsatisfied b f))
+
+let test_cnf_rejects_bad_literal () =
+  Alcotest.check_raises "literal 0" (Invalid_argument "Cnf.make: literal 0 out of range (n_vars=1)")
+    (fun () -> ignore (Cnf.make ~n_vars:1 [ [ 0 ] ]));
+  checkb "out of range" true
+    (try
+       ignore (Cnf.make ~n_vars:1 [ [ 2 ] ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_tseitin_equisatisfiable () =
+  (* (x1 /\ x2) \/ ~x3 *)
+  let e = Cnf.Or [ Cnf.And [ Cnf.Var 1; Cnf.Var 2 ]; Cnf.Not (Cnf.Var 3) ] in
+  let f = Cnf.tseitin ~n_vars:3 e in
+  (match Brute.solve f with
+  | Brute.Sat a ->
+    (* Check the model against the original expression. *)
+    let v i = a.(i) in
+    checkb "model satisfies source expr" true ((v 1 && v 2) || not (v 3))
+  | Brute.Unsat -> Alcotest.fail "satisfiable expression became UNSAT");
+  (* A contradiction must stay UNSAT. *)
+  let contra = Cnf.And [ Cnf.Var 1; Cnf.Not (Cnf.Var 1) ] in
+  match Brute.solve (Cnf.tseitin ~n_vars:1 contra) with
+  | Brute.Unsat -> ()
+  | Brute.Sat _ -> Alcotest.fail "contradiction became SAT"
+
+let test_tseitin_constants () =
+  (match Brute.solve (Cnf.tseitin ~n_vars:1 (Cnf.Const true)) with
+  | Brute.Sat _ -> ()
+  | Brute.Unsat -> Alcotest.fail "true is sat");
+  match Brute.solve (Cnf.tseitin ~n_vars:1 (Cnf.Const false)) with
+  | Brute.Unsat -> ()
+  | Brute.Sat _ -> Alcotest.fail "false is unsat"
+
+(* Random small formulas for oracle comparisons. *)
+let random_formula rng ~n_vars ~n_clauses ~clause_len =
+  let clause () =
+    List.init clause_len (fun _ ->
+        let v = 1 + Rng.int rng n_vars in
+        if Rng.bool rng then v else -v)
+  in
+  Cnf.make ~n_vars (List.init n_clauses (fun _ -> clause ()))
+
+(* ---- DPLL ----------------------------------------------------------- *)
+
+let test_dpll_trivial () =
+  let f = Cnf.make ~n_vars:1 [ [ 1 ] ] in
+  (match (Dpll.solve f).Dpll.verdict with
+  | Dpll.Sat a -> checkb "x1 true" true a.(1)
+  | _ -> Alcotest.fail "expected SAT");
+  let g = Cnf.make ~n_vars:1 [ [ 1 ]; [ -1 ] ] in
+  match (Dpll.solve g).Dpll.verdict with
+  | Dpll.Unsat -> ()
+  | _ -> Alcotest.fail "expected UNSAT"
+
+let test_dpll_empty_formula () =
+  let f = Cnf.make ~n_vars:3 [] in
+  match (Dpll.solve f).Dpll.verdict with
+  | Dpll.Sat _ -> ()
+  | _ -> Alcotest.fail "empty formula is SAT"
+
+let test_dpll_timeout () =
+  let rng = Rng.create 5 in
+  let f = random_formula rng ~n_vars:30 ~n_clauses:128 ~clause_len:3 in
+  match (Dpll.solve ~budget:5 f).Dpll.verdict with
+  | Dpll.Timeout -> ()
+  | _ -> Alcotest.fail "tiny budget should time out"
+
+let dpll_agrees_with_brute heuristic =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "dpll agrees with brute force")
+    ~count:150 QCheck.small_nat
+    (fun seed ->
+      let rng = Rng.create (seed + 1) in
+      let n_vars = 3 + Rng.int rng 8 in
+      let n_clauses = 2 + Rng.int rng 25 in
+      let f = random_formula rng ~n_vars ~n_clauses ~clause_len:3 in
+      let brute = Brute.solve f in
+      match ((Dpll.solve ~heuristic f).Dpll.verdict, brute) with
+      | Dpll.Sat a, Brute.Sat _ -> Cnf.eval a f
+      | Dpll.Unsat, Brute.Unsat -> true
+      | Dpll.Timeout, _ -> QCheck.Test.fail_report "unexpected timeout"
+      | Dpll.Sat _, Brute.Unsat | Dpll.Unsat, Brute.Sat _ ->
+        QCheck.Test.fail_report "verdict mismatch")
+
+let prop_dpll_maxocc = dpll_agrees_with_brute Dpll.Max_occurrence
+let prop_dpll_jw = dpll_agrees_with_brute Dpll.Jeroslow_wang
+
+let prop_dpll_random_branch =
+  QCheck.Test.make ~name:"dpll random-branch agrees with brute" ~count:100 QCheck.small_nat
+    (fun seed ->
+      let rng = Rng.create (seed + 2) in
+      let f = random_formula rng ~n_vars:8 ~n_clauses:20 ~clause_len:3 in
+      let brute = Brute.solve f in
+      match
+        ((Dpll.solve ~heuristic:(Dpll.Random_branch (Rng.create seed)) f).Dpll.verdict, brute)
+      with
+      | Dpll.Sat a, Brute.Sat _ -> Cnf.eval a f
+      | Dpll.Unsat, Brute.Unsat -> true
+      | _ -> false)
+
+(* ---- WalkSAT -------------------------------------------------------- *)
+
+let test_walksat_finds_model () =
+  let f = Cnf.make ~n_vars:4 [ [ 1; 2 ]; [ -1; 3 ]; [ -3; 4 ]; [ 2; -4 ] ] in
+  match (Walksat.solve ~rng:(Rng.create 3) f).Walksat.verdict with
+  | Walksat.Sat a -> checkb "model valid" true (Cnf.eval a f)
+  | Walksat.Timeout -> Alcotest.fail "easy instance timed out"
+
+let test_walksat_empty () =
+  let f = Cnf.make ~n_vars:0 [] in
+  match (Walksat.solve ~rng:(Rng.create 1) f).Walksat.verdict with
+  | Walksat.Sat _ -> ()
+  | Walksat.Timeout -> Alcotest.fail "empty formula"
+
+let test_walksat_gives_up_on_unsat () =
+  let f = Cnf.make ~n_vars:1 [ [ 1 ]; [ -1 ] ] in
+  match (Walksat.solve ~budget:10_000 ~rng:(Rng.create 2) f).Walksat.verdict with
+  | Walksat.Timeout -> ()
+  | Walksat.Sat _ -> Alcotest.fail "found a model of an UNSAT formula"
+
+let prop_walksat_models_valid =
+  QCheck.Test.make ~name:"walksat models satisfy the formula" ~count:100 QCheck.small_nat
+    (fun seed ->
+      let rng = Rng.create (seed + 3) in
+      let f = random_formula rng ~n_vars:10 ~n_clauses:20 ~clause_len:3 in
+      match (Walksat.solve ~budget:200_000 ~rng:(Rng.create seed) f).Walksat.verdict with
+      | Walksat.Sat a -> Cnf.eval a f
+      | Walksat.Timeout -> true)
+
+(* ---- Path conditions -------------------------------------------------- *)
+
+let atom_lt slot c = Path_cond.atom (Ir.Binop (Ir.Lt, Ir.Input slot, Ir.Const c)) true
+let atom_mod_eq slot m r expected =
+  Path_cond.atom
+    (Ir.Binop (Ir.Eq, Ir.Binop (Ir.Mod, Ir.Input slot, Ir.Const m), Ir.Const r))
+    expected
+
+let test_path_cond_eval () =
+  let pc = [ atom_lt 0 10; atom_mod_eq 1 4 2 true ] in
+  checkb "satisfied" true (Path_cond.satisfied_by pc [| 5; 6 |]);
+  checkb "violated first" false (Path_cond.satisfied_by pc [| 15; 6 |]);
+  checkb "violated second" false (Path_cond.satisfied_by pc [| 5; 7 |])
+
+let test_path_cond_metadata () =
+  let pc = [ atom_lt 0 10; atom_mod_eq 2 64 13 true ] in
+  Alcotest.(check (list int)) "inputs" [ 0; 2 ] (Path_cond.inputs_used pc);
+  checkb "64 among moduli" true (List.mem 64 (Path_cond.moduli pc));
+  checkb "13 among constants" true (List.mem 13 (Path_cond.constants pc));
+  checkb "well formed" true (Path_cond.well_formed pc);
+  checkb "var not well formed" false
+    (Path_cond.well_formed [ Path_cond.atom (Ir.Var (Ir.Local "x")) true ])
+
+let test_path_cond_div_zero_traps () =
+  let pc = [ Path_cond.atom (Ir.Binop (Ir.Div, Ir.Const 10, Ir.Input 0)) true ] in
+  checkb "div by zero fails the atom" false (Path_cond.satisfied_by pc [| 0 |]);
+  checkb "nonzero ok" true (Path_cond.satisfied_by pc [| 2 |])
+
+(* ---- Interval solver --------------------------------------------------- *)
+
+let solve ?budget pc ~n = Interval.solve ?budget ~domain:(-64, 255) ~n_inputs:n pc
+
+let test_interval_finds_rare_residue () =
+  (* The generator's rare-bug shape: in[0] mod 64 = 13. *)
+  let pc = [ atom_mod_eq 0 64 13 true ] in
+  match (solve pc ~n:1).Interval.verdict with
+  | Interval.Sat model -> checki "model residue" 13 (((model.(0) mod 64) + 64) mod 64)
+  | _ -> Alcotest.fail "expected SAT"
+
+let test_interval_unsat () =
+  let pc = [ atom_lt 0 5; Path_cond.atom (Ir.Binop (Ir.Gt, Ir.Input 0, Ir.Const 10)) true ] in
+  match (solve pc ~n:1).Interval.verdict with
+  | Interval.Unsat -> ()
+  | _ -> Alcotest.fail "contradictory bounds should be UNSAT"
+
+let test_interval_multi_input () =
+  let pc =
+    [
+      Path_cond.atom
+        (Ir.Binop (Ir.Eq, Ir.Binop (Ir.Add, Ir.Input 0, Ir.Input 1), Ir.Const 100))
+        true;
+      atom_lt 0 3;
+      Path_cond.atom (Ir.Binop (Ir.Ge, Ir.Input 0, Ir.Const 0)) true;
+    ]
+  in
+  match (solve pc ~n:2).Interval.verdict with
+  | Interval.Sat model ->
+    checkb "sum is 100" true (model.(0) + model.(1) = 100);
+    checkb "first small" true (model.(0) < 3 && model.(0) >= 0)
+  | _ -> Alcotest.fail "expected SAT"
+
+let test_interval_domain_restriction () =
+  (* in[0] > 300 has no model in domain [-64, 255]. *)
+  let pc = [ Path_cond.atom (Ir.Binop (Ir.Gt, Ir.Input 0, Ir.Const 300)) true ] in
+  match (solve pc ~n:1).Interval.verdict with
+  | Interval.Unsat -> ()
+  | _ -> Alcotest.fail "outside domain should be UNSAT"
+
+let test_interval_empty_condition () =
+  match (solve [] ~n:2).Interval.verdict with
+  | Interval.Sat _ -> ()
+  | _ -> Alcotest.fail "empty condition is trivially SAT"
+
+let test_interval_negated_atoms () =
+  let pc = [ atom_mod_eq 0 4 1 false; atom_lt 0 2 ] in
+  match (solve pc ~n:1).Interval.verdict with
+  | Interval.Sat model ->
+    (* IR mod is OCaml's truncated mod; the negated atom speaks that
+       dialect, so check it the same way. *)
+    checkb "respects negation" true (model.(0) mod 4 <> 1);
+    checkb "respects bound" true (model.(0) < 2)
+  | _ -> Alcotest.fail "expected SAT"
+
+let test_interval_check_only () =
+  let impossible =
+    [ atom_lt 0 0; Path_cond.atom (Ir.Binop (Ir.Ge, Ir.Input 0, Ir.Const 0)) true ]
+  in
+  checkb "refutes impossible" true
+    (Interval.check_interval_only ~domain:(-64, 255) ~n_inputs:1 impossible = `Infeasible);
+  checkb "admits possible" true
+    (Interval.check_interval_only ~domain:(-64, 255) ~n_inputs:1 [ atom_lt 0 10 ] = `Feasible)
+
+let prop_interval_models_satisfy =
+  QCheck.Test.make ~name:"interval SAT models satisfy the condition" ~count:150
+    QCheck.small_nat (fun seed ->
+      let rng = Rng.create (seed + 11) in
+      (* Random conjunctions of comparisons and residue constraints. *)
+      let n = 1 + Rng.int rng 3 in
+      let atoms =
+        List.init
+          (1 + Rng.int rng 3)
+          (fun _ ->
+            let slot = Rng.int rng n in
+            match Rng.int rng 3 with
+            | 0 -> atom_lt slot (Rng.int_in rng (-10) 60)
+            | 1 -> atom_mod_eq slot (2 + Rng.int rng 10) (Rng.int rng 5) (Rng.bool rng)
+            | _ -> Path_cond.atom (Ir.Binop (Ir.Ge, Ir.Input slot, Ir.Const (Rng.int_in rng (-30) 30))) true)
+      in
+      match (solve atoms ~n).Interval.verdict with
+      | Interval.Sat model -> Path_cond.satisfied_by atoms model
+      | Interval.Unsat | Interval.Timeout -> true)
+
+let prop_interval_unsat_means_no_model =
+  QCheck.Test.make ~name:"interval UNSAT verified by sweep (1 input)" ~count:60
+    QCheck.small_nat (fun seed ->
+      let rng = Rng.create (seed + 17) in
+      let atoms =
+        List.init 2 (fun _ ->
+            match Rng.int rng 2 with
+            | 0 -> atom_lt 0 (Rng.int_in rng (-20) 20)
+            | _ -> atom_mod_eq 0 (2 + Rng.int rng 6) (Rng.int rng 4) (Rng.bool rng))
+      in
+      match (Interval.solve ~domain:(-20, 40) ~n_inputs:1 atoms).Interval.verdict with
+      | Interval.Unsat ->
+        (* Exhaustive check over the domain. *)
+        not
+          (List.exists
+             (fun v -> Path_cond.satisfied_by atoms [| v |])
+             (List.init 61 (fun k -> k - 20)))
+      | Interval.Sat _ | Interval.Timeout -> true)
+
+(* ---- Portfolio ---------------------------------------------------------- *)
+
+let test_race_picks_fastest_decider () =
+  let fake name steps verdict =
+    { Portfolio.name; execute = (fun _ -> { Portfolio.solver = name; verdict; steps }) }
+  in
+  let f = Cnf.make ~n_vars:1 [ [ 1 ] ] in
+  let result =
+    Portfolio.race
+      [
+        fake "slow" 1000 Portfolio.V_sat;
+        fake "fast" 10 Portfolio.V_sat;
+        fake "lost" 5000 Portfolio.V_unknown;
+      ]
+      f
+  in
+  Alcotest.(check (option string)) "winner" (Some "fast") result.Portfolio.winner;
+  checki "wall steps" 10 result.Portfolio.wall_steps;
+  (* Resources: each member charged min(own, wall) = 10+10+10. *)
+  checki "resource steps" 30 result.Portfolio.resource_steps
+
+let test_race_all_unknown () =
+  let fake name steps =
+    {
+      Portfolio.name;
+      execute = (fun _ -> { Portfolio.solver = name; verdict = Portfolio.V_unknown; steps });
+    }
+  in
+  let f = Cnf.make ~n_vars:1 [ [ 1 ] ] in
+  let result = Portfolio.race [ fake "a" 100; fake "b" 50 ] f in
+  checkb "no winner" true (result.Portfolio.winner = None);
+  checki "wall is max" 100 result.Portfolio.wall_steps;
+  checki "resources are sum" 150 result.Portfolio.resource_steps
+
+let test_standard_three_correct () =
+  let rng = Rng.create 77 in
+  for _ = 1 to 20 do
+    let f = random_formula rng ~n_vars:8 ~n_clauses:18 ~clause_len:3 in
+    let brute = Brute.solve f in
+    let result = Portfolio.race (Portfolio.standard_three ~budget:2_000_000 ~seed:9) f in
+    match (result.Portfolio.verdict, brute) with
+    | Portfolio.V_sat, Brute.Sat _ -> ()
+    | Portfolio.V_unsat, Brute.Unsat -> ()
+    | Portfolio.V_unknown, _ -> ()
+    | Portfolio.V_sat, Brute.Unsat -> Alcotest.fail "portfolio claimed SAT on UNSAT"
+    | Portfolio.V_unsat, Brute.Sat _ -> Alcotest.fail "portfolio claimed UNSAT on SAT"
+  done
+
+let test_portfolio_never_slower_than_winner () =
+  (* The race's own member runs define the single-solver costs (the
+     stochastic members are stateful, so re-executing them would give
+     different step counts). *)
+  let rng = Rng.create 123 in
+  for _ = 1 to 10 do
+    let f = random_formula rng ~n_vars:12 ~n_clauses:40 ~clause_len:3 in
+    let members = Portfolio.standard_three ~budget:2_000_000 ~seed:5 in
+    let result = Portfolio.race members f in
+    let deciders =
+      List.filter
+        (fun (r : Portfolio.run) -> r.Portfolio.verdict <> Portfolio.V_unknown)
+        result.Portfolio.runs
+    in
+    match deciders with
+    | [] -> ()
+    | _ ->
+      let best =
+        List.fold_left (fun acc (r : Portfolio.run) -> min acc r.Portfolio.steps) max_int deciders
+      in
+      checki "wall = best single" best result.Portfolio.wall_steps
+  done
+
+let test_speedup_guard () =
+  checkb "nan on zero" true (Float.is_nan (Portfolio.speedup ~single_steps:10.0 ~portfolio_steps:0.0));
+  Alcotest.(check (float 1e-9)) "ratio" 2.0 (Portfolio.speedup ~single_steps:10.0 ~portfolio_steps:5.0)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "softborg_solver"
+    [
+      ( "cnf",
+        [
+          Alcotest.test_case "eval" `Quick test_cnf_eval;
+          Alcotest.test_case "bad literal" `Quick test_cnf_rejects_bad_literal;
+          Alcotest.test_case "tseitin equisat" `Quick test_tseitin_equisatisfiable;
+          Alcotest.test_case "tseitin constants" `Quick test_tseitin_constants;
+        ] );
+      ( "dpll",
+        [
+          Alcotest.test_case "trivial" `Quick test_dpll_trivial;
+          Alcotest.test_case "empty" `Quick test_dpll_empty_formula;
+          Alcotest.test_case "timeout" `Quick test_dpll_timeout;
+          q prop_dpll_maxocc;
+          q prop_dpll_jw;
+          q prop_dpll_random_branch;
+        ] );
+      ( "walksat",
+        [
+          Alcotest.test_case "finds model" `Quick test_walksat_finds_model;
+          Alcotest.test_case "empty" `Quick test_walksat_empty;
+          Alcotest.test_case "gives up on unsat" `Quick test_walksat_gives_up_on_unsat;
+          q prop_walksat_models_valid;
+        ] );
+      ( "path_cond",
+        [
+          Alcotest.test_case "eval" `Quick test_path_cond_eval;
+          Alcotest.test_case "metadata" `Quick test_path_cond_metadata;
+          Alcotest.test_case "div0 traps" `Quick test_path_cond_div_zero_traps;
+        ] );
+      ( "interval",
+        [
+          Alcotest.test_case "rare residue" `Quick test_interval_finds_rare_residue;
+          Alcotest.test_case "unsat" `Quick test_interval_unsat;
+          Alcotest.test_case "multi input" `Quick test_interval_multi_input;
+          Alcotest.test_case "domain restriction" `Quick test_interval_domain_restriction;
+          Alcotest.test_case "empty condition" `Quick test_interval_empty_condition;
+          Alcotest.test_case "negated atoms" `Quick test_interval_negated_atoms;
+          Alcotest.test_case "check only" `Quick test_interval_check_only;
+          q prop_interval_models_satisfy;
+          q prop_interval_unsat_means_no_model;
+        ] );
+      ( "portfolio",
+        [
+          Alcotest.test_case "picks fastest" `Quick test_race_picks_fastest_decider;
+          Alcotest.test_case "all unknown" `Quick test_race_all_unknown;
+          Alcotest.test_case "standard three correct" `Quick test_standard_three_correct;
+          Alcotest.test_case "wall equals best" `Quick test_portfolio_never_slower_than_winner;
+          Alcotest.test_case "speedup guard" `Quick test_speedup_guard;
+        ] );
+    ]
