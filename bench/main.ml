@@ -31,6 +31,8 @@ module Immunity = Softborg_conc.Immunity
 module Schedule_explore = Softborg_conc.Schedule_explore
 module Hive = Softborg_hive.Hive
 module Knowledge = Softborg_hive.Knowledge
+module Trace_store = Softborg_hive.Trace_store
+module Ids = Softborg_util.Ids
 module Fixgen = Softborg_hive.Fixgen
 module Isolate = Softborg_hive.Isolate
 module Prover = Softborg_hive.Prover
@@ -965,6 +967,193 @@ let micro () =
     [ col "benchmark"; rcol "ns/run"; rcol "us/run" ]
     (List.sort compare !rows)
 
+(* ==================================================================== *)
+(* micro-ingest: the fleet-scale ingestion hot paths — tree merging,    *)
+(* the per-tick change-detection query (incremental vs recompute        *)
+(* oracle), store admission, and the wire round-trip.  Emits machine-   *)
+(* readable results to BENCH_ingest.json for the perf trajectory.       *)
+(* ==================================================================== *)
+
+(* Skewed synthetic workload: one branch site per depth with a biased
+   direction, so prefixes share heavily — the popularity skew of a real
+   user population. *)
+let synthetic_path rng =
+  let len = Rng.int_in rng 12 24 in
+  List.init len (fun d -> ({ Ir.thread = 0; pc = d }, Rng.bernoulli rng 0.8))
+
+let synthetic_tree ~paths =
+  let rng = Rng.create 42 in
+  let tree = Exec_tree.create () in
+  for _ = 1 to paths do
+    ignore (Exec_tree.add_path tree (synthetic_path rng) Outcome.Success)
+  done;
+  tree
+
+let synthetic_trace rng =
+  let bits = Bitvec.create () in
+  let n = Rng.int_in rng 8 48 in
+  for _ = 1 to n do
+    Bitvec.push bits (Rng.bool rng)
+  done;
+  {
+    Trace.trace_id = Ids.Trace_id.fresh ();
+    program_digest = "bench-ingest";
+    pod = Rng.int_in rng 0 1000;
+    bits;
+    n_decisions = n;
+    schedule = [];
+    syscalls = [];
+    outcome = Outcome.Success;
+    steps = n * 3;
+    fix_epoch = 0;
+  }
+
+(* Run one Bechamel batch and return (name, ns/run) pairs. *)
+let ns_per_run ~quota ~limit tests =
+  let open Bechamel in
+  let open Toolkit in
+  let grouped = Test.make_grouped ~name:"ingest" tests in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let cfg = Benchmark.cfg ~limit ~quota:(Time.second quota) () in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] grouped in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.fold
+    (fun name ols_result acc ->
+      let estimate =
+        match Analyze.OLS.estimates ols_result with Some (e :: _) -> e | _ -> Float.nan
+      in
+      (name, estimate) :: acc)
+    results []
+
+let micro_ingest ?(smoke = false) () =
+  heading
+    (if smoke then "micro-ingest (smoke: tiny iteration counts, no JSON)"
+     else "micro-ingest: single-pass ingestion & O(1) tree analytics");
+  let sizes = if smoke then [ 1_000 ] else [ 10_000; 100_000 ] in
+  let quota = if smoke then 0.02 else 0.75 in
+  let limit = if smoke then 10 else 300 in
+  let label n = if n >= 1000 then Printf.sprintf "%dk" (n / 1000) else string_of_int n in
+  let all_results = ref [] in
+  List.iter
+    (fun n ->
+      let s = label n in
+      let tree = synthetic_tree ~paths:n in
+      (* Sanity oracle checks at this scale — this is what makes the
+         bench-smoke alias catch aggregate bit-rot, not just compile
+         errors. *)
+      assert (Exec_tree.frontier_size tree = List.length (Exec_tree.frontier_recompute tree));
+      assert (Exec_tree.n_edges tree = Exec_tree.n_edges_recompute tree);
+      assert (Exec_tree.is_complete tree = Exec_tree.is_complete_recompute tree);
+      let store = Trace_store.create () in
+      let preload_rng = Rng.create 77 in
+      for _ = 1 to n do
+        ignore (Trace_store.admit store (synthetic_trace preload_rng))
+      done;
+      let pool =
+        let rng = Rng.create 1234 in
+        Array.init 1024 (fun _ -> synthetic_trace rng)
+      in
+      let pool_i = ref 0 in
+      let add_tree = synthetic_tree ~paths:(min n 1_000) in
+      let add_rng = Rng.create 5 in
+      let open Bechamel in
+      let tests =
+        [
+          Test.make
+            ~name:(Printf.sprintf "tick-query-incr-%s" s)
+            (Staged.stage (fun () ->
+                 ignore (Exec_tree.frontier_size tree);
+                 ignore (Exec_tree.completeness tree)));
+          Test.make
+            ~name:(Printf.sprintf "tick-query-oracle-%s" s)
+            (Staged.stage (fun () ->
+                 ignore (List.length (Exec_tree.frontier_recompute tree));
+                 ignore (Exec_tree.completeness_recompute tree)));
+          Test.make
+            ~name:(Printf.sprintf "frontier-list-%s" s)
+            (Staged.stage (fun () -> ignore (Exec_tree.frontier tree)));
+          Test.make
+            ~name:(Printf.sprintf "add-path-%s" s)
+            (Staged.stage (fun () ->
+                 ignore (Exec_tree.add_path add_tree (synthetic_path add_rng) Outcome.Success)));
+          Test.make
+            ~name:(Printf.sprintf "store-admit-%s" s)
+            (Staged.stage (fun () ->
+                 incr pool_i;
+                 ignore (Trace_store.admit store pool.(!pool_i land 1023))));
+        ]
+      in
+      all_results := !all_results @ ns_per_run ~quota ~limit tests)
+    sizes;
+  (* Wire round-trip (size-independent). *)
+  let parser_run = run_once Corpus.parser [| 7; 13; 4 |] in
+  let parser_trace =
+    Trace.of_result ~program_digest:(Ir.digest Corpus.parser) ~pod:1 ~fix_epoch:0 parser_run
+  in
+  let encoded = Wire.encode parser_trace in
+  let open Bechamel in
+  all_results :=
+    !all_results
+    @ ns_per_run ~quota ~limit
+        [
+          Test.make ~name:"wire-encode"
+            (Staged.stage (fun () -> ignore (Wire.encode parser_trace)));
+          Test.make ~name:"wire-decode"
+            (Staged.stage (fun () -> ignore (Wire.decode encoded)));
+          Test.make ~name:"wire-roundtrip"
+            (Staged.stage (fun () ->
+                 ignore (Wire.decode (Wire.encode parser_trace))));
+        ];
+  let results = List.sort compare !all_results in
+  Tabular.print ~title:"ingestion hot paths"
+    [ col "benchmark"; rcol "ns/run"; rcol "us/run" ]
+    (List.map
+       (fun (name, ns) ->
+         [ name; fmt_f ~decimals:0 ns; fmt_f ~decimals:2 (ns /. 1000.0) ])
+       results);
+  let find suffix =
+    List.find_opt
+      (fun (name, _) ->
+        let ls = String.length suffix and ln = String.length name in
+        ln >= ls && String.sub name (ln - ls) ls = suffix)
+      results
+  in
+  let big = label (List.fold_left max 0 sizes) in
+  let speedup =
+    match (find ("tick-query-oracle-" ^ big), find ("tick-query-incr-" ^ big)) with
+    | Some (_, oracle), Some (_, incr)
+      when incr > 0.0 && Float.is_finite oracle && Float.is_finite incr ->
+      Some (oracle, incr, oracle /. incr)
+    | _ -> None
+  in
+  (match speedup with
+  | Some (oracle, incr, sp) ->
+    Printf.printf
+      "tick-query speedup at %s executions: %.0fx (oracle %.0f ns vs incremental %.0f ns)\n" big
+      sp oracle incr
+  | None -> Printf.printf "tick-query speedup at %s: estimate unavailable\n" big);
+  if not smoke then begin
+    let oc = open_out "BENCH_ingest.json" in
+    Printf.fprintf oc "{\n  \"suite\": \"micro-ingest\",\n";
+    (match speedup with
+    | Some (oracle, incr, sp) ->
+      Printf.fprintf oc
+        "  \"tick_query\": { \"at\": %S, \"oracle_ns\": %.1f, \"incremental_ns\": %.1f, \"speedup\": %.1f },\n"
+        big oracle incr sp
+    | None -> ());
+    Printf.fprintf oc "  \"results\": [\n";
+    let last = List.length results - 1 in
+    List.iteri
+      (fun i (name, ns) ->
+        Printf.fprintf oc "    { \"name\": %S, \"ns_per_run\": %.1f }%s\n" name
+          (if Float.is_finite ns then ns else 0.0)
+          (if i = last then "" else ","))
+      results;
+    Printf.fprintf oc "  ]\n}\n";
+    close_out oc;
+    Printf.printf "wrote BENCH_ingest.json\n"
+  end
+
 let experiments =
   [
     ("e1", "reliability grows with use (Fig 1)", e1);
@@ -979,6 +1168,10 @@ let experiments =
     ("e10", "portfolio allocation", e10);
     ("e11", "cumulative proofs", e11);
     ("micro", "hot-path micro-benchmarks", micro);
+    ("micro-ingest", "ingestion/analytics benchmarks (writes BENCH_ingest.json)", fun () ->
+      micro_ingest ());
+    ("micro-ingest-smoke", "tiny micro-ingest run for @bench-smoke", fun () ->
+      micro_ingest ~smoke:true ());
   ]
 
 let () =

@@ -73,7 +73,7 @@ type t = {
      pod are not re-planned, and proofs are only re-attempted when the
      knowledge actually changed. *)
   issued_guidance : (string, (Ir.site * bool) list ref) Hashtbl.t;
-  proof_state : (string, int * int * int) Hashtbl.t;  (* paths, epoch, frontier *)
+  proof_state : (string, int * int) Hashtbl.t;  (* tree version, epoch *)
   mutable traces_received : int;
   mutable messages_received : int;
   mutable analysis_ticks : int;
@@ -204,10 +204,11 @@ let has_valid_proof k property =
     (fun (p : Prover.proof) -> p.Prover.valid && p.Prover.property = property)
     (Knowledge.proofs k)
 
-let knowledge_state k =
-  ( Exec_tree.n_distinct_paths (Knowledge.tree k),
-    Knowledge.epoch k,
-    List.length (Exec_tree.frontier (Knowledge.tree k)) )
+(* The tree version counts every knowledge-changing mutation (new
+   distinct path, gap proven infeasible), so "did anything change since
+   the last tick?" is two integer compares — no tree walk, no frontier
+   materialization. *)
+let knowledge_state k = (Exec_tree.version (Knowledge.tree k), Knowledge.epoch k)
 
 let prove_tick t k =
   let program = Knowledge.program k in

@@ -8,6 +8,7 @@ module Deadlock = Softborg_conc.Deadlock
 module Immunity = Softborg_conc.Immunity
 module Sym_exec = Softborg_symexec.Sym_exec
 module Path_cond = Softborg_solver.Path_cond
+module Lru = Softborg_util.Lru
 
 type crash_bucket = {
   site : Ir.site;
@@ -31,9 +32,13 @@ type t = {
   mutable failures : int;
   mutable replay_errors : int;
   mutable proofs : Prover.proof list;
+  (* Decoded-trace cache: content key -> reconstruction.  Duplicate
+     uploads (the common case at fleet scale) skip the replay. *)
+  replay_cache : (string, Interp.reconstruction) Lru.t option;
+  mutable replay_cache_hits : int;
 }
 
-let create program =
+let create ?(replay_cache = 256) program =
   {
     program;
     digest = Ir.digest program;
@@ -50,6 +55,8 @@ let create program =
     failures = 0;
     replay_errors = 0;
     proofs = [];
+    replay_cache = (if replay_cache <= 0 then None else Some (Lru.create replay_cache));
+    replay_cache_hits = 0;
   }
 
 let program t = t.program
@@ -62,6 +69,7 @@ let proofs t = t.proofs
 let traces_ingested t = t.traces_ingested
 let failures_observed t = t.failures
 let replay_errors t = t.replay_errors
+let replay_cache_hits t = t.replay_cache_hits
 
 let hooks_for_epoch t target_epoch = Fixgen.runtime_hooks ~epoch:target_epoch t.fixes
 
@@ -98,28 +106,40 @@ let record_failure t (outcome : Outcome.t) =
 
 let store t = t.store
 
+let merge_reconstruction t (trace : Trace.t) ({ Interp.decisions; locks } : Interp.reconstruction) =
+  ignore (Exec_tree.add_path t.tree decisions trace.Trace.outcome);
+  Deadlock.observe t.deadlocks ~outcome:trace.Trace.outcome ~locks;
+  Isolate.record_path t.isolate ~full_path:decisions ~outcome:trace.Trace.outcome
+
 let ingest_trace t (trace : Trace.t) =
   t.traces_ingested <- t.traces_ingested + 1;
-  ignore (Trace_store.admit t.store trace);
+  let content_key, _ = Trace_store.admit_keyed t.store trace in
   record_failure t trace.Trace.outcome;
   if trace.Trace.steps = 0 && trace.Trace.n_decisions = 0 then
     (* Outcome-only disclosure: nothing to replay or merge. *)
     Ok ()
   else
-  let hooks = hooks_for_epoch t trace.Trace.fix_epoch in
-  match
-    Interp.reconstruct ~hooks ~program:t.program ~bits:trace.Trace.bits
-      ~schedule:trace.Trace.schedule ~total_decisions:trace.Trace.n_decisions
-      ~total_steps:trace.Trace.steps ()
-  with
-  | Ok { Interp.decisions; locks } ->
-    ignore (Exec_tree.add_path t.tree decisions trace.Trace.outcome);
-    Deadlock.observe t.deadlocks ~outcome:trace.Trace.outcome ~locks;
-    Isolate.record_path t.isolate ~full_path:decisions ~outcome:trace.Trace.outcome;
-    Ok ()
-  | Error msg ->
-    t.replay_errors <- t.replay_errors + 1;
-    Error msg
+    match Option.bind t.replay_cache (fun cache -> Lru.find cache content_key) with
+    | Some reconstruction ->
+      (* Same content already replayed: skip the wire/replay round-trip
+         and merge the cached decision sequence directly. *)
+      t.replay_cache_hits <- t.replay_cache_hits + 1;
+      merge_reconstruction t trace reconstruction;
+      Ok ()
+    | None -> (
+      let hooks = hooks_for_epoch t trace.Trace.fix_epoch in
+      match
+        Interp.reconstruct ~hooks ~program:t.program ~bits:trace.Trace.bits
+          ~schedule:trace.Trace.schedule ~total_decisions:trace.Trace.n_decisions
+          ~total_steps:trace.Trace.steps ()
+      with
+      | Ok reconstruction ->
+        Option.iter (fun cache -> Lru.add cache content_key reconstruction) t.replay_cache;
+        merge_reconstruction t trace reconstruction;
+        Ok ()
+      | Error msg ->
+        t.replay_errors <- t.replay_errors + 1;
+        Error msg)
 
 let ingest_sampled t sampled =
   t.traces_ingested <- t.traces_ingested + 1;
@@ -152,6 +172,10 @@ let bucket_counts t =
 
 let bump_epoch t =
   t.epoch <- t.epoch + 1;
+  (* Replay depends on the hooks in force at a trace's fix epoch; a new
+     epoch can change the hook set, so cached reconstructions are
+     dropped rather than risked. *)
+  Option.iter Lru.clear t.replay_cache;
   ignore (Prover.invalidate t.proofs ~current_epoch:t.epoch)
 
 let analyze ?symexec_config t =

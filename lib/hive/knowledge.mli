@@ -18,7 +18,11 @@ module Path_cond := Softborg_solver.Path_cond
 
 type t
 
-val create : Ir.t -> t
+val create : ?replay_cache:int -> Ir.t -> t
+(** [replay_cache] (default 256) bounds the decoded-trace LRU that
+    lets {!ingest_trace} skip the replay for content the hive has
+    already reconstructed; pass 0 to disable caching entirely. *)
+
 val program : t -> Ir.t
 val digest : t -> string
 val tree : t -> Exec_tree.t
@@ -32,6 +36,10 @@ val proofs : t -> Prover.proof list
 val traces_ingested : t -> int
 val failures_observed : t -> int
 val replay_errors : t -> int
+
+val replay_cache_hits : t -> int
+(** Ingestions that skipped {!Softborg_exec.Interp.reconstruct} because
+    the decoded-trace cache already held the reconstruction. *)
 
 val hooks_for_epoch : t -> int -> Interp.hooks
 (** The runtime instrumentation (deadlock immunity + crash

@@ -25,7 +25,7 @@ let render k =
     (Printf.sprintf "distinct paths: %d | nodes: %d | completeness: %.1f%% | open gaps: %d\n"
        (Exec_tree.n_distinct_paths tree) (Exec_tree.n_nodes tree)
        (100.0 *. Exec_tree.completeness tree)
-       (List.length (Exec_tree.frontier tree)));
+       (Exec_tree.frontier_size tree));
   let store = Knowledge.store k in
   buf_add buffer
     (Printf.sprintf "trace store: %d distinct contents for %d uploads (dedup %.1fx)\n"

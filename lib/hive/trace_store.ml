@@ -17,32 +17,44 @@ type t = {
 let create () =
   { entries = Hashtbl.create 64; received = 0; bytes_received = 0; bytes_stored = 0 }
 
-(* Content digest: everything except the per-upload identifiers (trace
-   id and reporting pod) — two pods reporting the same execution
+(* Content digest input: everything except the per-upload identifiers
+   (trace id and reporting pod) — two pods reporting the same execution
    content deduplicate. *)
-let content_key (trace : Trace.t) =
-  let canonical =
-    { trace with Trace.trace_id = Softborg_util.Ids.Trace_id.of_int 0; pod = 0 }
-  in
-  Digest.to_hex (Digest.string (Wire.encode canonical))
+let encode_content (trace : Trace.t) =
+  Wire.encode { trace with Trace.trace_id = Softborg_util.Ids.Trace_id.of_int 0; pod = 0 }
+
+let content_key trace = Digest.to_hex (Digest.string (encode_content trace))
+
+(* Length of the varint encoding of [n] without writing it. *)
+let varint_len n =
+  let rec loop n acc = if n < 0x80 then acc else loop (n lsr 7) (acc + 1) in
+  loop n 1
 
 type admission =
   | Novel
   | Duplicate of int
 
-let admit t trace =
-  let key = content_key trace in
-  let size = String.length (Wire.encode trace) in
+let admit_keyed t (trace : Trace.t) =
+  (* Single-pass admission: one encode serves both the content digest
+     and the byte accounting.  The canonical buffer differs from the
+     pod's actual upload only in the pod varint (a zero, one byte), so
+     the wire size is recovered arithmetically instead of encoding the
+     trace a second time. *)
+  let encoded = encode_content trace in
+  let key = Digest.to_hex (Digest.string encoded) in
+  let size = String.length encoded - 1 + varint_len trace.Trace.pod in
   t.received <- t.received + 1;
   t.bytes_received <- t.bytes_received + size;
   match Hashtbl.find_opt t.entries key with
   | Some entry ->
     entry.count <- entry.count + 1;
-    Duplicate entry.count
+    (key, Duplicate entry.count)
   | None ->
     Hashtbl.replace t.entries key { count = 1; size };
     t.bytes_stored <- t.bytes_stored + size;
-    Novel
+    (key, Novel)
+
+let admit t trace = snd (admit_keyed t trace)
 
 let distinct t = Hashtbl.length t.entries
 let received t = t.received

@@ -19,7 +19,18 @@ type admission =
   | Duplicate of int  (** Seen before; the new multiplicity. *)
 
 val admit : t -> Trace.t -> admission
-(** Record one uploaded trace. *)
+(** Record one uploaded trace.  Encodes the trace exactly once: the
+    content digest and the wire-byte accounting come from the same
+    buffer. *)
+
+val admit_keyed : t -> Trace.t -> string * admission
+(** Like {!admit}, but also returns the content key so callers (e.g.
+    the knowledge replay cache) can reuse it without re-encoding. *)
+
+val content_key : Trace.t -> string
+(** The content digest {!admit} files the trace under: a hex digest of
+    the wire encoding with the per-upload identifiers (trace id, pod)
+    zeroed out. *)
 
 val distinct : t -> int
 (** Distinct execution contents stored. *)

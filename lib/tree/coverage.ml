@@ -16,7 +16,7 @@ let observe t tree =
       executions = Exec_tree.n_executions tree;
       distinct_paths = Exec_tree.n_distinct_paths tree;
       nodes = Exec_tree.n_nodes tree;
-      frontier_size = List.length (Exec_tree.frontier tree);
+      frontier_size = Exec_tree.frontier_size tree;
       completeness = Exec_tree.completeness tree;
     }
   in

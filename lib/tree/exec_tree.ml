@@ -10,6 +10,7 @@ module Edge_key = struct
 end
 
 module Edge_map = Map.Make (Edge_key)
+module Edge_set = Set.Make (Edge_key)
 
 module Site_key = struct
   type t = Ir.site
@@ -18,39 +19,113 @@ module Site_key = struct
 end
 
 module Site_set = Set.Make (Site_key)
-module Site_map = Map.Make (Site_key)
+module Bucket_map = Map.Make (String)
 
 type node = {
+  id : int;  (* per-tree identity; keys the open-gap table *)
+  depth : int;
+  parent : (node * Edge_map.key) option;  (* [None] only for the root *)
   mutable edges : (node * int ref) Edge_map.t;  (* child, traversal count *)
-  mutable infeasible : Edge_map.key list;  (* directions proven infeasible *)
+  mutable infeasible : Edge_set.t;  (* directions proven infeasible *)
   mutable hits : int;
-  mutable terminal : (string * int) list;  (* outcome bucket -> count *)
+  mutable terminal : int Bucket_map.t;  (* outcome bucket -> count *)
 }
+
+type gap_key = int * Ir.site * bool  (* node id, site, missing direction *)
 
 type t = {
   root : node;
   mutable nodes : int;
   mutable executions : int;
   mutable distinct_paths : int;
+  mutable next_id : int;
+  (* Incremental aggregates, maintained by add_path/mark_infeasible so
+     the per-tick queries never walk the tree.  Invariants (checked
+     against the *_recompute oracles by the property tests):
+       edges       = sum over nodes of out-degree
+       max_depth   = depth of the deepest node
+       total_dirs  = 2 x number of (node, observed site) pairs
+       closed_dirs = directions among those that are explored or
+                     proven infeasible
+       open_gaps   = exactly the (node, site, direction) triples with
+                     the site observed at the node but that direction
+                     neither explored nor infeasible
+       bucket_totals = terminal counts summed over all nodes *)
+  mutable edge_count : int;
+  mutable max_depth : int;
+  mutable closed_dirs : int;
+  mutable total_dirs : int;
+  bucket_totals : (string, int) Hashtbl.t;
+  open_gaps : (gap_key, node) Hashtbl.t;
+  mutable version : int;  (* bumped on every knowledge-changing mutation *)
 }
 
-let new_node () = { edges = Edge_map.empty; infeasible = []; hits = 0; terminal = [] }
+let new_node t parent decision =
+  t.next_id <- t.next_id + 1;
+  {
+    id = t.next_id;
+    depth = parent.depth + 1;
+    parent = Some (parent, decision);
+    edges = Edge_map.empty;
+    infeasible = Edge_set.empty;
+    hits = 0;
+    terminal = Bucket_map.empty;
+  }
 
-let create () = { root = new_node (); nodes = 1; executions = 0; distinct_paths = 0 }
-
-let bump_bucket assoc key =
-  let rec loop = function
-    | [] -> [ (key, 1) ]
-    | (k, n) :: rest when String.equal k key -> (k, n + 1) :: rest
-    | pair :: rest -> pair :: loop rest
-  in
-  loop assoc
+let create () =
+  {
+    root =
+      {
+        id = 0;
+        depth = 0;
+        parent = None;
+        edges = Edge_map.empty;
+        infeasible = Edge_set.empty;
+        hits = 0;
+        terminal = Bucket_map.empty;
+      };
+    nodes = 1;
+    executions = 0;
+    distinct_paths = 0;
+    next_id = 0;
+    edge_count = 0;
+    max_depth = 0;
+    closed_dirs = 0;
+    total_dirs = 0;
+    bucket_totals = Hashtbl.create 16;
+    open_gaps = Hashtbl.create 64;
+    version = 0;
+  }
 
 type merge_stats = {
   shared_depth : int;
   new_nodes : int;
   new_path : bool;
 }
+
+(* Aggregate bookkeeping for a brand-new edge [(site, dir)] out of
+   [node], called before the edge is inserted.  Every new edge closes
+   its own direction; the first edge of a site additionally opens the
+   opposite direction as a gap — unless that direction was already
+   proven infeasible, in which case it starts closed. *)
+let account_new_edge t node ((site, dir) : Edge_map.key) =
+  t.edge_count <- t.edge_count + 1;
+  if Edge_map.mem (site, not dir) node.edges then begin
+    (* Site already observed here: this direction was the open half
+       (or was infeasible, in which case it is already closed). *)
+    if not (Edge_set.mem (site, dir) node.infeasible) then begin
+      t.closed_dirs <- t.closed_dirs + 1;
+      Hashtbl.remove t.open_gaps (node.id, site, dir)
+    end
+  end
+  else begin
+    (* First observation of this site at this node. *)
+    t.total_dirs <- t.total_dirs + 2;
+    t.closed_dirs <- t.closed_dirs + 1;
+    if Edge_set.mem (site, not dir) node.infeasible then
+      t.closed_dirs <- t.closed_dirs + 1
+    else Hashtbl.replace t.open_gaps (node.id, site, not dir) node
+  end
 
 let add_path t path outcome =
   t.executions <- t.executions + 1;
@@ -59,10 +134,19 @@ let add_path t path outcome =
     match remaining with
     | [] ->
       let bucket = Outcome.bucket_key outcome in
-      let fresh_terminal = not (List.mem_assoc bucket node.terminal) in
-      node.terminal <- bump_bucket node.terminal bucket;
+      let fresh_terminal = not (Bucket_map.mem bucket node.terminal) in
+      node.terminal <-
+        Bucket_map.update bucket
+          (fun c -> Some (1 + Option.value ~default:0 c))
+          node.terminal;
+      Hashtbl.replace t.bucket_totals bucket
+        (1 + Option.value ~default:0 (Hashtbl.find_opt t.bucket_totals bucket));
+      if node.depth > t.max_depth then t.max_depth <- node.depth;
       let new_path = created > 0 || fresh_terminal in
-      if new_path then t.distinct_paths <- t.distinct_paths + 1;
+      if new_path then begin
+        t.distinct_paths <- t.distinct_paths + 1;
+        t.version <- t.version + 1
+      end;
       { shared_depth = shared; new_nodes = created; new_path }
     | decision :: rest -> (
       match Edge_map.find_opt decision node.edges with
@@ -70,7 +154,8 @@ let add_path t path outcome =
         incr count;
         walk child rest (if created = 0 then shared + 1 else shared) created
       | None ->
-        let child = new_node () in
+        account_new_edge t node decision;
+        let child = new_node t node decision in
         t.nodes <- t.nodes + 1;
         node.edges <- Edge_map.add decision (child, ref 1) node.edges;
         walk child rest shared (created + 1))
@@ -80,26 +165,57 @@ let add_path t path outcome =
 let n_nodes t = t.nodes
 let n_executions t = t.executions
 let n_distinct_paths t = t.distinct_paths
+let n_edges t = t.edge_count
+let depth t = t.max_depth
+let version t = t.version
 
-let rec fold_nodes f acc node =
-  let acc = f acc node in
-  Edge_map.fold (fun _ (child, _) acc -> fold_nodes f acc child) node.edges acc
+(* Depth-first fold over all nodes via an explicit worklist, so deep
+   trees cannot blow the stack.  Visit order is unspecified. *)
+let fold_nodes f acc root =
+  let rec go acc = function
+    | [] -> acc
+    | node :: stack ->
+      let stack =
+        Edge_map.fold (fun _ (child, _) stack -> child :: stack) node.edges stack
+      in
+      go (f acc node) stack
+  in
+  go acc [ root ]
 
-let n_edges t = fold_nodes (fun acc node -> acc + Edge_map.cardinal node.edges) 0 t.root
+let n_edges_recompute t =
+  fold_nodes (fun acc node -> acc + Edge_map.cardinal node.edges) 0 t.root
+
+let depth_recompute t =
+  let rec go acc = function
+    | [] -> acc
+    | (node, d) :: stack ->
+      let stack =
+        Edge_map.fold (fun _ (child, _) stack -> (child, d + 1) :: stack) node.edges stack
+      in
+      go (max acc d) stack
+  in
+  go 0 [ (t.root, 0) ]
+
+(* Buckets sorted by count (descending), ties by key, so the
+   incremental and recompute versions agree exactly. *)
+let bucket_order (k1, n1) (k2, n2) =
+  match Int.compare n2 n1 with 0 -> String.compare k1 k2 | c -> c
 
 let outcome_buckets t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.bucket_totals []
+  |> List.sort bucket_order
+
+let outcome_buckets_recompute t =
   let table = Hashtbl.create 16 in
-  ignore
-    (fold_nodes
-       (fun () node ->
-         List.iter
-           (fun (bucket, count) ->
-             let prev = Option.value ~default:0 (Hashtbl.find_opt table bucket) in
-             Hashtbl.replace table bucket (prev + count))
-           node.terminal)
-       () t.root);
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) table []
-  |> List.sort (fun (_, a) (_, b) -> Int.compare b a)
+  fold_nodes
+    (fun () node ->
+      Bucket_map.iter
+        (fun bucket count ->
+          let prev = Option.value ~default:0 (Hashtbl.find_opt table bucket) in
+          Hashtbl.replace table bucket (prev + count))
+        node.terminal)
+    () t.root;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) table [] |> List.sort bucket_order
 
 type gap = {
   prefix : (Ir.site * bool) list;
@@ -114,27 +230,51 @@ let sites_at node =
 
 let has_edge node site direction = Edge_map.mem (site, direction) node.edges
 
-let marked_infeasible node site direction =
-  List.exists (fun (s, d) -> Ir.site_equal s site && d = direction) node.infeasible
+let marked_infeasible node site direction = Edge_set.mem (site, direction) node.infeasible
 
-let gaps_at node prefix =
-  Site_set.fold
-    (fun site acc ->
-      let missing direction =
-        (not (has_edge node site direction)) && not (marked_infeasible node site direction)
-      in
-      let acc = if missing true then { prefix; site; missing = true; hits = node.hits } :: acc else acc in
-      if missing false then { prefix; site; missing = false; hits = node.hits } :: acc else acc)
-    (sites_at node) []
+(* Root-to-node decision sequence, reconstructed from parent links. *)
+let prefix_of node =
+  let rec up node acc =
+    match node.parent with None -> acc | Some (p, decision) -> up p (decision :: acc)
+  in
+  up node []
+
+(* Hottest nodes first; ties broken structurally so the order is a
+   deterministic total order (and oracle comparison is exact). *)
+let gap_order (a : gap) (b : gap) =
+  match Int.compare b.hits a.hits with 0 -> Stdlib.compare a b | c -> c
 
 let frontier t =
-  let rec collect node prefix_rev acc =
-    let acc = gaps_at node (List.rev prefix_rev) @ acc in
-    Edge_map.fold
-      (fun decision (child, _) acc -> collect child (decision :: prefix_rev) acc)
-      node.edges acc
-  in
-  collect t.root [] [] |> List.sort (fun a b -> Int.compare b.hits a.hits)
+  Hashtbl.fold
+    (fun (_, site, missing) node acc ->
+      { prefix = prefix_of node; site; missing; hits = node.hits } :: acc)
+    t.open_gaps []
+  |> List.sort gap_order
+
+let frontier_size t = Hashtbl.length t.open_gaps
+
+(* Gaps at one node, consed onto [acc] (accumulator-first: no list
+   append anywhere on this path). *)
+let gaps_into node acc =
+  let sites = sites_at node in
+  if Site_set.is_empty sites then acc
+  else
+    let prefix = prefix_of node in
+    Site_set.fold
+      (fun site acc ->
+        let missing direction =
+          (not (has_edge node site direction)) && not (marked_infeasible node site direction)
+        in
+        let acc =
+          if missing true then { prefix; site; missing = true; hits = node.hits } :: acc
+          else acc
+        in
+        if missing false then { prefix; site; missing = false; hits = node.hits } :: acc
+        else acc)
+      sites acc
+
+let frontier_recompute t =
+  fold_nodes (fun acc node -> gaps_into node acc) [] t.root |> List.sort gap_order
 
 let find_node t prefix =
   let rec walk node = function
@@ -150,13 +290,32 @@ let mark_infeasible t ~prefix ~site ~direction =
   match find_node t prefix with
   | None -> false
   | Some node ->
-    if not (marked_infeasible node site direction) then
-      node.infeasible <- (site, direction) :: node.infeasible;
+    if not (Edge_set.mem (site, direction) node.infeasible) then begin
+      node.infeasible <- Edge_set.add (site, direction) node.infeasible;
+      (* The mark only closes a direction pair if the site is already
+         observed at this node and the direction unexplored; marks on
+         unobserved sites take effect when the site gains an edge. *)
+      let site_observed =
+        Edge_map.mem (site, true) node.edges || Edge_map.mem (site, false) node.edges
+      in
+      if site_observed && not (Edge_map.mem (site, direction) node.edges) then begin
+        t.closed_dirs <- t.closed_dirs + 1;
+        Hashtbl.remove t.open_gaps (node.id, site, direction);
+        t.version <- t.version + 1
+      end
+    end;
     true
 
-(* Direction-pair accounting: for every (node, observed site), each of
-   the two directions is "closed" if explored or proven infeasible. *)
-let direction_pairs t =
+let completeness t =
+  if t.total_dirs = 0 then 1.0
+  else float_of_int t.closed_dirs /. float_of_int t.total_dirs
+
+let is_complete t = t.closed_dirs = t.total_dirs
+
+(* Direction-pair accounting by full walk: for every (node, observed
+   site), each of the two directions is "closed" if explored or proven
+   infeasible. *)
+let direction_pairs_recompute t =
   fold_nodes
     (fun (closed, total) node ->
       Site_set.fold
@@ -164,34 +323,26 @@ let direction_pairs t =
           let closed_dir direction =
             has_edge node site direction || marked_infeasible node site direction
           in
-          let closed = closed + (if closed_dir true then 1 else 0) + if closed_dir false then 1 else 0 in
+          let closed =
+            closed + (if closed_dir true then 1 else 0) + if closed_dir false then 1 else 0
+          in
           (closed, total + 2))
         (sites_at node) (closed, total))
     (0, 0) t.root
 
-let completeness t =
-  let closed, total = direction_pairs t in
+let completeness_recompute t =
+  let closed, total = direction_pairs_recompute t in
   if total = 0 then 1.0 else float_of_int closed /. float_of_int total
 
-let is_complete t =
-  let closed, total = direction_pairs t in
+let is_complete_recompute t =
+  let closed, total = direction_pairs_recompute t in
   closed = total
 
 let path_outcomes t =
-  let rec collect node prefix_rev acc =
-    let acc =
-      List.fold_left
-        (fun acc (bucket, count) -> (List.rev prefix_rev, bucket, count) :: acc)
-        acc node.terminal
-    in
-    Edge_map.fold
-      (fun decision (child, _) acc -> collect child (decision :: prefix_rev) acc)
-      node.edges acc
-  in
-  List.rev (collect t.root [] [])
-
-let depth t =
-  let rec go node =
-    Edge_map.fold (fun _ (child, _) acc -> max acc (1 + go child)) node.edges 0
-  in
-  go t.root
+  fold_nodes
+    (fun acc node ->
+      if Bucket_map.is_empty node.terminal then acc
+      else
+        let prefix = prefix_of node in
+        Bucket_map.fold (fun bucket count acc -> (prefix, bucket, count) :: acc) node.terminal acc)
+    [] t.root

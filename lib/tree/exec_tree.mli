@@ -12,7 +12,14 @@
     branch site and direction taken.  Under multi-threaded programs the
     same prefix can be followed by different branch sites (the schedule
     weaves different executions, §3.2), so a node may carry edges for
-    more than one site. *)
+    more than one site.
+
+    All per-tick analytics ({!n_edges}, {!depth}, {!outcome_buckets},
+    {!frontier_size}, {!completeness}, {!is_complete}) are answered
+    from aggregates maintained incrementally inside {!add_path} and
+    {!mark_infeasible} — they never walk the tree.  Each query has a
+    [*_recompute] twin that {e does} walk the tree; the twins are the
+    test oracles for the incremental bookkeeping and are O(nodes). *)
 
 module Ir := Softborg_prog.Ir
 module Outcome := Softborg_exec.Outcome
@@ -38,8 +45,15 @@ val n_executions : t -> int
 val n_distinct_paths : t -> int
 val n_edges : t -> int
 
+val version : t -> int
+(** Monotonic change counter: bumped whenever the tree's knowledge
+    changes — a new distinct path is merged or a gap is closed by
+    {!mark_infeasible}.  Duplicate paths do {e not} bump it, so "did
+    anything change since the last tick?" is one integer compare. *)
+
 val outcome_buckets : t -> (string * int) list
-(** WER-style bucket key → execution count, over all merged paths. *)
+(** WER-style bucket key → execution count, over all merged paths.
+    Sorted by count descending, ties by key. *)
 
 (** A gap in the tree: a node reached [hits] times whose branch [site]
     has only been observed going one way.  [prefix] is the decision
@@ -55,7 +69,11 @@ type gap = {
 
 val frontier : t -> gap list
 (** All gaps, most-frequently-reached nodes first.  Gaps proven
-    infeasible by symbolic analysis are excluded. *)
+    infeasible by symbolic analysis are excluded.  O(gaps), built from
+    the incrementally-maintained open-gap set. *)
+
+val frontier_size : t -> int
+(** [List.length (frontier t)] in O(1). *)
 
 val mark_infeasible : t -> prefix:(Ir.site * bool) list -> site:Ir.site -> direction:bool -> bool
 (** Record that symbolic analysis proved the given gap infeasible,
@@ -76,3 +94,17 @@ val path_outcomes : t -> ((Ir.site * bool) list * string * int) list
 
 val depth : t -> int
 (** Length of the longest path. *)
+
+(** {2 Recompute oracles}
+
+    Full-walk implementations of the queries above, kept as test
+    oracles for the incremental aggregates (and as the honest baseline
+    for the [micro-ingest] benchmark).  Each returns exactly what its
+    incremental twin returns, including sort order. *)
+
+val frontier_recompute : t -> gap list
+val completeness_recompute : t -> float
+val is_complete_recompute : t -> bool
+val n_edges_recompute : t -> int
+val outcome_buckets_recompute : t -> (string * int) list
+val depth_recompute : t -> int

@@ -9,6 +9,7 @@ module Sched = Softborg_exec.Sched
 module Interp = Softborg_exec.Interp
 module Outcome = Softborg_exec.Outcome
 module Trace = Softborg_trace.Trace
+module Wire = Softborg_trace.Wire
 module Sampling = Softborg_trace.Sampling
 module Exec_tree = Softborg_tree.Exec_tree
 module Path_cond = Softborg_solver.Path_cond
@@ -618,6 +619,80 @@ let test_store_heaviest () =
   | [ (_, 5) ] -> ()
   | other -> Alcotest.failf "expected the hot path with count 5, got %d entries" (List.length other)
 
+let test_store_byte_counters_match_wire () =
+  (* Regression for the single-encode admit rewrite: the byte counters
+     must equal the actual per-upload wire sizes, including pods whose
+     varint needs 1, 2 and 3 bytes. *)
+  let store = Trace_store.create () in
+  let r5 = run_once Corpus.fig2_write [| 5 |] in
+  let r200 = run_once Corpus.fig2_write [| 200 |] in
+  let uploads =
+    [
+      Trace.of_result ~program_digest:"d" ~pod:1 ~fix_epoch:0 r5;
+      Trace.of_result ~program_digest:"d" ~pod:200 ~fix_epoch:0 r5;
+      Trace.of_result ~program_digest:"d" ~pod:70_000 ~fix_epoch:0 r5;
+      Trace.of_result ~program_digest:"d" ~pod:70_000 ~fix_epoch:0 r200;
+    ]
+  in
+  let novel_bytes = ref 0 in
+  let total_bytes = ref 0 in
+  List.iter
+    (fun trace ->
+      let wire_size = String.length (Wire.encode trace) in
+      total_bytes := !total_bytes + wire_size;
+      match Trace_store.admit store trace with
+      | Trace_store.Novel -> novel_bytes := !novel_bytes + wire_size
+      | Trace_store.Duplicate _ -> ())
+    uploads;
+  checki "bytes received match wire sizes" !total_bytes (Trace_store.bytes_received store);
+  checki "bytes stored match novel wire sizes" !novel_bytes (Trace_store.bytes_stored store);
+  checki "two distinct contents" 2 (Trace_store.distinct store)
+
+let test_store_admit_keyed_matches_content_key () =
+  let store = Trace_store.create () in
+  let r = run_once Corpus.fig2_write [| 5 |] in
+  let t1 = Trace.of_result ~program_digest:"d" ~pod:1 ~fix_epoch:0 r in
+  let t2 = Trace.of_result ~program_digest:"d" ~pod:9 ~fix_epoch:0 r in
+  let key1, adm1 = Trace_store.admit_keyed store t1 in
+  let key2, adm2 = Trace_store.admit_keyed store t2 in
+  checkb "keys agree across pods" true (String.equal key1 key2);
+  checkb "key equals content_key" true (String.equal key1 (Trace_store.content_key t1));
+  checkb "first novel" true (adm1 = Trace_store.Novel);
+  checkb "second duplicate" true (adm2 = Trace_store.Duplicate 2)
+
+let test_knowledge_replay_cache_skips_replay () =
+  let k = Knowledge.create Corpus.fig2_write in
+  let r = run_once Corpus.fig2_write [| 5 |] in
+  for pod = 1 to 3 do
+    checkb "ingest ok" true (Knowledge.ingest_trace k (trace_of ~pod Corpus.fig2_write r) = Ok ())
+  done;
+  checki "two cache hits" 2 (Knowledge.replay_cache_hits k);
+  let tree = Knowledge.tree k in
+  checki "all three merged" 3 (Exec_tree.n_executions tree);
+  checki "one distinct path" 1 (Exec_tree.n_distinct_paths tree);
+  (* A disabled cache behaves identically, minus the hits. *)
+  let k0 = Knowledge.create ~replay_cache:0 Corpus.fig2_write in
+  for pod = 1 to 3 do
+    ignore (Knowledge.ingest_trace k0 (trace_of ~pod Corpus.fig2_write r))
+  done;
+  checki "no hits when disabled" 0 (Knowledge.replay_cache_hits k0);
+  checki "same executions" 3 (Exec_tree.n_executions (Knowledge.tree k0));
+  checki "same distinct paths" 1 (Exec_tree.n_distinct_paths (Knowledge.tree k0))
+
+let test_knowledge_replay_cache_cleared_on_epoch () =
+  let k = Knowledge.create Corpus.fig2_write in
+  let r = run_once Corpus.fig2_write [| 5 |] in
+  ignore (Knowledge.ingest_trace k (trace_of ~pod:1 Corpus.fig2_write r));
+  ignore (Knowledge.ingest_trace k (trace_of ~pod:2 Corpus.fig2_write r));
+  checki "one hit before epoch bump" 1 (Knowledge.replay_cache_hits k);
+  (* New epoch can change replay hooks: the cache must not serve stale
+     reconstructions. *)
+  ignore (Knowledge.add_fix k (Fixgen.Deadlock_immunity [ 0; 1 ]));
+  ignore (Knowledge.ingest_trace k (trace_of ~pod:3 Corpus.fig2_write r));
+  checki "no hit right after epoch bump" 1 (Knowledge.replay_cache_hits k);
+  ignore (Knowledge.ingest_trace k (trace_of ~pod:4 Corpus.fig2_write r));
+  checki "cache refills afterwards" 2 (Knowledge.replay_cache_hits k)
+
 let test_knowledge_store_accounting () =
   let k = Knowledge.create Corpus.fig2_write in
   for _ = 1 to 50 do
@@ -785,6 +860,14 @@ let () =
           Alcotest.test_case "dedups identical content" `Quick test_store_dedups_identical_content;
           Alcotest.test_case "distinguishes content" `Quick test_store_distinguishes_content;
           Alcotest.test_case "heaviest" `Quick test_store_heaviest;
+          Alcotest.test_case "byte counters match wire" `Quick
+            test_store_byte_counters_match_wire;
+          Alcotest.test_case "admit_keyed matches content_key" `Quick
+            test_store_admit_keyed_matches_content_key;
+          Alcotest.test_case "replay cache skips replay" `Quick
+            test_knowledge_replay_cache_skips_replay;
+          Alcotest.test_case "replay cache cleared on epoch" `Quick
+            test_knowledge_replay_cache_cleared_on_epoch;
           Alcotest.test_case "knowledge accounting" `Quick test_knowledge_store_accounting;
         ] );
       ( "report",

@@ -233,6 +233,75 @@ let prop_frontier_gaps_are_real =
                (Exec_tree.frontier t)))
         (Exec_tree.frontier t))
 
+(* ---- Incremental aggregates vs recompute oracles ----------------------- *)
+
+let aggregates_match_oracles t =
+  Exec_tree.frontier t = Exec_tree.frontier_recompute t
+  && Exec_tree.frontier_size t = List.length (Exec_tree.frontier t)
+  && Exec_tree.n_edges t = Exec_tree.n_edges_recompute t
+  && Exec_tree.depth t = Exec_tree.depth_recompute t
+  && Exec_tree.is_complete t = Exec_tree.is_complete_recompute t
+  && Float.abs (Exec_tree.completeness t -. Exec_tree.completeness_recompute t) < 1e-12
+  && Exec_tree.outcome_buckets t = Exec_tree.outcome_buckets_recompute t
+
+(* Randomized interleavings of add_path and mark_infeasible, checking
+   every incremental aggregate against its full-walk oracle after every
+   single operation.  Marks target real frontier gaps most of the time
+   but sometimes a bogus (unobserved or already-explored) site or
+   direction, to exercise the no-op accounting paths. *)
+let prop_incremental_matches_oracles =
+  QCheck.Test.make ~name:"incremental aggregates equal recompute oracles" ~count:1000
+    QCheck.(pair small_nat (int_range 1 30))
+    (fun (seed, n_ops) ->
+      let rng = Rng.create ((seed * 131) + n_ops) in
+      let t = Exec_tree.create () in
+      let ok = ref true in
+      for _ = 1 to n_ops do
+        (if Rng.bernoulli rng 0.75 then begin
+           let len = Rng.int_in rng 0 6 in
+           let path =
+             List.init len (fun _ -> ({ Ir.thread = 0; pc = Rng.int rng 3 }, Rng.bool rng))
+           in
+           let outcome = if Rng.bernoulli rng 0.8 then Outcome.Success else Outcome.Hang in
+           ignore (Exec_tree.add_path t path outcome)
+         end
+         else
+           match Exec_tree.frontier t with
+           | [] -> ()
+           | gaps ->
+             let gap = List.nth gaps (Rng.int rng (List.length gaps)) in
+             let site =
+               if Rng.bernoulli rng 0.8 then gap.Exec_tree.site
+               else { Ir.thread = 0; pc = Rng.int rng 5 }
+             in
+             let direction =
+               if Rng.bernoulli rng 0.8 then gap.Exec_tree.missing else Rng.bool rng
+             in
+             ignore (Exec_tree.mark_infeasible t ~prefix:gap.Exec_tree.prefix ~site ~direction));
+        ok := !ok && aggregates_match_oracles t
+      done;
+      !ok)
+
+let test_version_change_detection () =
+  let t = Exec_tree.create () in
+  let v0 = Exec_tree.version t in
+  ignore (merge t Corpus.fig2_write [| 5 |]);
+  let v1 = Exec_tree.version t in
+  checkb "new path bumps version" true (v1 > v0);
+  ignore (merge t Corpus.fig2_write [| 6 |]);
+  (* p=6 follows the same decisions as p=5: a duplicate path. *)
+  checki "duplicate path leaves version" v1 (Exec_tree.version t);
+  let gap = List.hd (Exec_tree.frontier t) in
+  checkb "mark accepted" true
+    (Exec_tree.mark_infeasible t ~prefix:gap.Exec_tree.prefix ~site:gap.Exec_tree.site
+       ~direction:gap.Exec_tree.missing);
+  checkb "closing a gap bumps version" true (Exec_tree.version t > v1);
+  let v2 = Exec_tree.version t in
+  checkb "re-marking accepted" true
+    (Exec_tree.mark_infeasible t ~prefix:gap.Exec_tree.prefix ~site:gap.Exec_tree.site
+       ~direction:gap.Exec_tree.missing);
+  checki "re-marking leaves version" v2 (Exec_tree.version t)
+
 (* ---- Coverage recorder ------------------------------------------------- *)
 
 let test_coverage_snapshots () =
@@ -290,6 +359,11 @@ let () =
           q prop_remerge_idempotent_nodes;
           q prop_distinct_paths_bounded_by_terminals;
           q prop_frontier_gaps_are_real;
+          q prop_incremental_matches_oracles;
+        ] );
+      ( "incremental",
+        [
+          Alcotest.test_case "version change detection" `Quick test_version_change_detection;
         ] );
       ( "coverage",
         [

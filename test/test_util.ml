@@ -6,6 +6,7 @@ module Stats = Softborg_util.Stats
 module Codec = Softborg_util.Codec
 module Tabular = Softborg_util.Tabular
 module Ids = Softborg_util.Ids
+module Lru = Softborg_util.Lru
 
 let check = Alcotest.check
 let checkb = Alcotest.check Alcotest.bool
@@ -341,6 +342,70 @@ let test_ids_roundtrip () =
   checki "roundtrip" 42 (Ids.Trace_id.to_int id);
   checki "compare equal" 0 (Ids.Trace_id.compare id (Ids.Trace_id.of_int 42))
 
+(* ---- Lru --------------------------------------------------------- *)
+
+let test_lru_evicts_least_recent () =
+  let c = Lru.create 2 in
+  Lru.add c "a" 1;
+  Lru.add c "b" 2;
+  check Alcotest.(option int) "a present" (Some 1) (Lru.find c "a");
+  (* "a" was just promoted, so inserting "c" evicts "b". *)
+  Lru.add c "c" 3;
+  checki "still at capacity" 2 (Lru.length c);
+  check Alcotest.(option int) "b evicted" None (Lru.find c "b");
+  check Alcotest.(option int) "a kept" (Some 1) (Lru.find c "a");
+  check Alcotest.(option int) "c kept" (Some 3) (Lru.find c "c")
+
+let test_lru_overwrite_promotes () =
+  let c = Lru.create 2 in
+  Lru.add c "a" 1;
+  Lru.add c "b" 2;
+  Lru.add c "a" 10;
+  (* "a" is most recent; "b" goes on the next insertion. *)
+  Lru.add c "c" 3;
+  check Alcotest.(option int) "overwritten value" (Some 10) (Lru.find c "a");
+  check Alcotest.(option int) "b evicted" None (Lru.find c "b")
+
+let test_lru_remove_and_clear () =
+  let c = Lru.create 4 in
+  List.iter (fun (k, v) -> Lru.add c k v) [ ("a", 1); ("b", 2); ("c", 3) ];
+  Lru.remove c "b";
+  checki "length after remove" 2 (Lru.length c);
+  checkb "mem after remove" false (Lru.mem c "b");
+  Lru.clear c;
+  checki "empty after clear" 0 (Lru.length c);
+  check Alcotest.(option int) "find after clear" None (Lru.find c "a");
+  (* The recency list must be reusable after clear. *)
+  Lru.add c "x" 9;
+  check Alcotest.(option int) "usable after clear" (Some 9) (Lru.find c "x")
+
+let test_lru_counters_and_capacity_one () =
+  let c = Lru.create 1 in
+  Alcotest.check_raises "capacity 0 rejected"
+    (Invalid_argument "Lru.create: capacity must be at least 1") (fun () ->
+      ignore (Lru.create 0));
+  Lru.add c 1 "one";
+  ignore (Lru.find c 1);
+  ignore (Lru.find c 2);
+  Lru.add c 2 "two";
+  checki "capacity one holds one" 1 (Lru.length c);
+  checkb "old key gone" false (Lru.mem c 1);
+  checki "hits" 1 (Lru.hits c);
+  checki "misses" 1 (Lru.misses c)
+
+let prop_lru_never_exceeds_capacity =
+  QCheck.Test.make ~name:"lru never exceeds capacity and keeps recent keys" ~count:300
+    QCheck.(pair (int_range 1 8) (small_list (pair (int_range 0 15) int)))
+    (fun (cap, ops) ->
+      let c = Lru.create cap in
+      List.iter (fun (k, v) -> Lru.add c k v) ops;
+      Lru.length c <= cap
+      &&
+      (* The most recently added key is always retrievable. *)
+      match List.rev ops with
+      | [] -> true
+      | (k, _) :: _ -> Lru.mem c k)
+
 let () =
   let q = QCheck_alcotest.to_alcotest in
   Alcotest.run "softborg_util"
@@ -406,5 +471,14 @@ let () =
         [
           Alcotest.test_case "fresh distinct" `Quick test_ids_fresh_distinct;
           Alcotest.test_case "roundtrip" `Quick test_ids_roundtrip;
+        ] );
+      ( "lru",
+        [
+          Alcotest.test_case "evicts least recent" `Quick test_lru_evicts_least_recent;
+          Alcotest.test_case "overwrite promotes" `Quick test_lru_overwrite_promotes;
+          Alcotest.test_case "remove and clear" `Quick test_lru_remove_and_clear;
+          Alcotest.test_case "counters and capacity one" `Quick
+            test_lru_counters_and_capacity_one;
+          q prop_lru_never_exceeds_capacity;
         ] );
     ]
