@@ -29,8 +29,11 @@ module Sym_exec = Softborg_symexec.Sym_exec
 module Consistency = Softborg_symexec.Consistency
 module Immunity = Softborg_conc.Immunity
 module Schedule_explore = Softborg_conc.Schedule_explore
+module Link = Softborg_net.Link
+module Fault_plan = Softborg_net.Fault_plan
 module Hive = Softborg_hive.Hive
 module Knowledge = Softborg_hive.Knowledge
+module Checkpoint = Softborg_hive.Checkpoint
 module Trace_store = Softborg_hive.Trace_store
 module Ids = Softborg_util.Ids
 module Fixgen = Softborg_hive.Fixgen
@@ -1154,6 +1157,134 @@ let micro_ingest ?(smoke = false) () =
     Printf.printf "wrote BENCH_ingest.json\n"
   end
 
+(* ==================================================================== *)
+(* E12 — §5 under faults: hive crashes, pod churn, degraded links.      *)
+(* ==================================================================== *)
+
+let e12 () =
+  heading "E12: SoftBorg vs WER vs CBI under hive crashes, churn, and bad links";
+  let configs =
+    List.map
+      (fun (name, config) ->
+        let config = { config with Platform.duration = 1500.0; sample_interval = 300.0 } in
+        (name, Scenario.with_chaos ~chaos_seed:99 config))
+      (Scenario.three_way_comparison ~seed:17 ())
+  in
+  (match configs with
+  | (_, { Platform.chaos = Some plan; _ }) :: _ ->
+    Printf.printf "fault plan (%d events, identical across all three modes):\n"
+      (Fault_plan.length plan);
+    List.iter (fun e -> Format.printf "  %a@." Fault_plan.pp_event e) (Fault_plan.events plan)
+  | _ -> ());
+  let runs = List.map (fun (name, config) -> (name, Platform.run config)) configs in
+  let windows = List.map (fun (name, r) -> (name, Metrics.windows r.Platform.snapshots)) runs in
+  let n_windows = List.fold_left (fun acc (_, ws) -> min acc (List.length ws)) max_int windows in
+  let rows =
+    List.init n_windows (fun i ->
+        let w0 = List.nth (snd (List.hd windows)) i in
+        Printf.sprintf "%.0f-%.0f" w0.Metrics.t_start w0.Metrics.t_end
+        :: List.map
+             (fun (_, ws) -> fmt_f ~decimals:4 (List.nth ws i).Metrics.w_failure_rate)
+             windows)
+  in
+  Tabular.print ~title:"user-visible failure rate per window (with faults)"
+    (col "window" :: List.map (fun (n, _) -> rcol n) windows)
+    rows;
+  let rows =
+    List.map
+      (fun (name, r) ->
+        let f = r.Platform.final in
+        [
+          name;
+          string_of_int f.Metrics.sessions;
+          string_of_int f.Metrics.user_failures;
+          fmt_f ~decimals:5 (Metrics.failure_rate f);
+          string_of_int f.Metrics.fixes_deployed;
+          string_of_int f.Metrics.proofs_valid;
+          string_of_int f.Metrics.checkpoints;
+          string_of_int f.Metrics.restores;
+        ])
+      runs
+  in
+  Tabular.print ~title:"final totals"
+    [
+      col "platform"; rcol "sessions"; rcol "failures"; rcol "fail-rate"; rcol "fixes";
+      rcol "proofs"; rcol "ckpts"; rcol "restores";
+    ]
+    rows;
+  (* The headline: does the SoftBorg curve still out-decay the baselines
+     when the hive keeps crashing?  Compare late-run failure rates. *)
+  let late name =
+    let ws = List.assoc name windows in
+    let tail = List.filteri (fun i _ -> i >= List.length ws - 2) ws in
+    List.fold_left (fun acc w -> acc +. w.Metrics.w_failure_rate) 0.0 tail
+    /. float_of_int (max 1 (List.length tail))
+  in
+  let sb = late "softborg" and wer = late "wer" and cbi = late "cbi" in
+  Printf.printf "late-run failure rate: softborg %.5f vs wer %.5f vs cbi %.5f — %s\n" sb wer cbi
+    (if sb < wer && sb < cbi then "collective recycling wins through the faults"
+     else "WARNING: chaos erased the collective advantage")
+
+(* ==================================================================== *)
+(* chaos-smoke — tiny scripted fault plan with embedded asserts, run    *)
+(* from `dune build @chaos-smoke` (and from @runtest) as a bit-rot      *)
+(* guard on the checkpoint/restore path.                                *)
+(* ==================================================================== *)
+
+let chaos_smoke () =
+  heading "chaos-smoke: scripted faults + checkpoint round-trip asserts";
+  let plan =
+    Fault_plan.create
+      [
+        Fault_plan.Checkpoint { at = 30.0 };
+        Fault_plan.Hive_crash { at = 50.0 };
+        Fault_plan.Pod_leave { at = 60.0; pod = 1 };
+        Fault_plan.Pod_join { at = 70.0 };
+        Fault_plan.Degrade
+          {
+            at = 80.0;
+            until_ = 110.0;
+            link = { Link.drop_probability = 0.25; mean_latency = 0.3; min_latency = 0.02 };
+          };
+        Fault_plan.Checkpoint { at = 120.0 };
+        Fault_plan.Hive_crash { at = 140.0 };
+      ]
+  in
+  let config = Scenario.single_program ~seed:5 Corpus.parser in
+  let config =
+    {
+      config with
+      Platform.n_pods = 3;
+      duration = 180.0;
+      sample_interval = 45.0;
+      pod_config =
+        {
+          config.Platform.pod_config with
+          Pod.arrival_rate = 1.0;
+          workload = Workload.Uniform_inputs { lo = 0; hi = 40 };
+        };
+      chaos = Some plan;
+      checkpoint_interval = 0.0;
+    }
+  in
+  let report = Platform.run config in
+  let f = report.Platform.final in
+  assert (f.Metrics.sessions > 100);
+  assert (f.Metrics.checkpoints = 3) (* initial + two scheduled *);
+  assert (f.Metrics.restores = 2);
+  assert (f.Metrics.traces_uploaded > 0);
+  (* The surviving knowledge must round-trip byte-identically. *)
+  let ks = report.Platform.knowledge in
+  let s = Checkpoint.encode ks in
+  (match Checkpoint.decode s with
+  | Error e -> failwith ("chaos-smoke: checkpoint decode failed: " ^ e)
+  | Ok ks' ->
+    assert (List.length ks' = List.length ks);
+    assert (Checkpoint.encode ks' = s));
+  List.iter (fun k -> assert (Knowledge.traces_ingested k > 0)) ks;
+  Printf.printf "chaos-smoke: %d sessions, %d checkpoints, %d restores — all asserts passed\n"
+    f.Metrics.sessions f.Metrics.checkpoints f.Metrics.restores
+
 let experiments =
   [
     ("e1", "reliability grows with use (Fig 1)", e1);
@@ -1167,6 +1298,8 @@ let experiments =
     ("e9", "privacy vs utility", e9);
     ("e10", "portfolio allocation", e10);
     ("e11", "cumulative proofs", e11);
+    ("e12", "three-way comparison under faults (chaos harness)", e12);
+    ("chaos-smoke", "scripted fault plan with embedded asserts for @chaos-smoke", chaos_smoke);
     ("micro", "hot-path micro-benchmarks", micro);
     ("micro-ingest", "ingestion/analytics benchmarks (writes BENCH_ingest.json)", fun () ->
       micro_ingest ());

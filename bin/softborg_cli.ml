@@ -24,6 +24,7 @@ module Outcome = Softborg_exec.Outcome
 module Trace = Softborg_trace.Trace
 module Wire = Softborg_trace.Wire
 module Exec_tree = Softborg_tree.Exec_tree
+module Fault_plan = Softborg_net.Fault_plan
 module Cnf = Softborg_solver.Cnf
 module Portfolio = Softborg_solver.Portfolio
 module Sym_exec = Softborg_symexec.Sym_exec
@@ -150,21 +151,42 @@ let simulate_cmd =
       value & opt mode_conv Hive.Full
       & info [ "mode" ] ~docv:"MODE" ~doc:"Platform mode: softborg, wer, or cbi.")
   in
-  let run verbose program mode duration pods seed =
+  let chaos_flag =
+    Arg.(
+      value & flag
+      & info [ "chaos" ]
+          ~doc:
+            "Inject a generated fault plan: hive crashes restored from checkpoints, pod \
+             churn, and link-degradation windows.")
+  in
+  let chaos_seed_arg =
+    Arg.(
+      value & opt int 1337
+      & info [ "chaos-seed" ] ~docv:"SEED" ~doc:"Seed the fault plan is generated from.")
+  in
+  let run verbose program mode duration pods seed chaos chaos_seed =
     setup_logs verbose;
     let config = Scenario.single_program ~mode ~seed program in
     let config =
       { config with Platform.duration; n_pods = pods; sample_interval = duration /. 10.0 }
     in
+    let config = if chaos then Scenario.with_chaos ~chaos_seed config else config in
     let report = Platform.run config in
     Format.printf "%a" Platform.pp_report report;
     let f = report.Platform.final in
     Format.printf "failure rate: %.5f (%d averted)@."
-      (Metrics.failure_rate f) f.Metrics.averted_crashes
+      (Metrics.failure_rate f) f.Metrics.averted_crashes;
+    match config.Platform.chaos with
+    | None -> ()
+    | Some plan ->
+      Format.printf "chaos: %d faults scheduled, %d checkpoints taken, %d restores@."
+        (Fault_plan.length plan) f.Metrics.checkpoints f.Metrics.restores
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run a whole-fleet platform simulation on one program.")
-    Term.(const run $ verbose_flag $ program_arg $ mode_arg $ duration_arg $ pods_arg $ seed_arg)
+    Term.(
+      const run $ verbose_flag $ program_arg $ mode_arg $ duration_arg $ pods_arg $ seed_arg
+      $ chaos_flag $ chaos_seed_arg)
 
 (* ---- explore -------------------------------------------------------------- *)
 

@@ -50,3 +50,25 @@ let pp_pattern fmt p =
   Format.fprintf fmt "{locks=%s manifested=%d predicted=%b}"
     (String.concat "," (List.map string_of_int p.locks))
     p.manifested p.predicted
+
+module Codec = Softborg_util.Codec
+
+(* [manifested] is an insertion-ordered assoc list; serialize it
+   verbatim so a restored miner reports patterns in the same order. *)
+let write w t =
+  Lock_graph.write w t.graph;
+  Codec.Writer.list w
+    (fun (locks, count) ->
+      Codec.Writer.list w (Codec.Writer.varint w) locks;
+      Codec.Writer.varint w count)
+    t.manifested
+
+let read r =
+  let graph = Lock_graph.read r in
+  let manifested =
+    Codec.Reader.list r (fun r ->
+        let locks = Codec.Reader.list r Codec.Reader.varint in
+        let count = Codec.Reader.varint r in
+        (locks, count))
+  in
+  { graph; manifested }

@@ -30,3 +30,11 @@ val patterns : t -> pattern list
 val pattern_count : t -> int
 
 val pp_pattern : Format.formatter -> pattern -> unit
+
+val write : Softborg_util.Codec.Writer.t -> t -> unit
+(** Checkpoint codec: lock-order graph plus the manifested-pattern list
+    in its original (insertion) order. *)
+
+val read : Softborg_util.Codec.Reader.t -> t
+(** @raise Softborg_util.Codec.Malformed on invalid input.
+    @raise Softborg_util.Codec.Truncated on premature end. *)

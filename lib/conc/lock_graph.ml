@@ -81,3 +81,26 @@ let cycles t =
 
 let pp fmt t =
   List.iter (fun (a, b, count) -> Format.fprintf fmt "l%d->l%d x%d@." a b count) (edges t)
+
+module Codec = Softborg_util.Codec
+
+let write w t =
+  Codec.Writer.list w
+    (fun ((a, b), count) ->
+      Codec.Writer.varint w a;
+      Codec.Writer.varint w b;
+      Codec.Writer.varint w count)
+    (Pair_map.bindings t.edge_counts)
+
+let read r =
+  let edge_counts =
+    List.fold_left
+      (fun acc (key, count) -> Pair_map.add key count acc)
+      Pair_map.empty
+      (Codec.Reader.list r (fun r ->
+           let a = Codec.Reader.varint r in
+           let b = Codec.Reader.varint r in
+           let count = Codec.Reader.varint r in
+           ((a, b), count)))
+  in
+  { edge_counts }

@@ -33,3 +33,11 @@ val cycles : t -> int list list
     lock set).  Distinct lock sets only. *)
 
 val pp : Format.formatter -> t -> unit
+
+val write : Softborg_util.Codec.Writer.t -> t -> unit
+(** Checkpoint codec: edges in ascending (held, acquired) order, so
+    equal graphs serialize to equal bytes. *)
+
+val read : Softborg_util.Codec.Reader.t -> t
+(** @raise Softborg_util.Codec.Malformed on invalid input.
+    @raise Softborg_util.Codec.Truncated on premature end. *)

@@ -11,6 +11,8 @@ type snapshot = {
   proofs_valid : int;
   tree_paths : int;
   tree_completeness : float;
+  checkpoints : int;
+  restores : int;
 }
 
 let failure_rate s =
@@ -48,9 +50,10 @@ let windows snapshots =
 
 let pp_snapshot fmt s =
   Format.fprintf fmt
-    "t=%-7.0f sessions=%-6d failures=%-5d averted=%-5d fixes=%-3d proofs=%-2d paths=%-5d"
+    "t=%-7.0f sessions=%-6d failures=%-5d averted=%-5d fixes=%-3d proofs=%-2d paths=%-5d%s"
     s.time s.sessions s.user_failures s.averted_crashes s.fixes_deployed s.proofs_valid
     s.tree_paths
+    (if s.restores > 0 then Printf.sprintf " restores=%d" s.restores else "")
 
 let pp_window fmt w =
   Format.fprintf fmt "[%6.0f,%6.0f) sessions=%-5d failures=%-4d rate=%.4f" w.t_start w.t_end

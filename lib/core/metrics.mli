@@ -18,6 +18,8 @@ type snapshot = {
   proofs_valid : int;
   tree_paths : int;  (** Distinct execution-tree paths at the hive. *)
   tree_completeness : float;
+  checkpoints : int;  (** Hive checkpoints taken so far. *)
+  restores : int;  (** Hive crash-restores completed so far. *)
 }
 
 val failure_rate : snapshot -> float

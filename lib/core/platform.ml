@@ -2,7 +2,9 @@ module Rng = Softborg_util.Rng
 module Ir = Softborg_prog.Ir
 module Generator = Softborg_prog.Generator
 module Sim = Softborg_net.Sim
+module Link = Softborg_net.Link
 module Transport = Softborg_net.Transport
+module Fault_plan = Softborg_net.Fault_plan
 module Hive = Softborg_hive.Hive
 module Knowledge = Softborg_hive.Knowledge
 module Prover = Softborg_hive.Prover
@@ -19,6 +21,8 @@ type config = {
   hive_config : Hive.config;
   transport_config : Transport.config;
   cbi_sampling_rate : int;
+  chaos : Fault_plan.t option;
+  checkpoint_interval : float;
 }
 
 let default_programs seed =
@@ -43,6 +47,8 @@ let default_config ?(mode = Hive.Full) () =
     hive_config = Hive.default_config mode;
     transport_config = Transport.default_config;
     cbi_sampling_rate = 100;
+    chaos = None;
+    checkpoint_interval = 120.0;
   }
 
 type report = {
@@ -60,7 +66,11 @@ let upload_mode config =
   | Hive.Wer -> Pod.Outcomes_only
   | Hive.Cbi -> Pod.Sampled_reports config.cbi_sampling_rate
 
-let snapshot ~time ~pods ~hive ~knowledge_list =
+(* The knowledge list is fetched fresh on every snapshot: a checkpoint
+   restore replaces the hive's [Knowledge.t] objects, so a list captured
+   at t=0 would silently keep reading the pre-restore ones. *)
+let snapshot ~time ~pods ~hive =
+  let knowledge_list = Hive.knowledge_list hive in
   let sum f = List.fold_left (fun acc pod -> acc + f (Pod.metrics pod)) 0 pods in
   let hive_stats = Hive.stats hive in
   let proofs_valid =
@@ -89,7 +99,64 @@ let snapshot ~time ~pods ~hive ~knowledge_list =
     proofs_valid;
     tree_paths;
     tree_completeness = completeness;
+    checkpoints = hive_stats.Hive.checkpoints_taken;
+    restores = hive_stats.Hive.restores_completed;
   }
+
+(* Interpret the fault plan against a live fleet.  All chaos-side
+   randomness (joining pods' streams, program choice) comes from
+   [chaos_rng], which is derived from the seed but independent of the
+   main fleet streams — a plan containing only Checkpoint events leaves
+   a run byte-identical to its fault-free twin. *)
+let install_chaos ~sim ~config ~hive ~chaos_rng ~pods ~pod_endpoints ~hive_endpoints
+    ~last_checkpoint plan =
+  let pod_upload = upload_mode config in
+  let all_links () =
+    List.filter_map Transport.out_link (!pod_endpoints @ !hive_endpoints)
+  in
+  List.iter
+    (fun event ->
+      match event with
+      | Fault_plan.Checkpoint { at } ->
+        Sim.schedule_at sim ~time:at (fun () -> last_checkpoint := Hive.checkpoint hive)
+      | Fault_plan.Hive_crash { at } ->
+        (* Crash + restart collapse to one instant on the simulated
+           clock: the knowledge reverts to the last checkpoint and the
+           fleet keeps running against the restarted hive. *)
+        Sim.schedule_at sim ~time:at (fun () ->
+            match Hive.restore hive !last_checkpoint with Ok _ | Error _ -> ())
+      | Fault_plan.Pod_leave { at; pod } ->
+        Sim.schedule_at sim ~time:at (fun () ->
+            match !pods with
+            | [] -> ()
+            | alive -> Pod.stop (List.nth alive (pod mod List.length alive)))
+      | Fault_plan.Pod_join { at } ->
+        Sim.schedule_at sim ~time:at (fun () ->
+            let program =
+              List.nth config.programs (Rng.int chaos_rng (List.length config.programs))
+            in
+            let pod_end, hive_end =
+              Transport.endpoint_pair ~config:config.transport_config ~sim
+                ~rng:(Rng.split chaos_rng) ()
+            in
+            Hive.attach_pod hive hive_end;
+            let pod_config = { config.pod_config with Pod.upload = pod_upload } in
+            let pod =
+              Pod.create ~config:pod_config ~sim ~rng:(Rng.split chaos_rng) ~program
+                ~endpoint:pod_end ()
+            in
+            Pod.start pod;
+            pods := !pods @ [ pod ];
+            pod_endpoints := !pod_endpoints @ [ pod_end ];
+            hive_endpoints := !hive_endpoints @ [ hive_end ])
+      | Fault_plan.Degrade { at; until_; link } ->
+        Sim.schedule_at sim ~time:at (fun () ->
+            List.iter (fun l -> Link.set_config l link) (all_links ()));
+        Sim.schedule_at sim ~time:until_ (fun () ->
+            List.iter
+              (fun l -> Link.set_config l config.transport_config.Transport.link)
+              (all_links ())))
+    (Fault_plan.events plan)
 
 let run config =
   let sim = Sim.create () in
@@ -97,7 +164,7 @@ let run config =
   let hive = Hive.create ~config:config.hive_config ~sim () in
   List.iter (fun program -> ignore (Hive.register_program hive program)) config.programs;
   let pod_upload = upload_mode config in
-  let pods, pod_endpoints =
+  let fleet =
     List.init config.n_pods (fun i ->
         let program = List.nth config.programs (i mod List.length config.programs) in
         let pod_end, hive_end =
@@ -108,17 +175,36 @@ let run config =
         let pod =
           Pod.create ~config:pod_config ~sim ~rng:(Rng.split rng) ~program ~endpoint:pod_end ()
         in
-        (pod, pod_end))
-    |> List.split
+        (pod, pod_end, hive_end))
   in
+  let pods = ref (List.map (fun (p, _, _) -> p) fleet) in
+  let pod_endpoints = ref (List.map (fun (_, e, _) -> e) fleet) in
+  let hive_endpoints = ref (List.map (fun (_, _, e) -> e) fleet) in
   Hive.start hive;
-  List.iter Pod.start pods;
-  let knowledge_list = Hive.knowledge_list hive in
-  let snapshots = ref [ snapshot ~time:0.0 ~pods ~hive ~knowledge_list ] in
+  List.iter Pod.start !pods;
+  (match config.chaos with
+  | None -> ()
+  | Some plan ->
+    let chaos_rng = Rng.create (config.seed lxor 0x6368616f73) in
+    (* An initial checkpoint so a crash before the first scheduled one
+       restores to the empty-but-registered state, not garbage. *)
+    let last_checkpoint = ref (Hive.checkpoint hive) in
+    if config.checkpoint_interval > 0.0 then begin
+      let rec arm at =
+        if at <= config.duration then
+          Sim.schedule_at sim ~time:at (fun () ->
+              last_checkpoint := Hive.checkpoint hive;
+              arm (at +. config.checkpoint_interval))
+      in
+      arm config.checkpoint_interval
+    end;
+    install_chaos ~sim ~config ~hive ~chaos_rng ~pods ~pod_endpoints ~hive_endpoints
+      ~last_checkpoint plan);
+  let snapshots = ref [ snapshot ~time:0.0 ~pods:!pods ~hive ] in
   let rec sample at =
     if at <= config.duration then
       Sim.schedule_at sim ~time:at (fun () ->
-          snapshots := snapshot ~time:at ~pods ~hive ~knowledge_list :: !snapshots;
+          snapshots := snapshot ~time:at ~pods:!pods ~hive :: !snapshots;
           sample (at +. config.sample_interval))
   in
   sample config.sample_interval;
@@ -129,9 +215,9 @@ let run config =
     snapshots;
     final;
     hive_stats = Hive.stats hive;
-    pod_metrics = List.map Pod.metrics pods;
-    transport_stats = List.map Transport.stats pod_endpoints;
-    knowledge = knowledge_list;
+    pod_metrics = List.map Pod.metrics !pods;
+    transport_stats = List.map Transport.stats !pod_endpoints;
+    knowledge = Hive.knowledge_list hive;
   }
 
 let pp_report fmt report =

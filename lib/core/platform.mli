@@ -15,6 +15,7 @@
 
 module Ir := Softborg_prog.Ir
 module Transport := Softborg_net.Transport
+module Fault_plan := Softborg_net.Fault_plan
 module Hive := Softborg_hive.Hive
 module Knowledge := Softborg_hive.Knowledge
 module Pod := Softborg_pod.Pod
@@ -31,6 +32,16 @@ type config = {
   hive_config : Hive.config;
   transport_config : Transport.config;
   cbi_sampling_rate : int;  (** Pod sampling rate in CBI mode. *)
+  chaos : Fault_plan.t option;
+      (** Fault schedule interpreted during the run ([None]: fault-free,
+          and the run is byte-identical to builds without the harness).
+          Chaos randomness is derived from [seed] but independent of
+          the fleet streams, so a plan of only [Checkpoint] events
+          leaves the trajectory untouched. *)
+  checkpoint_interval : float;
+      (** Seconds between automatic hive checkpoints when [chaos] is
+          active ([<= 0.] disables; explicit [Checkpoint] events still
+          apply).  A [Hive_crash] restores from the latest one. *)
 }
 
 val default_config : ?mode:Hive.mode -> unit -> config

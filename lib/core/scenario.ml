@@ -2,6 +2,7 @@ module Rng = Softborg_util.Rng
 module Generator = Softborg_prog.Generator
 module Link = Softborg_net.Link
 module Transport = Softborg_net.Transport
+module Fault_plan = Softborg_net.Fault_plan
 module Hive = Softborg_hive.Hive
 
 let single_program ?(mode = Hive.Full) ?(seed = 42) program =
@@ -38,3 +39,21 @@ let three_way_comparison ?(seed = 42) () =
       let config, _ = buggy_population ~mode ~seed () in
       (Hive.mode_name mode, config))
     [ Hive.Full; Hive.Wer; Hive.Cbi ]
+
+let with_chaos ?(chaos_seed = 1337) ?(crash_rate = 1.0 /. 400.0)
+    ?(churn_rate = 1.0 /. 250.0) ?(degrade_rate = 1.0 /. 300.0) config =
+  let plan =
+    Fault_plan.generate
+      ~rng:(Rng.create chaos_seed)
+      ~duration:config.Platform.duration ~n_pods:config.Platform.n_pods ~crash_rate
+      ~churn_rate ~degrade_rate ()
+  in
+  { config with Platform.chaos = Some plan }
+
+let three_way_chaos ?seed ?chaos_seed ?crash_rate ?churn_rate ?degrade_rate () =
+  (* Same chaos_seed across modes: every mode suffers the identical
+     fault schedule, so the comparison stays apples-to-apples. *)
+  List.map
+    (fun (name, config) ->
+      (name, with_chaos ?chaos_seed ?crash_rate ?churn_rate ?degrade_rate config))
+    (three_way_comparison ?seed ())

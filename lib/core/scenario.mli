@@ -28,3 +28,28 @@ val three_way_comparison :
   ?seed:int -> unit -> (string * Platform.config) list
 (** The §5 comparison: identical fleet and bug population under
     SoftBorg, WER, and CBI (experiment E7). *)
+
+val with_chaos :
+  ?chaos_seed:int ->
+  ?crash_rate:float ->
+  ?churn_rate:float ->
+  ?degrade_rate:float ->
+  Platform.config ->
+  Platform.config
+(** Attach a generated fault plan (hive crashes, pod churn, link
+    degradation; rates in events/second, defaults roughly one fault
+    family event per few hundred simulated seconds) to a config.  The
+    plan is deterministic in [chaos_seed] and the config's duration and
+    pod count. *)
+
+val three_way_chaos :
+  ?seed:int ->
+  ?chaos_seed:int ->
+  ?crash_rate:float ->
+  ?churn_rate:float ->
+  ?degrade_rate:float ->
+  unit ->
+  (string * Platform.config) list
+(** The §5 comparison under faults (experiment E12): all three modes
+    run the {e same} fault plan, so the question is purely whose
+    failure-rate curve keeps decaying through crashes and churn. *)

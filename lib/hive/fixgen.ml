@@ -192,6 +192,9 @@ let crash_kind_of_tag = function
   | 1 -> Outcome.Division_by_zero
   | n -> raise (Codec.Malformed (Printf.sprintf "crash kind tag %d" n))
 
+let write_crash_kind w kind = Codec.Writer.byte w (crash_kind_tag kind)
+let read_crash_kind r = crash_kind_of_tag (Codec.Reader.byte r)
+
 let write_site w (site : Ir.site) =
   Codec.Writer.varint w site.Ir.thread;
   Codec.Writer.varint w site.Ir.pc
@@ -240,6 +243,8 @@ let write_fix w fix =
 
 let read_fix r =
   let id = Codec.Reader.varint r in
+  (* Keep later synthesized ids unique after a checkpoint restore. *)
+  if id > !next_fix_id then next_fix_id := id;
   let epoch = Codec.Reader.varint r in
   let kind =
     match Codec.Reader.byte r with

@@ -60,6 +60,8 @@ type stats = {
   guidance_sent : int;
   proofs_established : int;
   human_fixes_scheduled : int;
+  checkpoints_taken : int;
+  restores_completed : int;
 }
 
 type t = {
@@ -82,6 +84,10 @@ type t = {
   mutable guidance_sent : int;
   mutable proofs_established : int;
   mutable human_fixes_scheduled : int;
+  (* Checkpoint infrastructure activity of *this* hive process; not
+     part of the checkpointed state itself. *)
+  mutable checkpoints_taken : int;
+  mutable restores_completed : int;
 }
 
 let create ?config ~sim () =
@@ -103,6 +109,8 @@ let create ?config ~sim () =
     guidance_sent = 0;
     proofs_established = 0;
     human_fixes_scheduled = 0;
+    checkpoints_taken = 0;
+    restores_completed = 0;
   }
 
 let register_program t program =
@@ -174,10 +182,17 @@ let schedule_human_fix t k bucket_key kind =
     Log.info (fun m ->
         m "human fix for %s scheduled at t=%.0f (+%.0f)" bucket_key (Sim.now t.sim)
           (human_delay t));
+    (* The closure re-fetches the knowledge by digest at fire time: a
+       checkpoint restore replaces the knowledge object, and the fix
+       must land on whichever one is current. *)
+    let digest = Knowledge.digest k in
     Sim.schedule t.sim ~delay:(human_delay t) (fun () ->
-        ignore (Knowledge.add_fix k kind);
-        t.fixes_deployed <- t.fixes_deployed + 1;
-        send_fix_update t k)
+        match Hashtbl.find_opt t.programs digest with
+        | None -> ()
+        | Some k ->
+          ignore (Knowledge.add_fix k kind);
+          t.fixes_deployed <- t.fixes_deployed + 1;
+          send_fix_update t k)
   end
 
 let human_tick t k =
@@ -340,4 +355,128 @@ let stats t =
     guidance_sent = t.guidance_sent;
     proofs_established = t.proofs_established;
     human_fixes_scheduled = t.human_fixes_scheduled;
+    checkpoints_taken = t.checkpoints_taken;
+    restores_completed = t.restores_completed;
   }
+
+(* ---- Checkpoint / restore ---------------------------------------------- *)
+
+module Codec = Softborg_util.Codec
+
+let checkpoint_magic = "SBHV"
+let checkpoint_version = 1
+
+let checkpoint t =
+  let w = Codec.Writer.create () in
+  String.iter (fun c -> Codec.Writer.byte w (Char.code c)) checkpoint_magic;
+  Codec.Writer.varint w checkpoint_version;
+  Codec.Writer.varint w t.next_guidance_target;
+  Codec.Writer.varint w t.traces_received;
+  Codec.Writer.varint w t.messages_received;
+  Codec.Writer.varint w t.analysis_ticks;
+  Codec.Writer.varint w t.fixes_deployed;
+  Codec.Writer.varint w t.fix_updates_sent;
+  Codec.Writer.varint w t.guidance_sent;
+  Codec.Writer.varint w t.proofs_established;
+  Codec.Writer.varint w t.human_fixes_scheduled;
+  (* Throttle state travels with the knowledge: without it a restored
+     hive would re-schedule human fixes and redo issued guidance.
+     Hashtable-backed tables are written sorted by key so equal hive
+     states checkpoint to equal bytes. *)
+  Codec.Writer.list w (Codec.Writer.bytes w)
+    (Hashtbl.fold (fun key () acc -> key :: acc) t.pending_human_fixes []
+    |> List.sort String.compare);
+  Codec.Writer.list w
+    (fun (digest, issued) ->
+      Codec.Writer.bytes w digest;
+      Codec.Writer.list w
+        (fun (site, direction) ->
+          Fixgen.write_site w site;
+          Codec.Writer.bool w direction)
+        !issued)
+    (Hashtbl.fold (fun digest issued acc -> (digest, issued) :: acc) t.issued_guidance []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b));
+  Codec.Writer.list w
+    (fun (digest, (tree_version, epoch)) ->
+      Codec.Writer.bytes w digest;
+      Codec.Writer.varint w tree_version;
+      Codec.Writer.varint w epoch)
+    (Hashtbl.fold (fun digest state acc -> (digest, state) :: acc) t.proof_state []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b));
+  Codec.Writer.bytes w (Checkpoint.encode (knowledge_list t));
+  t.checkpoints_taken <- t.checkpoints_taken + 1;
+  Codec.Writer.contents w
+
+let restore ?replay_cache t data =
+  let r = Codec.Reader.of_string data in
+  match
+    let seen =
+      String.init (String.length checkpoint_magic) (fun _ -> Char.chr (Codec.Reader.byte r))
+    in
+    if seen <> checkpoint_magic then Error (Printf.sprintf "bad hive checkpoint magic %S" seen)
+    else
+      let version = Codec.Reader.varint r in
+      if version <> checkpoint_version then
+        Error (Printf.sprintf "unsupported hive checkpoint version %d" version)
+      else begin
+        let next_guidance_target = Codec.Reader.varint r in
+        let traces_received = Codec.Reader.varint r in
+        let messages_received = Codec.Reader.varint r in
+        let analysis_ticks = Codec.Reader.varint r in
+        let fixes_deployed = Codec.Reader.varint r in
+        let fix_updates_sent = Codec.Reader.varint r in
+        let guidance_sent = Codec.Reader.varint r in
+        let proofs_established = Codec.Reader.varint r in
+        let human_fixes_scheduled = Codec.Reader.varint r in
+        let pending = Codec.Reader.list r Codec.Reader.bytes in
+        let issued =
+          Codec.Reader.list r (fun r ->
+              let digest = Codec.Reader.bytes r in
+              let directives =
+                Codec.Reader.list r (fun r ->
+                    let site = Fixgen.read_site r in
+                    let direction = Codec.Reader.bool r in
+                    (site, direction))
+              in
+              (digest, directives))
+        in
+        let proof_states =
+          Codec.Reader.list r (fun r ->
+              let digest = Codec.Reader.bytes r in
+              let tree_version = Codec.Reader.varint r in
+              let epoch = Codec.Reader.varint r in
+              (digest, (tree_version, epoch)))
+        in
+        match Checkpoint.decode ?replay_cache (Codec.Reader.bytes r) with
+        | Error msg -> Error msg
+        | Ok restored ->
+          (* Parse fully before mutating: a malformed checkpoint leaves
+             the hive untouched. *)
+          t.next_guidance_target <- next_guidance_target;
+          t.traces_received <- traces_received;
+          t.messages_received <- messages_received;
+          t.analysis_ticks <- analysis_ticks;
+          t.fixes_deployed <- fixes_deployed;
+          t.fix_updates_sent <- fix_updates_sent;
+          t.guidance_sent <- guidance_sent;
+          t.proofs_established <- proofs_established;
+          t.human_fixes_scheduled <- human_fixes_scheduled;
+          Hashtbl.reset t.pending_human_fixes;
+          List.iter (fun key -> Hashtbl.replace t.pending_human_fixes key ()) pending;
+          Hashtbl.reset t.issued_guidance;
+          List.iter
+            (fun (digest, directives) -> Hashtbl.replace t.issued_guidance digest (ref directives))
+            issued;
+          Hashtbl.reset t.proof_state;
+          List.iter (fun (digest, state) -> Hashtbl.replace t.proof_state digest state) proof_states;
+          (* Hashtbl.replace on an existing key keeps its position in
+             iteration order, so the analysis tick visits programs in
+             the same order before and after a restore. *)
+          List.iter (fun k -> Hashtbl.replace t.programs (Knowledge.digest k) k) restored;
+          t.restores_completed <- t.restores_completed + 1;
+          Ok (List.length restored)
+      end
+  with
+  | result -> result
+  | exception Codec.Truncated -> Error "truncated hive checkpoint"
+  | exception Codec.Malformed msg -> Error (Printf.sprintf "malformed hive checkpoint: %s" msg)

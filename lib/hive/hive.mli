@@ -54,6 +54,8 @@ type stats = {
   guidance_sent : int;
   proofs_established : int;
   human_fixes_scheduled : int;
+  checkpoints_taken : int;  (** {!checkpoint} calls by this hive process. *)
+  restores_completed : int;  (** Successful {!restore} calls. *)
 }
 
 type t
@@ -76,3 +78,18 @@ val tick : t -> unit
 (** Run one analysis tick immediately (also called by the schedule). *)
 
 val stats : t -> stats
+
+val checkpoint : t -> string
+(** Serialize the hive's durable state: every program's {!Knowledge}
+    (via {!Checkpoint}), the stats counters, and the analysis throttle
+    state (pending human fixes, issued guidance, per-program proof
+    state).  Equal hive states checkpoint to equal bytes.  Endpoints
+    and the simulator are deliberately excluded — a restored hive
+    reattaches to whatever pods are alive. *)
+
+val restore : ?replay_cache:int -> t -> string -> (int, string) result
+(** Replace the hive's durable state with a checkpoint's, as after a
+    crash and restart.  Returns the number of programs restored.  A
+    malformed or truncated checkpoint returns [Error] and leaves the
+    hive untouched.  Programs registered after the checkpoint was
+    taken are kept. *)

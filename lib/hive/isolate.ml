@@ -118,3 +118,62 @@ let localization_rank t ~target =
       if Sampling.predicate_equal r.predicate target then Some i else find (i + 1) rest
   in
   find 1 ranking
+
+module Codec = Softborg_util.Codec
+
+let write_site w (site : Ir.site) =
+  Codec.Writer.varint w site.Ir.thread;
+  Codec.Writer.varint w site.Ir.pc
+
+let read_site r =
+  let thread = Codec.Reader.varint r in
+  let pc = Codec.Reader.varint r in
+  { Ir.thread; pc }
+
+let write_counts w (c : counts) =
+  Codec.Writer.varint w c.failing;
+  Codec.Writer.varint w c.passing
+
+let read_counts r =
+  let failing = Codec.Reader.varint r in
+  let passing = Codec.Reader.varint r in
+  { failing; passing }
+
+let write w t =
+  Codec.Writer.varint w t.runs;
+  Codec.Writer.varint w t.failing_runs;
+  Codec.Writer.list w
+    (fun ((predicate : Sampling.predicate), c) ->
+      write_site w predicate.Sampling.site;
+      Codec.Writer.bool w predicate.Sampling.direction;
+      write_counts w c)
+    (Pred_map.bindings t.predicates);
+  Codec.Writer.list w
+    (fun (site, c) ->
+      write_site w site;
+      write_counts w c)
+    (Site_map.bindings t.sites)
+
+let read r =
+  let runs = Codec.Reader.varint r in
+  let failing_runs = Codec.Reader.varint r in
+  let predicates =
+    List.fold_left
+      (fun acc (predicate, c) -> Pred_map.add predicate c acc)
+      Pred_map.empty
+      (Codec.Reader.list r (fun r ->
+           let site = read_site r in
+           let direction = Codec.Reader.bool r in
+           let c = read_counts r in
+           ({ Sampling.site; direction }, c)))
+  in
+  let sites =
+    List.fold_left
+      (fun acc (site, c) -> Site_map.add site c acc)
+      Site_map.empty
+      (Codec.Reader.list r (fun r ->
+           let site = read_site r in
+           let c = read_counts r in
+           (site, c)))
+  in
+  { predicates; sites; runs; failing_runs }

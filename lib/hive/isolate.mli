@@ -43,3 +43,11 @@ val top_predicate : t -> ranked option
 val localization_rank : t -> target:Sampling.predicate -> int option
 (** 1-based position of [target] in the ranking (quality metric for
     experiment E5); [None] if never observed. *)
+
+val write : Softborg_util.Codec.Writer.t -> t -> unit
+(** Checkpoint codec: run counters plus predicate and site tallies in
+    canonical map order, so equal isolators serialize to equal bytes. *)
+
+val read : Softborg_util.Codec.Reader.t -> t
+(** @raise Softborg_util.Codec.Malformed on invalid input.
+    @raise Softborg_util.Codec.Truncated on premature end. *)

@@ -200,3 +200,115 @@ let add_fix t kind =
 
 let record_proof t proof = t.proofs <- proof :: t.proofs
 let valid_proofs t = List.filter (fun (p : Prover.proof) -> p.Prover.valid) t.proofs
+
+(* ---- Checkpoint codec -------------------------------------------------- *)
+
+module Codec = Softborg_util.Codec
+module Ir_codec = Softborg_prog.Ir_codec
+
+let sorted_bindings table =
+  Hashtbl.fold (fun key value acc -> (key, value) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* Everything hashtable-backed is written in sorted key order and the
+   two lists (fixes, proofs) verbatim, so equal knowledge bases always
+   serialize to equal bytes — the round-trip property tests depend on
+   it.  The replay cache is deliberately not persisted: it is a pure
+   accelerator and restarts cold. *)
+let write w t =
+  Ir_codec.write_program w t.program;
+  (* The digest is persisted, not recomputed on read: [Ir.digest] goes
+     through [Marshal], whose output encodes structural sharing, so a
+     decoded (sharing-free) program can hash differently from the
+     original even though it is structurally equal.  The digest is the
+     identity pods address their traces to — it must survive verbatim. *)
+  Codec.Writer.bytes w t.digest;
+  Codec.Writer.varint w t.epoch;
+  Codec.Writer.varint w t.traces_ingested;
+  Codec.Writer.varint w t.failures;
+  Codec.Writer.varint w t.replay_errors;
+  Codec.Writer.varint w t.replay_cache_hits;
+  Exec_tree.write w t.tree;
+  Trace_store.write w t.store;
+  Isolate.write w t.isolate;
+  Deadlock.write w t.deadlocks;
+  Codec.Writer.list w
+    (fun (key, bucket) ->
+      Codec.Writer.bytes w key;
+      Fixgen.write_site w bucket.site;
+      Fixgen.write_crash_kind w bucket.crash_kind;
+      Codec.Writer.varint w bucket.count)
+    (sorted_bindings t.crash_buckets);
+  Codec.Writer.list w
+    (fun (key, (locks, count)) ->
+      Codec.Writer.bytes w key;
+      Codec.Writer.list w (Codec.Writer.varint w) locks;
+      Codec.Writer.varint w !count)
+    (sorted_bindings t.deadlock_buckets);
+  Codec.Writer.list w
+    (fun (key, count) ->
+      Codec.Writer.bytes w key;
+      Codec.Writer.varint w !count)
+    (sorted_bindings t.other_buckets);
+  Codec.Writer.list w (Fixgen.write_fix w) t.fixes;
+  Codec.Writer.list w (Prover.write_proof w) t.proofs
+
+let read ?(replay_cache = 256) r =
+  let program = Ir_codec.read_program r in
+  let digest = Codec.Reader.bytes r in
+  let epoch = Codec.Reader.varint r in
+  let traces_ingested = Codec.Reader.varint r in
+  let failures = Codec.Reader.varint r in
+  let replay_errors = Codec.Reader.varint r in
+  let replay_cache_hits = Codec.Reader.varint r in
+  let tree = Exec_tree.read r in
+  let store = Trace_store.read r in
+  let isolate = Isolate.read r in
+  let deadlocks = Deadlock.read r in
+  let fill n decode =
+    let table = Hashtbl.create n in
+    List.iter (fun (key, value) -> Hashtbl.replace table key value) (Codec.Reader.list r decode);
+    table
+  in
+  let crash_buckets =
+    fill 8 (fun r ->
+        let key = Codec.Reader.bytes r in
+        let site = Fixgen.read_site r in
+        let crash_kind = Fixgen.read_crash_kind r in
+        let count = Codec.Reader.varint r in
+        (key, { site; crash_kind; count }))
+  in
+  let deadlock_buckets =
+    fill 8 (fun r ->
+        let key = Codec.Reader.bytes r in
+        let locks = Codec.Reader.list r Codec.Reader.varint in
+        let count = Codec.Reader.varint r in
+        (key, (locks, ref count)))
+  in
+  let other_buckets =
+    fill 8 (fun r ->
+        let key = Codec.Reader.bytes r in
+        let count = Codec.Reader.varint r in
+        (key, ref count))
+  in
+  let fixes = Codec.Reader.list r (fun r -> Fixgen.read_fix r) in
+  let proofs = Codec.Reader.list r (fun r -> Prover.read_proof r) in
+  {
+    program;
+    digest;
+    tree;
+    deadlocks;
+    isolate;
+    store;
+    crash_buckets;
+    deadlock_buckets;
+    other_buckets;
+    fixes;
+    epoch;
+    traces_ingested;
+    failures;
+    replay_errors;
+    proofs;
+    replay_cache = (if replay_cache <= 0 then None else Some (Lru.create replay_cache));
+    replay_cache_hits;
+  }

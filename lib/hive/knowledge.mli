@@ -87,3 +87,18 @@ val add_fix : t -> Fixgen.kind -> Fixgen.fix
 
 val record_proof : t -> Prover.proof -> unit
 val valid_proofs : t -> Prover.proof list
+
+val write : Softborg_util.Codec.Writer.t -> t -> unit
+(** Checkpoint codec: serializes the whole knowledge base — program,
+    counters, execution tree, trace store, isolator, deadlock miner,
+    failure buckets, fixes, proofs.  Hashtable-backed collections are
+    written in sorted key order, so equal knowledge bases serialize to
+    equal bytes.  The replay cache is not persisted (it restarts
+    cold). *)
+
+val read : ?replay_cache:int -> Softborg_util.Codec.Reader.t -> t
+(** Inverse of {!write}: the restored value is observationally
+    identical to the original (same tree version and epoch, same
+    subsequent ingest/analyze behaviour).
+    @raise Softborg_util.Codec.Malformed on invalid input.
+    @raise Softborg_util.Codec.Truncated on premature end. *)

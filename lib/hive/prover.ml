@@ -175,3 +175,49 @@ let invalidate proofs ~current_epoch =
       end
       else acc)
     0 proofs
+
+module Codec = Softborg_util.Codec
+
+let write_proof w proof =
+  Codec.Writer.varint w proof.id;
+  Codec.Writer.byte w (match proof.property with Assert_safety -> 0 | Deadlock_freedom -> 1);
+  (match proof.strength with
+  | Proved { domain = lo, hi } ->
+    Codec.Writer.byte w 0;
+    Codec.Writer.zigzag w lo;
+    Codec.Writer.zigzag w hi
+  | Tested { executions; schedules } ->
+    Codec.Writer.byte w 1;
+    Codec.Writer.varint w executions;
+    Codec.Writer.varint w schedules);
+  Codec.Writer.varint w proof.epoch;
+  Codec.Writer.varint w proof.distinct_paths;
+  Codec.Writer.bool w proof.valid
+
+let read_proof r =
+  let id = Codec.Reader.varint r in
+  let property =
+    match Codec.Reader.byte r with
+    | 0 -> Assert_safety
+    | 1 -> Deadlock_freedom
+    | n -> raise (Codec.Malformed (Printf.sprintf "proof property tag %d" n))
+  in
+  let strength =
+    match Codec.Reader.byte r with
+    | 0 ->
+      let lo = Codec.Reader.zigzag r in
+      let hi = Codec.Reader.zigzag r in
+      Proved { domain = (lo, hi) }
+    | 1 ->
+      let executions = Codec.Reader.varint r in
+      let schedules = Codec.Reader.varint r in
+      Tested { executions; schedules }
+    | n -> raise (Codec.Malformed (Printf.sprintf "proof strength tag %d" n))
+  in
+  let epoch = Codec.Reader.varint r in
+  let distinct_paths = Codec.Reader.varint r in
+  let valid = Codec.Reader.bool r in
+  (* Restored ids must stay unique against proofs minted after the
+     restore, so the global counter jumps past them. *)
+  if id > !next_proof_id then next_proof_id := id;
+  { id; property; strength; epoch; distinct_paths; valid }

@@ -83,3 +83,12 @@ val attempt_deadlock_freedom :
 val invalidate : proof list -> current_epoch:int -> int
 (** Mark proofs established against an older fix epoch invalid;
     returns how many were invalidated. *)
+
+val write_proof : Softborg_util.Codec.Writer.t -> proof -> unit
+(** Checkpoint codec for a proof record. *)
+
+val read_proof : Softborg_util.Codec.Reader.t -> proof
+(** Inverse of {!write_proof}.  Advances the internal proof-id counter
+    past the restored id so later proofs stay unique.
+    @raise Softborg_util.Codec.Malformed on invalid input.
+    @raise Softborg_util.Codec.Truncated on premature end. *)

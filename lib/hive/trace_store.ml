@@ -74,3 +74,33 @@ let heaviest t ~n =
   Hashtbl.fold (fun key entry acc -> (key, entry.count) :: acc) t.entries []
   |> List.sort (fun (_, a) (_, b) -> Int.compare b a)
   |> List.filteri (fun i _ -> i < n)
+
+module Codec = Softborg_util.Codec
+
+(* Entries sorted by digest so equal stores serialize to equal bytes
+   regardless of hashtable history. *)
+let write w t =
+  Codec.Writer.varint w t.received;
+  Codec.Writer.varint w t.bytes_received;
+  Codec.Writer.varint w t.bytes_stored;
+  Codec.Writer.list w
+    (fun (key, entry) ->
+      Codec.Writer.bytes w key;
+      Codec.Writer.varint w entry.count;
+      Codec.Writer.varint w entry.size)
+    (Hashtbl.fold (fun key entry acc -> (key, entry) :: acc) t.entries []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b))
+
+let read r =
+  let received = Codec.Reader.varint r in
+  let bytes_received = Codec.Reader.varint r in
+  let bytes_stored = Codec.Reader.varint r in
+  let entries = Hashtbl.create 64 in
+  List.iter
+    (fun (key, entry) -> Hashtbl.replace entries key entry)
+    (Codec.Reader.list r (fun r ->
+         let key = Codec.Reader.bytes r in
+         let count = Codec.Reader.varint r in
+         let size = Codec.Reader.varint r in
+         (key, { count; size })));
+  { entries; received; bytes_received; bytes_stored }

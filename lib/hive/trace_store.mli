@@ -53,3 +53,11 @@ val multiplicity : t -> Trace.t -> int
 val heaviest : t -> n:int -> (string * int) list
 (** The [n] most frequent content digests with their counts — the
     "hot paths" of the user population. *)
+
+val write : Softborg_util.Codec.Writer.t -> t -> unit
+(** Checkpoint codec: counters plus all entries sorted by digest, so
+    equal stores serialize to equal bytes. *)
+
+val read : Softborg_util.Codec.Reader.t -> t
+(** @raise Softborg_util.Codec.Malformed on invalid input.
+    @raise Softborg_util.Codec.Truncated on premature end. *)

@@ -1,0 +1,76 @@
+module Rng = Softborg_util.Rng
+
+type event =
+  | Checkpoint of { at : float }
+  | Hive_crash of { at : float }
+  | Pod_leave of { at : float; pod : int }
+  | Pod_join of { at : float }
+  | Degrade of { at : float; until_ : float; link : Link.config }
+
+type t = { events : event list }
+
+let time_of = function
+  | Checkpoint { at }
+  | Hive_crash { at }
+  | Pod_leave { at; _ }
+  | Pod_join { at }
+  | Degrade { at; _ } ->
+    at
+
+(* Stable sort: events authored at the same instant keep their plan
+   order (e.g. a Checkpoint written just before its Hive_crash). *)
+let create events = { events = List.stable_sort (fun a b -> Float.compare (time_of a) (time_of b)) events }
+
+let events t = t.events
+let length t = List.length t.events
+
+let pp_event fmt = function
+  | Checkpoint { at } -> Format.fprintf fmt "t=%.1f checkpoint" at
+  | Hive_crash { at } -> Format.fprintf fmt "t=%.1f hive-crash" at
+  | Pod_leave { at; pod } -> Format.fprintf fmt "t=%.1f pod-leave #%d" at pod
+  | Pod_join { at } -> Format.fprintf fmt "t=%.1f pod-join" at
+  | Degrade { at; until_; link } ->
+    Format.fprintf fmt "t=%.1f..%.1f degrade (drop=%.2f, latency=%.3fs)" at until_
+      link.Link.drop_probability link.Link.mean_latency
+
+(* Poisson arrival times at [rate] events/second over [0, duration). *)
+let arrivals rng ~rate ~duration =
+  if rate <= 0.0 then []
+  else begin
+    let rec loop t acc =
+      let t = t +. Rng.exponential rng rate in
+      if t >= duration then List.rev acc else loop t (t :: acc)
+    in
+    loop 0.0 []
+  end
+
+let degraded_link rng =
+  {
+    Link.drop_probability = 0.10 +. Rng.float rng 0.25;
+    mean_latency = 0.2 +. Rng.float rng 0.6;
+    min_latency = 0.01;
+  }
+
+let generate ~rng ~duration ~n_pods ?(crash_rate = 0.0) ?(churn_rate = 0.0)
+    ?(degrade_rate = 0.0) () =
+  (* Each fault family draws from its own split stream, so raising one
+     rate never shifts another family's event times. *)
+  let crash_rng = Rng.split rng in
+  let churn_rng = Rng.split rng in
+  let degrade_rng = Rng.split rng in
+  let crashes = List.map (fun at -> Hive_crash { at }) (arrivals crash_rng ~rate:crash_rate ~duration) in
+  let churn =
+    List.map
+      (fun at ->
+        if Rng.bool churn_rng then Pod_leave { at; pod = Rng.int churn_rng (max 1 n_pods) }
+        else Pod_join { at })
+      (arrivals churn_rng ~rate:churn_rate ~duration)
+  in
+  let degradations =
+    List.map
+      (fun at ->
+        let until_ = Float.min duration (at +. 10.0 +. Rng.float degrade_rng 50.0) in
+        Degrade { at; until_; link = degraded_link degrade_rng })
+      (arrivals degrade_rng ~rate:degrade_rate ~duration)
+  in
+  create (crashes @ churn @ degradations)

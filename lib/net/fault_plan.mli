@@ -1,0 +1,52 @@
+(** Deterministic fault schedules for the chaos harness.
+
+    The paper's hive runs over a "potentially unreliable network" (§4)
+    serving pods that come and go; a credible reproduction has to keep
+    learning through hive crashes, pod churn, and degrading links.  A
+    fault plan is a time-sorted script of such faults, either authored
+    explicitly ({!create}) or sampled from Poisson processes
+    ({!generate}) off the splittable PRNG — so every chaos run replays
+    bit-for-bit from a seed.  {!Softborg.Platform} interprets the plan
+    during a fleet session. *)
+
+module Rng := Softborg_util.Rng
+
+type event =
+  | Checkpoint of { at : float }  (** Snapshot the hive's knowledge. *)
+  | Hive_crash of { at : float }
+      (** Kill the hive and restart it from the latest checkpoint:
+          everything learned since is forgotten. *)
+  | Pod_leave of { at : float; pod : int }
+      (** Stop pod [pod mod n_pods]'s workload mid-session. *)
+  | Pod_join of { at : float }  (** Start a fresh pod mid-session. *)
+  | Degrade of { at : float; until_ : float; link : Link.config }
+      (** Swap every pod↔hive link to [link] during [at, until_). *)
+
+type t
+
+val create : event list -> t
+(** Sort a hand-written script by time (stable, so same-instant events
+    keep their order — e.g. a [Checkpoint] right before its
+    [Hive_crash]). *)
+
+val events : t -> event list
+(** Time-ascending. *)
+
+val length : t -> int
+
+val pp_event : Format.formatter -> event -> unit
+
+val generate :
+  rng:Rng.t ->
+  duration:float ->
+  n_pods:int ->
+  ?crash_rate:float ->
+  ?churn_rate:float ->
+  ?degrade_rate:float ->
+  unit ->
+  t
+(** Sample a plan from independent Poisson processes (events/second;
+    all rates default to 0).  Each fault family draws from its own
+    split of [rng], so changing one rate never shifts another family's
+    schedule.  Degradation windows last 10–60 seconds with sampled
+    loss (10–35%) and latency (0.2–0.8s mean). *)

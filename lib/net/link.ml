@@ -10,35 +10,65 @@ let default_config = { drop_probability = 0.01; mean_latency = 0.05; min_latency
 let lan = { drop_probability = 0.0; mean_latency = 0.0005; min_latency = 0.0001 }
 
 type t = {
-  config : config;
+  mutable config : config;
   sim : Sim.t;
   rng : Rng.t;
+  (* Fault injection: with probability [duplicate_probability] a
+     delivered packet is scheduled twice (independent latencies), as a
+     flaky router would.  Kept outside [config] so the degradation
+     schedule can swap configs without touching the adversarial knobs. *)
+  mutable duplicate_probability : float;
   mutable sent : int;
   mutable dropped : int;
   mutable delivered : int;
+  mutable duplicated : int;
   mutable bytes_sent : int;
 }
 
 let create ?(config = default_config) ~sim ~rng () =
-  { config; sim; rng; sent = 0; dropped = 0; delivered = 0; bytes_sent = 0 }
+  {
+    config;
+    sim;
+    rng;
+    duplicate_probability = 0.0;
+    sent = 0;
+    dropped = 0;
+    delivered = 0;
+    duplicated = 0;
+    bytes_sent = 0;
+  }
+
+let config t = t.config
+let set_config t config = t.config <- config
+let set_duplicate_probability t p = t.duplicate_probability <- p
 
 let send t ~payload ~deliver =
   t.sent <- t.sent + 1;
   t.bytes_sent <- t.bytes_sent + String.length payload;
   if Rng.bernoulli t.rng t.config.drop_probability then t.dropped <- t.dropped + 1
   else begin
-    let latency =
-      t.config.min_latency
-      +.
-      if t.config.mean_latency <= 0.0 then 0.0
-      else Rng.exponential t.rng (1.0 /. t.config.mean_latency)
+    let deliver_once () =
+      let latency =
+        t.config.min_latency
+        +.
+        if t.config.mean_latency <= 0.0 then 0.0
+        else Rng.exponential t.rng (1.0 /. t.config.mean_latency)
+      in
+      Sim.schedule t.sim ~delay:latency (fun () ->
+          t.delivered <- t.delivered + 1;
+          deliver payload)
     in
-    Sim.schedule t.sim ~delay:latency (fun () ->
-        t.delivered <- t.delivered + 1;
-        deliver payload)
+    deliver_once ();
+    (* Lazy guard first: with duplication off (the default) no extra
+       RNG draw happens, so existing seeded runs are unperturbed. *)
+    if t.duplicate_probability > 0.0 && Rng.bernoulli t.rng t.duplicate_probability then begin
+      t.duplicated <- t.duplicated + 1;
+      deliver_once ()
+    end
   end
 
 let sent t = t.sent
 let dropped t = t.dropped
 let delivered t = t.delivered
+let duplicated t = t.duplicated
 let bytes_sent t = t.bytes_sent

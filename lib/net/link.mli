@@ -24,6 +24,18 @@ type t
 
 val create : ?config:config -> sim:Sim.t -> rng:Rng.t -> unit -> t
 
+val config : t -> config
+
+val set_config : t -> config -> unit
+(** Swap the link's loss/latency parameters mid-run — the primitive the
+    chaos harness uses for time-varying degradation. *)
+
+val set_duplicate_probability : t -> float -> unit
+(** Probability that a delivered packet is delivered {e twice}, with
+    independent latencies (so the copies can also reorder).  Default
+    0.0, in which case no extra randomness is drawn and seeded runs are
+    byte-identical to a build without the knob. *)
+
 val send : t -> payload:string -> deliver:(string -> unit) -> unit
 (** Transmit one packet; [deliver] fires after the sampled latency
     unless the packet is dropped. *)
@@ -31,4 +43,9 @@ val send : t -> payload:string -> deliver:(string -> unit) -> unit
 val sent : t -> int
 val dropped : t -> int
 val delivered : t -> int
+
+val duplicated : t -> int
+(** Packets delivered twice by fault injection ({!delivered} counts
+    both copies). *)
+
 val bytes_sent : t -> int

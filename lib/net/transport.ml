@@ -133,6 +133,7 @@ let send t payload =
   arm_retry t seq t.config.retry_timeout
 
 let on_receive t handler = t.handler <- handler
+let out_link t = t.out_link
 
 let stats t =
   {

@@ -41,4 +41,8 @@ val send : endpoint -> string -> unit
 val on_receive : endpoint -> (string -> unit) -> unit
 (** Install the application handler (replaces any previous one). *)
 
+val out_link : endpoint -> Link.t option
+(** The endpoint's outgoing link — exposed so the chaos harness (and
+    adversarial tests) can degrade it or script faults mid-run. *)
+
 val stats : endpoint -> stats

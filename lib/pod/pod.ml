@@ -74,6 +74,7 @@ type t = {
   mutable guard_flags : int;
   mutable traces_uploaded : int;
   mutable signal_counts : (Feedback.signal * int) list;
+  mutable active : bool;  (* false once the chaos harness stops the pod *)
 }
 
 let next_pod_id = ref 0
@@ -124,6 +125,7 @@ let create ?(config = default_config) ~sim ~rng ~program ~endpoint () =
       guard_flags = 0;
       traces_uploaded = 0;
       signal_counts = [];
+      active = true;
     }
   in
   Transport.on_receive endpoint (handle_message t);
@@ -211,16 +213,21 @@ let run_session t =
 let rec schedule_next t =
   let gap = Rng.exponential t.rng t.config.arrival_rate in
   Sim.schedule t.sim ~delay:gap (fun () ->
-      (* Guidance directives take priority over natural sessions: the
-         hive asked for specific evidence. *)
-      (match t.pending_guidance with
-      | directive :: rest ->
-        t.pending_guidance <- rest;
-        run_directive t directive
-      | [] -> run_session t);
-      schedule_next t)
+      (* A stopped pod's pending arrival fires but does nothing and
+         does not re-arm: the session stream dies with the user. *)
+      if t.active then begin
+        (* Guidance directives take priority over natural sessions: the
+           hive asked for specific evidence. *)
+        (match t.pending_guidance with
+        | directive :: rest ->
+          t.pending_guidance <- rest;
+          run_directive t directive
+        | [] -> run_session t);
+        schedule_next t
+      end)
 
 let start t = schedule_next t
+let stop t = t.active <- false
 
 let metrics t =
   {

@@ -61,6 +61,11 @@ val create :
 val start : t -> unit
 (** Schedule the first user session. *)
 
+val stop : t -> unit
+(** Stop generating sessions (the user leaves).  The pod's pending
+    arrival fires as a no-op; already-sent traffic still completes.
+    Used by the chaos harness for pod churn. *)
+
 val run_session : t -> unit
 (** Execute one natural session immediately (also used by tests). *)
 

@@ -11,3 +11,12 @@ val write_expr : Codec.Writer.t -> Ir.expr -> unit
 val read_expr : Codec.Reader.t -> Ir.expr
 (** @raise Softborg_util.Codec.Malformed on invalid input.
     @raise Softborg_util.Codec.Truncated on premature end. *)
+
+val write_program : Codec.Writer.t -> Ir.t -> unit
+(** Serialize a whole program — used by hive checkpoints, which must
+    restore the knowledge base without assuming the program is still
+    registered elsewhere. *)
+
+val read_program : Codec.Reader.t -> Ir.t
+(** @raise Softborg_util.Codec.Malformed on invalid input.
+    @raise Softborg_util.Codec.Truncated on premature end. *)

@@ -346,3 +346,177 @@ let path_outcomes t =
         let prefix = prefix_of node in
         Bucket_map.fold (fun bucket count acc -> (prefix, bucket, count) :: acc) node.terminal acc)
     [] t.root
+
+(* ---- Checkpoint codec -------------------------------------------------- *)
+
+module Codec = Softborg_util.Codec
+
+let write_site w (site : Ir.site) =
+  Codec.Writer.varint w site.Ir.thread;
+  Codec.Writer.varint w site.Ir.pc
+
+let read_site r =
+  let thread = Codec.Reader.varint r in
+  let pc = Codec.Reader.varint r in
+  { Ir.thread; pc }
+
+let write_dir w ((site, direction) : Edge_map.key) =
+  write_site w site;
+  Codec.Writer.bool w direction
+
+let read_dir r =
+  let site = read_site r in
+  let direction = Codec.Reader.bool r in
+  (site, direction)
+
+(* One node record: identity, hits, terminal buckets, infeasibility
+   marks, and the labeled out-edges with their traversal counts.  All
+   collections are emitted in their map/set order, so equal trees
+   always serialize to equal bytes.  Child records follow the parent in
+   edge order (preorder). *)
+let write_node_record w node =
+  Codec.Writer.varint w node.id;
+  Codec.Writer.varint w node.hits;
+  Codec.Writer.list w
+    (fun (bucket, count) ->
+      Codec.Writer.bytes w bucket;
+      Codec.Writer.varint w count)
+    (Bucket_map.bindings node.terminal);
+  Codec.Writer.list w (write_dir w) (Edge_set.elements node.infeasible);
+  Codec.Writer.list w
+    (fun (key, count) ->
+      write_dir w key;
+      Codec.Writer.varint w count)
+    (List.rev (Edge_map.fold (fun key (_, count) acc -> (key, !count) :: acc) node.edges []))
+
+let write w t =
+  Codec.Writer.varint w t.nodes;
+  Codec.Writer.varint w t.executions;
+  Codec.Writer.varint w t.distinct_paths;
+  Codec.Writer.varint w t.next_id;
+  Codec.Writer.varint w t.version;
+  (* Preorder via an explicit stack; children pushed in ascending edge
+     order so they pop (and serialize) in that order. *)
+  let rec emit = function
+    | [] -> ()
+    | node :: stack ->
+      write_node_record w node;
+      let children = Edge_map.fold (fun _ (child, _) acc -> child :: acc) node.edges [] in
+      emit (List.rev_append children stack)
+  in
+  emit [ t.root ]
+
+type node_record = {
+  r_id : int;
+  r_hits : int;
+  r_terminal : int Bucket_map.t;
+  r_infeasible : Edge_set.t;
+  r_edges : (Edge_map.key * int) list;  (* ascending; children follow in this order *)
+}
+
+let read_node_record r =
+  let r_id = Codec.Reader.varint r in
+  let r_hits = Codec.Reader.varint r in
+  let r_terminal =
+    List.fold_left
+      (fun acc (bucket, count) -> Bucket_map.add bucket count acc)
+      Bucket_map.empty
+      (Codec.Reader.list r (fun r ->
+           let bucket = Codec.Reader.bytes r in
+           let count = Codec.Reader.varint r in
+           (bucket, count)))
+  in
+  let r_infeasible = Edge_set.of_list (Codec.Reader.list r read_dir) in
+  let r_edges =
+    Codec.Reader.list r (fun r ->
+        let key = read_dir r in
+        let count = Codec.Reader.varint r in
+        (key, count))
+  in
+  { r_id; r_hits; r_terminal; r_infeasible; r_edges }
+
+(* Rebuild the incremental aggregates from the restored structure.  By
+   construction this walk computes exactly what the *_recompute oracles
+   compute, so a restored tree satisfies the aggregate invariants. *)
+let rebuild_aggregates t =
+  t.edge_count <- 0;
+  t.max_depth <- 0;
+  t.closed_dirs <- 0;
+  t.total_dirs <- 0;
+  Hashtbl.reset t.bucket_totals;
+  Hashtbl.reset t.open_gaps;
+  fold_nodes
+    (fun () node ->
+      t.edge_count <- t.edge_count + Edge_map.cardinal node.edges;
+      if node.depth > t.max_depth then t.max_depth <- node.depth;
+      Bucket_map.iter
+        (fun bucket count ->
+          Hashtbl.replace t.bucket_totals bucket
+            (count + Option.value ~default:0 (Hashtbl.find_opt t.bucket_totals bucket)))
+        node.terminal;
+      Site_set.iter
+        (fun site ->
+          t.total_dirs <- t.total_dirs + 2;
+          let account direction =
+            if has_edge node site direction || marked_infeasible node site direction then
+              t.closed_dirs <- t.closed_dirs + 1
+            else Hashtbl.replace t.open_gaps (node.id, site, direction) node
+          in
+          account true;
+          account false)
+        (sites_at node))
+    () t.root
+
+let read r =
+  let nodes = Codec.Reader.varint r in
+  let executions = Codec.Reader.varint r in
+  let distinct_paths = Codec.Reader.varint r in
+  let next_id = Codec.Reader.varint r in
+  let version = Codec.Reader.varint r in
+  let node_of_record ~depth ~parent rec_ =
+    {
+      id = rec_.r_id;
+      depth;
+      parent;
+      edges = Edge_map.empty;
+      infeasible = rec_.r_infeasible;
+      hits = rec_.r_hits;
+      terminal = rec_.r_terminal;
+    }
+  in
+  let root_record = read_node_record r in
+  let root = node_of_record ~depth:0 ~parent:None root_record in
+  let restored = ref 1 in
+  (* Reattach preorder records: the stack holds nodes whose child
+     records are still pending, with the edge specs left to fill. *)
+  let rec fill = function
+    | [] -> ()
+    | (_, []) :: stack -> fill stack
+    | (node, (key, count) :: specs) :: stack ->
+      let child_record = read_node_record r in
+      let child = node_of_record ~depth:(node.depth + 1) ~parent:(Some (node, key)) child_record in
+      node.edges <- Edge_map.add key (child, ref count) node.edges;
+      incr restored;
+      fill ((child, child_record.r_edges) :: (node, specs) :: stack)
+  in
+  fill [ (root, root_record.r_edges) ];
+  if !restored <> nodes then
+    raise (Codec.Malformed (Printf.sprintf "tree node count: header %d, records %d" nodes !restored));
+  let t =
+    {
+      root;
+      nodes;
+      executions;
+      distinct_paths;
+      next_id;
+      edge_count = 0;
+      max_depth = 0;
+      closed_dirs = 0;
+      total_dirs = 0;
+      bucket_totals = Hashtbl.create 16;
+      open_gaps = Hashtbl.create 64;
+      version;
+    }
+  in
+  rebuild_aggregates t;
+  t

@@ -108,3 +108,21 @@ val is_complete_recompute : t -> bool
 val n_edges_recompute : t -> int
 val outcome_buckets_recompute : t -> (string * int) list
 val depth_recompute : t -> int
+
+(** {2 Checkpoint codec}
+
+    Structural serialization for hive checkpoints.  Nodes are written
+    in preorder with children in ascending edge order, and every
+    collection in canonical (map/set) order, so equal trees produce
+    equal bytes: snapshot → restore → snapshot round-trips
+    byte-identically.  The incremental aggregates are {e not} stored;
+    {!read} rebuilds them with the same walk the recompute oracles use,
+    so a restored tree satisfies the aggregate invariants by
+    construction. *)
+
+val write : Softborg_util.Codec.Writer.t -> t -> unit
+
+val read : Softborg_util.Codec.Reader.t -> t
+(** @raise Softborg_util.Codec.Malformed on invalid input (including a
+      node-count mismatch).
+    @raise Softborg_util.Codec.Truncated on premature end. *)

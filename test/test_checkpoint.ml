@@ -1,0 +1,361 @@
+(* The checkpoint codec battery: snapshot → restore → snapshot must be
+   byte-identical, restored trees must satisfy every incremental
+   aggregate invariant, restored knowledge must behave exactly like the
+   original, and corrupt input must degrade to an error — never a crash
+   or a half-restored hive. *)
+
+module Ir = Softborg_prog.Ir
+module Corpus = Softborg_prog.Corpus
+module Env = Softborg_exec.Env
+module Sched = Softborg_exec.Sched
+module Interp = Softborg_exec.Interp
+module Trace = Softborg_trace.Trace
+module Exec_tree = Softborg_tree.Exec_tree
+module Knowledge = Softborg_hive.Knowledge
+module Checkpoint = Softborg_hive.Checkpoint
+module Prover = Softborg_hive.Prover
+module Hive = Softborg_hive.Hive
+module Sim = Softborg_net.Sim
+module Codec = Softborg_util.Codec
+module Rng = Softborg_util.Rng
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+let checks = Alcotest.check Alcotest.string
+
+let run_once ?(seed = 7) program inputs =
+  let env = Env.make ~seed ~inputs () in
+  Interp.run ~program ~env ~sched:Sched.Round_robin ()
+
+let trace_of ?(pod = 1) ?(fix_epoch = 0) program r =
+  Trace.of_result ~program_digest:(Ir.digest program) ~pod ~fix_epoch r
+
+(* ---- Exec_tree round-trip property ------------------------------------ *)
+
+let tree_bytes t =
+  let w = Codec.Writer.create () in
+  Exec_tree.write w t;
+  Codec.Writer.contents w
+
+let tree_of_bytes s = Exec_tree.read (Codec.Reader.of_string s)
+
+(* Pre-computed (path, outcome) pools, one per program, so each QCheck
+   case interleaves merges without re-running the interpreter. *)
+let path_pool program inputs_of =
+  let rng = Rng.create 1234 in
+  List.init 48 (fun i ->
+      let r = run_once ~seed:i program (inputs_of rng) in
+      (r.Interp.full_path, r.Interp.outcome))
+
+let parser_pool =
+  path_pool Corpus.parser (fun rng ->
+      if Rng.int rng 6 = 0 then Corpus.parser_trigger
+      else Array.init 3 (fun _ -> Rng.int_in rng 0 30))
+
+let fig2_pool = path_pool Corpus.fig2_write (fun rng -> [| Rng.int_in rng (-5) 305 |])
+
+let tree_fingerprint t =
+  ( Exec_tree.n_nodes t,
+    Exec_tree.n_executions t,
+    Exec_tree.n_distinct_paths t,
+    Exec_tree.n_edges t,
+    Exec_tree.version t,
+    Exec_tree.depth t,
+    Exec_tree.frontier_size t,
+    Exec_tree.outcome_buckets t,
+    Exec_tree.is_complete t )
+
+(* Random interleaving of path merges, duplicate merges, infeasibility
+   marks, and mid-sequence checkpoints; at every checkpoint the restored
+   tree must re-serialize to the same bytes and agree with the walk-the-
+   tree oracles. *)
+let prop_tree_checkpoint_roundtrip =
+  QCheck.Test.make ~name:"tree snapshot/restore round-trips and restores aggregates"
+    ~count:500
+    QCheck.(triple small_nat (int_range 1 30) bool)
+    (fun (seed, n_ops, use_parser) ->
+      let pool = if use_parser then parser_pool else fig2_pool in
+      let rng = Rng.create (seed * 7919 + 17) in
+      let t = Exec_tree.create () in
+      let check_roundtrip () =
+        let s1 = tree_bytes t in
+        let t' = tree_of_bytes s1 in
+        let s2 = tree_bytes t' in
+        if s1 <> s2 then QCheck.Test.fail_report "re-snapshot not byte-identical";
+        if tree_fingerprint t <> tree_fingerprint t' then
+          QCheck.Test.fail_report "restored tree differs from original";
+        (* Every incremental aggregate of the restored tree must equal
+           its full-walk recompute oracle. *)
+        if Exec_tree.n_edges t' <> Exec_tree.n_edges_recompute t' then
+          QCheck.Test.fail_report "n_edges oracle mismatch";
+        if Exec_tree.depth t' <> Exec_tree.depth_recompute t' then
+          QCheck.Test.fail_report "depth oracle mismatch";
+        if Exec_tree.outcome_buckets t' <> Exec_tree.outcome_buckets_recompute t' then
+          QCheck.Test.fail_report "outcome_buckets oracle mismatch";
+        if Exec_tree.frontier t' <> Exec_tree.frontier_recompute t' then
+          QCheck.Test.fail_report "frontier oracle mismatch";
+        if Exec_tree.is_complete t' <> Exec_tree.is_complete_recompute t' then
+          QCheck.Test.fail_report "is_complete oracle mismatch";
+        if abs_float (Exec_tree.completeness t' -. Exec_tree.completeness_recompute t')
+           > 1e-9
+        then QCheck.Test.fail_report "completeness oracle mismatch"
+      in
+      for _ = 1 to n_ops do
+        (match Rng.int rng 5 with
+        | 0 | 1 | 2 ->
+          let path, outcome = List.nth pool (Rng.int rng (List.length pool)) in
+          ignore (Exec_tree.add_path t path outcome)
+        | 3 -> (
+          (* Close a random open gap, as the prover would. *)
+          match Exec_tree.frontier t with
+          | [] -> ()
+          | gaps ->
+            let gap = List.nth gaps (Rng.int rng (List.length gaps)) in
+            ignore
+              (Exec_tree.mark_infeasible t ~prefix:gap.Exec_tree.prefix
+                 ~site:gap.Exec_tree.site ~direction:gap.Exec_tree.missing))
+        | _ -> check_roundtrip ());
+      done;
+      check_roundtrip ();
+      (* Restored trees must also keep behaving: merging one more path
+         into original and restored twins must agree exactly. *)
+      let t' = tree_of_bytes (tree_bytes t) in
+      let path, outcome = List.nth pool (Rng.int rng (List.length pool)) in
+      let a = Exec_tree.add_path t path outcome in
+      let b = Exec_tree.add_path t' path outcome in
+      a = b && tree_fingerprint t = tree_fingerprint t')
+
+(* ---- Knowledge round-trip --------------------------------------------- *)
+
+let proof_shape (p : Prover.proof) =
+  (p.Prover.property, p.Prover.strength, p.Prover.epoch, p.Prover.distinct_paths, p.Prover.valid)
+
+let knowledge_fingerprint k =
+  ( Knowledge.digest k,
+    Knowledge.epoch k,
+    Knowledge.traces_ingested k,
+    Knowledge.failures_observed k,
+    Knowledge.replay_errors k,
+    Exec_tree.version (Knowledge.tree k),
+    Exec_tree.n_distinct_paths (Knowledge.tree k),
+    ( Knowledge.bucket_counts k,
+      List.length (Knowledge.fixes k),
+      List.map proof_shape (Knowledge.proofs k),
+      Softborg_hive.Trace_store.received (Knowledge.store k),
+      Softborg_hive.Trace_store.bytes_received (Knowledge.store k) ) )
+
+let populated_knowledge ?(n = 30) seed =
+  let k = Knowledge.create Corpus.parser in
+  let rng = Rng.create seed in
+  for i = 1 to n do
+    let inputs =
+      if Rng.int rng 4 = 0 then Corpus.parser_trigger
+      else Array.init 3 (fun _ -> Rng.int_in rng 0 30)
+    in
+    let r = run_once ~seed:i Corpus.parser inputs in
+    match Knowledge.ingest_trace k (trace_of ~pod:(i mod 5) Corpus.parser r) with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "ingest failed: %s" e
+  done;
+  ignore (Knowledge.analyze k);
+  Knowledge.record_proof k
+    {
+      Prover.id = 1;
+      property = Prover.Assert_safety;
+      strength = Prover.Tested { executions = n; schedules = 1 };
+      epoch = Knowledge.epoch k;
+      distinct_paths = Exec_tree.n_distinct_paths (Knowledge.tree k);
+      valid = true;
+    };
+  k
+
+let test_knowledge_roundtrip () =
+  let k = populated_knowledge 42 in
+  let s1 = Checkpoint.encode_knowledge k in
+  match Checkpoint.decode_knowledge s1 with
+  | Error e -> Alcotest.failf "decode failed: %s" e
+  | Ok k' ->
+    checks "re-snapshot byte-identical" s1 (Checkpoint.encode_knowledge k');
+    checkb "observationally identical" true (knowledge_fingerprint k = knowledge_fingerprint k');
+    (* The restored base must keep learning exactly like the original:
+       same ingest result, same analysis output, same state after. *)
+    let r = run_once ~seed:991 Corpus.parser Corpus.parser_trigger in
+    let ingest k = Knowledge.ingest_trace k (trace_of ~pod:2 Corpus.parser r) in
+    checkb "same ingest result" true (ingest k = ingest k');
+    let fixes_a = List.length (Knowledge.analyze k) in
+    let fixes_b = List.length (Knowledge.analyze k') in
+    checki "same analysis output" fixes_a fixes_b;
+    checkb "still identical after new evidence" true
+      (knowledge_fingerprint k = knowledge_fingerprint k');
+    checks "snapshots still agree" (Checkpoint.encode_knowledge k) (Checkpoint.encode_knowledge k')
+
+let prop_knowledge_roundtrip_random =
+  QCheck.Test.make ~name:"knowledge snapshot/restore round-trips byte-identically" ~count:50
+    QCheck.(pair small_nat (int_range 1 40))
+    (fun (seed, n) ->
+      let k = populated_knowledge ~n (seed + 1) in
+      let s1 = Checkpoint.encode_knowledge k in
+      match Checkpoint.decode_knowledge s1 with
+      | Error _ -> false
+      | Ok k' ->
+        s1 = Checkpoint.encode_knowledge k'
+        && knowledge_fingerprint k = knowledge_fingerprint k')
+
+(* ---- Framed checkpoints and the hive ----------------------------------- *)
+
+let test_frame_sorts_by_digest () =
+  let ka = populated_knowledge 1 in
+  let kb = Knowledge.create Corpus.fig2_write in
+  checks "registration order does not matter"
+    (Checkpoint.encode [ ka; kb ])
+    (Checkpoint.encode [ kb; ka ])
+
+let test_frame_roundtrip () =
+  let ka = populated_knowledge 5 in
+  let kb = Knowledge.create Corpus.fig2_write in
+  let s = Checkpoint.encode [ ka; kb ] in
+  match Checkpoint.decode s with
+  | Error e -> Alcotest.failf "decode failed: %s" e
+  | Ok ks ->
+    checki "both restored" 2 (List.length ks);
+    checks "re-encode byte-identical" s (Checkpoint.encode ks)
+
+let ingest_everywhere hive ~seed ~n =
+  List.iter
+    (fun k ->
+      let program = Knowledge.program k in
+      let rng = Rng.create (seed lxor Hashtbl.hash (Knowledge.digest k)) in
+      for i = 1 to n do
+        let inputs = Array.init 3 (fun _ -> Rng.int_in rng 0 40) in
+        let r = run_once ~seed:(seed + i) program inputs in
+        ignore (Knowledge.ingest_trace k (trace_of program r))
+      done)
+    (Hive.knowledge_list hive)
+
+let test_hive_restore_reverts_knowledge () =
+  let sim = Sim.create () in
+  let hive = Hive.create ~sim () in
+  ignore (Hive.register_program hive Corpus.parser);
+  ignore (Hive.register_program hive Corpus.fig2_write);
+  ingest_everywhere hive ~seed:3 ~n:12;
+  let ckpt = Hive.checkpoint hive in
+  let at_ckpt = List.map knowledge_fingerprint (Hive.knowledge_list hive) in
+  (* Learn more, then crash: the extra knowledge must vanish. *)
+  ingest_everywhere hive ~seed:77 ~n:9;
+  checkb "hive moved on" true (List.map knowledge_fingerprint (Hive.knowledge_list hive) <> at_ckpt);
+  (match Hive.restore hive ckpt with
+  | Error e -> Alcotest.failf "restore failed: %s" e
+  | Ok n -> checki "both programs restored" 2 n);
+  checkb "state reverted to checkpoint" true
+    (List.map knowledge_fingerprint (Hive.knowledge_list hive) = at_ckpt);
+  checks "re-checkpoint byte-identical" ckpt (Hive.checkpoint hive);
+  checki "restore counted" 1 (Hive.stats hive).Hive.restores_completed
+
+let test_hive_restore_keeps_late_programs () =
+  let sim = Sim.create () in
+  let hive = Hive.create ~sim () in
+  ignore (Hive.register_program hive Corpus.parser);
+  let ckpt = Hive.checkpoint hive in
+  ignore (Hive.register_program hive Corpus.fig2_write);
+  (match Hive.restore hive ckpt with
+  | Error e -> Alcotest.failf "restore failed: %s" e
+  | Ok n -> checki "one program in the checkpoint" 1 n);
+  checki "late registration survives the restore" 2 (List.length (Hive.knowledge_list hive))
+
+(* ---- Corruption -------------------------------------------------------- *)
+
+let test_decode_rejects_garbage () =
+  (match Checkpoint.decode "" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty input must not decode");
+  (match Checkpoint.decode "definitely not a checkpoint" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage must not decode");
+  let valid = Checkpoint.encode [ populated_knowledge 9 ] in
+  (match Checkpoint.decode (String.sub valid 0 (String.length valid / 2)) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncation must not decode");
+  let bad_magic = "XX" ^ String.sub valid 2 (String.length valid - 2) in
+  match Checkpoint.decode bad_magic with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "wrong magic must not decode"
+
+let test_hive_restore_rejects_corruption_untouched () =
+  let sim = Sim.create () in
+  let hive = Hive.create ~sim () in
+  ignore (Hive.register_program hive Corpus.parser);
+  ingest_everywhere hive ~seed:13 ~n:10;
+  let before = List.map knowledge_fingerprint (Hive.knowledge_list hive) in
+  let ckpt = Hive.checkpoint hive in
+  let corrupt = String.sub ckpt 0 (String.length ckpt - 7) in
+  (match Hive.restore hive corrupt with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated checkpoint must not restore");
+  (match Hive.restore hive "SBHVgarbage" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage must not restore");
+  checkb "failed restores leave the hive untouched" true
+    (List.map knowledge_fingerprint (Hive.knowledge_list hive) = before);
+  checki "no restore counted" 0 (Hive.stats hive).Hive.restores_completed
+
+let test_tree_read_rejects_node_count_lie () =
+  let t = Exec_tree.create () in
+  List.iter
+    (fun p ->
+      let r = run_once Corpus.fig2_write [| p |] in
+      ignore (Exec_tree.add_path t r.Interp.full_path r.Interp.outcome))
+    [ 5; -1; 200 ];
+  let s = tree_bytes t in
+  (* Inflate the node count (first varint); the preorder walk then
+     cannot account for every node and must reject the payload. *)
+  let w = Codec.Writer.create () in
+  Codec.Writer.varint w (Exec_tree.n_nodes t + 3);
+  let prefix = Codec.Writer.contents w in
+  let r0 = Codec.Reader.of_string s in
+  ignore (Codec.Reader.varint r0);
+  let rest = String.sub s (String.length s - Codec.Reader.remaining r0) (Codec.Reader.remaining r0) in
+  match tree_of_bytes (prefix ^ rest) with
+  | exception Codec.Malformed _ -> ()
+  | exception Codec.Truncated -> ()
+  | _ -> Alcotest.fail "inconsistent node count must not decode"
+
+let test_checkpoint_determinism_across_processes () =
+  (* Two hives built the same way checkpoint to the same bytes — the
+     checkpoint is a pure function of the knowledge state. *)
+  let build () =
+    let sim = Sim.create () in
+    let hive = Hive.create ~sim () in
+    ignore (Hive.register_program hive Corpus.parser);
+    ingest_everywhere hive ~seed:21 ~n:15;
+    Hive.checkpoint hive
+  in
+  checks "equal states, equal bytes" (build ()) (build ())
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "softborg_checkpoint"
+    [
+      ( "tree",
+        [
+          q prop_tree_checkpoint_roundtrip;
+          Alcotest.test_case "node count lie" `Quick test_tree_read_rejects_node_count_lie;
+        ] );
+      ( "knowledge",
+        [
+          Alcotest.test_case "round trip" `Quick test_knowledge_roundtrip;
+          q prop_knowledge_roundtrip_random;
+        ] );
+      ( "hive",
+        [
+          Alcotest.test_case "frame sorted" `Quick test_frame_sorts_by_digest;
+          Alcotest.test_case "frame round trip" `Quick test_frame_roundtrip;
+          Alcotest.test_case "restore reverts" `Quick test_hive_restore_reverts_knowledge;
+          Alcotest.test_case "late programs kept" `Quick test_hive_restore_keeps_late_programs;
+          Alcotest.test_case "determinism" `Quick test_checkpoint_determinism_across_processes;
+        ] );
+      ( "corruption",
+        [
+          Alcotest.test_case "decode rejects garbage" `Quick test_decode_rejects_garbage;
+          Alcotest.test_case "hive untouched" `Quick test_hive_restore_rejects_corruption_untouched;
+        ] );
+    ]

@@ -196,6 +196,111 @@ let test_transport_gives_up_eventually () =
   checki "gave up" 1 s.Transport.gave_up;
   checki "three retries" 3 s.Transport.retransmissions
 
+(* ---- Adversarial link conditions ------------------------------------- *)
+
+let test_transport_survives_duplication () =
+  (* A flaky router clones packets: the wire sees each copy, the
+     application exactly one. *)
+  let config =
+    {
+      Transport.default_config with
+      Transport.link = { Link.drop_probability = 0.0; mean_latency = 0.02; min_latency = 0.001 };
+    }
+  in
+  let sim, a, b = pair ~config 17 in
+  let link_ab =
+    match Transport.out_link a with Some l -> l | None -> Alcotest.fail "endpoint has no link"
+  in
+  Link.set_duplicate_probability link_ab 0.8;
+  let received = ref [] in
+  Transport.on_receive b (fun payload -> received := payload :: !received);
+  let n = 100 in
+  for i = 1 to n do
+    Transport.send a (Printf.sprintf "m-%d" i)
+  done;
+  Sim.run sim;
+  checki "exactly once to the application" n (List.length !received);
+  checki "no payload repeated" n (List.length (List.sort_uniq compare !received));
+  checkb "the wire did duplicate" true (Link.duplicated link_ab > 0);
+  let sb = Transport.stats b in
+  checkb "duplicates were suppressed" true (sb.Transport.duplicates_suppressed > 0);
+  (* Every data copy the link delivered was either handed to the app
+     (first arrival) or suppressed (clone or retransmit). *)
+  checki "receiver accounts for every wire copy"
+    (Link.delivered link_ab)
+    (sb.Transport.delivered + sb.Transport.duplicates_suppressed);
+  (* Link-level conservation: what went in either dropped or came out,
+     plus one extra arrival per clone. *)
+  checki "link conservation"
+    (Link.sent link_ab - Link.dropped link_ab + Link.duplicated link_ab)
+    (Link.delivered link_ab)
+
+let test_transport_survives_reordering () =
+  (* High-variance latency with back-to-back sends scrambles arrival
+     order; delivery must still be exactly-once and complete. *)
+  let config =
+    {
+      Transport.default_config with
+      Transport.link = { Link.drop_probability = 0.0; mean_latency = 0.3; min_latency = 0.0 };
+      Transport.retry_timeout = 5.0;  (* keep retransmits out of the picture *)
+    }
+  in
+  let sim, a, b = pair ~config 23 in
+  let received = ref [] in
+  Transport.on_receive b (fun payload -> received := payload :: !received);
+  let n = 100 in
+  let sent = List.init n (fun i -> Printf.sprintf "m-%02d" i) in
+  List.iter (Transport.send a) sent;
+  Sim.run sim;
+  let received = List.rev !received in
+  checkb "arrival order was actually scrambled" true (received <> sent);
+  Alcotest.(check (list string)) "but nothing lost or repeated" sent (List.sort compare received);
+  let sa = Transport.stats a and sb = Transport.stats b in
+  checki "nothing abandoned" 0 sa.Transport.gave_up;
+  checki "receiver matches sender" sa.Transport.messages_sent sb.Transport.delivered
+
+let test_transport_adversarial_battery () =
+  (* Loss, duplication, and an impatient retry timer all at once, both
+     directions.  Exactly-once delivery must hold and every counter must
+     reconcile with the sender's. *)
+  let config =
+    {
+      Transport.default_config with
+      Transport.link = { Link.drop_probability = 0.3; mean_latency = 0.05; min_latency = 0.001 };
+      Transport.retry_timeout = 0.02;
+      Transport.max_retries = 30;
+    }
+  in
+  let sim, a, b = pair ~config 29 in
+  (match (Transport.out_link a, Transport.out_link b) with
+  | Some ab, Some ba ->
+    Link.set_duplicate_probability ab 0.5;
+    Link.set_duplicate_probability ba 0.5
+  | _ -> Alcotest.fail "endpoints have no links");
+  let received = ref [] in
+  Transport.on_receive b (fun payload -> received := payload :: !received);
+  let n = 200 in
+  for i = 1 to n do
+    Transport.send a (Printf.sprintf "m-%d" i)
+  done;
+  Sim.run sim;
+  let sa = Transport.stats a and sb = Transport.stats b in
+  checki "exactly-once delivery" (sa.Transport.messages_sent - sa.Transport.gave_up)
+    sb.Transport.delivered;
+  checki "no payload repeated" (List.length !received)
+    (List.length (List.sort_uniq compare !received));
+  checkb "the battery actually fired" true
+    (sa.Transport.retransmissions > 0 && sb.Transport.duplicates_suppressed > 0);
+  let link_ab =
+    match Transport.out_link a with Some l -> l | None -> assert false
+  in
+  checki "receiver accounts for every wire copy"
+    (Link.delivered link_ab)
+    (sb.Transport.delivered + sb.Transport.duplicates_suppressed);
+  checki "link conservation"
+    (Link.sent link_ab - Link.dropped link_ab + Link.duplicated link_ab)
+    (Link.delivered link_ab)
+
 let prop_transport_reliable_random_configs =
   QCheck.Test.make ~name:"transport delivers everything exactly once" ~count:30
     QCheck.(pair small_nat (int_range 0 35))
@@ -249,6 +354,9 @@ let () =
           Alcotest.test_case "no duplicates" `Quick test_transport_no_duplicate_delivery;
           Alcotest.test_case "bidirectional" `Quick test_transport_bidirectional;
           Alcotest.test_case "gives up" `Quick test_transport_gives_up_eventually;
+          Alcotest.test_case "duplication" `Quick test_transport_survives_duplication;
+          Alcotest.test_case "reordering" `Quick test_transport_survives_reordering;
+          Alcotest.test_case "adversarial battery" `Quick test_transport_adversarial_battery;
           q prop_transport_reliable_random_configs;
         ] );
     ]

@@ -4,8 +4,13 @@
 module Corpus = Softborg_prog.Corpus
 module Exec_tree = Softborg_tree.Exec_tree
 module Knowledge = Softborg_hive.Knowledge
+module Prover = Softborg_hive.Prover
 module Hive = Softborg_hive.Hive
 module Transport = Softborg_net.Transport
+module Link = Softborg_net.Link
+module Sim = Softborg_net.Sim
+module Rng = Softborg_util.Rng
+module Fault_plan = Softborg_net.Fault_plan
 module Pod = Softborg_pod.Pod
 module Workload = Softborg_pod.Workload
 module Platform = Softborg.Platform
@@ -32,6 +37,8 @@ let snap ~time ~sessions ~failures =
     proofs_valid = 0;
     tree_paths = 0;
     tree_completeness = 0.0;
+    checkpoints = 0;
+    restores = 0;
   }
 
 let test_metrics_failure_rate () =
@@ -59,6 +66,20 @@ let test_metrics_windows_degenerate () =
   checki "no windows from one snapshot" 0
     (List.length (Metrics.windows [ snap ~time:0.0 ~sessions:0 ~failures:0 ]));
   checki "none from empty" 0 (List.length (Metrics.windows []))
+
+let test_metrics_zero_session_window () =
+  (* An idle window (no sessions between snapshots) must not divide by
+     zero; its rate is defined as 0. *)
+  let snaps =
+    [ snap ~time:0.0 ~sessions:40 ~failures:2; snap ~time:10.0 ~sessions:40 ~failures:2 ]
+  in
+  (match Metrics.windows snaps with
+  | [ w ] ->
+    checki "no sessions" 0 w.Metrics.w_sessions;
+    checkf "rate guarded" 0.0 w.Metrics.w_failure_rate
+  | ws -> Alcotest.failf "expected 1 window, got %d" (List.length ws));
+  (* Same guard on the cumulative rate. *)
+  checkf "cumulative guarded" 0.0 (Metrics.failure_rate (snap ~time:0.0 ~sessions:0 ~failures:0))
 
 (* ---- Platform runs ------------------------------------------------------ *)
 
@@ -163,6 +184,134 @@ let test_platform_guided_fix_before_user_failure () =
   checkb "guided exploration produced a fix" true (deployable <> []);
   checki "no user-visible failures" 0 report.Platform.final.Metrics.user_failures
 
+let test_platform_duplicating_network_no_double_count () =
+  (* A packet-cloning link between pod and hive: the transport suppresses
+     the clones, so the hive ingests each uploaded trace exactly once. *)
+  let sim = Sim.create () in
+  let rng = Rng.create 99 in
+  let hive = Hive.create ~sim () in
+  let program = Corpus.fig2_write in
+  ignore (Hive.register_program hive program);
+  let pod_end, hive_end = Transport.endpoint_pair ~sim ~rng:(Rng.split rng) () in
+  (match Transport.out_link pod_end with
+  | Some l -> Link.set_duplicate_probability l 0.7
+  | None -> Alcotest.fail "pod endpoint has no link");
+  Hive.attach_pod hive hive_end;
+  let pod_config =
+    {
+      Pod.default_config with
+      Pod.arrival_rate = 2.0;
+      workload = Workload.Uniform_inputs { lo = 0; hi = 40 };
+    }
+  in
+  let pod =
+    Pod.create ~config:pod_config ~sim ~rng:(Rng.split rng) ~program ~endpoint:pod_end ()
+  in
+  Hive.start hive;
+  Pod.start pod;
+  Sim.run ~until:60.0 sim;
+  let uploaded = (Pod.metrics pod).Pod.traces_uploaded in
+  let hive_stats = Hive.stats hive in
+  let sh = Transport.stats hive_end in
+  checkb "clones hit the wire" true (sh.Transport.duplicates_suppressed > 0);
+  checkb "traces flowed" true (uploaded > 0);
+  checki "hive saw each upload exactly once" uploaded hive_stats.Hive.traces_received;
+  match Hive.knowledge_list hive with
+  | [ k ] -> checki "knowledge never double-counts" uploaded (Knowledge.traces_ingested k)
+  | _ -> Alcotest.fail "expected one knowledge entry"
+
+(* ---- Chaos harness ----------------------------------------------------- *)
+
+let trajectory report =
+  List.map
+    (fun (s : Metrics.snapshot) ->
+      (s.Metrics.time, s.Metrics.sessions, s.Metrics.user_failures))
+    report.Platform.snapshots
+
+(* Everything about a proof except its id: the restored hive re-bumps
+   the global id counter, so ids may diverge while content must not. *)
+let proof_shape (p : Prover.proof) =
+  (p.Prover.property, p.Prover.strength, p.Prover.epoch, p.Prover.distinct_paths, p.Prover.valid)
+
+let test_platform_chaos_checkpoint_identity () =
+  (* Kill the hive right after a checkpoint, several times mid-run.  The
+     restored knowledge must be observationally identical, so the whole
+     run matches its fault-free twin: same failure trajectory, same fix
+     epoch, same proof set. *)
+  let base = quick_config Corpus.parser in
+  let plain = Platform.run base in
+  let plan =
+    Fault_plan.create
+      [
+        Fault_plan.Checkpoint { at = 30.0 };
+        Fault_plan.Hive_crash { at = 30.0 };
+        Fault_plan.Checkpoint { at = 70.0 };
+        Fault_plan.Hive_crash { at = 70.0 };
+        Fault_plan.Checkpoint { at = 100.0 };
+        Fault_plan.Hive_crash { at = 100.0 };
+      ]
+  in
+  let chaos =
+    Platform.run { base with Platform.chaos = Some plan; checkpoint_interval = 0.0 }
+  in
+  checkb "same trajectory" true (trajectory plain = trajectory chaos);
+  checki "three restores" 3 chaos.Platform.final.Metrics.restores;
+  match (plain.Platform.knowledge, chaos.Platform.knowledge) with
+  | [ kp ], [ kc ] ->
+    checki "same epoch" (Knowledge.epoch kp) (Knowledge.epoch kc);
+    checki "same traces ingested" (Knowledge.traces_ingested kp) (Knowledge.traces_ingested kc);
+    checki "same tree version" (Exec_tree.version (Knowledge.tree kp))
+      (Exec_tree.version (Knowledge.tree kc));
+    checki "same distinct paths" (Exec_tree.n_distinct_paths (Knowledge.tree kp))
+      (Exec_tree.n_distinct_paths (Knowledge.tree kc));
+    checkb "same proofs (modulo ids)" true
+      (List.map proof_shape (Knowledge.proofs kp) = List.map proof_shape (Knowledge.proofs kc))
+  | _ -> Alcotest.fail "expected one knowledge entry per run"
+
+let test_platform_chaos_rollback_recovers () =
+  (* A crash 40 simulated seconds after the last checkpoint rolls real
+     knowledge back; the fleet must shrug it off — keep running
+     sessions, relearn, and survive churn and a degraded-link window. *)
+  let base = quick_config Corpus.fig2_write in
+  let plan =
+    Fault_plan.create
+      [
+        Fault_plan.Checkpoint { at = 20.0 };
+        Fault_plan.Degrade
+          {
+            at = 40.0;
+            until_ = 55.0;
+            link = { Link.drop_probability = 0.3; mean_latency = 0.4; min_latency = 0.05 };
+          };
+        Fault_plan.Hive_crash { at = 60.0 };
+        Fault_plan.Pod_leave { at = 70.0; pod = 1 };
+        Fault_plan.Pod_join { at = 80.0 };
+      ]
+  in
+  let report =
+    Platform.run { base with Platform.chaos = Some plan; checkpoint_interval = 0.0 }
+  in
+  let f = report.Platform.final in
+  checki "one restore" 1 f.Metrics.restores;
+  checkb "checkpoints taken" true (f.Metrics.checkpoints >= 2);
+  checkb "fleet kept running" true (f.Metrics.sessions > 50);
+  checki "joined pod reported" 4 (List.length report.Platform.pod_metrics);
+  match report.Platform.knowledge with
+  | [ k ] ->
+    checkb "hive relearned after rollback" true (Knowledge.traces_ingested k > 0);
+    checkb "tree rebuilt" true (Exec_tree.n_distinct_paths (Knowledge.tree k) >= 1)
+  | ks -> Alcotest.failf "expected one knowledge entry, got %d" (List.length ks)
+
+let test_platform_chaos_deterministic () =
+  (* A generated fault plan replays bit-for-bit from its seed. *)
+  let run () =
+    let config = Scenario.with_chaos ~crash_rate:0.01 ~churn_rate:0.01 (quick_config Corpus.parser) in
+    let report = Platform.run config in
+    let f = report.Platform.final in
+    (trajectory report, f.Metrics.checkpoints, f.Metrics.restores)
+  in
+  checkb "same chaos seed, same outcome" true (run () = run ())
+
 let () =
   Alcotest.run "softborg_platform"
     [
@@ -171,6 +320,7 @@ let () =
           Alcotest.test_case "failure rate" `Quick test_metrics_failure_rate;
           Alcotest.test_case "windows" `Quick test_metrics_windows;
           Alcotest.test_case "degenerate windows" `Quick test_metrics_windows_degenerate;
+          Alcotest.test_case "zero-session window" `Quick test_metrics_zero_session_window;
         ] );
       ( "platform",
         [
@@ -180,5 +330,12 @@ let () =
           Alcotest.test_case "cbi mode" `Quick test_platform_cbi_mode_feeds_isolator;
           Alcotest.test_case "lossy network" `Quick test_platform_lossy_network_loses_nothing;
           Alcotest.test_case "guided fix first" `Quick test_platform_guided_fix_before_user_failure;
+          Alcotest.test_case "duplicating network" `Quick test_platform_duplicating_network_no_double_count;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "checkpoint identity" `Quick test_platform_chaos_checkpoint_identity;
+          Alcotest.test_case "rollback recovers" `Quick test_platform_chaos_rollback_recovers;
+          Alcotest.test_case "deterministic" `Quick test_platform_chaos_deterministic;
         ] );
     ]
