@@ -40,6 +40,8 @@ module Fixgen = Softborg_hive.Fixgen
 module Isolate = Softborg_hive.Isolate
 module Prover = Softborg_hive.Prover
 module Allocate = Softborg_hive.Allocate
+module Guidance = Softborg_hive.Guidance
+module Gap_memo = Softborg_hive.Gap_memo
 module Pod = Softborg_pod.Pod
 module Workload = Softborg_pod.Workload
 module Platform = Softborg.Platform
@@ -789,7 +791,7 @@ let e10 () =
           let r = run_once ~seed:i program inputs in
           ignore (Exec_tree.add_path tree r.Interp.full_path r.Interp.outcome)
         done;
-        let initial_gaps = List.length (Exec_tree.frontier tree) in
+        let initial_gaps = Exec_tree.frontier_size tree in
         let workers =
           List.init n_workers (fun _ ->
               let coord_end, worker_end =
@@ -1059,6 +1061,9 @@ let micro_ingest ?(smoke = false) () =
       let pool_i = ref 0 in
       let add_tree = synthetic_tree ~paths:(min n 1_000) in
       let add_rng = Rng.create 5 in
+      let plan_memo = Gap_memo.create () in
+      Exec_tree.iter_open_dirs tree (fun site missing ->
+          Gap_memo.add plan_memo ~site ~direction:missing `Unknown);
       let open Bechamel in
       let tests =
         [
@@ -1075,6 +1080,17 @@ let micro_ingest ?(smoke = false) () =
           Test.make
             ~name:(Printf.sprintf "frontier-list-%s" s)
             (Staged.stage (fun () -> ignore (Exec_tree.frontier tree)));
+          Test.make
+            ~name:(Printf.sprintf "frontier-top8-%s" s)
+            (Staged.stage (fun () -> ignore (Exec_tree.frontier_top tree 8)));
+          Test.make
+            ~name:(Printf.sprintf "plan-tick-%s" s)
+            (Staged.stage (fun () ->
+                 (* Memo pre-filled Unknown for every open direction, so
+                    this measures the planning walk itself — lazy index
+                    reads, exclusion checks, memo lookups — with the
+                    symbolic solver out of the picture. *)
+                 ignore (Guidance.plan ~memo:plan_memo Corpus.parser tree)));
           Test.make
             ~name:(Printf.sprintf "add-path-%s" s)
             (Staged.stage (fun () ->
@@ -1135,6 +1151,19 @@ let micro_ingest ?(smoke = false) () =
       "tick-query speedup at %s executions: %.0fx (oracle %.0f ns vs incremental %.0f ns)\n" big
       sp oracle incr
   | None -> Printf.printf "tick-query speedup at %s: estimate unavailable\n" big);
+  let frontier_speedup =
+    match (find ("frontier-list-" ^ big), find ("frontier-top8-" ^ big)) with
+    | Some (_, full), Some (_, top)
+      when top > 0.0 && Float.is_finite full && Float.is_finite top ->
+      Some (full, top, full /. top)
+    | _ -> None
+  in
+  (match frontier_speedup with
+  | Some (full, top, sp) ->
+    Printf.printf
+      "frontier-top8 speedup at %s executions: %.0fx (full list %.0f ns vs top-8 %.0f ns)\n" big
+      sp full top
+  | None -> Printf.printf "frontier-top8 speedup at %s: estimate unavailable\n" big);
   if not smoke then begin
     let oc = open_out "BENCH_ingest.json" in
     Printf.fprintf oc "{\n  \"suite\": \"micro-ingest\",\n";
@@ -1143,6 +1172,12 @@ let micro_ingest ?(smoke = false) () =
       Printf.fprintf oc
         "  \"tick_query\": { \"at\": %S, \"oracle_ns\": %.1f, \"incremental_ns\": %.1f, \"speedup\": %.1f },\n"
         big oracle incr sp
+    | None -> ());
+    (match frontier_speedup with
+    | Some (full, top, sp) ->
+      Printf.fprintf oc
+        "  \"frontier_top8\": { \"at\": %S, \"full_list_ns\": %.1f, \"top8_ns\": %.1f, \"speedup\": %.1f },\n"
+        big full top sp
     | None -> ());
     Printf.fprintf oc "  \"results\": [\n";
     let last = List.length results - 1 in

@@ -46,7 +46,7 @@ let () =
   done;
   Printf.printf "seeded with 2 executions: %d paths, %d open gaps\n"
     (Exec_tree.n_distinct_paths tree)
-    (List.length (Exec_tree.frontier tree));
+    (Exec_tree.frontier_size tree);
   (* Six worker machines behind a 5%-loss WAN. *)
   let link = { Link.drop_probability = 0.05; mean_latency = 0.05; min_latency = 0.005 } in
   let config = { Transport.default_config with Transport.link } in

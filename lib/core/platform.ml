@@ -209,6 +209,8 @@ let run config =
   in
   sample config.sample_interval;
   Sim.run ~until:config.duration sim;
+  (* Join the gap-solver worker domains (no-op with pool_size 1). *)
+  Hive.shutdown hive;
   let snapshots = List.rev !snapshots in
   let final = List.nth snapshots (List.length snapshots - 1) in
   {

@@ -12,6 +12,7 @@
 
 module Ir := Softborg_prog.Ir
 module Codec := Softborg_util.Codec
+module Pool := Softborg_util.Pool
 module Exec_tree := Softborg_tree.Exec_tree
 module Sym_exec := Softborg_symexec.Sym_exec
 module Testgen := Softborg_symexec.Testgen
@@ -40,15 +41,26 @@ val plan :
   ?config:Sym_exec.config ->
   ?max_directives:int ->
   ?schedule_probe_seeds:int list ->
-  ?exclude:(Ir.site * bool) list ->
+  ?exclude:(Ir.site * bool, unit) Hashtbl.t ->
+  ?memo:Gap_memo.t ->
+  ?pool:Pool.t ->
+  ?speculate:int ->
   Ir.t ->
   Exec_tree.t ->
   plan_result
 (** Produce up to [max_directives] (default 8) directives for the
-    tree's most valuable gaps.  Gaps in [exclude] (already issued to a
-    pod and not yet covered) are skipped, so repeated planning does not
-    redo their symbolic work.  Multi-threaded programs whose gaps come
-    back [Unknown] yield one [Probe_schedules] directive. *)
+    tree's most valuable gaps.  Candidates are pulled lazily from
+    {!Exec_tree.frontier_seq}, so a planning call touches O(k) gaps
+    regardless of tree size.  Gaps whose [(site, direction)] is in the
+    [exclude] set (already issued to a pod and not yet covered) are
+    skipped in O(1) each.  [memo] caches symbolic verdicts across
+    calls (see {!Gap_memo}).  With a [pool] of size > 1, the distinct
+    un-memoized queries among the candidates — at most [speculate] of
+    them, default all — are solved speculatively on worker domains;
+    the decision fold then replays sequentially over the precomputed
+    verdicts, so the result is identical for every pool size.
+    Multi-threaded programs whose gaps come back [Unknown] yield one
+    [Probe_schedules] directive. *)
 
 val write_directive : Codec.Writer.t -> directive -> unit
 val read_directive : Codec.Reader.t -> directive

@@ -7,6 +7,7 @@ module Exec_tree = Softborg_tree.Exec_tree
 module Sim = Softborg_net.Sim
 module Transport = Softborg_net.Transport
 module Sym_exec = Softborg_symexec.Sym_exec
+module Pool = Softborg_util.Pool
 
 let src = Logs.Src.create "softborg.hive" ~doc:"SoftBorg hive"
 
@@ -28,6 +29,7 @@ type config = {
   cbi_localization_speedup : float;
   prove : bool;
   symexec_config : Sym_exec.config option;
+  pool_size : int;
 }
 
 let default_config mode =
@@ -39,6 +41,7 @@ let default_config mode =
     human_fix_delay = 2000.0;
     cbi_localization_speedup = 3.0;
     prove = (mode = Full);
+    pool_size = 1;
     symexec_config =
       (* The hive analyzes many programs per tick; bound each symbolic
          operation tightly and rely on repetition across ticks. *)
@@ -73,9 +76,21 @@ type t = {
   pending_human_fixes : (string, unit) Hashtbl.t;  (* bucket keys already scheduled *)
   (* Throttles: symbolic work is expensive, so gaps already issued to a
      pod are not re-planned, and proofs are only re-attempted when the
-     knowledge actually changed. *)
-  issued_guidance : (string, (Ir.site * bool) list ref) Hashtbl.t;
+     knowledge actually changed.  The per-program issued set is a hash
+     set so the planner's exclusion check is O(1) per gap. *)
+  issued_guidance : (string, (Ir.site * bool, unit) Hashtbl.t) Hashtbl.t;
   proof_state : (string, int * int) Hashtbl.t;  (* tree version, epoch *)
+  (* Worker pool for parallel symbolic gap solving; [None] when
+     [config.pool_size <= 1] (the default — no domains spawned). *)
+  pool : Pool.t option;
+  (* Portfolio allocation of pool workers across programs (paper §4):
+     per-program reward tasks fed with new-distinct-paths-per-tick,
+     and the latest node shares.  Purely a performance dial — it sizes
+     each program's speculative solve batch, never its output. *)
+  alloc_tasks : (string, Allocate.task) Hashtbl.t;
+  mutable next_alloc_task : int;
+  last_alloc_paths : (string, int) Hashtbl.t;
+  mutable allocation : (string * int) list;
   mutable traces_received : int;
   mutable messages_received : int;
   mutable analysis_ticks : int;
@@ -101,6 +116,11 @@ let create ?config ~sim () =
     pending_human_fixes = Hashtbl.create 16;
     issued_guidance = Hashtbl.create 8;
     proof_state = Hashtbl.create 8;
+    pool = (if config.pool_size > 1 then Some (Pool.create ~size:config.pool_size) else None);
+    alloc_tasks = Hashtbl.create 4;
+    next_alloc_task = 0;
+    last_alloc_paths = Hashtbl.create 4;
+    allocation = [];
     traces_received = 0;
     messages_received = 0;
     analysis_ticks = 0;
@@ -227,7 +247,9 @@ let knowledge_state k = (Exec_tree.version (Knowledge.tree k), Knowledge.epoch k
 
 let prove_tick t k =
   let program = Knowledge.program k in
-  ignore (Prover.close_gaps ?config:t.config.symexec_config program (Knowledge.tree k));
+  ignore
+    (Prover.close_gaps ?config:t.config.symexec_config ~memo:(Knowledge.gap_memo k) program
+       (Knowledge.tree k));
   if not (has_valid_proof k Prover.Assert_safety) then begin
     match
       Prover.attempt_assert_safety ?config:t.config.symexec_config ~program
@@ -265,16 +287,80 @@ let issued_for t k =
   match Hashtbl.find_opt t.issued_guidance digest with
   | Some issued -> issued
   | None ->
-    let issued = ref [] in
+    let issued = Hashtbl.create 16 in
     Hashtbl.replace t.issued_guidance digest issued;
     issued
+
+(* Recompute the portfolio allocation of pool workers over programs
+   (paper §4): each program is a task whose reward stream is the new
+   distinct paths its tree gained since the last refresh.  Task ids
+   are handed out in sorted-digest order on first sight, so the
+   mapping is deterministic. *)
+let refresh_allocation t =
+  match t.pool with
+  | None -> ()
+  | Some pool ->
+    let digests =
+      Hashtbl.fold (fun digest _ acc -> digest :: acc) t.programs []
+      |> List.sort String.compare
+    in
+    let tasks =
+      List.map
+        (fun digest ->
+          let task =
+            match Hashtbl.find_opt t.alloc_tasks digest with
+            | Some task -> task
+            | None ->
+              t.next_alloc_task <- t.next_alloc_task + 1;
+              let task = Allocate.task t.next_alloc_task in
+              Hashtbl.replace t.alloc_tasks digest task;
+              task
+          in
+          (match Hashtbl.find_opt t.programs digest with
+          | None -> ()
+          | Some k ->
+            let paths = Exec_tree.n_distinct_paths (Knowledge.tree k) in
+            let prev = Option.value ~default:0 (Hashtbl.find_opt t.last_alloc_paths digest) in
+            Hashtbl.replace t.last_alloc_paths digest paths;
+            Allocate.observe_reward task (float_of_int (paths - prev)));
+          (digest, task))
+        digests
+    in
+    if tasks <> [] then begin
+      let shares =
+        Allocate.allocate
+          (Allocate.Mean_variance { risk_aversion = 0.5 })
+          ~nodes:(Pool.size pool) (List.map snd tasks)
+      in
+      t.allocation <-
+        List.map
+          (fun (digest, task) ->
+            let share =
+              Option.value ~default:0 (List.assoc_opt task.Allocate.task_id shares)
+            in
+            (digest, share))
+          tasks
+    end
+
+(* Speculative solve budget for one program: roughly [3 ×] its worker
+   share — each worker is worth a few queued queries — and at least
+   one, so no program's planning starves. *)
+let speculate_for t k =
+  match t.pool with
+  | None -> None
+  | Some _ ->
+    let share =
+      Option.value ~default:1 (List.assoc_opt (Knowledge.digest k) t.allocation)
+    in
+    Some (3 * max 1 share)
 
 let guidance_tick t k =
   if t.endpoints <> [] then begin
     let issued = issued_for t k in
     let result =
       Guidance.plan ?config:t.config.symexec_config ~max_directives:t.config.guidance_max
-        ~exclude:!issued (Knowledge.program k) (Knowledge.tree k)
+        ~exclude:issued ~memo:(Knowledge.gap_memo k) ?pool:t.pool
+        ?speculate:(speculate_for t k) (Knowledge.program k) (Knowledge.tree k)
     in
     (* Remember what was handed out (and what came back Unknown) so the
        next tick does not redo the symbolic work. *)
@@ -282,14 +368,12 @@ let guidance_tick t k =
       (fun directive ->
         match directive with
         | Guidance.Cover_direction { site; direction; _ } ->
-          issued := (site, direction) :: !issued
+          Hashtbl.replace issued (site, direction) ()
         | Guidance.Probe_schedules _ -> ())
       result.Guidance.directives;
     if result.Guidance.gaps_unknown > 0 then
-      List.iter
-        (fun (gap : Exec_tree.gap) ->
-          issued := (gap.Exec_tree.site, gap.Exec_tree.missing) :: !issued)
-        (Exec_tree.frontier (Knowledge.tree k));
+      Exec_tree.iter_open_dirs (Knowledge.tree k) (fun site missing ->
+          Hashtbl.replace issued (site, missing) ());
     if result.Guidance.directives <> [] then begin
       (* Round-robin over pods: steering only needs *some* instances. *)
       let target =
@@ -312,6 +396,7 @@ let tick t =
      lost with their pod, and a stale exclusion must not shadow a gap
      forever. *)
   if t.analysis_ticks mod 10 = 0 then Hashtbl.reset t.issued_guidance;
+  if t.config.mode = Full then refresh_allocation t;
   Hashtbl.iter
     (fun digest k ->
       match t.config.mode with
@@ -344,6 +429,8 @@ let rec arm t =
       arm t)
 
 let start t = arm t
+
+let shutdown t = Option.iter Pool.shutdown t.pool
 
 let stats t =
   {
@@ -393,7 +480,11 @@ let checkpoint t =
         (fun (site, direction) ->
           Fixgen.write_site w site;
           Codec.Writer.bool w direction)
-        !issued)
+        (* The set has no inherent order; write it sorted so equal
+           states checkpoint to equal bytes. *)
+        (Hashtbl.fold (fun key () acc -> key :: acc) issued []
+        |> List.sort (fun (s1, d1) (s2, d2) ->
+               match Ir.site_compare s1 s2 with 0 -> Bool.compare d1 d2 | c -> c)))
     (Hashtbl.fold (fun digest issued acc -> (digest, issued) :: acc) t.issued_guidance []
     |> List.sort (fun (a, _) (b, _) -> String.compare a b));
   Codec.Writer.list w
@@ -465,7 +556,10 @@ let restore ?replay_cache t data =
           List.iter (fun key -> Hashtbl.replace t.pending_human_fixes key ()) pending;
           Hashtbl.reset t.issued_guidance;
           List.iter
-            (fun (digest, directives) -> Hashtbl.replace t.issued_guidance digest (ref directives))
+            (fun (digest, directives) ->
+              let set = Hashtbl.create 16 in
+              List.iter (fun key -> Hashtbl.replace set key ()) directives;
+              Hashtbl.replace t.issued_guidance digest set)
             issued;
           Hashtbl.reset t.proof_state;
           List.iter (fun (digest, state) -> Hashtbl.replace t.proof_state digest state) proof_states;

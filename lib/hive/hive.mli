@@ -41,6 +41,12 @@ type config = {
           — statistical localization shortens debugging. *)
   prove : bool;  (** Attempt cumulative proofs on each tick (Full only). *)
   symexec_config : Sym_exec.config option;
+  pool_size : int;
+      (** Worker domains for parallel symbolic gap solving (default 1 =
+          no domains, fully sequential).  Results are merged in
+          deterministic gap order, so any pool size produces the same
+          analysis output — only wall-clock time changes.  [Allocate]'s
+          portfolio weights split these workers across programs. *)
 }
 
 val default_config : mode -> config
@@ -76,6 +82,12 @@ val start : t -> unit
 
 val tick : t -> unit
 (** Run one analysis tick immediately (also called by the schedule). *)
+
+val shutdown : t -> unit
+(** Join the worker pool's domains, if any.  Idempotent; a hive with
+    the default [pool_size = 1] shuts down as a no-op.  The hive's
+    knowledge stays readable afterwards — only parallel solving
+    capacity is released. *)
 
 val stats : t -> stats
 

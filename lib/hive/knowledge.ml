@@ -36,6 +36,9 @@ type t = {
      uploads (the common case at fleet scale) skip the replay. *)
   replay_cache : (string, Interp.reconstruction) Lru.t option;
   mutable replay_cache_hits : int;
+  (* Symbolic gap verdicts, shared by guidance planning and gap
+     closing; cleared with the replay cache on every epoch bump. *)
+  gap_memo : Gap_memo.t;
 }
 
 let create ?(replay_cache = 256) program =
@@ -57,6 +60,7 @@ let create ?(replay_cache = 256) program =
     proofs = [];
     replay_cache = (if replay_cache <= 0 then None else Some (Lru.create replay_cache));
     replay_cache_hits = 0;
+    gap_memo = Gap_memo.create ();
   }
 
 let program t = t.program
@@ -70,6 +74,7 @@ let traces_ingested t = t.traces_ingested
 let failures_observed t = t.failures
 let replay_errors t = t.replay_errors
 let replay_cache_hits t = t.replay_cache_hits
+let gap_memo t = t.gap_memo
 
 let hooks_for_epoch t target_epoch = Fixgen.runtime_hooks ~epoch:target_epoch t.fixes
 
@@ -174,8 +179,10 @@ let bump_epoch t =
   t.epoch <- t.epoch + 1;
   (* Replay depends on the hooks in force at a trace's fix epoch; a new
      epoch can change the hook set, so cached reconstructions are
-     dropped rather than risked. *)
+     dropped rather than risked.  Same for the symbolic gap verdicts:
+     a new fix set means a new analyzed behavior. *)
   Option.iter Lru.clear t.replay_cache;
+  Gap_memo.clear t.gap_memo;
   ignore (Prover.invalidate t.proofs ~current_epoch:t.epoch)
 
 let analyze ?symexec_config t =
@@ -311,4 +318,5 @@ let read ?(replay_cache = 256) r =
     proofs;
     replay_cache = (if replay_cache <= 0 then None else Some (Lru.create replay_cache));
     replay_cache_hits;
+    gap_memo = Gap_memo.create ();
   }

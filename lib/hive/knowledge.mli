@@ -41,6 +41,11 @@ val replay_cache_hits : t -> int
 (** Ingestions that skipped {!Softborg_exec.Interp.reconstruct} because
     the decoded-trace cache already held the reconstruction. *)
 
+val gap_memo : t -> Gap_memo.t
+(** Memoized symbolic gap verdicts for this program, shared by
+    guidance planning and the prover's gap closing; cleared whenever
+    the fix epoch bumps.  Not persisted in checkpoints. *)
+
 val hooks_for_epoch : t -> int -> Interp.hooks
 (** The runtime instrumentation (deadlock immunity + crash
     suppression) in force at a given epoch — used both by pods and by

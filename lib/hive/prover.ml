@@ -42,26 +42,35 @@ let make_proof property strength epoch distinct_paths =
   incr next_proof_id;
   { id = !next_proof_id; property; strength; epoch; distinct_paths; valid = true }
 
-let close_gaps ?config ?(limit = 24) program tree =
+let close_gaps ?config ?memo ?(limit = 24) program tree =
   let closed = ref 0 in
-  let considered = ref 0 in
-  List.iter
-    (fun (gap : Exec_tree.gap) ->
-      if !considered >= limit then ()
-      else begin
-      incr considered;
-      match
-        Sym_exec.direction_feasible ?config program ~site:gap.Exec_tree.site
-          ~direction:gap.Exec_tree.missing
-      with
-      | Sym_exec.Infeasible ->
-        if
-          Exec_tree.mark_infeasible tree ~prefix:gap.Exec_tree.prefix ~site:gap.Exec_tree.site
-            ~direction:gap.Exec_tree.missing
-        then incr closed
-      | Sym_exec.Feasible _ | Sym_exec.Unknown -> ()
-      end)
-    (Exec_tree.frontier tree);
+  let verdict_for site direction =
+    (* Solving through [Testgen.for_direction] (rather than
+       [Sym_exec.direction_feasible] directly) classifies identically
+       and lets the prover share one memo table with the planner. *)
+    let solve () = Softborg_symexec.Testgen.for_direction ?config program ~site ~direction in
+    match memo with
+    | None -> solve ()
+    | Some memo -> (
+      match Gap_memo.find memo ~site ~direction with
+      | Some verdict -> verdict
+      | None ->
+        let verdict = solve () in
+        Gap_memo.add memo ~site ~direction verdict;
+        verdict)
+  in
+  (* Only the hottest [limit] gaps are pulled from the index; the
+     frontier is never materialized in full. *)
+  Exec_tree.frontier_seq tree
+  |> Seq.take (max 0 limit)
+  |> Seq.iter (fun (gap : Exec_tree.gap) ->
+         match verdict_for gap.Exec_tree.site gap.Exec_tree.missing with
+         | `Infeasible ->
+           if
+             Exec_tree.mark_infeasible tree ~prefix:gap.Exec_tree.prefix
+               ~site:gap.Exec_tree.site ~direction:gap.Exec_tree.missing
+           then incr closed
+         | `Test _ | `Unknown -> ());
   !closed
 
 let attempt_assert_safety ?config ~program ~tree ~crash_observations ~epoch () =

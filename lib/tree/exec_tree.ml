@@ -29,9 +29,70 @@ type node = {
   mutable infeasible : Edge_set.t;  (* directions proven infeasible *)
   mutable hits : int;
   mutable terminal : int Bucket_map.t;  (* outcome bucket -> count *)
+  mutable open_dirs : Edge_set.t;  (* this node's entries in the open-gap index *)
 }
 
 type gap_key = int * Ir.site * bool  (* node id, site, missing direction *)
+
+(* Priority index over open gaps, ordered exactly like [gap_order]
+   below: hottest node first, ties broken by the gap record's
+   structural order (prefix, then site, then direction).  Keys freeze
+   the node's hit count at insertion time — [node.hits] is mutable and
+   a map key must never change under the map — so every hit-count bump
+   re-keys the node's open gaps (see [bump_hits]). *)
+module Gap_index_key = struct
+  type t = {
+    k_hits : int;
+    k_node : node;
+    k_site : Ir.site;
+    k_missing : bool;
+  }
+
+  (* [Stdlib.compare] on one (site, direction) decision. *)
+  let compare_decision ((s1 : Ir.site), (d1 : bool)) (s2, d2) =
+    match Ir.site_compare s1 s2 with 0 -> Bool.compare d1 d2 | c -> c
+
+  let rec ancestor_at node depth =
+    if node.depth <= depth then node
+    else match node.parent with Some (p, _) -> ancestor_at p depth | None -> node
+
+  (* Compare the root-to-node decision sequences of two nodes at equal
+     depth, front to back (the recursion bottoms out at the roots and
+     compares decisions while unwinding). *)
+  let rec compare_lineage a b =
+    if a == b then 0
+    else
+      match (a.parent, b.parent) with
+      | None, None -> 0
+      | Some (pa, da), Some (pb, db) -> (
+        match compare_lineage pa pb with 0 -> compare_decision da db | c -> c)
+      | None, Some _ | Some _, None -> 0 (* unreachable at equal depths *)
+
+  (* [Stdlib.compare (prefix_of a) (prefix_of b)] without materializing
+     either list: lexicographic over the aligned ancestor prefixes,
+     with a proper prefix ordered before its extensions (as [] sorts
+     before any cons). *)
+  let compare_prefix a b =
+    if a == b then 0
+    else if a.depth = b.depth then compare_lineage a b
+    else if a.depth < b.depth then
+      match compare_lineage a (ancestor_at b a.depth) with 0 -> -1 | c -> c
+    else
+      match compare_lineage (ancestor_at a b.depth) b with 0 -> 1 | c -> c
+
+  let compare ka kb =
+    match Int.compare kb.k_hits ka.k_hits with
+    | 0 -> (
+      match compare_prefix ka.k_node kb.k_node with
+      | 0 -> (
+        match Ir.site_compare ka.k_site kb.k_site with
+        | 0 -> Bool.compare ka.k_missing kb.k_missing
+        | c -> c)
+      | c -> c)
+    | c -> c
+end
+
+module Gap_map = Map.Make (Gap_index_key)
 
 type t = {
   root : node;
@@ -57,7 +118,19 @@ type t = {
   mutable total_dirs : int;
   bucket_totals : (string, int) Hashtbl.t;
   open_gaps : (gap_key, node) Hashtbl.t;
+  (* Mirror of [open_gaps] as an ordered map, so the frontier's top-k
+     is a prefix read instead of a full sort.  Invariant: contains
+     exactly one key per open gap, with [k_hits] equal to the owning
+     node's current hit count (each node's own entries are listed in
+     its [open_dirs]). *)
+  mutable gap_index : unit Gap_map.t;
   mutable version : int;  (* bumped on every knowledge-changing mutation *)
+  (* Analysis-cost counters (not part of the knowledge, never
+     serialized): how many gap records were sorted via the recompute
+     path and how many were materialized as records.  Regression tests
+     pin per-tick planning to O(k) materializations and zero sorts. *)
+  mutable gaps_sorted : int;
+  mutable gaps_materialized : int;
 }
 
 let new_node t parent decision =
@@ -70,6 +143,7 @@ let new_node t parent decision =
     infeasible = Edge_set.empty;
     hits = 0;
     terminal = Bucket_map.empty;
+    open_dirs = Edge_set.empty;
   }
 
 let create () =
@@ -83,6 +157,7 @@ let create () =
         infeasible = Edge_set.empty;
         hits = 0;
         terminal = Bucket_map.empty;
+        open_dirs = Edge_set.empty;
       };
     nodes = 1;
     executions = 0;
@@ -94,7 +169,10 @@ let create () =
     total_dirs = 0;
     bucket_totals = Hashtbl.create 16;
     open_gaps = Hashtbl.create 64;
+    gap_index = Gap_map.empty;
     version = 0;
+    gaps_sorted = 0;
+    gaps_materialized = 0;
   }
 
 type merge_stats = {
@@ -102,6 +180,47 @@ type merge_stats = {
   new_nodes : int;
   new_path : bool;
 }
+
+(* Open/close one gap in both the hash table and the priority index.
+   [node.hits] must already be the node's current count — the index
+   key freezes it, and [bump_hits] keeps the frozen copies current. *)
+let gap_open t node site missing =
+  Hashtbl.replace t.open_gaps (node.id, site, missing) node;
+  node.open_dirs <- Edge_set.add (site, missing) node.open_dirs;
+  t.gap_index <-
+    Gap_map.add
+      { Gap_index_key.k_hits = node.hits; k_node = node; k_site = site; k_missing = missing }
+      () t.gap_index
+
+let gap_close t node site missing =
+  Hashtbl.remove t.open_gaps (node.id, site, missing);
+  node.open_dirs <- Edge_set.remove (site, missing) node.open_dirs;
+  t.gap_index <-
+    Gap_map.remove
+      { Gap_index_key.k_hits = node.hits; k_node = node; k_site = site; k_missing = missing }
+      t.gap_index
+
+(* A hit-count bump changes the priority of every open gap at the
+   node, so its index entries are re-keyed around the mutation. *)
+let bump_hits t node =
+  if Edge_set.is_empty node.open_dirs then node.hits <- node.hits + 1
+  else begin
+    Edge_set.iter
+      (fun (site, missing) ->
+        t.gap_index <-
+          Gap_map.remove
+            { Gap_index_key.k_hits = node.hits; k_node = node; k_site = site; k_missing = missing }
+            t.gap_index)
+      node.open_dirs;
+    node.hits <- node.hits + 1;
+    Edge_set.iter
+      (fun (site, missing) ->
+        t.gap_index <-
+          Gap_map.add
+            { Gap_index_key.k_hits = node.hits; k_node = node; k_site = site; k_missing = missing }
+            () t.gap_index)
+      node.open_dirs
+  end
 
 (* Aggregate bookkeeping for a brand-new edge [(site, dir)] out of
    [node], called before the edge is inserted.  Every new edge closes
@@ -115,7 +234,7 @@ let account_new_edge t node ((site, dir) : Edge_map.key) =
        (or was infeasible, in which case it is already closed). *)
     if not (Edge_set.mem (site, dir) node.infeasible) then begin
       t.closed_dirs <- t.closed_dirs + 1;
-      Hashtbl.remove t.open_gaps (node.id, site, dir)
+      gap_close t node site dir
     end
   end
   else begin
@@ -124,13 +243,13 @@ let account_new_edge t node ((site, dir) : Edge_map.key) =
     t.closed_dirs <- t.closed_dirs + 1;
     if Edge_set.mem (site, not dir) node.infeasible then
       t.closed_dirs <- t.closed_dirs + 1
-    else Hashtbl.replace t.open_gaps (node.id, site, not dir) node
+    else gap_open t node site (not dir)
   end
 
 let add_path t path outcome =
   t.executions <- t.executions + 1;
   let rec walk node remaining shared created =
-    node.hits <- node.hits + 1;
+    bump_hits t node;
     match remaining with
     | [] ->
       let bucket = Outcome.bucket_key outcome in
@@ -240,18 +359,43 @@ let prefix_of node =
   up node []
 
 (* Hottest nodes first; ties broken structurally so the order is a
-   deterministic total order (and oracle comparison is exact). *)
+   deterministic total order (and oracle comparison is exact).
+   [Gap_index_key.compare] implements exactly this order on index
+   keys, which is what lets the index replace the sort: distinct gaps
+   always differ structurally, so the order has no ties and a prefix
+   of the index is a prefix of the sorted list. *)
 let gap_order (a : gap) (b : gap) =
   match Int.compare b.hits a.hits with 0 -> Stdlib.compare a b | c -> c
 
+let gap_of_index_key t (key : Gap_index_key.t) =
+  t.gaps_materialized <- t.gaps_materialized + 1;
+  {
+    prefix = prefix_of key.Gap_index_key.k_node;
+    site = key.Gap_index_key.k_site;
+    missing = key.Gap_index_key.k_missing;
+    hits = key.Gap_index_key.k_hits;
+  }
+
 let frontier t =
-  Hashtbl.fold
-    (fun (_, site, missing) node acc ->
-      { prefix = prefix_of node; site; missing; hits = node.hits } :: acc)
-    t.open_gaps []
-  |> List.sort gap_order
+  List.rev (Gap_map.fold (fun key () acc -> gap_of_index_key t key :: acc) t.gap_index [])
+
+let frontier_seq t =
+  (* [to_seq] on the persistent map snapshots it: mutating the tree
+     while consuming the sequence (as gap closing during planning
+     does) walks the frontier as of this call, exactly like iterating
+     a materialized list. *)
+  let snapshot = Gap_map.to_seq t.gap_index in
+  Seq.map (fun (key, ()) -> gap_of_index_key t key) snapshot
+
+let frontier_top t k =
+  if k <= 0 then [] else List.of_seq (Seq.take k (frontier_seq t))
 
 let frontier_size t = Hashtbl.length t.open_gaps
+
+let gaps_sorted t = t.gaps_sorted
+let gaps_materialized t = t.gaps_materialized
+
+let iter_open_dirs t f = Hashtbl.iter (fun (_, site, missing) _ -> f site missing) t.open_gaps
 
 (* Gaps at one node, consed onto [acc] (accumulator-first: no list
    append anywhere on this path). *)
@@ -274,7 +418,9 @@ let gaps_into node acc =
       sites acc
 
 let frontier_recompute t =
-  fold_nodes (fun acc node -> gaps_into node acc) [] t.root |> List.sort gap_order
+  let gaps = fold_nodes (fun acc node -> gaps_into node acc) [] t.root in
+  t.gaps_sorted <- t.gaps_sorted + List.length gaps;
+  List.sort gap_order gaps
 
 let find_node t prefix =
   let rec walk node = function
@@ -300,7 +446,7 @@ let mark_infeasible t ~prefix ~site ~direction =
       in
       if site_observed && not (Edge_map.mem (site, direction) node.edges) then begin
         t.closed_dirs <- t.closed_dirs + 1;
-        Hashtbl.remove t.open_gaps (node.id, site, direction);
+        gap_close t node site direction;
         t.version <- t.version + 1
       end
     end;
@@ -445,8 +591,10 @@ let rebuild_aggregates t =
   t.total_dirs <- 0;
   Hashtbl.reset t.bucket_totals;
   Hashtbl.reset t.open_gaps;
+  t.gap_index <- Gap_map.empty;
   fold_nodes
     (fun () node ->
+      node.open_dirs <- Edge_set.empty;
       t.edge_count <- t.edge_count + Edge_map.cardinal node.edges;
       if node.depth > t.max_depth then t.max_depth <- node.depth;
       Bucket_map.iter
@@ -460,7 +608,7 @@ let rebuild_aggregates t =
           let account direction =
             if has_edge node site direction || marked_infeasible node site direction then
               t.closed_dirs <- t.closed_dirs + 1
-            else Hashtbl.replace t.open_gaps (node.id, site, direction) node
+            else gap_open t node site direction
           in
           account true;
           account false)
@@ -482,6 +630,7 @@ let read r =
       infeasible = rec_.r_infeasible;
       hits = rec_.r_hits;
       terminal = rec_.r_terminal;
+      open_dirs = Edge_set.empty;
     }
   in
   let root_record = read_node_record r in
@@ -515,7 +664,10 @@ let read r =
       total_dirs = 0;
       bucket_totals = Hashtbl.create 16;
       open_gaps = Hashtbl.create 64;
+      gap_index = Gap_map.empty;
       version;
+      gaps_sorted = 0;
+      gaps_materialized = 0;
     }
   in
   rebuild_aggregates t;

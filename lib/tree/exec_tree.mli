@@ -69,11 +69,40 @@ type gap = {
 
 val frontier : t -> gap list
 (** All gaps, most-frequently-reached nodes first.  Gaps proven
-    infeasible by symbolic analysis are excluded.  O(gaps), built from
-    the incrementally-maintained open-gap set. *)
+    infeasible by symbolic analysis are excluded.  O(gaps) with no
+    sorting: read off the incrementally-maintained priority index,
+    which {!add_path} and {!mark_infeasible} keep ordered by exactly
+    this order. *)
+
+val frontier_top : t -> int -> gap list
+(** [frontier_top t k] is the first [k] gaps of [frontier t] (all of
+    them if fewer exist) in O(k log gaps + k·depth) — the per-tick
+    planning read, independent of tree size. *)
+
+val frontier_seq : t -> gap Seq.t
+(** The frontier as a lazy sequence in the same order, materializing
+    one gap record per element forced.  The sequence snapshots the
+    index at the call: closing gaps while consuming it (as planning
+    does) still walks the frontier as of the call, exactly like
+    iterating a pre-built list. *)
 
 val frontier_size : t -> int
 (** [List.length (frontier t)] in O(1). *)
+
+val iter_open_dirs : t -> (Ir.site -> bool -> unit) -> unit
+(** Iterate the [(site, missing)] labels of all open gaps without
+    materializing prefixes; order unspecified, and a label is repeated
+    if several nodes share the same open direction.  For callers that
+    only need direction membership (e.g. exclusion sets). *)
+
+val gaps_sorted : t -> int
+(** Cumulative count of gap records passed through a sort — only the
+    {!frontier_recompute} oracle sorts, so a hive tick must leave this
+    unchanged (pinned by a regression test). *)
+
+val gaps_materialized : t -> int
+(** Cumulative count of gap records materialized (prefix rebuilt) by
+    {!frontier}, {!frontier_top} and {!frontier_seq}. *)
 
 val mark_infeasible : t -> prefix:(Ir.site * bool) list -> site:Ir.site -> direction:bool -> bool
 (** Record that symbolic analysis proved the given gap infeasible,

@@ -94,6 +94,18 @@ let prop_tree_checkpoint_roundtrip =
           QCheck.Test.fail_report "outcome_buckets oracle mismatch";
         if Exec_tree.frontier t' <> Exec_tree.frontier_recompute t' then
           QCheck.Test.fail_report "frontier oracle mismatch";
+        (* The rebuilt top-k index must serve exactly the sorted oracle's
+           prefixes. *)
+        let oracle = Exec_tree.frontier_recompute t' in
+        List.iter
+          (fun k ->
+            let rec take k = function
+              | x :: rest when k > 0 -> x :: take (k - 1) rest
+              | _ -> []
+            in
+            if Exec_tree.frontier_top t' k <> take k oracle then
+              QCheck.Test.fail_report "frontier_top oracle mismatch after restore")
+          [ 0; 1; 8; List.length oracle ];
         if Exec_tree.is_complete t' <> Exec_tree.is_complete_recompute t' then
           QCheck.Test.fail_report "is_complete oracle mismatch";
         if abs_float (Exec_tree.completeness t' -. Exec_tree.completeness_recompute t')

@@ -115,7 +115,7 @@ let test_coordinator_closes_fig2_frontier () =
   (* One observed execution leaves 2 gaps (one feasible each way plus
      the infeasible fig2 leaf); the pool must close them all. *)
   let tree = partial_tree Corpus.fig2_write [ [| 5 |] ] in
-  checkb "frontier open initially" true (Exec_tree.frontier tree <> []);
+  checkb "frontier open initially" true (Exec_tree.frontier_size tree > 0);
   let coordinator =
     run_coordinator ~program:Corpus.fig2_write ~tree ~until:120.0 ()
   in

@@ -25,6 +25,8 @@ module Sim = Softborg_net.Sim
 module Transport = Softborg_net.Transport
 module Codec = Softborg_util.Codec
 module Rng = Softborg_util.Rng
+module Pool = Softborg_util.Pool
+module Gap_memo = Softborg_hive.Gap_memo
 
 let checki = Alcotest.check Alcotest.int
 let checkb = Alcotest.check Alcotest.bool
@@ -449,7 +451,9 @@ let test_guidance_exclude_respected () =
         | Guidance.Probe_schedules _ -> None)
       first.Guidance.directives
   in
-  let second = Guidance.plan ~exclude:issued Corpus.parser tree in
+  let exclude = Hashtbl.create 8 in
+  List.iter (fun key -> Hashtbl.replace exclude key ()) issued;
+  let second = Guidance.plan ~exclude Corpus.parser tree in
   checkb "excluded gaps not re-planned" true
     (List.for_all
        (fun d ->
@@ -461,6 +465,89 @@ let test_guidance_exclude_respected () =
                 issued)
          | Guidance.Probe_schedules _ -> true)
        second.Guidance.directives)
+
+(* A deterministic partially-explored parser tree; plan mutates its
+   tree (infeasible marks), so each plan call gets a fresh twin. *)
+let guidance_tree ?(n = 50) ?(input_range = 6) () =
+  let tree = Exec_tree.create () in
+  let rng = Rng.create 6 in
+  for i = 1 to n do
+    let inputs = Array.init 3 (fun _ -> Rng.int_in rng 0 input_range) in
+    let r = run_once ~seed:i Corpus.parser inputs in
+    ignore (Exec_tree.add_path tree r.Interp.full_path r.Interp.outcome)
+  done;
+  tree
+
+let test_guidance_pool_deterministic () =
+  (* The speculative parallel solve must not change any observable:
+     identical directives, counters, and post-plan tree for every pool
+     size. *)
+  let plan_with size =
+    let tree = guidance_tree () in
+    let pool = Pool.create ~size in
+    let result =
+      Fun.protect
+        ~finally:(fun () -> Pool.shutdown pool)
+        (fun () -> Guidance.plan ~pool Corpus.parser tree)
+    in
+    (result, Exec_tree.frontier tree)
+  in
+  let r1, f1 = plan_with 1 in
+  let r2, f2 = plan_with 2 in
+  let r4, f4 = plan_with 4 in
+  checkb "pool=2 plan identical to sequential" true (r1 = r2);
+  checkb "pool=4 plan identical to sequential" true (r1 = r4);
+  checkb "pool=2 leaves identical tree" true (f1 = f2);
+  checkb "pool=4 leaves identical tree" true (f1 = f4);
+  checkb "sequential plan produced directives" true (r1.Guidance.directives <> [])
+
+let test_guidance_memo_reused () =
+  let memo = Gap_memo.create () in
+  let r1 = Guidance.plan ~memo Corpus.parser (guidance_tree ()) in
+  let misses_after_first = Gap_memo.misses memo in
+  checkb "first plan populated the memo" true (Gap_memo.length memo > 0);
+  let r2 = Guidance.plan ~memo Corpus.parser (guidance_tree ()) in
+  checki "second plan solved nothing new" misses_after_first (Gap_memo.misses memo);
+  checkb "second plan hit the memo" true (Gap_memo.hits memo > 0);
+  checkb "memoized plan identical" true (r1 = r2)
+
+let test_guidance_sublinear_counters () =
+  (* Regression guard for the incremental frontier index: one planning
+     tick must sort nothing and materialize at most the gaps it
+     considers (3 * max_directives), however large the frontier is.
+     A branchy generated program gives a frontier of several hundred
+     gaps from a dozen executions. *)
+  let program, _ =
+    Softborg_prog.Generator.generate (Rng.create 5)
+      {
+        Softborg_prog.Generator.default_params with
+        Softborg_prog.Generator.block_depth = 3;
+        stmts_per_block = 5;
+        bugs = [];
+      }
+  in
+  let tree = Exec_tree.create () in
+  let rng = Rng.create 19 in
+  for i = 1 to 12 do
+    let inputs = Array.init program.Ir.n_inputs (fun _ -> Rng.int_in rng 0 40) in
+    let r = run_once ~seed:i program inputs in
+    ignore (Exec_tree.add_path tree r.Interp.full_path r.Interp.outcome)
+  done;
+  let max_directives = 8 in
+  checkb "frontier much larger than the considered window" true
+    (Exec_tree.frontier_size tree > 10 * (3 * max_directives));
+  let memo = Gap_memo.create () in
+  (* All verdicts pre-filled Unknown, so the planner walks the full
+     considered window instead of stopping at max_directives. *)
+  Exec_tree.iter_open_dirs tree (fun site missing ->
+      Gap_memo.add memo ~site ~direction:missing `Unknown);
+  let sorted0 = Exec_tree.gaps_sorted tree in
+  let materialized0 = Exec_tree.gaps_materialized tree in
+  let result = Guidance.plan ~max_directives ~memo program tree in
+  checki "planning sorts no gaps" 0 (Exec_tree.gaps_sorted tree - sorted0);
+  checkb "planning materializes O(k) gaps, not O(frontier)" true
+    (Exec_tree.gaps_materialized tree - materialized0 <= 3 * max_directives);
+  checki "considered capped at 3k" (3 * max_directives) result.Guidance.gaps_considered
 
 let test_directive_wire_roundtrip () =
   let directives =
@@ -840,6 +927,9 @@ let () =
         [
           Alcotest.test_case "covers gaps" `Quick test_guidance_covers_gaps;
           Alcotest.test_case "exclude respected" `Quick test_guidance_exclude_respected;
+          Alcotest.test_case "pool deterministic" `Quick test_guidance_pool_deterministic;
+          Alcotest.test_case "memo reused" `Quick test_guidance_memo_reused;
+          Alcotest.test_case "sublinear counters" `Quick test_guidance_sublinear_counters;
           Alcotest.test_case "wire roundtrip" `Quick test_directive_wire_roundtrip;
         ] );
       ( "allocate",

@@ -11,6 +11,7 @@ module Outcome = Softborg_exec.Outcome
 module Exec_tree = Softborg_tree.Exec_tree
 module Coverage = Softborg_tree.Coverage
 module Rng = Softborg_util.Rng
+module Codec = Softborg_util.Codec
 
 let checki = Alcotest.check Alcotest.int
 let checkb = Alcotest.check Alcotest.bool
@@ -235,8 +236,21 @@ let prop_frontier_gaps_are_real =
 
 (* ---- Incremental aggregates vs recompute oracles ----------------------- *)
 
+(* Take the first [k] elements of a list (all of them if shorter). *)
+let rec take k = function
+  | x :: rest when k > 0 -> x :: take (k - 1) rest
+  | _ -> []
+
+let frontier_top_matches_oracle t =
+  let oracle = Exec_tree.frontier_recompute t in
+  List.for_all
+    (fun k -> Exec_tree.frontier_top t k = take k oracle)
+    [ 0; 1; 2; 3; 8; List.length oracle; List.length oracle + 3 ]
+  && List.of_seq (Exec_tree.frontier_seq t) = oracle
+
 let aggregates_match_oracles t =
   Exec_tree.frontier t = Exec_tree.frontier_recompute t
+  && frontier_top_matches_oracle t
   && Exec_tree.frontier_size t = List.length (Exec_tree.frontier t)
   && Exec_tree.n_edges t = Exec_tree.n_edges_recompute t
   && Exec_tree.depth t = Exec_tree.depth_recompute t
@@ -244,29 +258,32 @@ let aggregates_match_oracles t =
   && Float.abs (Exec_tree.completeness t -. Exec_tree.completeness_recompute t) < 1e-12
   && Exec_tree.outcome_buckets t = Exec_tree.outcome_buckets_recompute t
 
-(* Randomized interleavings of add_path and mark_infeasible, checking
-   every incremental aggregate against its full-walk oracle after every
-   single operation.  Marks target real frontier gaps most of the time
-   but sometimes a bogus (unobserved or already-explored) site or
-   direction, to exercise the no-op accounting paths. *)
+(* Randomized interleavings of add_path, mark_infeasible and
+   checkpoint round-trips, checking every incremental aggregate — the
+   ordered gap index included, via frontier/frontier_top/frontier_seq
+   — against its full-walk oracle after every single operation.  Marks
+   target real frontier gaps most of the time but sometimes a bogus
+   (unobserved or already-explored) site or direction, to exercise the
+   no-op accounting paths; the round-trip step continues on the
+   restored tree, so post-restore index rebuilds feed later ops. *)
 let prop_incremental_matches_oracles =
   QCheck.Test.make ~name:"incremental aggregates equal recompute oracles" ~count:1000
     QCheck.(pair small_nat (int_range 1 30))
     (fun (seed, n_ops) ->
       let rng = Rng.create ((seed * 131) + n_ops) in
-      let t = Exec_tree.create () in
+      let t = ref (Exec_tree.create ()) in
       let ok = ref true in
       for _ = 1 to n_ops do
-        (if Rng.bernoulli rng 0.75 then begin
+        (if Rng.bernoulli rng 0.7 then begin
            let len = Rng.int_in rng 0 6 in
            let path =
              List.init len (fun _ -> ({ Ir.thread = 0; pc = Rng.int rng 3 }, Rng.bool rng))
            in
            let outcome = if Rng.bernoulli rng 0.8 then Outcome.Success else Outcome.Hang in
-           ignore (Exec_tree.add_path t path outcome)
+           ignore (Exec_tree.add_path !t path outcome)
          end
-         else
-           match Exec_tree.frontier t with
+         else if Rng.bernoulli rng 0.8 then begin
+           match Exec_tree.frontier !t with
            | [] -> ()
            | gaps ->
              let gap = List.nth gaps (Rng.int rng (List.length gaps)) in
@@ -277,8 +294,16 @@ let prop_incremental_matches_oracles =
              let direction =
                if Rng.bernoulli rng 0.8 then gap.Exec_tree.missing else Rng.bool rng
              in
-             ignore (Exec_tree.mark_infeasible t ~prefix:gap.Exec_tree.prefix ~site ~direction));
-        ok := !ok && aggregates_match_oracles t
+             ignore (Exec_tree.mark_infeasible !t ~prefix:gap.Exec_tree.prefix ~site ~direction)
+         end
+         else begin
+           (* Checkpoint round-trip: the restored tree rebuilds its
+              aggregates (gap index included) from structure alone. *)
+           let w = Codec.Writer.create () in
+           Exec_tree.write w !t;
+           t := Exec_tree.read (Codec.Reader.of_string (Codec.Writer.contents w))
+         end);
+        ok := !ok && aggregates_match_oracles !t
       done;
       !ok)
 

@@ -406,6 +406,55 @@ let prop_lru_never_exceeds_capacity =
       | [] -> true
       | (k, _) :: _ -> Lru.mem c k)
 
+(* ---- Pool ------------------------------------------------------------- *)
+
+module Pool = Softborg_util.Pool
+
+let with_pool size f =
+  let pool = Pool.create ~size in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
+
+let test_pool_map_matches_list_map () =
+  let xs = List.init 100 (fun i -> i - 50) in
+  let f x = (x * x) + (3 * x) in
+  List.iter
+    (fun size ->
+      with_pool size (fun pool ->
+          Alcotest.(check (list int))
+            (Printf.sprintf "pool size %d preserves order and values" size)
+            (List.map f xs) (Pool.map pool f xs)))
+    [ 1; 2; 4 ]
+
+let test_pool_small_inputs () =
+  with_pool 4 (fun pool ->
+      Alcotest.(check (list int)) "empty list" [] (Pool.map pool succ []);
+      Alcotest.(check (list int)) "singleton" [ 8 ] (Pool.map pool succ [ 7 ]))
+
+let test_pool_exception_propagates () =
+  with_pool 3 (fun pool ->
+      Alcotest.check_raises "first failing element's exception re-raised"
+        (Invalid_argument "boom:2") (fun () ->
+          ignore
+            (Pool.map pool
+               (fun x -> if x >= 2 then invalid_arg (Printf.sprintf "boom:%d" x) else x)
+               [ 0; 1; 2; 3; 4 ])));
+  (* The pool must survive a failed batch and serve the next one. *)
+  with_pool 3 (fun pool ->
+      (try ignore (Pool.map pool (fun _ -> failwith "x") [ 1; 2; 3 ]) with _ -> ());
+      Alcotest.(check (list int)) "pool usable after failure" [ 2; 4; 6 ]
+        (Pool.map pool (fun x -> 2 * x) [ 1; 2; 3 ]))
+
+let test_pool_inert_and_idempotent_shutdown () =
+  let pool = Pool.create ~size:1 in
+  checki "inert pool size" 1 (Pool.size pool);
+  Alcotest.(check (list int)) "inert pool maps inline" [ 1; 2 ] (Pool.map pool succ [ 0; 1 ]);
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  let pool = Pool.create ~size:2 in
+  checki "real pool size" 2 (Pool.size pool);
+  Pool.shutdown pool;
+  Pool.shutdown pool
+
 let () =
   let q = QCheck_alcotest.to_alcotest in
   Alcotest.run "softborg_util"
@@ -480,5 +529,13 @@ let () =
           Alcotest.test_case "counters and capacity one" `Quick
             test_lru_counters_and_capacity_one;
           q prop_lru_never_exceeds_capacity;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "map matches List.map" `Quick test_pool_map_matches_list_map;
+          Alcotest.test_case "small inputs" `Quick test_pool_small_inputs;
+          Alcotest.test_case "exception propagates" `Quick test_pool_exception_propagates;
+          Alcotest.test_case "inert + idempotent shutdown" `Quick
+            test_pool_inert_and_idempotent_shutdown;
         ] );
     ]
