@@ -246,51 +246,68 @@ let e3 () =
       ("chain-unsat", List.init 4 (fun i -> chain_unsat ~n_vars:(200 + (50 * i))));
     ]
   in
-  let members = Portfolio.standard_three ~budget ~seed:5 in
-  let solver_names = List.map (fun (s : Portfolio.solver) -> s.Portfolio.name) members in
+  (* A fresh portfolio per race so the stochastic members replay the
+     same rng streams in the preemptive race and the whole-budget
+     baseline — making the two runs trajectory-identical and their
+     verdicts comparable instance by instance. *)
+  let members () = Portfolio.standard_three ~budget ~seed:5 in
+  let solver_names = List.map (fun (s : Portfolio.solver) -> s.Portfolio.name) (members ()) in
   let per_solver_steps : (string, float list) Hashtbl.t = Hashtbl.create 8 in
   let note name steps =
     Hashtbl.replace per_solver_steps name
       (steps :: Option.value ~default:[] (Hashtbl.find_opt per_solver_steps name))
   in
   let portfolio_steps = ref [] in
+  let sliced_resources = ref 0 in
+  let whole_resources = ref 0 in
   let resource_ratios = ref [] in
   let rows =
     List.map
       (fun (family, instances) ->
         let family_single : (string, float list) Hashtbl.t = Hashtbl.create 8 in
         let walls = ref [] in
+        let family_sliced = ref 0 in
+        let family_whole = ref 0 in
         List.iter
           (fun formula ->
-            let race = Portfolio.race members formula in
+            (* The preemptive sliced race: resource_steps is work the
+               losers actually performed before cancellation. *)
+            let race = Portfolio.race (members ()) formula in
+            (* The pre-preemption baseline: everyone runs to its own
+               verdict or budget; its runs are the single-solver costs. *)
+            let whole = Portfolio.race_whole_budget (members ()) formula in
+            assert (race.Portfolio.verdict = whole.Portfolio.verdict);
             walls := float_of_int race.Portfolio.wall_steps :: !walls;
             portfolio_steps := float_of_int race.Portfolio.wall_steps :: !portfolio_steps;
+            family_sliced := !family_sliced + race.Portfolio.resource_steps;
+            family_whole := !family_whole + whole.Portfolio.resource_steps;
             if race.Portfolio.wall_steps > 0 then
               resource_ratios :=
                 (float_of_int race.Portfolio.resource_steps
                 /. float_of_int race.Portfolio.wall_steps)
                 :: !resource_ratios;
-            (* The race already ran each member to its own verdict;
-               those runs are exactly the single-solver costs. *)
             List.iter
               (fun (r : Portfolio.run) ->
                 note r.Portfolio.solver (float_of_int r.Portfolio.steps);
                 Hashtbl.replace family_single r.Portfolio.solver
                   (float_of_int r.Portfolio.steps
                   :: Option.value ~default:[] (Hashtbl.find_opt family_single r.Portfolio.solver)))
-              race.Portfolio.runs)
+              whole.Portfolio.runs)
           instances;
+        sliced_resources := !sliced_resources + !family_sliced;
+        whole_resources := !whole_resources + !family_whole;
         let mean name =
           (Stats.summarize (Option.value ~default:[ 0.0 ] (Hashtbl.find_opt family_single name)))
             .Stats.mean
         in
         family
         :: fmt_f ~decimals:0 (Stats.summarize !walls).Stats.mean
+        :: Tabular.fmt_ratio (float_of_int !family_whole /. float_of_int (max 1 !family_sliced))
         :: List.map (fun name -> fmt_f ~decimals:0 (mean name)) solver_names)
       families
   in
   Tabular.print ~title:"mean solving steps per instance family (budget 3M steps)"
-    (col "family" :: rcol "portfolio" :: List.map (fun n -> rcol n) solver_names)
+    (col "family" :: rcol "portfolio" :: rcol "preempt gain" :: List.map (fun n -> rcol n) solver_names)
     rows;
   let wall_mean = (Stats.summarize !portfolio_steps).Stats.mean in
   let rows =
@@ -309,11 +326,19 @@ let e3 () =
       (fun n -> Option.value ~default:[] (Hashtbl.find_opt per_solver_steps n))
       solver_names
   in
+  let preempt_gain = float_of_int !whole_resources /. float_of_int (max 1 !sliced_resources) in
   Printf.printf
     "aggregate: %.1fx speedup over the average single solver at %.2fx resources (paper \
      reports ~10x at 3x)\n"
     ((Stats.summarize all_single).Stats.mean /. wall_mean)
-    (Stats.summarize !resource_ratios).Stats.mean
+    (Stats.summarize !resource_ratios).Stats.mean;
+  Printf.printf
+    "preemption: %d executed steps vs %d whole-budget (%.1fx fewer; verdicts identical on \
+     every instance)\n"
+    !sliced_resources !whole_resources preempt_gain;
+  (* The tentpole's acceptance bar: cancelling losers must cut executed
+     work by at least 5x on this mix. *)
+  assert (preempt_gain >= 5.0)
 
 (* ==================================================================== *)
 (* E4 — §3.3: execution guidance accelerates learning.                  *)
@@ -1193,6 +1218,149 @@ let micro_ingest ?(smoke = false) () =
   end
 
 (* ==================================================================== *)
+(* micro-solver: wall-clock of the racing modes — whole-budget vs       *)
+(* preemptive sliced vs parallel (pool 2/4) — and verdict-cache hit vs  *)
+(* miss on a feasibility query.  Emits BENCH_solver.json.               *)
+(* ==================================================================== *)
+
+let micro_solver ?(smoke = false) () =
+  heading
+    (if smoke then "micro-solver (smoke: tiny iteration counts, no JSON)"
+     else "micro-solver: preemptive racing & verdict cache");
+  let quota = if smoke then 0.02 else 0.75 in
+  let limit = if smoke then 4 else 100 in
+  let budget = if smoke then 100_000 else 500_000 in
+  let rng = Rng.create 2024 in
+  (* Near the phase transition all three members run long, so the
+     sequential race pays for every loser's slices serially — the
+     configuration where domains buy wall-clock. *)
+  let instances =
+    if smoke then [ random_3sat rng ~n_vars:40 ~n_clauses:170 ]
+    else List.init 3 (fun _ -> random_3sat rng ~n_vars:60 ~n_clauses:255)
+  in
+  let members () = Portfolio.standard_three ~budget ~seed:5 in
+  let race_all ?pool () =
+    List.iter (fun f -> ignore (Portfolio.race ?pool (members ()) f)) instances
+  in
+  let pool2 = Softborg_util.Pool.create ~size:2 in
+  let pool4 = Softborg_util.Pool.create ~size:4 in
+  (* Determinism oracle: every pool size must reproduce the sequential
+     race result exactly — this assert is what @bench-smoke contributes
+     beyond the unit tests (a different formula mix every bump of the
+     seed above).  [force_parallel] pins the physical domain-racing
+     path so the oracle is meaningful on single-core hosts too, where
+     plain [race ~pool] degrades to the sequential engine. *)
+  List.iter
+    (fun f ->
+      let seq = Portfolio.race (members ()) f in
+      assert (Portfolio.race ~pool:pool2 ~force_parallel:true (members ()) f = seq);
+      assert (Portfolio.race ~pool:pool4 ~force_parallel:true (members ()) f = seq))
+    instances;
+  (* Verdict-cache oracle: a hit answers identically and instantly. *)
+  let module Pc_solve = Softborg_solver.Pc_solve in
+  let module Verdict_cache = Softborg_solver.Verdict_cache in
+  let module Path_cond = Softborg_solver.Path_cond in
+  let feas_cond =
+    [
+      Path_cond.atom
+        (Ir.Binop (Ir.Eq, Ir.Binop (Ir.Mod, Ir.Input 0, Ir.Const 64), Ir.Const 13))
+        true;
+      Path_cond.atom (Ir.Binop (Ir.Lt, Ir.Input 1, Ir.Input 0)) true;
+    ]
+  in
+  let domain = (-64, 255) in
+  let warm = Verdict_cache.create () in
+  let miss_outcome = Pc_solve.solve ~cache:warm ~domain ~n_inputs:2 feas_cond in
+  let hit_outcome = Pc_solve.solve ~cache:warm ~domain ~n_inputs:2 feas_cond in
+  assert (miss_outcome.Softborg_solver.Interval.verdict = hit_outcome.Softborg_solver.Interval.verdict);
+  assert (hit_outcome.Softborg_solver.Interval.steps = 0);
+  let open Bechamel in
+  let results =
+    ns_per_run ~quota ~limit
+      [
+        Test.make ~name:"race-whole-budget"
+          (Staged.stage (fun () ->
+               List.iter (fun f -> ignore (Portfolio.race_whole_budget (members ()) f)) instances));
+        Test.make ~name:"race-sliced-seq" (Staged.stage (fun () -> race_all ()));
+        Test.make ~name:"race-parallel-pool2" (Staged.stage (fun () -> race_all ~pool:pool2 ()));
+        Test.make ~name:"race-parallel-pool4" (Staged.stage (fun () -> race_all ~pool:pool4 ()));
+        Test.make ~name:"pc-solve-cache-miss"
+          (Staged.stage (fun () ->
+               ignore (Pc_solve.solve ~cache:(Verdict_cache.create ()) ~domain ~n_inputs:2 feas_cond)));
+        Test.make ~name:"pc-solve-cache-hit"
+          (Staged.stage (fun () ->
+               ignore (Pc_solve.solve ~cache:warm ~domain ~n_inputs:2 feas_cond)));
+      ]
+  in
+  Softborg_util.Pool.shutdown pool2;
+  Softborg_util.Pool.shutdown pool4;
+  let results = List.sort compare results in
+  Tabular.print ~title:"solver racing wall-clock"
+    [ col "benchmark"; rcol "ns/run"; rcol "us/run" ]
+    (List.map
+       (fun (name, ns) -> [ name; fmt_f ~decimals:0 ns; fmt_f ~decimals:2 (ns /. 1000.0) ])
+       results);
+  let find suffix =
+    List.find_opt
+      (fun (name, _) ->
+        let ls = String.length suffix and ln = String.length name in
+        ln >= ls && String.sub name (ln - ls) ls = suffix)
+      results
+  in
+  let ratio a b =
+    match (find a, find b) with
+    | Some (_, x), Some (_, y) when y > 0.0 && Float.is_finite x && Float.is_finite y ->
+      Some (x, y, x /. y)
+    | _ -> None
+  in
+  let report label = function
+    | Some (x, y, r) -> Printf.printf "%s: %.1fx (%.0f ns vs %.0f ns)\n" label r x y
+    | None -> Printf.printf "%s: estimate unavailable\n" label
+  in
+  let preempt = ratio "race-whole-budget" "race-sliced-seq" in
+  let par2 = ratio "race-sliced-seq" "race-parallel-pool2" in
+  let par4 = ratio "race-sliced-seq" "race-parallel-pool4" in
+  let cache = ratio "pc-solve-cache-miss" "pc-solve-cache-hit" in
+  let cores = Domain.recommended_domain_count () in
+  report "preemption wall-clock gain (whole-budget vs sliced)" preempt;
+  report "parallel wall-clock speedup (pool=2 vs sequential)" par2;
+  report "parallel wall-clock speedup (pool=4 vs sequential)" par4;
+  report "verdict-cache hit vs miss" cache;
+  if cores <= 1 then
+    Printf.printf
+      "note: single-core host (%d recommended domains) — racing domains could only \
+       time-share the CPU, so [race] degrades to the sequential engine and the \
+       pool benchmarks measure that fallback (~1x parity).  Multicore hosts run \
+       the physical race and see genuine speedup.\n"
+      cores;
+  if not smoke then begin
+    let oc = open_out "BENCH_solver.json" in
+    Printf.fprintf oc "{\n  \"suite\": \"micro-solver\",\n  \"cores\": %d,\n" cores;
+    let field name = function
+      | Some (x, y, r) ->
+        Printf.fprintf oc
+          "  \"%s\": { \"baseline_ns\": %.1f, \"new_ns\": %.1f, \"speedup\": %.2f },\n" name x
+          y r
+      | None -> ()
+    in
+    field "preemption" preempt;
+    field "parallel_pool2" par2;
+    field "parallel_pool4" par4;
+    field "verdict_cache" cache;
+    Printf.fprintf oc "  \"results\": [\n";
+    let last = List.length results - 1 in
+    List.iteri
+      (fun i (name, ns) ->
+        Printf.fprintf oc "    { \"name\": %S, \"ns_per_run\": %.1f }%s\n" name
+          (if Float.is_finite ns then ns else 0.0)
+          (if i = last then "" else ","))
+      results;
+    Printf.fprintf oc "  ]\n}\n";
+    close_out oc;
+    Printf.printf "wrote BENCH_solver.json\n"
+  end
+
+(* ==================================================================== *)
 (* E12 — §5 under faults: hive crashes, pod churn, degraded links.      *)
 (* ==================================================================== *)
 
@@ -1340,6 +1508,10 @@ let experiments =
       micro_ingest ());
     ("micro-ingest-smoke", "tiny micro-ingest run for @bench-smoke", fun () ->
       micro_ingest ~smoke:true ());
+    ("micro-solver", "solver racing benchmarks (writes BENCH_solver.json)", fun () ->
+      micro_solver ());
+    ("micro-solver-smoke", "tiny micro-solver run for @bench-smoke", fun () ->
+      micro_solver ~smoke:true ());
   ]
 
 let () =

@@ -121,6 +121,10 @@ module Worker = struct
   type t = {
     program : Ir.t;
     endpoint : Transport.endpoint;
+    (* Jobs from successive rounds overlap heavily in path conditions
+       (gaps share prefixes, retried gaps recur verbatim); each worker
+       keeps its own verdict cache across the jobs it serves. *)
+    cache : Softborg_solver.Verdict_cache.t;
     mutable jobs_served : int;
     mutable steps_spent : int;
   }
@@ -139,7 +143,7 @@ module Worker = struct
             }
           in
           let verdict =
-            match Testgen.for_direction ~config t.program ~site ~direction with
+            match Testgen.for_direction ~config ~cache:t.cache t.program ~site ~direction with
             | `Test test -> Gap_feasible test
             | `Infeasible -> Gap_infeasible
             | `Unknown -> Gap_unknown
@@ -154,7 +158,15 @@ module Worker = struct
     { job_id = job.job_id; verdicts; steps_spent = !before_total }
 
   let create ~program ~endpoint () =
-    let t = { program; endpoint; jobs_served = 0; steps_spent = 0 } in
+    let t =
+      {
+        program;
+        endpoint;
+        cache = Softborg_solver.Verdict_cache.create ();
+        jobs_served = 0;
+        steps_spent = 0;
+      }
+    in
     Transport.on_receive endpoint (fun payload ->
         match decode_job payload with
         | Error _ -> ()

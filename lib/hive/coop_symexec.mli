@@ -51,7 +51,9 @@ module Worker : sig
 
   val create : program:Ir.t -> endpoint:Transport.endpoint -> unit -> t
   (** Installs the receive handler; every incoming job is answered
-      with a result message. *)
+      with a result message.  Each worker keeps a private
+      {!Softborg_solver.Verdict_cache} across the jobs it serves —
+      successive rounds re-query overlapping path conditions. *)
 
   val jobs_served : t -> int
   val steps_spent : t -> int

@@ -38,7 +38,7 @@ type plan_result = {
   gaps_unknown : int;
 }
 
-let plan ?config ?(max_directives = 8) ?(schedule_probe_seeds = [ 101; 202; 303; 404 ])
+let plan ?config ?cache ?(max_directives = 8) ?(schedule_probe_seeds = [ 101; 202; 303; 404 ])
     ?exclude ?memo ?pool ?speculate program tree =
   let multi_threaded = Array.length program.Ir.threads > 1 in
   let excluded site direction =
@@ -59,7 +59,10 @@ let plan ?config ?(max_directives = 8) ?(schedule_probe_seeds = [ 101; 202; 303;
       |> Seq.take max_considered
       |> List.of_seq
   in
-  let solve site direction = Testgen.for_direction ?config program ~site ~direction in
+  (* The verdict cache is mutex-guarded, so sharing it with the
+     speculative pool workers below is safe; cached answers equal
+     recomputed ones, so hits change no output. *)
+  let solve site direction = Testgen.for_direction ?config ?cache program ~site ~direction in
   let memoized site direction =
     match memo with
     | None -> solve site direction

@@ -39,6 +39,7 @@ type plan_result = {
 
 val plan :
   ?config:Sym_exec.config ->
+  ?cache:Softborg_solver.Verdict_cache.t ->
   ?max_directives:int ->
   ?schedule_probe_seeds:int list ->
   ?exclude:(Ir.site * bool, unit) Hashtbl.t ->
@@ -54,7 +55,9 @@ val plan :
     regardless of tree size.  Gaps whose [(site, direction)] is in the
     [exclude] set (already issued to a pod and not yet covered) are
     skipped in O(1) each.  [memo] caches symbolic verdicts across
-    calls (see {!Gap_memo}).  With a [pool] of size > 1, the distinct
+    calls (see {!Gap_memo}); [cache] additionally memoizes the
+    underlying path-condition solver queries (shared across provers
+    and safe to hand to pool workers).  With a [pool] of size > 1, the distinct
     un-memoized queries among the candidates — at most [speculate] of
     them, default all — are solved speculatively on worker domains;
     the decision fold then replays sequentially over the precomputed

@@ -248,12 +248,12 @@ let knowledge_state k = (Exec_tree.version (Knowledge.tree k), Knowledge.epoch k
 let prove_tick t k =
   let program = Knowledge.program k in
   ignore
-    (Prover.close_gaps ?config:t.config.symexec_config ~memo:(Knowledge.gap_memo k) program
-       (Knowledge.tree k));
+    (Prover.close_gaps ?config:t.config.symexec_config ~cache:(Knowledge.verdict_cache k)
+       ~memo:(Knowledge.gap_memo k) program (Knowledge.tree k));
   if not (has_valid_proof k Prover.Assert_safety) then begin
     match
-      Prover.attempt_assert_safety ?config:t.config.symexec_config ~program
-        ~tree:(Knowledge.tree k)
+      Prover.attempt_assert_safety ?config:t.config.symexec_config
+        ~cache:(Knowledge.verdict_cache k) ~program ~tree:(Knowledge.tree k)
         ~crash_observations:
           (List.fold_left (fun acc (e : Fixgen.crash_evidence) -> acc + e.Fixgen.count) 0
              (Knowledge.crash_evidence k))
@@ -358,7 +358,8 @@ let guidance_tick t k =
   if t.endpoints <> [] then begin
     let issued = issued_for t k in
     let result =
-      Guidance.plan ?config:t.config.symexec_config ~max_directives:t.config.guidance_max
+      Guidance.plan ?config:t.config.symexec_config ~cache:(Knowledge.verdict_cache k)
+        ~max_directives:t.config.guidance_max
         ~exclude:issued ~memo:(Knowledge.gap_memo k) ?pool:t.pool
         ?speculate:(speculate_for t k) (Knowledge.program k) (Knowledge.tree k)
     in

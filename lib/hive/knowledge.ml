@@ -39,6 +39,9 @@ type t = {
   (* Symbolic gap verdicts, shared by guidance planning and gap
      closing; cleared with the replay cache on every epoch bump. *)
   gap_memo : Gap_memo.t;
+  (* Path-condition solver verdicts, shared by every symbolic query
+     the hive runs against this program; same clearing discipline. *)
+  verdict_cache : Softborg_solver.Verdict_cache.t;
 }
 
 let create ?(replay_cache = 256) program =
@@ -61,6 +64,7 @@ let create ?(replay_cache = 256) program =
     replay_cache = (if replay_cache <= 0 then None else Some (Lru.create replay_cache));
     replay_cache_hits = 0;
     gap_memo = Gap_memo.create ();
+    verdict_cache = Softborg_solver.Verdict_cache.create ();
   }
 
 let program t = t.program
@@ -75,6 +79,7 @@ let failures_observed t = t.failures
 let replay_errors t = t.replay_errors
 let replay_cache_hits t = t.replay_cache_hits
 let gap_memo t = t.gap_memo
+let verdict_cache t = t.verdict_cache
 
 let hooks_for_epoch t target_epoch = Fixgen.runtime_hooks ~epoch:target_epoch t.fixes
 
@@ -183,6 +188,7 @@ let bump_epoch t =
      a new fix set means a new analyzed behavior. *)
   Option.iter Lru.clear t.replay_cache;
   Gap_memo.clear t.gap_memo;
+  Softborg_solver.Verdict_cache.clear t.verdict_cache;
   ignore (Prover.invalidate t.proofs ~current_epoch:t.epoch)
 
 let analyze ?symexec_config t =
@@ -319,4 +325,5 @@ let read ?(replay_cache = 256) r =
     replay_cache = (if replay_cache <= 0 then None else Some (Lru.create replay_cache));
     replay_cache_hits;
     gap_memo = Gap_memo.create ();
+    verdict_cache = Softborg_solver.Verdict_cache.create ();
   }

@@ -46,6 +46,12 @@ val gap_memo : t -> Gap_memo.t
     guidance planning and the prover's gap closing; cleared whenever
     the fix epoch bumps.  Not persisted in checkpoints. *)
 
+val verdict_cache : t -> Softborg_solver.Verdict_cache.t
+(** Memoized path-condition solver verdicts for this program, shared
+    by every symbolic query the hive runs (guidance, gap closing,
+    proof attempts, cooperating provers); cleared whenever the fix
+    epoch bumps.  Not persisted in checkpoints. *)
+
 val hooks_for_epoch : t -> int -> Interp.hooks
 (** The runtime instrumentation (deadlock immunity + crash
     suppression) in force at a given epoch — used both by pods and by

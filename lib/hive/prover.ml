@@ -42,13 +42,13 @@ let make_proof property strength epoch distinct_paths =
   incr next_proof_id;
   { id = !next_proof_id; property; strength; epoch; distinct_paths; valid = true }
 
-let close_gaps ?config ?memo ?(limit = 24) program tree =
+let close_gaps ?config ?cache ?memo ?(limit = 24) program tree =
   let closed = ref 0 in
   let verdict_for site direction =
     (* Solving through [Testgen.for_direction] (rather than
        [Sym_exec.direction_feasible] directly) classifies identically
        and lets the prover share one memo table with the planner. *)
-    let solve () = Softborg_symexec.Testgen.for_direction ?config program ~site ~direction in
+    let solve () = Softborg_symexec.Testgen.for_direction ?config ?cache program ~site ~direction in
     match memo with
     | None -> solve ()
     | Some memo -> (
@@ -73,13 +73,13 @@ let close_gaps ?config ?memo ?(limit = 24) program tree =
          | `Test _ | `Unknown -> ());
   !closed
 
-let attempt_assert_safety ?config ~program ~tree ~crash_observations ~epoch () =
+let attempt_assert_safety ?config ?cache ~program ~tree ~crash_observations ~epoch () =
   if crash_observations > 0 then None
   else begin
     let cfg = Option.value ~default:Sym_exec.default_config config in
     let single_threaded = Array.length program.Ir.threads <= 1 in
     if single_threaded then begin
-      let report = Sym_exec.explore ?config program Softborg_symexec.Consistency.Strict in
+      let report = Sym_exec.explore ?config ?cache program Softborg_symexec.Consistency.Strict in
       let fully_solved =
         List.for_all
           (fun (p : Sym_exec.path) ->

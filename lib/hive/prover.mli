@@ -42,18 +42,26 @@ val strength_name : strength -> string
 val pp : Format.formatter -> proof -> unit
 
 val close_gaps :
-  ?config:Sym_exec.config -> ?memo:Gap_memo.t -> ?limit:int -> Ir.t -> Exec_tree.t -> int
+  ?config:Sym_exec.config ->
+  ?cache:Softborg_solver.Verdict_cache.t ->
+  ?memo:Gap_memo.t ->
+  ?limit:int ->
+  Ir.t ->
+  Exec_tree.t ->
+  int
 (** Symbolically close the tree's frontier: mark directions that no
     in-domain input reaches as infeasible (paper §3.3, the "incomplete
     tree" hurdle).  Considers at most [limit] gaps (default 24 — each
     costs a directed symbolic exploration), pulled lazily from
     {!Exec_tree.frontier_seq} so the cost is O(limit), and returns the
     number closed.  [memo] caches verdicts across calls (and across
-    the guidance planner, which shares the same table).  Feasible gaps
+    the guidance planner, which shares the same table); [cache]
+    memoizes the underlying path-condition solver queries.  Feasible gaps
     are left open for execution guidance. *)
 
 val attempt_assert_safety :
   ?config:Sym_exec.config ->
+  ?cache:Softborg_solver.Verdict_cache.t ->
   program:Ir.t ->
   tree:Exec_tree.t ->
   crash_observations:int ->

@@ -1,6 +1,7 @@
 module Trace = Softborg_trace.Trace
 module Wire = Softborg_trace.Wire
 module Bitvec = Softborg_util.Bitvec
+module Codec = Softborg_util.Codec
 
 type entry = {
   mutable count : int;
@@ -25,11 +26,6 @@ let encode_content (trace : Trace.t) =
 
 let content_key trace = Digest.to_hex (Digest.string (encode_content trace))
 
-(* Length of the varint encoding of [n] without writing it. *)
-let varint_len n =
-  let rec loop n acc = if n < 0x80 then acc else loop (n lsr 7) (acc + 1) in
-  loop n 1
-
 type admission =
   | Novel
   | Duplicate of int
@@ -42,7 +38,7 @@ let admit_keyed t (trace : Trace.t) =
      trace a second time. *)
   let encoded = encode_content trace in
   let key = Digest.to_hex (Digest.string encoded) in
-  let size = String.length encoded - 1 + varint_len trace.Trace.pod in
+  let size = String.length encoded - 1 + Codec.varint_len trace.Trace.pod in
   t.received <- t.received + 1;
   t.bytes_received <- t.bytes_received + size;
   match Hashtbl.find_opt t.entries key with
@@ -74,8 +70,6 @@ let heaviest t ~n =
   Hashtbl.fold (fun key entry acc -> (key, entry.count) :: acc) t.entries []
   |> List.sort (fun (_, a) (_, b) -> Int.compare b a)
   |> List.filteri (fun i _ -> i < n)
-
-module Codec = Softborg_util.Codec
 
 (* Entries sorted by digest so equal stores serialize to equal bytes
    regardless of hashtable history. *)

@@ -6,7 +6,12 @@
     profiles — part of the diversity the portfolio exploits.  Cost is
     counted in {e steps} (clause examinations), a machine-independent
     unit shared by every solver in the portfolio so that speedup and
-    resource ratios are well-defined. *)
+    resource ratios are well-defined.
+
+    The search runs as an explicit resumable machine: {!start} builds
+    the initial state, {!step} advances it by a bounded number of steps
+    — the interface a preemptive portfolio race needs to interleave
+    members and cancel losers. *)
 
 module Rng := Softborg_util.Rng
 
@@ -25,7 +30,28 @@ type outcome = {
   steps : int;  (** Clause examinations performed. *)
 }
 
+type state
+(** A paused search.  Owns its random generator (for
+    [Random_branch]); never share one state between concurrent
+    callers. *)
+
+val start : ?heuristic:heuristic -> Cnf.formula -> state
+(** A fresh search over [formula], no steps spent yet. *)
+
+val step : state -> fuel:int -> [ `Done of verdict | `More ]
+(** Advance the search by at least one transition and at most [fuel]
+    steps (checked at pass boundaries, so a slice can overshoot by up
+    to one pass over the clauses).  [`Done] verdicts are only ever
+    [Sat]/[Unsat] — budget enforcement is the caller's job — and are
+    sticky: further calls return the same verdict.  The trajectory is
+    independent of how the work is sliced: any sequence of fuels
+    reaches the same verdict after the same total steps. *)
+
+val steps : state -> int
+(** Total steps spent so far. *)
+
 val solve : ?heuristic:heuristic -> ?budget:int -> Cnf.formula -> outcome
-(** Decide satisfiability within [budget] steps (default 10_000_000).
-    A [Sat] assignment always satisfies the formula (checked by the
-    test suite against brute force). *)
+(** Decide satisfiability within [budget] steps (default 10_000_000):
+    [start] driven by a single whole-budget [step], [`More] reported
+    as [Timeout].  A [Sat] assignment always satisfies the formula
+    (checked by the test suite against brute force). *)

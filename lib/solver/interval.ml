@@ -173,9 +173,6 @@ let narrow env atoms =
     atoms;
   !ok
 
-exception Found of int array
-exception Out_of_budget
-
 (* Constraint-derived value-ordering hints: constants (±1) and residue
    ladders r + k*m for every (modulus m, comparison constant r). *)
 let hints ~domain:(dom_lo, dom_hi) atoms =
@@ -197,57 +194,108 @@ let hints ~domain:(dom_lo, dom_hi) atoms =
   List.filter (fun v -> v >= dom_lo && v <= dom_hi) (near @ ladders)
   |> List.sort_uniq Int.compare
 
-let solve ?(budget = 2_000_000) ~domain:(dom_lo, dom_hi) ~n_inputs atoms =
-  if dom_lo > dom_hi then invalid_arg "Interval.solve: empty domain";
-  if n_inputs < 0 then invalid_arg "Interval.solve: negative n_inputs";
+(* Resumable backtracking enumeration.  One frame per used input; a
+   frame remembers the interval it clobbered and the candidate values
+   not yet tried.  [advance] performs one "try" (or one backtrack pop),
+   the fuel-check granularity of [step]. *)
+type frame = {
+  input : int;
+  saved : interval;
+  below : int list;  (* used inputs still to fix beneath this frame *)
+  mutable pending : int list;
+}
+
+type enum = {
+  atoms : Path_cond.t;
+  env : interval array;
+  candidates : int list;
+  dom_lo : int;
+  mutable stack : frame list;
+  mutable steps : int;
+  mutable result : verdict option;
+}
+
+let verify_leaf st =
+  (* All used inputs fixed: verify concretely. *)
+  let model = Array.map (fun iv -> if iv.lo = iv.hi then iv.lo else st.dom_lo) st.env in
+  st.steps <- st.steps + 1;
+  if Path_cond.satisfied_by st.atoms model then st.result <- Some (Sat model)
+
+let push_frame st input below =
+  st.stack <- { input; saved = st.env.(input); below; pending = st.candidates } :: st.stack
+
+let start ~domain:(dom_lo, dom_hi) ~n_inputs atoms =
+  if dom_lo > dom_hi then invalid_arg "Interval.start: empty domain";
+  if n_inputs < 0 then invalid_arg "Interval.start: negative n_inputs";
   if not (Path_cond.well_formed atoms) then
-    invalid_arg "Interval.solve: path condition mentions program variables";
-  let steps = ref 0 in
-  let spend () =
-    if !steps > budget then raise Out_of_budget
-  in
+    invalid_arg "Interval.start: path condition mentions program variables";
   let env = Array.make n_inputs { lo = dom_lo; hi = dom_hi } in
   let used = Path_cond.inputs_used atoms in
   let used = List.filter (fun i -> i < n_inputs) used in
   let hinted = hints ~domain:(dom_lo, dom_hi) atoms in
-  let candidate_values =
+  let candidates =
     (* Hinted values first, then the rest of the domain ascending. *)
     let in_hints v = List.mem v hinted in
     hinted @ List.filter (fun v -> not (in_hints v)) (List.init (dom_hi - dom_lo + 1) (fun k -> dom_lo + k))
   in
-  let rec assign = function
+  let st = { atoms; env; candidates; dom_lo; stack = []; steps = 0; result = None } in
+  let steps = ref 0 in
+  (if not (narrow env atoms) then st.result <- Some Unsat
+   else
+     match check_env steps env atoms with
+     | `Refuted -> st.result <- Some Unsat
+     | `Possible -> (
+       match used with
+       | [] ->
+         verify_leaf st;
+         if st.result = None then st.result <- Some Unsat
+       | input :: below -> push_frame st input below));
+  st.steps <- st.steps + !steps;
+  st
+
+(* One enumeration move: try the next pending value of the top frame,
+   descending on success, or pop an exhausted frame. *)
+let advance st =
+  match st.stack with
+  | [] -> st.result <- Some Unsat
+  | frame :: rest -> (
+    match frame.pending with
     | [] ->
-      (* All used inputs fixed: verify concretely. *)
-      let model =
-        Array.map (fun iv -> if iv.lo = iv.hi then iv.lo else dom_lo) env
-      in
-      incr steps;
-      spend ();
-      if Path_cond.satisfied_by atoms model then raise (Found model)
-    | input :: rest ->
-      List.iter
-        (fun v ->
-          spend ();
-          let saved = env.(input) in
-          env.(input) <- point v;
-          (match check_env steps env atoms with
-          | `Possible -> assign rest
-          | `Refuted -> ());
-          env.(input) <- saved)
-        candidate_values
-  in
-  match
-    if not (narrow env atoms) then Unsat
-    else
-      match check_env steps env atoms with
-      | `Refuted -> Unsat
-      | `Possible ->
-        assign used;
-        Unsat
-  with
-  | verdict -> { verdict; steps = !steps }
-  | exception Found model -> { verdict = Sat model; steps = !steps }
-  | exception Out_of_budget -> { verdict = Timeout; steps = !steps }
+      st.env.(frame.input) <- frame.saved;
+      st.stack <- rest
+    | v :: pending -> (
+      frame.pending <- pending;
+      st.env.(frame.input) <- point v;
+      let steps = ref 0 in
+      let status = check_env steps st.env st.atoms in
+      st.steps <- st.steps + !steps;
+      match status with
+      | `Refuted -> ()
+      | `Possible -> (
+        match frame.below with
+        | [] -> verify_leaf st
+        | input :: below -> push_frame st input below)))
+
+let step st ~fuel =
+  match st.result with
+  | Some verdict -> `Done verdict
+  | None ->
+    let floor = st.steps in
+    let rec go () =
+      advance st;
+      match st.result with
+      | Some verdict -> `Done verdict
+      | None -> if st.steps - floor >= fuel then `More else go ()
+    in
+    go ()
+
+let enum_steps st = st.steps
+
+let solve ?(budget = 2_000_000) ~domain ~n_inputs atoms =
+  let st = start ~domain ~n_inputs atoms in
+  match step st ~fuel:budget with
+  | `Done verdict -> { verdict; steps = st.steps }
+  | `More -> { verdict = Timeout; steps = st.steps }
 
 let check_interval_only ~domain:(dom_lo, dom_hi) ~n_inputs atoms =
   if not (Path_cond.well_formed atoms) then `Unknown

@@ -18,6 +18,28 @@ type outcome = {
   steps : int;  (** Constraint evaluations performed. *)
 }
 
+type enum
+(** A paused enumeration: interval narrowing already applied, the
+    backtracking search over candidate values resumable in bounded
+    slices. *)
+
+val start : domain:int * int -> n_inputs:int -> Path_cond.t -> enum
+(** Narrow per-input bounds and set up the enumeration.  Narrowing can
+    already decide the query: the first {!step} then returns
+    immediately.
+    @raise Invalid_argument on an empty domain, negative [n_inputs],
+    or a path condition mentioning program variables. *)
+
+val step : enum -> fuel:int -> [ `Done of verdict | `More ]
+(** Advance by at least one candidate try and at most [fuel] steps
+    (checked between tries).  [`Done] verdicts are only ever
+    [Sat]/[Unsat] — budget enforcement is the caller's job — and are
+    sticky.  The trajectory is independent of how the work is sliced
+    across calls. *)
+
+val enum_steps : enum -> int
+(** Total steps spent so far, including {!start}'s initial check. *)
+
 val solve :
   ?budget:int ->
   domain:int * int ->
@@ -25,9 +47,10 @@ val solve :
   Path_cond.t ->
   outcome
 (** Decide whether some input vector in [domain]^n_inputs satisfies
-    the path condition (default budget 2_000_000 steps).  Complete
-    relative to the domain: [Unsat] means no model exists with every
-    input inside [domain].
+    the path condition (default budget 2_000_000 steps): {!start}
+    driven by one whole-budget {!step}, [`More] reported as [Timeout].
+    Complete relative to the domain: [Unsat] means no model exists
+    with every input inside [domain].
     @raise Invalid_argument on an empty domain, negative [n_inputs],
     or a path condition mentioning program variables. *)
 

@@ -83,6 +83,16 @@ let rec expr_moduli acc = function
 let moduli t =
   List.fold_left (fun acc a -> expr_moduli acc a.cond) [] t |> List.sort_uniq Int.compare
 
+let digest t =
+  let module Codec = Softborg_util.Codec in
+  let w = Codec.Writer.create () in
+  Codec.Writer.list w
+    (fun a ->
+      Codec.Writer.bool w a.expected;
+      Softborg_prog.Ir_codec.write_expr w a.cond)
+    t;
+  Digest.string (Codec.Writer.contents w)
+
 let pp fmt t =
   Format.pp_print_list
     ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " /\\ ")

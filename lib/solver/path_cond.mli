@@ -38,4 +38,10 @@ val moduli : t -> int list
 (** Constant right-hand sides of [Mod] operations (deduplicated);
     solver hints for residue-style rare predicates. *)
 
+val digest : t -> string
+(** 16-byte MD5 of the condition's canonical wire serialization
+    (atom order preserved — conjunctions are kept in accumulation
+    order, so equal paths digest equally).  Cache key material for
+    {!Verdict_cache}. *)
+
 val pp : Format.formatter -> t -> unit

@@ -8,12 +8,17 @@
     solving time for a 3× increase in resources — is reproduced by
     experiment E3 on top of this module.
 
-    Costs are in solver {e steps} (clause examinations), the shared
-    machine-independent unit: wall-clock of a parallel race is the
-    winner's steps; resources consumed are the sum over members of
-    the steps each had spent when the race ended. *)
+    The race is genuinely preemptive: members expose resumable
+    step-sliced searches, {!race} interleaves their slices round-robin
+    and stops every loser the moment one member decides, so
+    [resource_steps] is work actually performed — not the counterfactual
+    accounting of a simulated race ({!race_whole_budget} keeps the
+    run-everyone-to-budget behavior as the baseline E3 compares
+    against).  Costs are in solver {e steps} (clause examinations), the
+    shared machine-independent unit. *)
 
 module Rng := Softborg_util.Rng
+module Pool := Softborg_util.Pool
 
 type verdict =
   | V_sat
@@ -23,16 +28,32 @@ type verdict =
 type run = {
   solver : string;
   verdict : verdict;
-  steps : int;
+      (** [V_unknown] for members that were cancelled or exhausted
+          their budget. *)
+  steps : int;  (** Steps the member had executed when the race ended. *)
 }
+
+type member = {
+  step : fuel:int -> [ `Done of verdict | `More ];
+  steps : unit -> int;
+}
+(** One racing instance: a paused search plus its step counter.  States
+    must be independent — a race may run members on different domains. *)
 
 type solver = {
   name : string;
-  execute : Cnf.formula -> run;
+  budget : int;  (** Per-member step budget for one race. *)
+  start : Cnf.formula -> member;
 }
 
 val dpll_solver : ?heuristic:Dpll.heuristic -> budget:int -> string -> solver
+(** With [Random_branch], every {!solver.start} splits a fresh child
+    generator, so cancellation depth cannot leak into later races. *)
+
 val walksat_solver : budget:int -> seed:int -> string -> solver
+(** Each instance draws from its own {!Rng.split} stream — repeated
+    races are independent yet the whole sequence replays from
+    [seed]. *)
 
 val standard_three : budget:int -> seed:int -> solver list
 (** The paper's "three different SAT solvers": DPLL/max-occurrence,
@@ -42,15 +63,41 @@ val standard_three : budget:int -> seed:int -> solver list
 type race_result = {
   verdict : verdict;
   winner : string option;  (** First solver to decide, if any. *)
-  wall_steps : int;  (** Steps until the race ended. *)
-  resource_steps : int;  (** Total steps spent across all members. *)
-  runs : run list;
+  wall_steps : int;  (** The winner's steps (max over members if nobody decided). *)
+  resource_steps : int;  (** Total steps actually executed across all members. *)
+  runs : run list;  (** Per-member accounting, in portfolio order. *)
 }
 
-val race : solver list -> Cnf.formula -> race_result
-(** Simulated parallel race: all members run on the instance; the
-    winner is the decider with the fewest steps, and every member is
-    charged [min(own steps, wall_steps)].
+val default_slice : int
+(** Steps per slice of the round-robin schedule (4096). *)
+
+val race :
+  ?slice:int ->
+  ?pool:Pool.t ->
+  ?force_parallel:bool ->
+  solver list ->
+  Cnf.formula ->
+  race_result
+(** Preemptive race: members advance [slice] steps at a time in
+    round-robin order; the first [`Done] in schedule order wins and
+    every other member stops.  With a [pool] of size > 1, members run
+    on worker domains instead, cooperatively cancelled through a
+    {!Pool.Race_cell} checked at slice boundaries — the result
+    (verdict, winner, and all step accounting) is guaranteed identical
+    to the sequential schedule for any pool size; only wall-clock
+    changes.  On a single-core host ({!Domain.recommended_domain_count}
+    = 1) the pool is ignored and the sequential engine runs — physical
+    domains can only time-share the CPU there — unless [force_parallel]
+    (default [false]) insists on the physical path, which the
+    determinism tests use to exercise it everywhere.
+    @raise Invalid_argument on an empty portfolio or [slice <= 0]. *)
+
+val race_whole_budget : solver list -> Cnf.formula -> race_result
+(** The pre-preemption baseline: every member runs to its own verdict
+    or budget, the winner is the decider with the fewest steps, and
+    [resource_steps] is the sum of all members' full runs — the waste
+    {!race} eliminates.  Verdict-equivalent to {!race} for sound
+    members (property-tested against it and the brute-force oracle).
     @raise Invalid_argument on an empty portfolio. *)
 
 val speedup : single_steps:float -> portfolio_steps:float -> float

@@ -1,0 +1,47 @@
+(** Path-condition verdict cache.
+
+    Symbolic exploration re-derives the same path conditions over and
+    over — sibling directions share prefixes, guidance re-plans over
+    the same frontier, cooperating provers chase the same gaps.  Each
+    query's answer is a pure function of (query kind, domain, arity,
+    budget, condition), so it can be memoized across the whole hive
+    tick in one bounded LRU keyed by the condition's canonical digest
+    ({!Path_cond.digest}).
+
+    The cache is mutex-guarded and safe to share between pool worker
+    domains: because every cached value equals what recomputation
+    would produce, hit/miss nondeterminism under concurrency is
+    invisible in outputs.  Like {!Softborg_hive.Gap_memo}, it must be
+    cleared whenever the knowledge epoch bumps — verdicts mention the
+    subject program, which a patch changes. *)
+
+type entry =
+  | Check of [ `Feasible | `Infeasible | `Unknown ]
+      (** Result of a bound-propagation feasibility check. *)
+  | Solved of Interval.verdict
+      (** Result of a budget-bounded model search. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity {!default_capacity}. *)
+
+val default_capacity : int
+(** 4096 entries. *)
+
+val check_key : domain:int * int -> n_inputs:int -> Path_cond.t -> string
+(** Key for a {!Check} query (budget-independent). *)
+
+val solve_key : domain:int * int -> n_inputs:int -> budget:int -> Path_cond.t -> string
+(** Key for a {!Solved} query; the budget is part of the key because a
+    bigger budget can turn [Timeout] into a decision. *)
+
+val find : t -> string -> entry option
+val add : t -> string -> entry -> unit
+
+val clear : t -> unit
+(** Drop all entries (epoch bump); hit/miss counters persist. *)
+
+val length : t -> int
+val hits : t -> int
+val misses : t -> int

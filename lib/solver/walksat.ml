@@ -12,7 +12,9 @@ type outcome = {
 (* Incremental WalkSAT: per-clause true-literal counts maintained via
    occurrence lists, O(1) unsatisfied-clause sampling, and break counts
    computed from the counts — each clause touch costs one step, the
-   same unit as DPLL's clause examinations. *)
+   same unit as DPLL's clause examinations.  The mutable state doubles
+   as the resumable-search state: one flip iteration is the
+   fuel-check granularity of [step]. *)
 
 type state = {
   clauses : int array array;
@@ -23,6 +25,12 @@ type state = {
   mutable unsat_size : int;
   position : int array;  (* clause -> index in [unsat], or -1 *)
   mutable steps : int;
+  n : int;
+  rng : Rng.t;
+  noise : float;
+  restart_period : int;
+  mutable flips : int;
+  mutable result : Cnf.assignment option;
 }
 
 let lit_true st lit = if lit > 0 then st.assignment.(lit) else not st.assignment.(-lit)
@@ -55,10 +63,20 @@ let recount st =
       if trues = 0 then unsat_add st c)
     st.clauses
 
+(* The flip loop and break counts run on racing domains; like
+   [Dpll.ivalue] they must not allocate — a closure per call here
+   turns into stop-the-world minor collections that stall every
+   portfolio member, so both walk their occurrence lists with plain
+   while loops. *)
 let flip st v =
   st.assignment.(v) <- not st.assignment.(v);
-  List.iter
-    (fun (c, lit) ->
+  let rest = ref st.occurrences.(v) in
+  let continue_ = ref true in
+  while !continue_ do
+    match !rest with
+    | [] -> continue_ := false
+    | (c, lit) :: tl ->
+      rest := tl;
       st.steps <- st.steps + 1;
       if lit_true st lit then begin
         st.n_true.(c) <- st.n_true.(c) + 1;
@@ -67,80 +85,109 @@ let flip st v =
       else begin
         st.n_true.(c) <- st.n_true.(c) - 1;
         if st.n_true.(c) = 0 then unsat_add st c
-      end)
-    st.occurrences.(v)
+      end
+  done
 
 (* Clauses this variable would break: those where its literal is the
    only true one. *)
 let break_count st v =
-  List.fold_left
-    (fun acc (c, lit) ->
+  let acc = ref 0 in
+  let rest = ref st.occurrences.(v) in
+  let continue_ = ref true in
+  while !continue_ do
+    match !rest with
+    | [] -> continue_ := false
+    | (c, lit) :: tl ->
+      rest := tl;
       st.steps <- st.steps + 1;
-      if lit_true st lit && st.n_true.(c) = 1 then acc + 1 else acc)
-    0 st.occurrences.(v)
+      if lit_true st lit && st.n_true.(c) = 1 then incr acc
+  done;
+  !acc
 
-let solve ?(noise = 0.5) ?(budget = 10_000_000) ~rng formula =
+let randomize st =
+  for v = 1 to st.n do
+    st.assignment.(v) <- Rng.bool st.rng
+  done;
+  recount st
+
+let start ?(noise = 0.5) ~rng formula =
   let clauses = Array.of_list (List.map Array.of_list formula.Cnf.clauses) in
   let n = formula.Cnf.n_vars in
   let m = Array.length clauses in
-  if m = 0 then { verdict = Sat (Array.make (n + 1) false); steps = 0 }
-  else begin
-    let occurrences = Array.make (n + 1) [] in
-    Array.iteri
-      (fun c clause ->
-        Array.iter
-          (fun lit ->
-            let v = abs lit in
-            occurrences.(v) <- (c, lit) :: occurrences.(v))
-          clause)
+  let occurrences = Array.make (n + 1) [] in
+  Array.iteri
+    (fun c clause ->
+      Array.iter
+        (fun lit ->
+          let v = abs lit in
+          occurrences.(v) <- (c, lit) :: occurrences.(v))
+        clause)
+    clauses;
+  let st =
+    {
       clauses;
-    let st =
-      {
-        clauses;
-        occurrences;
-        assignment = Array.make (n + 1) false;
-        n_true = Array.make m 0;
-        unsat = Array.make m 0;
-        unsat_size = 0;
-        position = Array.make m (-1);
-        steps = 0;
-      }
-    in
-    let randomize () =
-      for v = 1 to n do
-        st.assignment.(v) <- Rng.bool rng
-      done;
-      recount st
-    in
-    randomize ();
-    let restart_period = max 10_000 (100 * n) in
-    let rec loop flips =
-      if st.unsat_size = 0 then { verdict = Sat (Array.copy st.assignment); steps = st.steps }
-      else if st.steps > budget then { verdict = Timeout; steps = st.steps }
+      occurrences;
+      assignment = Array.make (n + 1) false;
+      n_true = Array.make m 0;
+      unsat = Array.make m 0;
+      unsat_size = 0;
+      position = Array.make m (-1);
+      steps = 0;
+      n;
+      rng;
+      noise;
+      restart_period = max 10_000 (100 * n);
+      flips = 0;
+      result = None;
+    }
+  in
+  if m > 0 then randomize st;
+  st
+
+let steps st = st.steps
+
+let step st ~fuel =
+  match st.result with
+  | Some assignment -> `Done (Sat assignment)
+  | None ->
+    let floor = st.steps in
+    let rec loop () =
+      if st.unsat_size = 0 then begin
+        let assignment = Array.copy st.assignment in
+        st.result <- Some assignment;
+        `Done (Sat assignment)
+      end
+      else if st.steps - floor >= fuel then `More
       else begin
-        if flips > 0 && flips mod restart_period = 0 then randomize ();
+        if st.flips > 0 && st.flips mod st.restart_period = 0 then randomize st;
         if st.unsat_size > 0 then begin
-          let clause = st.clauses.(st.unsat.(Rng.int rng st.unsat_size)) in
+          let clause = st.clauses.(st.unsat.(Rng.int st.rng st.unsat_size)) in
           let v =
-            if Rng.bernoulli rng noise then abs clause.(Rng.int rng (Array.length clause))
+            if Rng.bernoulli st.rng st.noise then abs clause.(Rng.int st.rng (Array.length clause))
             else begin
               (* Greedy: flip the variable breaking the fewest clauses. *)
               let best = ref (abs clause.(0)) and best_break = ref max_int in
-              Array.iter
-                (fun lit ->
-                  let b = break_count st (abs lit) in
-                  if b < !best_break then begin
-                    best := abs lit;
-                    best_break := b
-                  end)
-                clause;
+              for k = 0 to Array.length clause - 1 do
+                let lit = clause.(k) in
+                let b = break_count st (abs lit) in
+                if b < !best_break then begin
+                  best := abs lit;
+                  best_break := b
+                end
+              done;
               !best
             end
           in
           flip st v
         end;
-        loop (flips + 1)
+        st.flips <- st.flips + 1;
+        loop ()
       end
     in
-    loop 0
-  end
+    loop ()
+
+let solve ?noise ?(budget = 10_000_000) ~rng formula =
+  let st = start ?noise ~rng formula in
+  match step st ~fuel:budget with
+  | `Done verdict -> { verdict; steps = st.steps }
+  | `More -> { verdict = Timeout; steps = st.steps }

@@ -5,7 +5,11 @@
     it typically finds a model orders of magnitude faster than
     systematic search — exactly the performance diversity portfolio
     theory wants ("each solver is fast on some path constraints but
-    slow on others"). *)
+    slow on others").
+
+    Like {!Dpll}, the search is resumable: {!start} then repeated
+    bounded {!step}s, so a portfolio race can interleave it with other
+    members and cancel it the moment someone else decides. *)
 
 module Rng := Softborg_util.Rng
 
@@ -18,8 +22,27 @@ type outcome = {
   steps : int;  (** Clause examinations performed. *)
 }
 
+type state
+(** A paused search; owns its [rng], so never share one state between
+    concurrent callers. *)
+
+val start : ?noise:float -> rng:Rng.t -> Cnf.formula -> state
+(** A fresh search with random-walk probability [noise] (default 0.5),
+    started from a random assignment.  An empty formula is already
+    satisfied: the first {!step} returns [Sat] at zero steps. *)
+
+val step : state -> fuel:int -> [ `Done of verdict | `More ]
+(** Advance by at least one flip and at most [fuel] steps (checked
+    between flips).  [`Done] is always [Sat] — WalkSAT never refutes —
+    and is sticky.  Restarts from a fresh random assignment
+    periodically, as before.  The trajectory is independent of how the
+    work is sliced across calls. *)
+
+val steps : state -> int
+(** Total steps spent so far. *)
+
 val solve :
   ?noise:float -> ?budget:int -> rng:Rng.t -> Cnf.formula -> outcome
-(** Local search with random-walk probability [noise] (default 0.5)
-    until a model is found or [budget] steps (default 10_000_000) are
-    spent.  Restarts from a fresh random assignment periodically. *)
+(** Local search until a model is found or [budget] steps (default
+    10_000_000) are spent: [start] driven by one whole-budget
+    {!step}. *)

@@ -2,6 +2,8 @@ module Ir = Softborg_prog.Ir
 module Outcome = Softborg_exec.Outcome
 module Path_cond = Softborg_solver.Path_cond
 module Interval = Softborg_solver.Interval
+module Pc_solve = Softborg_solver.Pc_solve
+module Verdict_cache = Softborg_solver.Verdict_cache
 module V = Sym_state
 module Smap = Map.Make (String)
 
@@ -94,6 +96,7 @@ type explorer = {
   mutable truncated : bool;
   target : (Ir.site * bool) option;
   mutable found : (int array * sym_origin array) option;
+  cache : Verdict_cache.t option;
 }
 
 let fresh_symbol m origin =
@@ -171,7 +174,7 @@ let rec eval ex m thread = function
 (* Interval-based feasibility filter for a (reversed) atom list. *)
 let feasible ex m =
   match
-    Interval.check_interval_only ~domain:ex.config.domain ~n_inputs:m.next_sym
+    Pc_solve.check ?cache:ex.cache ~domain:ex.config.domain ~n_inputs:m.next_sym
       (List.rev m.cond)
   with
   | `Infeasible -> false
@@ -184,7 +187,7 @@ let solve_path ex m =
   if not ex.config.solve_models then (None, `Unsolved)
   else begin
     let outcome =
-      Interval.solve ~budget:ex.config.solver_budget ~domain:ex.config.domain
+      Pc_solve.solve ?cache:ex.cache ~budget:ex.config.solver_budget ~domain:ex.config.domain
         ~n_inputs:m.next_sym (List.rev m.cond)
     in
     ex.solver_steps <- ex.solver_steps + outcome.Interval.steps;
@@ -222,7 +225,7 @@ let check_target ex m =
       (* Solve the prefix condition now; a model drives a concrete
          execution to this very decision. *)
       let outcome =
-        Interval.solve ~budget:ex.config.solver_budget ~domain:ex.config.domain
+        Pc_solve.solve ?cache:ex.cache ~budget:ex.config.solver_budget ~domain:ex.config.domain
           ~n_inputs:m.next_sym (List.rev m.cond)
       in
       ex.solver_steps <- ex.solver_steps + outcome.Interval.steps;
@@ -396,7 +399,7 @@ let run_machine ex m =
   in
   match loop () with () -> () | exception Exit -> ()
 
-let explore_gen ?(config = default_config) ?target program level =
+let explore_gen ?(config = default_config) ?cache ?target program level =
   let ex =
     {
       program;
@@ -411,6 +414,7 @@ let explore_gen ?(config = default_config) ?target program level =
       truncated = false;
       target;
       found = None;
+      cache;
     }
   in
   ex.stack <- [ initial_machine ex ];
@@ -429,8 +433,8 @@ let explore_gen ?(config = default_config) ?target program level =
   drain ();
   ex
 
-let explore ?config program level =
-  let ex = explore_gen ?config program level in
+let explore ?config ?cache program level =
+  let ex = explore_gen ?config ?cache program level in
   {
     paths = List.rev ex.emitted;
     pruned_infeasible = ex.pruned;
@@ -444,8 +448,8 @@ type direction_verdict =
   | Infeasible
   | Unknown
 
-let direction_feasible ?config program ~site ~direction =
-  let ex = explore_gen ?config ?target:(Some (site, direction)) program Consistency.Strict in
+let direction_feasible ?config ?cache program ~site ~direction =
+  let ex = explore_gen ?config ?cache ?target:(Some (site, direction)) program Consistency.Strict in
   match ex.found with
   | Some (model, origins) -> Feasible { model; origins }
   | None ->

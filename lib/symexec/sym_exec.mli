@@ -12,6 +12,7 @@
 module Ir := Softborg_prog.Ir
 module Outcome := Softborg_exec.Outcome
 module Path_cond := Softborg_solver.Path_cond
+module Verdict_cache := Softborg_solver.Verdict_cache
 
 (** Where each symbol of a path came from — needed to turn a model
     back into an executable test (inputs vs. syscall faults). *)
@@ -53,12 +54,14 @@ type report = {
   solver_steps : int;  (** Constraint-solver steps across all solves. *)
 }
 
-val explore : ?config:config -> Ir.t -> Consistency.level -> report
+val explore : ?config:config -> ?cache:Verdict_cache.t -> Ir.t -> Consistency.level -> report
 (** Enumerate paths under the given consistency level, scheduling
     threads round-robin.  With [solve_models], each surviving path is
     solved: [`Unsat] paths are over-approximation artifacts (possible
     under [Local] consistency or after conservative pruning), [`Sat]
-    paths carry a model. *)
+    paths carry a model.  With [cache], feasibility checks and
+    end-of-path solves are memoized across calls; cache hits cost zero
+    [solver_steps]. *)
 
 type direction_verdict =
   | Feasible of { model : int array; origins : sym_origin array }
@@ -68,6 +71,11 @@ type direction_verdict =
   | Unknown
 
 val direction_feasible :
-  ?config:config -> Ir.t -> site:Ir.site -> direction:bool -> direction_verdict
+  ?config:config ->
+  ?cache:Verdict_cache.t ->
+  Ir.t ->
+  site:Ir.site ->
+  direction:bool ->
+  direction_verdict
 (** Directed query: can some execution take branch [site] in
     [direction]?  Returns with the first SAT model found. *)

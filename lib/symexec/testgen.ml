@@ -25,8 +25,8 @@ let of_model ~n_inputs ~model ~origins =
   in
   { inputs; fault_plan }
 
-let for_direction ?config program ~site ~direction =
-  match Sym_exec.direction_feasible ?config program ~site ~direction with
+let for_direction ?config ?cache program ~site ~direction =
+  match Sym_exec.direction_feasible ?config ?cache program ~site ~direction with
   | Sym_exec.Feasible { model; origins } ->
     `Test (of_model ~n_inputs:program.Ir.n_inputs ~model ~origins)
   | Sym_exec.Infeasible -> `Infeasible

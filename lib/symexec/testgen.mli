@@ -22,7 +22,11 @@ val of_model :
 (** Project a symbol model onto the executable test surface. *)
 
 val for_direction :
-  ?config:Sym_exec.config -> Ir.t -> site:Ir.site -> direction:bool ->
+  ?config:Sym_exec.config ->
+  ?cache:Softborg_solver.Verdict_cache.t ->
+  Ir.t ->
+  site:Ir.site ->
+  direction:bool ->
   [ `Test of test_case | `Infeasible | `Unknown ]
 (** End-to-end: find inputs (and faults) that drive an execution to
     take branch [site] in [direction], or certify that none exist in

@@ -1,6 +1,14 @@
 exception Truncated
 exception Malformed of string
 
+(* The one definition of "how many bytes does this varint take";
+   accounting code (trace-store byte counters) must agree with the
+   writer below byte-for-byte. *)
+let varint_len v =
+  if v < 0 then invalid_arg "Codec.varint_len: negative";
+  let rec loop v acc = if v < 0x80 then acc else loop (v lsr 7) (acc + 1) in
+  loop v 1
+
 module Writer = struct
   type t = Buffer.t
 

@@ -14,6 +14,12 @@ exception Malformed of string
 (** Raised by readers on structurally invalid input (e.g. an
     over-long varint). *)
 
+val varint_len : int -> int
+(** Encoded size in bytes of [Writer.varint]'s output for the same
+    value — the single definition shared by size accounting (e.g. the
+    trace store's byte counters).
+    @raise Invalid_argument on negative input. *)
+
 module Writer : sig
   type t
 

@@ -126,6 +126,28 @@ let test_platform_deterministic () =
   let b = run () in
   checkb "same seed, same outcome" true (a = b)
 
+let test_platform_pool_size_invariant () =
+  (* The hive's speculative gap-solver pool must not leak into any
+     observable output: the full formatted report of a fault-free
+     simulation is byte-identical for every pool size. *)
+  let render pool_size =
+    let config = quick_config Corpus.parser in
+    let config =
+      {
+        config with
+        Platform.hive_config = { config.Platform.hive_config with Hive.pool_size };
+      }
+    in
+    Format.asprintf "%a" Platform.pp_report (Platform.run config)
+  in
+  let baseline = render 1 in
+  checkb "report not empty" true (String.length baseline > 0);
+  List.iter
+    (fun size ->
+      Alcotest.(check string) (Printf.sprintf "pool_size %d byte-identical" size) baseline
+        (render size))
+    [ 2; 4 ]
+
 let test_platform_wer_mode_builds_no_tree () =
   let report = Platform.run (quick_config ~mode:Hive.Wer Corpus.fig2_write) in
   match report.Platform.knowledge with
@@ -326,6 +348,7 @@ let () =
         [
           Alcotest.test_case "full mode" `Quick test_platform_full_mode_runs;
           Alcotest.test_case "deterministic" `Quick test_platform_deterministic;
+          Alcotest.test_case "pool size invariance" `Quick test_platform_pool_size_invariant;
           Alcotest.test_case "wer mode" `Quick test_platform_wer_mode_builds_no_tree;
           Alcotest.test_case "cbi mode" `Quick test_platform_cbi_mode_feeds_isolator;
           Alcotest.test_case "lossy network" `Quick test_platform_lossy_network_loses_nothing;

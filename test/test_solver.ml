@@ -287,13 +287,34 @@ let prop_interval_unsat_means_no_model =
 
 (* ---- Portfolio ---------------------------------------------------------- *)
 
-let test_race_picks_fastest_decider () =
-  let fake name steps verdict =
-    { Portfolio.name; execute = (fun _ -> { Portfolio.solver = name; verdict; steps }) }
-  in
+(* A deterministic fake member: performs steps until [total], then (if
+   [verdict] is a decision) reports it.  V_unknown fakes never decide
+   and just burn budget. *)
+let fake ?(budget = 1_000_000) name total verdict =
+  {
+    Portfolio.name;
+    budget;
+    start =
+      (fun _ ->
+        let steps = ref 0 in
+        {
+          Portfolio.step =
+            (fun ~fuel ->
+              let decides = verdict <> Portfolio.V_unknown in
+              if decides && !steps >= total then `Done verdict
+              else begin
+                let burn = if decides then min fuel (total - !steps) else fuel in
+                steps := !steps + max 1 burn;
+                if decides && !steps >= total then `Done verdict else `More
+              end);
+          Portfolio.steps = (fun () -> !steps);
+        });
+  }
+
+let test_race_preempts_losers () =
   let f = Cnf.make ~n_vars:1 [ [ 1 ] ] in
   let result =
-    Portfolio.race
+    Portfolio.race ~slice:16
       [
         fake "slow" 1000 Portfolio.V_sat;
         fake "fast" 10 Portfolio.V_sat;
@@ -301,20 +322,36 @@ let test_race_picks_fastest_decider () =
       ]
       f
   in
+  (* Round 1: slow burns one 16-step slice, fast decides at 10 — so
+     fast wins and lost is never started on a slice. *)
   Alcotest.(check (option string)) "winner" (Some "fast") result.Portfolio.winner;
   checki "wall steps" 10 result.Portfolio.wall_steps;
-  (* Resources: each member charged min(own, wall) = 10+10+10. *)
-  checki "resource steps" 30 result.Portfolio.resource_steps
+  checki "resource steps" 26 result.Portfolio.resource_steps;
+  checkb "verdict" true (result.Portfolio.verdict = Portfolio.V_sat)
+
+let test_race_round_tie_break () =
+  (* Two members decide within the same round: the one earlier in
+     portfolio order wins, even with a worse step count — that is the
+     deterministic schedule order the parallel mode reproduces. *)
+  let f = Cnf.make ~n_vars:1 [ [ 1 ] ] in
+  let result =
+    Portfolio.race ~slice:16 [ fake "a" 10 Portfolio.V_sat; fake "b" 5 Portfolio.V_sat ] f
+  in
+  Alcotest.(check (option string)) "winner" (Some "a") result.Portfolio.winner;
+  checki "wall steps" 10 result.Portfolio.wall_steps;
+  (* b never runs: a decides before b's first slice. *)
+  checki "resource steps" 10 result.Portfolio.resource_steps
 
 let test_race_all_unknown () =
-  let fake name steps =
-    {
-      Portfolio.name;
-      execute = (fun _ -> { Portfolio.solver = name; verdict = Portfolio.V_unknown; steps });
-    }
-  in
   let f = Cnf.make ~n_vars:1 [ [ 1 ] ] in
-  let result = Portfolio.race [ fake "a" 100; fake "b" 50 ] f in
+  let result =
+    Portfolio.race ~slice:16
+      [
+        fake ~budget:100 "a" 0 Portfolio.V_unknown;
+        fake ~budget:50 "b" 0 Portfolio.V_unknown;
+      ]
+      f
+  in
   checkb "no winner" true (result.Portfolio.winner = None);
   checki "wall is max" 100 result.Portfolio.wall_steps;
   checki "resources are sum" 150 result.Portfolio.resource_steps
@@ -333,15 +370,12 @@ let test_standard_three_correct () =
     | Portfolio.V_unsat, Brute.Sat _ -> Alcotest.fail "portfolio claimed UNSAT on SAT"
   done
 
-let test_portfolio_never_slower_than_winner () =
-  (* The race's own member runs define the single-solver costs (the
-     stochastic members are stateful, so re-executing them would give
-     different step counts). *)
+let test_whole_budget_wall_equals_best () =
   let rng = Rng.create 123 in
   for _ = 1 to 10 do
     let f = random_formula rng ~n_vars:12 ~n_clauses:40 ~clause_len:3 in
     let members = Portfolio.standard_three ~budget:2_000_000 ~seed:5 in
-    let result = Portfolio.race members f in
+    let result = Portfolio.race_whole_budget members f in
     let deciders =
       List.filter
         (fun (r : Portfolio.run) -> r.Portfolio.verdict <> Portfolio.V_unknown)
@@ -356,12 +390,239 @@ let test_portfolio_never_slower_than_winner () =
       checki "wall = best single" best result.Portfolio.wall_steps
   done
 
+let test_race_preemption_saves_resources () =
+  (* The tentpole's point: on instances where profiles diverge, the
+     preemptive race must execute strictly fewer steps than running
+     everyone to the end. *)
+  let rng = Rng.create 321 in
+  let saved = ref 0 in
+  for _ = 1 to 10 do
+    let f = random_formula rng ~n_vars:10 ~n_clauses:25 ~clause_len:3 in
+    let members seed = Portfolio.standard_three ~budget:2_000_000 ~seed in
+    let sliced = Portfolio.race (members 5) f in
+    let whole = Portfolio.race_whole_budget (members 5) f in
+    checkb "verdicts agree" true (sliced.Portfolio.verdict = whole.Portfolio.verdict);
+    checkb "sliced never does more" true
+      (sliced.Portfolio.resource_steps <= whole.Portfolio.resource_steps);
+    if sliced.Portfolio.resource_steps < whole.Portfolio.resource_steps then incr saved
+  done;
+  checkb "preemption saved work at least once" true (!saved > 0)
+
 let test_speedup_guard () =
   checkb "nan on zero" true (Float.is_nan (Portfolio.speedup ~single_steps:10.0 ~portfolio_steps:0.0));
   Alcotest.(check (float 1e-9)) "ratio" 2.0 (Portfolio.speedup ~single_steps:10.0 ~portfolio_steps:5.0)
 
+(* Satellite: sliced sequential, whole-budget, and the brute-force
+   oracle must agree on verdicts, for any slice size. *)
+let prop_race_verdicts_agree =
+  QCheck.Test.make ~name:"race ~ whole-budget ~ brute verdicts" ~count:60 QCheck.small_nat
+    (fun seed ->
+      let rng = Rng.create (seed + 31) in
+      let n_vars = 3 + Rng.int rng 7 in
+      let n_clauses = 2 + Rng.int rng 22 in
+      let f = random_formula rng ~n_vars ~n_clauses ~clause_len:3 in
+      let members () = Portfolio.standard_three ~budget:2_000_000 ~seed:(seed + 1) in
+      let brute = Brute.solve f in
+      let sliced = Portfolio.race ~slice:(1 + Rng.int rng 500) (members ()) f in
+      let whole = Portfolio.race_whole_budget (members ()) f in
+      let agrees = function
+        | Portfolio.V_sat -> (match brute with Brute.Sat _ -> true | Brute.Unsat -> false)
+        | Portfolio.V_unsat -> brute = Brute.Unsat
+        | Portfolio.V_unknown -> true
+      in
+      agrees sliced.Portfolio.verdict && agrees whole.Portfolio.verdict
+      && sliced.Portfolio.verdict = whole.Portfolio.verdict)
+
+(* Satellite: the parallel race must be byte-identical to the
+   sequential one — verdict, winner, and every step count — for any
+   pool size. *)
+let prop_race_parallel_matches_sequential pool =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "parallel race (pool=%d) = sequential" (Softborg_util.Pool.size pool))
+    ~count:40 QCheck.small_nat
+    (fun seed ->
+      let rng = Rng.create (seed + 41) in
+      let n_vars = 3 + Rng.int rng 7 in
+      let f = random_formula rng ~n_vars ~n_clauses:(2 + Rng.int rng 20) ~clause_len:3 in
+      let slice = 1 + Rng.int rng 300 in
+      let members () = Portfolio.standard_three ~budget:500_000 ~seed:(seed + 2) in
+      let sequential = Portfolio.race ~slice (members ()) f in
+      (* [force_parallel] so the physical domain-racing path is
+         exercised even on single-core CI hosts, where [race] would
+         otherwise degrade to the sequential engine. *)
+      let parallel = Portfolio.race ~slice ~pool ~force_parallel:true (members ()) f in
+      sequential = parallel)
+
+(* ---- Step slicing ------------------------------------------------------- *)
+
+(* Drive a resumable machine with randomly-sized slices; trajectory
+   and verdict must match the whole-budget run exactly. *)
+let run_sliced rng step =
+  let rec go () =
+    match step ~fuel:(1 + Rng.int rng 64) with `Done v -> v | `More -> go ()
+  in
+  go ()
+
+let prop_dpll_slicing_invariant =
+  QCheck.Test.make ~name:"dpll slicing does not change the trajectory" ~count:80
+    QCheck.small_nat (fun seed ->
+      let rng = Rng.create (seed + 51) in
+      let f = random_formula rng ~n_vars:(3 + Rng.int rng 6) ~n_clauses:(2 + Rng.int rng 18) ~clause_len:3 in
+      let whole = Dpll.start f in
+      let sliced = Dpll.start f in
+      let wv = match Dpll.step whole ~fuel:max_int with `Done v -> v | `More -> assert false in
+      let sv = run_sliced rng (Dpll.step sliced) in
+      let same_verdict =
+        match (wv, sv) with
+        | Dpll.Sat a, Dpll.Sat b -> a = b
+        | Dpll.Unsat, Dpll.Unsat -> true
+        | _ -> false
+      in
+      same_verdict && Dpll.steps whole = Dpll.steps sliced)
+
+let prop_walksat_slicing_invariant =
+  QCheck.Test.make ~name:"walksat slicing does not change the trajectory" ~count:60
+    QCheck.small_nat (fun seed ->
+      let rng = Rng.create (seed + 61) in
+      let f = random_formula rng ~n_vars:(3 + Rng.int rng 6) ~n_clauses:(2 + Rng.int rng 12) ~clause_len:3 in
+      let whole = Walksat.start ~rng:(Rng.create seed) f in
+      let sliced = Walksat.start ~rng:(Rng.create seed) f in
+      let budget = 50_000 in
+      let wv = Walksat.step whole ~fuel:budget in
+      (* [fuel] is relative to the call ([start]'s recount already
+         burned steps), so the sliced runner must budget consumed
+         fuel, not absolute step counts. *)
+      let start_steps = Walksat.steps sliced in
+      let rec go () =
+        let consumed = Walksat.steps sliced - start_steps in
+        if consumed >= budget then `More
+        else
+          match Walksat.step sliced ~fuel:(min (1 + Rng.int rng 64) (budget - consumed)) with
+          | `Done v -> `Done v
+          | `More -> go ()
+      in
+      let sv = go () in
+      match (wv, sv) with
+      | `Done (Walksat.Sat a), `Done (Walksat.Sat b) ->
+        a = b && Walksat.steps whole = Walksat.steps sliced
+      | `More, `More -> Walksat.steps whole = Walksat.steps sliced
+      | _ -> false)
+
+let prop_interval_slicing_invariant =
+  QCheck.Test.make ~name:"interval slicing does not change the trajectory" ~count:80
+    QCheck.small_nat (fun seed ->
+      let rng = Rng.create (seed + 71) in
+      let n = 1 + Rng.int rng 2 in
+      let atoms =
+        List.init
+          (1 + Rng.int rng 3)
+          (fun _ ->
+            let slot = Rng.int rng n in
+            match Rng.int rng 3 with
+            | 0 -> atom_lt slot (Rng.int_in rng (-10) 40)
+            | 1 -> atom_mod_eq slot (2 + Rng.int rng 8) (Rng.int rng 5) (Rng.bool rng)
+            | _ ->
+              Path_cond.atom
+                (Ir.Binop (Ir.Ge, Ir.Input slot, Ir.Const (Rng.int_in rng (-20) 20)))
+                true)
+      in
+      let domain = (-20, 40) in
+      let whole = Interval.start ~domain ~n_inputs:n atoms in
+      let sliced = Interval.start ~domain ~n_inputs:n atoms in
+      let wv = match Interval.step whole ~fuel:max_int with `Done v -> v | `More -> assert false in
+      let sv = run_sliced rng (Interval.step sliced) in
+      wv = sv && Interval.enum_steps whole = Interval.enum_steps sliced)
+
+(* ---- Pc_solve and the verdict cache ------------------------------------- *)
+
+module Pc_solve = Softborg_solver.Pc_solve
+module Verdict_cache = Softborg_solver.Verdict_cache
+
+let prop_pc_solve_agrees_with_interval =
+  QCheck.Test.make ~name:"pc_solve race agrees with pure enumeration" ~count:80
+    QCheck.small_nat (fun seed ->
+      let rng = Rng.create (seed + 81) in
+      let n = 1 + Rng.int rng 2 in
+      let atoms =
+        List.init
+          (1 + Rng.int rng 3)
+          (fun _ ->
+            let slot = Rng.int rng n in
+            match Rng.int rng 3 with
+            | 0 -> atom_lt slot (Rng.int_in rng (-10) 40)
+            | 1 -> atom_mod_eq slot (2 + Rng.int rng 8) (Rng.int rng 5) (Rng.bool rng)
+            | _ ->
+              Path_cond.atom
+                (Ir.Binop (Ir.Ge, Ir.Input slot, Ir.Const (Rng.int_in rng (-20) 20)))
+                true)
+      in
+      let domain = (-20, 40) in
+      let pure = Interval.solve ~domain ~n_inputs:n atoms in
+      let raced = Pc_solve.solve ~domain ~n_inputs:n atoms in
+      match (pure.Interval.verdict, raced.Interval.verdict) with
+      | Interval.Sat _, Interval.Sat model -> Path_cond.satisfied_by atoms model
+      | Interval.Unsat, Interval.Unsat -> true
+      | Interval.Timeout, _ | _, Interval.Timeout -> true
+      | _ -> false)
+
+let test_pc_solve_probe_wins_loose_condition () =
+  (* A condition satisfied by almost every vector: the probe should
+     decide far before the enumeration finishes its first pass, and
+     the model must still check out. *)
+  let atoms = [ Path_cond.atom (Ir.Binop (Ir.Ge, Ir.Input 0, Ir.Const (-64))) true ] in
+  let outcome = Pc_solve.solve ~domain:(-64, 255) ~n_inputs:3 atoms in
+  match outcome.Interval.verdict with
+  | Interval.Sat model -> checkb "model valid" true (Path_cond.satisfied_by atoms model)
+  | _ -> Alcotest.fail "trivially satisfiable condition"
+
+let test_verdict_cache_hits () =
+  let cache = Verdict_cache.create () in
+  let atoms = [ atom_mod_eq 0 64 13 true ] in
+  let domain = (-64, 255) in
+  let first = Pc_solve.solve ~cache ~domain ~n_inputs:1 atoms in
+  let second = Pc_solve.solve ~cache ~domain ~n_inputs:1 atoms in
+  checkb "same verdict" true (first.Interval.verdict = second.Interval.verdict);
+  checki "hit costs nothing" 0 second.Interval.steps;
+  checkb "first did real work" true (first.Interval.steps > 0);
+  checki "one hit" 1 (Verdict_cache.hits cache);
+  (* A different budget is a different query: no false hit. *)
+  let third = Pc_solve.solve ~cache ~budget:123_456 ~domain ~n_inputs:1 atoms in
+  checkb "different budget recomputes" true (third.Interval.steps > 0);
+  Verdict_cache.clear cache;
+  let fourth = Pc_solve.solve ~cache ~domain ~n_inputs:1 atoms in
+  checkb "cleared cache recomputes" true (fourth.Interval.steps > 0)
+
+let test_verdict_cache_check_kind_separate () =
+  let cache = Verdict_cache.create () in
+  let atoms = [ atom_lt 0 10 ] in
+  let domain = (-64, 255) in
+  let status = Pc_solve.check ~cache ~domain ~n_inputs:1 atoms in
+  checkb "feasible" true (status = `Feasible);
+  let again = Pc_solve.check ~cache ~domain ~n_inputs:1 atoms in
+  checkb "stable" true (again = `Feasible);
+  checki "check hit recorded" 1 (Verdict_cache.hits cache);
+  (* The solve query for the same condition must not collide with the
+     check entry. *)
+  let solved = Pc_solve.solve ~cache ~domain ~n_inputs:1 atoms in
+  checkb "solve still decides" true (solved.Interval.verdict <> Interval.Timeout)
+
+let test_path_cond_digest () =
+  let a = [ atom_lt 0 10; atom_mod_eq 1 4 2 true ] in
+  let b = [ atom_lt 0 10; atom_mod_eq 1 4 2 true ] in
+  let c = [ atom_lt 0 10; atom_mod_eq 1 4 2 false ] in
+  checkb "equal conditions digest equally" true (Path_cond.digest a = Path_cond.digest b);
+  checkb "expected flag matters" false (Path_cond.digest a = Path_cond.digest c);
+  checkb "order matters" false
+    (Path_cond.digest a = Path_cond.digest (List.rev a))
+
 let () =
   let q = QCheck_alcotest.to_alcotest in
+  let pool1 = Softborg_util.Pool.create ~size:1 in
+  let pool2 = Softborg_util.Pool.create ~size:2 in
+  let pool4 = Softborg_util.Pool.create ~size:4 in
+  Fun.protect
+    ~finally:(fun () -> List.iter Softborg_util.Pool.shutdown [ pool1; pool2; pool4 ])
+  @@ fun () ->
   Alcotest.run "softborg_solver"
     [
       ( "cnf",
@@ -407,10 +668,34 @@ let () =
         ] );
       ( "portfolio",
         [
-          Alcotest.test_case "picks fastest" `Quick test_race_picks_fastest_decider;
+          Alcotest.test_case "preempts losers" `Quick test_race_preempts_losers;
+          Alcotest.test_case "round tie-break" `Quick test_race_round_tie_break;
           Alcotest.test_case "all unknown" `Quick test_race_all_unknown;
           Alcotest.test_case "standard three correct" `Quick test_standard_three_correct;
-          Alcotest.test_case "wall equals best" `Quick test_portfolio_never_slower_than_winner;
+          Alcotest.test_case "whole-budget wall equals best" `Quick
+            test_whole_budget_wall_equals_best;
+          Alcotest.test_case "preemption saves resources" `Quick
+            test_race_preemption_saves_resources;
           Alcotest.test_case "speedup guard" `Quick test_speedup_guard;
+          q prop_race_verdicts_agree;
+          q (prop_race_parallel_matches_sequential pool1);
+          q (prop_race_parallel_matches_sequential pool2);
+          q (prop_race_parallel_matches_sequential pool4);
+        ] );
+      ( "slicing",
+        [
+          q prop_dpll_slicing_invariant;
+          q prop_walksat_slicing_invariant;
+          q prop_interval_slicing_invariant;
+        ] );
+      ( "pc_solve",
+        [
+          Alcotest.test_case "probe wins loose condition" `Quick
+            test_pc_solve_probe_wins_loose_condition;
+          Alcotest.test_case "verdict cache hits" `Quick test_verdict_cache_hits;
+          Alcotest.test_case "check/solve keys separate" `Quick
+            test_verdict_cache_check_kind_separate;
+          Alcotest.test_case "path-cond digest" `Quick test_path_cond_digest;
+          q prop_pc_solve_agrees_with_interval;
         ] );
     ]
