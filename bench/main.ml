@@ -1488,6 +1488,135 @@ let chaos_smoke () =
   Printf.printf "chaos-smoke: %d sessions, %d checkpoints, %d restores — all asserts passed\n"
     f.Metrics.sessions f.Metrics.checkpoints f.Metrics.restores
 
+(* ==================================================================== *)
+(* E13 — overload protection: graceful degradation under spikes.        *)
+(* An arrival spike 5x the nominal fleet drives the hive's ingest       *)
+(* queue into shedding.  Compares the three shed policies: the          *)
+(* failure-preferring one must shed only success traces, so the bug     *)
+(* haul survives the overload intact.                                   *)
+(* ==================================================================== *)
+
+let e13_config () =
+  let config = Scenario.single_program ~seed:13 Corpus.parser in
+  {
+    config with
+    Platform.n_pods = 4;
+    duration = 240.0;
+    sample_interval = 60.0;
+    pod_config =
+      {
+        config.Platform.pod_config with
+        Pod.arrival_rate = 1.0;
+        workload = Workload.Uniform_inputs { lo = 0; hi = 40 };
+      };
+  }
+
+let e13 () =
+  heading "E13: overload protection — graceful degradation under spikes";
+  let spiked policy =
+    let overload =
+      {
+        Hive.default_overload_config with
+        Hive.queue_bound = 24;
+        service_interval = 0.25;
+        shed_policy = policy;
+      }
+    in
+    Platform.run
+      (Scenario.overload_spike ~spike_pods:20 ~spike_start:60.0 ~spike_end:150.0
+         (Scenario.with_overload ~overload (e13_config ())))
+  in
+  let rows =
+    List.map
+      (fun (name, policy) ->
+        let r = spiked policy in
+        let h = r.Platform.hive_stats in
+        let f = r.Platform.final in
+        [
+          name;
+          string_of_int h.Hive.shed_success;
+          string_of_int h.Hive.shed_failure;
+          string_of_int h.Hive.peak_queue_depth;
+          string_of_int f.Metrics.thinned_uploads;
+          string_of_int h.Hive.pressure_updates_sent;
+          string_of_int
+            (List.fold_left
+               (fun acc k -> acc + Knowledge.failures_observed k)
+               0 r.Platform.knowledge);
+        ])
+      [
+        ("drop-newest", Hive.Drop_newest);
+        ("drop-oldest", Hive.Drop_oldest);
+        ("prefer-failures", Hive.Prefer_failures);
+      ]
+  in
+  Tabular.print
+    [
+      col "shed policy"; rcol "shed ok"; rcol "shed fail"; rcol "peak q"; rcol "thinned";
+      rcol "pressure msgs"; rcol "failures seen";
+    ]
+    rows;
+  print_endline
+    "Claim: failure-preferring shedding preserves the failure haul under overload\n\
+     (shed fail = 0) while bounding the queue and thinning only success traffic."
+
+(* ==================================================================== *)
+(* overload-smoke — tiny overload run with embedded asserts, run from   *)
+(* `dune build @overload-smoke` (and from @runtest) as a bit-rot guard  *)
+(* on admission control, backpressure, and the pressure-0 byte-identity *)
+(* invariant.                                                           *)
+(* ==================================================================== *)
+
+let overload_smoke () =
+  heading "overload-smoke: admission control + byte-identity asserts";
+  let config = Scenario.single_program ~seed:7 Corpus.parser in
+  let config =
+    {
+      config with
+      Platform.n_pods = 3;
+      duration = 120.0;
+      sample_interval = 30.0;
+      pod_config =
+        {
+          config.Platform.pod_config with
+          Pod.arrival_rate = 1.0;
+          workload = Workload.Uniform_inputs { lo = 0; hi = 40 };
+        };
+    }
+  in
+  (* Invariant 1: at pressure 0 the overload layer is byte-invisible. *)
+  let baseline = Format.asprintf "%a" Platform.pp_report (Platform.run config) in
+  let idle = { Hive.default_overload_config with Hive.service_interval = 0.0 } in
+  let guarded =
+    Format.asprintf "%a" Platform.pp_report
+      (Platform.run (Scenario.with_overload ~overload:idle config))
+  in
+  assert (String.length baseline > 0);
+  assert (String.equal baseline guarded);
+  (* Invariant 2: a spike bounds the queue, sheds only successes, thins
+     uploads, and pressure recovers to 0 by the end of the run. *)
+  let overload =
+    { Hive.default_overload_config with Hive.queue_bound = 32; service_interval = 0.2 }
+  in
+  let report =
+    Platform.run
+      (Scenario.overload_spike ~spike_pods:12 ~spike_start:30.0 ~spike_end:75.0
+         (Scenario.with_overload ~overload config))
+  in
+  let h = report.Platform.hive_stats in
+  assert (h.Hive.peak_queue_depth <= 32);
+  assert (h.Hive.shed_success > 0);
+  assert (h.Hive.shed_failure = 0);
+  assert (h.Hive.pressure_updates_sent > 0);
+  assert (report.Platform.final.Metrics.thinned_uploads > 0);
+  List.iteri
+    (fun i m -> if i < 3 then assert (m.Pod.pressure = 0))
+    report.Platform.pod_metrics;
+  Printf.printf
+    "overload-smoke: shed=%d+%d peak-queue=%d thinned=%d — all asserts passed\n"
+    h.Hive.shed_success h.Hive.shed_failure h.Hive.peak_queue_depth
+    report.Platform.final.Metrics.thinned_uploads
+
 let experiments =
   [
     ("e1", "reliability grows with use (Fig 1)", e1);
@@ -1503,6 +1632,8 @@ let experiments =
     ("e11", "cumulative proofs", e11);
     ("e12", "three-way comparison under faults (chaos harness)", e12);
     ("chaos-smoke", "scripted fault plan with embedded asserts for @chaos-smoke", chaos_smoke);
+    ("e13", "overload protection: graceful degradation under spikes", e13);
+    ("overload-smoke", "overload + byte-identity asserts for @overload-smoke", overload_smoke);
     ("micro", "hot-path micro-benchmarks", micro);
     ("micro-ingest", "ingestion/analytics benchmarks (writes BENCH_ingest.json)", fun () ->
       micro_ingest ());

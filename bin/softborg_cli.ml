@@ -164,18 +164,36 @@ let simulate_cmd =
       value & opt int 1337
       & info [ "chaos-seed" ] ~docv:"SEED" ~doc:"Seed the fault plan is generated from.")
   in
-  let run verbose program mode duration pods seed chaos chaos_seed =
+  let overload_flag =
+    Arg.(
+      value & flag
+      & info [ "overload" ]
+          ~doc:
+            "Enable hive overload protection and script an arrival spike: extra pods join \
+             mid-run, driving the ingest queue into shedding and backpressure, then leave.")
+  in
+  let run verbose program mode duration pods seed chaos chaos_seed overload =
     setup_logs verbose;
     let config = Scenario.single_program ~mode ~seed program in
     let config =
       { config with Platform.duration; n_pods = pods; sample_interval = duration /. 10.0 }
     in
     let config = if chaos then Scenario.with_chaos ~chaos_seed config else config in
+    let config =
+      if overload then
+        Scenario.overload_spike ~spike_start:(duration /. 4.0) ~spike_end:(duration /. 2.0)
+          (Scenario.with_overload config)
+      else config
+    in
     let report = Platform.run config in
     Format.printf "%a" Platform.pp_report report;
     let f = report.Platform.final in
     Format.printf "failure rate: %.5f (%d averted)@."
       (Metrics.failure_rate f) f.Metrics.averted_crashes;
+    if overload then
+      Format.printf "overload: shed=%d quarantined=%d muted=%d peak-queue=%d thinned=%d@."
+        f.Metrics.shed_uploads f.Metrics.quarantined_frames f.Metrics.pods_muted
+        f.Metrics.peak_queue_depth f.Metrics.thinned_uploads;
     match config.Platform.chaos with
     | None -> ()
     | Some plan ->
@@ -186,7 +204,7 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Run a whole-fleet platform simulation on one program.")
     Term.(
       const run $ verbose_flag $ program_arg $ mode_arg $ duration_arg $ pods_arg $ seed_arg
-      $ chaos_flag $ chaos_seed_arg)
+      $ chaos_flag $ chaos_seed_arg $ overload_flag)
 
 (* ---- explore -------------------------------------------------------------- *)
 

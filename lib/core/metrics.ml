@@ -13,6 +13,12 @@ type snapshot = {
   tree_completeness : float;
   checkpoints : int;
   restores : int;
+  shed_uploads : int;
+  quarantined_frames : int;
+  pods_muted : int;
+  peak_queue_depth : int;
+  thinned_uploads : int;
+  dead_letters : int;
 }
 
 let failure_rate s =
@@ -48,12 +54,20 @@ let windows snapshots =
   in
   pair [] snapshots
 
+(* Overload fields print only when non-zero: an unpressured run's
+   snapshot lines stay byte-identical to builds without the overload
+   layer (the byte-identity invariant tests rely on). *)
 let pp_snapshot fmt s =
   Format.fprintf fmt
-    "t=%-7.0f sessions=%-6d failures=%-5d averted=%-5d fixes=%-3d proofs=%-2d paths=%-5d%s"
+    "t=%-7.0f sessions=%-6d failures=%-5d averted=%-5d fixes=%-3d proofs=%-2d paths=%-5d%s%s%s%s%s"
     s.time s.sessions s.user_failures s.averted_crashes s.fixes_deployed s.proofs_valid
     s.tree_paths
     (if s.restores > 0 then Printf.sprintf " restores=%d" s.restores else "")
+    (if s.shed_uploads > 0 then Printf.sprintf " shed=%d" s.shed_uploads else "")
+    (if s.quarantined_frames > 0 then Printf.sprintf " quarantined=%d" s.quarantined_frames
+     else "")
+    (if s.pods_muted > 0 then Printf.sprintf " muted=%d" s.pods_muted else "")
+    (if s.thinned_uploads > 0 then Printf.sprintf " thinned=%d" s.thinned_uploads else "")
 
 let pp_window fmt w =
   Format.fprintf fmt "[%6.0f,%6.0f) sessions=%-5d failures=%-4d rate=%.4f" w.t_start w.t_end

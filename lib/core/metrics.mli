@@ -20,6 +20,12 @@ type snapshot = {
   tree_completeness : float;
   checkpoints : int;  (** Hive checkpoints taken so far. *)
   restores : int;  (** Hive crash-restores completed so far. *)
+  shed_uploads : int;  (** Uploads shed by hive admission control. *)
+  quarantined_frames : int;  (** Poison frames rejected at the hive. *)
+  pods_muted : int;  (** Quarantine mute episodes. *)
+  peak_queue_depth : int;  (** Ingest-queue high-water mark. *)
+  thinned_uploads : int;  (** Pod uploads downgraded under pressure. *)
+  dead_letters : int;  (** Pod uploads the transport abandoned. *)
 }
 
 val failure_rate : snapshot -> float

@@ -101,6 +101,12 @@ let snapshot ~time ~pods ~hive =
     tree_completeness = completeness;
     checkpoints = hive_stats.Hive.checkpoints_taken;
     restores = hive_stats.Hive.restores_completed;
+    shed_uploads = hive_stats.Hive.shed_success + hive_stats.Hive.shed_failure;
+    quarantined_frames = hive_stats.Hive.quarantined_frames;
+    pods_muted = hive_stats.Hive.pods_muted;
+    peak_queue_depth = hive_stats.Hive.peak_queue_depth;
+    thinned_uploads = sum (fun m -> m.Pod.thinned_uploads);
+    dead_letters = sum (fun m -> m.Pod.dead_letters);
   }
 
 (* Interpret the fault plan against a live fleet.  All chaos-side
@@ -230,6 +236,18 @@ let pp_report fmt report =
     "hive: traces=%d ticks=%d fixes=%d fix-updates=%d guidance=%d proofs=%d human-fixes=%d@."
     h.Hive.traces_received h.Hive.analysis_ticks h.Hive.fixes_deployed h.Hive.fix_updates_sent
     h.Hive.guidance_sent h.Hive.proofs_established h.Hive.human_fixes_scheduled;
+  (* Printed only when overload protection actually intervened, so an
+     unpressured run's report is byte-identical to one without the
+     overload layer. *)
+  if
+    h.Hive.shed_success + h.Hive.shed_failure + h.Hive.quarantined_frames + h.Hive.pods_muted
+    + h.Hive.peak_queue_depth
+    > 0
+  then
+    Format.fprintf fmt
+      "overload: shed=%d+%d quarantined=%d muted=%d muted-drops=%d pressure-updates=%d peak-queue=%d@."
+      h.Hive.shed_failure h.Hive.shed_success h.Hive.quarantined_frames h.Hive.pods_muted
+      h.Hive.muted_drops h.Hive.pressure_updates_sent h.Hive.peak_queue_depth;
   List.iter
     (fun k ->
       Format.fprintf fmt "program %s: traces=%d failures=%d paths=%d proofs=%d@."

@@ -50,6 +50,37 @@ let with_chaos ?(chaos_seed = 1337) ?(crash_rate = 1.0 /. 400.0)
   in
   { config with Platform.chaos = Some plan }
 
+let with_overload ?overload config =
+  let overload = Option.value ~default:Hive.default_overload_config overload in
+  {
+    config with
+    Platform.hive_config =
+      { config.Platform.hive_config with Hive.overload = Some overload };
+  }
+
+(* An arrival spike ≥4× nominal: a burst of extra pods joins shortly
+   after [spike_start] (staggered so the joins themselves don't collide)
+   and leaves at [spike_end].  Joined pods are appended to the fleet, so
+   with no other churn in the plan they sit at indices
+   [n_pods .. n_pods + spike_pods - 1] and the leave events address
+   exactly them. *)
+let overload_spike ?(spike_pods = 24) ?(spike_start = 150.0) ?(spike_end = 300.0) config =
+  let joins =
+    List.init spike_pods (fun i ->
+        Fault_plan.Pod_join { at = spike_start +. (0.25 *. float_of_int i) })
+  in
+  let leaves =
+    List.init spike_pods (fun i ->
+        Fault_plan.Pod_leave { at = spike_end; pod = config.Platform.n_pods + i })
+  in
+  let existing =
+    match config.Platform.chaos with Some plan -> Fault_plan.events plan | None -> []
+  in
+  {
+    config with
+    Platform.chaos = Some (Fault_plan.create (existing @ joins @ leaves));
+  }
+
 let three_way_chaos ?seed ?chaos_seed ?crash_rate ?churn_rate ?degrade_rate () =
   (* Same chaos_seed across modes: every mode suffers the identical
      fault schedule, so the comparison stays apples-to-apples. *)

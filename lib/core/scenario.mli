@@ -42,6 +42,19 @@ val with_chaos :
     plan is deterministic in [chaos_seed] and the config's duration and
     pod count. *)
 
+val with_overload : ?overload:Hive.overload_config -> Platform.config -> Platform.config
+(** Enable hive overload protection (admission control, shedding,
+    backpressure, quarantine); defaults to
+    {!Hive.default_overload_config}. *)
+
+val overload_spike :
+  ?spike_pods:int -> ?spike_start:float -> ?spike_end:float -> Platform.config -> Platform.config
+(** Script an arrival spike: [spike_pods] extra pods (default 24 — ≥4×
+    the default fleet) join staggered from [spike_start] and leave at
+    [spike_end], appended to any chaos plan already attached.  The
+    spike drives the hive's ingest queue into shedding and pressure
+    signalling; after [spike_end] pressure decays back to 0. *)
+
 val three_way_chaos :
   ?seed:int ->
   ?chaos_seed:int ->

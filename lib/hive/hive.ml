@@ -20,6 +20,30 @@ type mode =
 
 let mode_name = function Full -> "softborg" | Wer -> "wer" | Cbi -> "cbi"
 
+type shed_policy =
+  | Drop_newest
+  | Drop_oldest
+  | Prefer_failures
+
+type overload_config = {
+  queue_bound : int;
+  service_interval : float;
+  shed_policy : shed_policy;
+  caps : Wire.caps;
+  quarantine_threshold : int;
+  mute_cooldown : float;
+}
+
+let default_overload_config =
+  {
+    queue_bound = 64;
+    service_interval = 0.02;
+    shed_policy = Prefer_failures;
+    caps = Wire.default_caps;
+    quarantine_threshold = 5;
+    mute_cooldown = 120.0;
+  }
+
 type config = {
   mode : mode;
   analysis_interval : float;
@@ -30,6 +54,7 @@ type config = {
   prove : bool;
   symexec_config : Sym_exec.config option;
   pool_size : int;
+  overload : overload_config option;
 }
 
 let default_config mode =
@@ -42,6 +67,7 @@ let default_config mode =
     cbi_localization_speedup = 3.0;
     prove = (mode = Full);
     pool_size = 1;
+    overload = None;
     symexec_config =
       (* The hive analyzes many programs per tick; bound each symbolic
          operation tightly and rely on repetition across ticks. *)
@@ -65,6 +91,26 @@ type stats = {
   human_fixes_scheduled : int;
   checkpoints_taken : int;
   restores_completed : int;
+  shed_success : int;
+  shed_failure : int;
+  quarantined_frames : int;
+  pods_muted : int;
+  muted_drops : int;
+  pressure_updates_sent : int;
+  peak_queue_depth : int;
+}
+
+(* One admitted-but-not-yet-processed upload.  The frame is decoded at
+   admission (that is where poison is detected and the outcome class
+   read), so the drain only has to ingest. *)
+type work =
+  | Trace_work of Trace.t
+  | Sampled_work of { program_digest : string; report : Softborg_trace.Sampling.t }
+
+type queued = {
+  q_slot : int;  (* which pod attachment sent it *)
+  q_failing : bool;  (* failure-class uploads are never shed first *)
+  q_work : work;
 }
 
 type t = {
@@ -73,6 +119,25 @@ type t = {
   programs : (string, Knowledge.t) Hashtbl.t;
   mutable endpoints : Transport.endpoint list;
   mutable next_guidance_target : int;
+  (* ---- Overload protection (all inert when [config.overload = None]) ----
+     The ingest queue is kept in arrival order, oldest first; bounds are
+     small (tens), so O(n) appends and eviction scans are fine. *)
+  mutable queue : queued list;
+  mutable queue_len : int;
+  mutable busy_until : float;  (* service clock: when ingestion is free again *)
+  mutable drain_armed : bool;
+  mutable next_slot : int;
+  occupancy : (int, int) Hashtbl.t;  (* pod slot -> queued items, fair-share *)
+  quarantine_ledger : (int, int) Hashtbl.t;  (* pod slot -> malformed frames *)
+  mute_until : (int, float) Hashtbl.t;
+  mutable pressure_level : int;
+  mutable shed_success : int;
+  mutable shed_failure : int;
+  mutable quarantined_frames : int;
+  mutable pods_muted : int;
+  mutable muted_drops : int;
+  mutable pressure_updates_sent : int;
+  mutable peak_queue_depth : int;
   pending_human_fixes : (string, unit) Hashtbl.t;  (* bucket keys already scheduled *)
   (* Throttles: symbolic work is expensive, so gaps already issued to a
      pod are not re-planned, and proofs are only re-attempted when the
@@ -113,6 +178,22 @@ let create ?config ~sim () =
     programs = Hashtbl.create 4;
     endpoints = [];
     next_guidance_target = 0;
+    queue = [];
+    queue_len = 0;
+    busy_until = neg_infinity;
+    drain_armed = false;
+    next_slot = 0;
+    occupancy = Hashtbl.create 8;
+    quarantine_ledger = Hashtbl.create 8;
+    mute_until = Hashtbl.create 8;
+    pressure_level = 0;
+    shed_success = 0;
+    shed_failure = 0;
+    quarantined_frames = 0;
+    pods_muted = 0;
+    muted_drops = 0;
+    pressure_updates_sent = 0;
+    peak_queue_depth = 0;
     pending_human_fixes = Hashtbl.create 16;
     issued_guidance = Hashtbl.create 8;
     proof_state = Hashtbl.create 8;
@@ -149,44 +230,224 @@ let broadcast t message =
   let payload = Protocol.encode message in
   List.iter (fun endpoint -> Transport.send endpoint payload) t.endpoints
 
+let pressure_level t = t.pressure_level
+let queue_length t = t.queue_len
+
 let send_fix_update t k =
   let deployable = List.filter Fixgen.is_deployable (Knowledge.fixes k) in
   broadcast t
     (Protocol.Fix_update
-       { program_digest = Knowledge.digest k; epoch = Knowledge.epoch k; fixes = deployable });
+       {
+         program_digest = Knowledge.digest k;
+         epoch = Knowledge.epoch k;
+         fixes = deployable;
+         pressure = t.pressure_level;
+       });
   t.fix_updates_sent <- t.fix_updates_sent + 1
 
 (* ---- Ingestion -------------------------------------------------------- *)
 
-let handle_trace t payload =
-  match Wire.decode payload with
-  | Error _ -> ()
-  | Ok trace -> (
-    t.traces_received <- t.traces_received + 1;
+let process_work t work =
+  t.traces_received <- t.traces_received + 1;
+  match work with
+  | Trace_work trace -> (
     match Hashtbl.find_opt t.programs trace.Trace.program_digest with
     | None -> ()
     | Some k -> (
       match t.config.mode with
       | Full -> ignore (Knowledge.ingest_trace k trace)
       | Wer | Cbi -> Knowledge.ingest_outcome_only k trace))
+  | Sampled_work { program_digest; report } -> (
+    match Hashtbl.find_opt t.programs program_digest with
+    | None -> ()
+    | Some k -> Knowledge.ingest_sampled k report)
 
+(* Without overload protection, uploads are processed synchronously in
+   the receive callback — the pre-existing behavior, kept byte-for-byte
+   so seeded runs of existing configs are unperturbed. *)
 let handle_message t payload =
   t.messages_received <- t.messages_received + 1;
   match Protocol.decode payload with
   | Error _ -> ()
-  | Ok (Protocol.Trace_upload payload) -> handle_trace t payload
-  | Ok (Protocol.Sampled_report { program_digest; report }) -> (
-    t.traces_received <- t.traces_received + 1;
-    match Hashtbl.find_opt t.programs program_digest with
-    | None -> ()
-    | Some k -> Knowledge.ingest_sampled k report)
-  | Ok (Protocol.Fix_update _ | Protocol.Guidance_update _) ->
+  | Ok (Protocol.Trace_upload payload) -> (
+    match Wire.decode payload with
+    | Error _ -> ()
+    | Ok trace -> process_work t (Trace_work trace))
+  | Ok (Protocol.Sampled_report { program_digest; report }) ->
+    process_work t (Sampled_work { program_digest; report })
+  | Ok (Protocol.Fix_update _ | Protocol.Guidance_update _ | Protocol.Pressure_update _) ->
     (* Downstream-only messages; ignore if echoed back. *)
     ()
 
+(* ---- Overload protection ---------------------------------------------- *)
+
+(* Load level 0–3 from queue occupancy quartiles; broadcast to pods only
+   on change, so an unloaded hive (level pinned at 0) sends nothing. *)
+let refresh_pressure t (oc : overload_config) =
+  let level =
+    if t.queue_len = 0 then 0 else min 3 (4 * t.queue_len / max 1 oc.queue_bound)
+  in
+  if level <> t.pressure_level then begin
+    t.pressure_level <- level;
+    t.pressure_updates_sent <- t.pressure_updates_sent + 1;
+    Log.debug (fun m -> m "pressure -> %d (queue %d/%d)" level t.queue_len oc.queue_bound);
+    broadcast t (Protocol.Pressure_update { level })
+  end
+
+let quarantine t (oc : overload_config) slot =
+  t.quarantined_frames <- t.quarantined_frames + 1;
+  let count = 1 + Option.value ~default:0 (Hashtbl.find_opt t.quarantine_ledger slot) in
+  if count >= oc.quarantine_threshold then begin
+    Hashtbl.replace t.quarantine_ledger slot 0;
+    Hashtbl.replace t.mute_until slot (Sim.now t.sim +. oc.mute_cooldown);
+    t.pods_muted <- t.pods_muted + 1;
+    Log.warn (fun m ->
+        m "pod slot %d muted until t=%.0f after %d poison frames" slot
+          (Sim.now t.sim +. oc.mute_cooldown) count)
+  end
+  else Hashtbl.replace t.quarantine_ledger slot count
+
+let occupancy_of t slot = Option.value ~default:0 (Hashtbl.find_opt t.occupancy slot)
+
+let bump_occupancy t slot delta =
+  Hashtbl.replace t.occupancy slot (max 0 (occupancy_of t slot + delta))
+
+let count_shed t item =
+  if item.q_failing then t.shed_failure <- t.shed_failure + 1
+  else t.shed_success <- t.shed_success + 1
+
+(* Pick the success-class victim for [Prefer_failures]: an item from the
+   pod hogging the most queue slots (fair share), oldest first, lowest
+   slot on ties.  Returns its position, or [None] if the whole queue is
+   failure-class. *)
+let success_victim t =
+  let best = ref None in
+  List.iteri
+    (fun i item ->
+      if not item.q_failing then begin
+        let occ = occupancy_of t item.q_slot in
+        match !best with
+        | None -> best := Some (occ, item.q_slot, i)
+        | Some (bocc, bslot, _) ->
+          if occ > bocc || (occ = bocc && item.q_slot < bslot) then
+            best := Some (occ, item.q_slot, i)
+      end)
+    t.queue;
+  Option.map (fun (_, _, i) -> i) !best
+
+let remove_at t idx =
+  let victim = ref None in
+  t.queue <-
+    List.filteri
+      (fun i item ->
+        if i = idx then begin
+          victim := Some item;
+          false
+        end
+        else true)
+      t.queue;
+  t.queue_len <- t.queue_len - 1;
+  match !victim with
+  | Some item ->
+    bump_occupancy t item.q_slot (-1);
+    item
+  | None -> assert false
+
+let push_back t item =
+  t.queue <- t.queue @ [ item ];
+  t.queue_len <- t.queue_len + 1;
+  bump_occupancy t item.q_slot 1;
+  if t.queue_len > t.peak_queue_depth then t.peak_queue_depth <- t.queue_len
+
+(* Bounded enqueue: at capacity, shed per policy.  [Prefer_failures]
+   never sheds a failure-class upload while a success-class one is
+   queued — failures carry the debugging signal (paper §3). *)
+let enqueue_or_shed t (oc : overload_config) item =
+  if t.queue_len < oc.queue_bound then push_back t item
+  else begin
+    match oc.shed_policy with
+    | Drop_newest -> count_shed t item
+    | Drop_oldest ->
+      count_shed t (remove_at t 0);
+      push_back t item
+    | Prefer_failures -> (
+      match success_victim t with
+      | Some idx ->
+        count_shed t (remove_at t idx);
+        push_back t item
+      | None ->
+        (* Queue is all failures; an incoming failure is the newest of
+           equals, an incoming success loses to any failure. *)
+        count_shed t item)
+  end
+
+let rec drain t (oc : overload_config) () =
+  match t.queue with
+  | [] -> t.drain_armed <- false
+  | item :: rest ->
+    t.queue <- rest;
+    t.queue_len <- t.queue_len - 1;
+    bump_occupancy t item.q_slot (-1);
+    process_work t item.q_work;
+    t.busy_until <- Sim.now t.sim +. oc.service_interval;
+    if t.queue_len > 0 then Sim.schedule t.sim ~delay:oc.service_interval (drain t oc)
+    else t.drain_armed <- false;
+    refresh_pressure t oc
+
+let offer t (oc : overload_config) item =
+  let now = Sim.now t.sim in
+  if t.queue_len = 0 && now >= t.busy_until then begin
+    (* Uncontended: process synchronously in the receive callback, just
+       like the legacy path — no extra events, no reordering. *)
+    process_work t item.q_work;
+    t.busy_until <- now +. oc.service_interval
+  end
+  else begin
+    enqueue_or_shed t oc item;
+    if (not t.drain_armed) && t.queue_len > 0 then begin
+      t.drain_armed <- true;
+      Sim.schedule t.sim ~delay:(Float.max 0.0 (t.busy_until -. now)) (drain t oc)
+    end;
+    refresh_pressure t oc
+  end
+
+let muted t slot = Sim.now t.sim < Option.value ~default:neg_infinity (Hashtbl.find_opt t.mute_until slot)
+
+(* The admission-controlled receive path: resource-capped total decode,
+   poison quarantine, mute enforcement, then bounded enqueue. *)
+let admit t (oc : overload_config) slot payload =
+  t.messages_received <- t.messages_received + 1;
+  if muted t slot then t.muted_drops <- t.muted_drops + 1
+  else
+    match Protocol.decode ~caps:oc.caps payload with
+    | Error _ -> quarantine t oc slot
+    | Ok (Protocol.Fix_update _ | Protocol.Guidance_update _ | Protocol.Pressure_update _) -> ()
+    | Ok (Protocol.Trace_upload inner) -> (
+      match Wire.decode ~caps:oc.caps inner with
+      | Error _ -> quarantine t oc slot
+      | Ok trace ->
+        offer t oc
+          {
+            q_slot = slot;
+            q_failing = Outcome.is_failure trace.Trace.outcome;
+            q_work = Trace_work trace;
+          })
+    | Ok (Protocol.Sampled_report { program_digest; report }) ->
+      offer t oc
+        {
+          q_slot = slot;
+          q_failing = Outcome.is_failure report.Softborg_trace.Sampling.outcome;
+          q_work = Sampled_work { program_digest; report };
+        }
+
 let attach_pod t endpoint =
   t.endpoints <- endpoint :: t.endpoints;
-  Transport.on_receive endpoint (handle_message t)
+  match t.config.overload with
+  | None -> Transport.on_receive endpoint (handle_message t)
+  | Some oc ->
+    let slot = t.next_slot in
+    t.next_slot <- slot + 1;
+    Transport.on_receive endpoint (admit t oc slot)
 
 (* ---- Human repair lab (Wer/Cbi modes) --------------------------------- *)
 
@@ -384,7 +645,11 @@ let guidance_tick t k =
       Transport.send target
         (Protocol.encode
            (Protocol.Guidance_update
-              { program_digest = Knowledge.digest k; directives = result.Guidance.directives }));
+              {
+                program_digest = Knowledge.digest k;
+                directives = result.Guidance.directives;
+                pressure = t.pressure_level;
+              }));
       t.guidance_sent <- t.guidance_sent + List.length result.Guidance.directives
     end
   end
@@ -445,6 +710,13 @@ let stats t =
     human_fixes_scheduled = t.human_fixes_scheduled;
     checkpoints_taken = t.checkpoints_taken;
     restores_completed = t.restores_completed;
+    shed_success = t.shed_success;
+    shed_failure = t.shed_failure;
+    quarantined_frames = t.quarantined_frames;
+    pods_muted = t.pods_muted;
+    muted_drops = t.muted_drops;
+    pressure_updates_sent = t.pressure_updates_sent;
+    peak_queue_depth = t.peak_queue_depth;
   }
 
 (* ---- Checkpoint / restore ---------------------------------------------- *)

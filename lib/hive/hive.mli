@@ -22,6 +22,7 @@ module Ir := Softborg_prog.Ir
 module Sim := Softborg_net.Sim
 module Transport := Softborg_net.Transport
 module Sym_exec := Softborg_symexec.Sym_exec
+module Wire := Softborg_trace.Wire
 
 type mode =
   | Full
@@ -29,6 +30,33 @@ type mode =
   | Cbi
 
 val mode_name : mode -> string
+
+(** What to do when an upload arrives and the ingest queue is full. *)
+type shed_policy =
+  | Drop_newest  (** Shed the arriving upload. *)
+  | Drop_oldest  (** Evict the head of the queue to admit the arrival. *)
+  | Prefer_failures
+      (** Class-aware fair-share shedding: evict a success-class upload
+          from the pod occupying the most queue slots (oldest first,
+          lowest slot on ties).  A failure-class upload is never shed
+          while any success-class upload is queued — failures carry the
+          debugging signal. *)
+
+type overload_config = {
+  queue_bound : int;  (** Max queued uploads; the hard bound Q. *)
+  service_interval : float;
+      (** Seconds of hive ingest capacity one upload consumes.  Arrival
+          faster than this builds backlog; backlog builds pressure. *)
+  shed_policy : shed_policy;
+  caps : Wire.caps;  (** Resource caps enforced on every decoded frame. *)
+  quarantine_threshold : int;
+      (** Malformed frames from one pod before it is muted. *)
+  mute_cooldown : float;  (** Seconds a misbehaving pod stays muted. *)
+}
+
+val default_overload_config : overload_config
+(** Bound 64, 20ms service, [Prefer_failures], {!Wire.default_caps},
+    mute after 5 poison frames for 120s. *)
 
 type config = {
   mode : mode;
@@ -47,6 +75,12 @@ type config = {
           deterministic gap order, so any pool size produces the same
           analysis output — only wall-clock time changes.  [Allocate]'s
           portfolio weights split these workers across programs. *)
+  overload : overload_config option;
+      (** [None] (the default) keeps the legacy unbounded synchronous
+          ingest path, byte-identical to builds without overload
+          protection.  [Some _] enables admission control, bounded
+          queueing with shedding, pod backpressure signalling, and
+          poison-trace quarantine. *)
 }
 
 val default_config : mode -> config
@@ -62,6 +96,13 @@ type stats = {
   human_fixes_scheduled : int;
   checkpoints_taken : int;  (** {!checkpoint} calls by this hive process. *)
   restores_completed : int;  (** Successful {!restore} calls. *)
+  shed_success : int;  (** Success-class uploads shed under overload. *)
+  shed_failure : int;  (** Failure-class uploads shed (last resort). *)
+  quarantined_frames : int;  (** Malformed frames rejected at the boundary. *)
+  pods_muted : int;  (** Mute episodes triggered by the quarantine ledger. *)
+  muted_drops : int;  (** Messages dropped because their pod was muted. *)
+  pressure_updates_sent : int;  (** Standalone pressure broadcasts. *)
+  peak_queue_depth : int;  (** High-water mark of the ingest queue. *)
 }
 
 type t
@@ -75,7 +116,16 @@ val knowledge : t -> digest:string -> Knowledge.t option
 val knowledge_list : t -> Knowledge.t list
 
 val attach_pod : t -> Transport.endpoint -> unit
-(** Wire up the hive side of one pod's connection. *)
+(** Wire up the hive side of one pod's connection.  With overload
+    protection enabled, each attachment gets a slot in the quarantine
+    ledger and fair-share accounting. *)
+
+val pressure_level : t -> int
+(** Current load level (0–3; always 0 without overload protection). *)
+
+val queue_length : t -> int
+(** Uploads admitted but not yet ingested (always 0 without overload
+    protection). *)
 
 val start : t -> unit
 (** Schedule the periodic analysis tick on the simulator. *)

@@ -6,14 +6,30 @@ module Wire = Softborg_trace.Wire
 type message =
   | Trace_upload of string
   | Sampled_report of { program_digest : string; report : Sampling.t }
-  | Fix_update of { program_digest : string; epoch : int; fixes : Fixgen.fix list }
-  | Guidance_update of { program_digest : string; directives : Guidance.directive list }
+  | Fix_update of {
+      program_digest : string;
+      epoch : int;
+      fixes : Fixgen.fix list;
+      pressure : int;
+    }
+  | Guidance_update of {
+      program_digest : string;
+      directives : Guidance.directive list;
+      pressure : int;
+    }
+  | Pressure_update of { level : int }
 
 let message_name = function
   | Trace_upload _ -> "trace-upload"
   | Sampled_report _ -> "sampled-report"
   | Fix_update _ -> "fix-update"
   | Guidance_update _ -> "guidance-update"
+  | Pressure_update _ -> "pressure-update"
+
+let pressure_of = function
+  | Fix_update { pressure; _ } | Guidance_update { pressure; _ } -> Some pressure
+  | Pressure_update { level } -> Some level
+  | Trace_upload _ | Sampled_report _ -> None
 
 let write_sampled w (report : Sampling.t) =
   Codec.Writer.varint w report.Sampling.rate;
@@ -28,7 +44,7 @@ let write_sampled w (report : Sampling.t) =
     report.Sampling.counts;
   Wire.encode_outcome w report.Sampling.outcome
 
-let read_sampled r =
+let read_sampled ?caps r =
   let rate = Codec.Reader.varint r in
   let observed = Codec.Reader.varint r in
   let total = Codec.Reader.varint r in
@@ -40,7 +56,14 @@ let read_sampled r =
         let count = Codec.Reader.varint r in
         ({ Sampling.site = { Ir.thread; pc }; direction }, count))
   in
-  let outcome = Wire.decode_outcome r in
+  (match caps with
+  | Some c when List.length counts > c.Wire.max_predicates ->
+    raise
+      (Codec.Malformed
+         (Printf.sprintf "predicate rows %d exceed cap %d" (List.length counts)
+            c.Wire.max_predicates))
+  | _ -> ());
+  let outcome = Wire.decode_outcome ?caps r in
   { Sampling.rate; counts; observed; total; outcome }
 
 let encode message =
@@ -53,35 +76,50 @@ let encode message =
     Codec.Writer.byte w 1;
     Codec.Writer.bytes w program_digest;
     write_sampled w report
-  | Fix_update { program_digest; epoch; fixes } ->
+  | Fix_update { program_digest; epoch; fixes; pressure } ->
     Codec.Writer.byte w 2;
     Codec.Writer.bytes w program_digest;
     Codec.Writer.varint w epoch;
+    Codec.Writer.varint w pressure;
     Codec.Writer.list w (Fixgen.write_fix w) fixes
-  | Guidance_update { program_digest; directives } ->
+  | Guidance_update { program_digest; directives; pressure } ->
     Codec.Writer.byte w 3;
     Codec.Writer.bytes w program_digest;
-    Codec.Writer.list w (Guidance.write_directive w) directives);
+    Codec.Writer.varint w pressure;
+    Codec.Writer.list w (Guidance.write_directive w) directives
+  | Pressure_update { level } ->
+    Codec.Writer.byte w 4;
+    Codec.Writer.varint w level);
   Codec.Writer.contents w
 
-let decode s =
+let decode ?caps s =
   match
+    (match caps with
+    | Some c when String.length s > c.Wire.max_message_bytes ->
+      raise
+        (Codec.Malformed
+           (Printf.sprintf "frame of %d bytes exceeds cap %d" (String.length s)
+              c.Wire.max_message_bytes))
+    | _ -> ());
     let r = Codec.Reader.of_string s in
     match Codec.Reader.byte r with
     | 0 -> Trace_upload (Codec.Reader.bytes r)
     | 1 ->
       let program_digest = Codec.Reader.bytes r in
-      let report = read_sampled r in
+      let report = read_sampled ?caps r in
       Sampled_report { program_digest; report }
     | 2 ->
       let program_digest = Codec.Reader.bytes r in
       let epoch = Codec.Reader.varint r in
+      let pressure = Codec.Reader.varint r in
       let fixes = Codec.Reader.list r Fixgen.read_fix in
-      Fix_update { program_digest; epoch; fixes }
+      Fix_update { program_digest; epoch; fixes; pressure }
     | 3 ->
       let program_digest = Codec.Reader.bytes r in
+      let pressure = Codec.Reader.varint r in
       let directives = Codec.Reader.list r Guidance.read_directive in
-      Guidance_update { program_digest; directives }
+      Guidance_update { program_digest; directives; pressure }
+    | 4 -> Pressure_update { level = Codec.Reader.varint r }
     | n -> raise (Codec.Malformed (Printf.sprintf "message tag %d" n))
   with
   | message -> Ok message

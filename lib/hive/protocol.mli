@@ -5,6 +5,7 @@
     reliable transport ({!Softborg_net.Transport}). *)
 
 module Sampling := Softborg_trace.Sampling
+module Wire := Softborg_trace.Wire
 
 type message =
   | Trace_upload of string
@@ -12,12 +13,35 @@ type message =
           by the pod before encoding). *)
   | Sampled_report of { program_digest : string; report : Sampling.t }
       (** CBI-mode upload: sparse predicate counts plus outcome. *)
-  | Fix_update of { program_digest : string; epoch : int; fixes : Fixgen.fix list }
+  | Fix_update of {
+      program_digest : string;
+      epoch : int;
+      fixes : Fixgen.fix list;
+      pressure : int;
+          (** Hive load level (0 = unloaded), piggybacked on every
+              downstream push so pods track backpressure without extra
+              messages. *)
+    }
       (** The hive's current deployable fix set for a program. *)
-  | Guidance_update of { program_digest : string; directives : Guidance.directive list }
+  | Guidance_update of {
+      program_digest : string;
+      directives : Guidance.directive list;
+      pressure : int;  (** Piggybacked load level, as in {!Fix_update}. *)
+    }
       (** Execution-steering directives for this pod. *)
+  | Pressure_update of { level : int }
+      (** Standalone backpressure broadcast, sent when the hive's load
+          level changes and no other downstream push is imminent. *)
 
 val encode : message -> string
-val decode : string -> (message, string) result
+
+val decode : ?caps:Wire.caps -> string -> (message, string) result
+(** Total: any byte string yields [Ok] or a human-readable [Error],
+    never an exception.  With [caps], resource limits are enforced
+    before allocation (frame size, predicate rows, and the embedded
+    outcome's lock set) so a poison frame cannot exhaust the hive. *)
 
 val message_name : message -> string
+
+val pressure_of : message -> int option
+(** The load level carried by a downstream message, if any. *)

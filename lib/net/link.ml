@@ -9,6 +9,21 @@ type config = {
 let default_config = { drop_probability = 0.01; mean_latency = 0.05; min_latency = 0.005 }
 let lan = { drop_probability = 0.0; mean_latency = 0.0005; min_latency = 0.0001 }
 
+type config_error = { field : string; reason : string }
+
+let pp_config_error fmt { field; reason } = Format.fprintf fmt "link config: %s %s" field reason
+
+let validate_config config =
+  let finite f = Float.is_finite f in
+  if not (finite config.drop_probability && config.drop_probability >= 0.0
+          && config.drop_probability <= 1.0)
+  then Error { field = "drop_probability"; reason = "must be in [0, 1]" }
+  else if not (finite config.mean_latency && config.mean_latency >= 0.0) then
+    Error { field = "mean_latency"; reason = "must be finite and >= 0" }
+  else if not (finite config.min_latency && config.min_latency >= 0.0) then
+    Error { field = "min_latency"; reason = "must be finite and >= 0" }
+  else Ok config
+
 type t = {
   mutable config : config;
   sim : Sim.t;
@@ -26,6 +41,9 @@ type t = {
 }
 
 let create ?(config = default_config) ~sim ~rng () =
+  (match validate_config config with
+  | Ok _ -> ()
+  | Error e -> invalid_arg (Format.asprintf "Link.create: %a" pp_config_error e));
   {
     config;
     sim;
@@ -39,7 +57,11 @@ let create ?(config = default_config) ~sim ~rng () =
   }
 
 let config t = t.config
-let set_config t config = t.config <- config
+
+let set_config t config =
+  match validate_config config with
+  | Ok config -> t.config <- config
+  | Error e -> invalid_arg (Format.asprintf "Link.set_config: %a" pp_config_error e)
 let set_duplicate_probability t p = t.duplicate_probability <- p
 
 let send t ~payload ~deliver =

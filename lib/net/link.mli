@@ -20,15 +20,26 @@ val default_config : config
 val lan : config
 (** Lossless, sub-millisecond — for hive-internal traffic. *)
 
+type config_error = { field : string; reason : string }
+(** Which config field was rejected, and why. *)
+
+val pp_config_error : Format.formatter -> config_error -> unit
+
+val validate_config : config -> (config, config_error) result
+(** Reject probabilities outside [0,1] and negative or non-finite
+    latencies, instead of letting them silently skew the simulation. *)
+
 type t
 
 val create : ?config:config -> sim:Sim.t -> rng:Rng.t -> unit -> t
+(** @raise Invalid_argument if the config fails {!validate_config}. *)
 
 val config : t -> config
 
 val set_config : t -> config -> unit
 (** Swap the link's loss/latency parameters mid-run — the primitive the
-    chaos harness uses for time-varying degradation. *)
+    chaos harness uses for time-varying degradation.
+    @raise Invalid_argument if the config fails {!validate_config}. *)
 
 val set_duplicate_probability : t -> float -> unit
 (** Probability that a delivered packet is delivered {e twice}, with

@@ -11,6 +11,23 @@ type config = {
 let default_config =
   { link = Link.default_config; retry_timeout = 0.25; max_retries = 20; backoff = 1.5 }
 
+type config_error = { field : string; reason : string }
+
+let pp_config_error fmt { field; reason } =
+  Format.fprintf fmt "transport config: %s %s" field reason
+
+let validate_config config =
+  match Link.validate_config config.link with
+  | Error { Link.field; reason } -> Error { field = "link." ^ field; reason }
+  | Ok _ ->
+    if not (Float.is_finite config.retry_timeout && config.retry_timeout > 0.0) then
+      Error { field = "retry_timeout"; reason = "must be finite and > 0" }
+    else if config.max_retries < 0 then
+      Error { field = "max_retries"; reason = "must be >= 0" }
+    else if not (Float.is_finite config.backoff && config.backoff >= 1.0) then
+      Error { field = "backoff"; reason = "must be finite and >= 1" }
+    else Ok config
+
 type stats = {
   messages_sent : int;
   retransmissions : int;
@@ -56,6 +73,7 @@ type endpoint = {
   acked : (int, unit) Hashtbl.t;
   seen : (int, unit) Hashtbl.t;
   mutable handler : string -> unit;
+  mutable give_up_handler : string -> unit;  (* dead-letter callback *)
   mutable messages_sent : int;
   mutable retransmissions : int;
   mutable delivered : int;
@@ -75,6 +93,7 @@ let make_endpoint ~sim ~config =
     acked = Hashtbl.create 16;
     seen = Hashtbl.create 16;
     handler = ignore;
+    give_up_handler = ignore;
     messages_sent = 0;
     retransmissions = 0;
     delivered = 0;
@@ -115,7 +134,11 @@ let rec arm_retry t seq timeout =
       | Some (payload, retries) ->
         if retries >= t.config.max_retries then begin
           Hashtbl.remove (unacked t) seq;
-          t.gave_up <- t.gave_up + 1
+          t.gave_up <- t.gave_up + 1;
+          (* Dead-letter surface: the sender learns which payload was
+             abandoned and may count it or re-enqueue it (a re-send gets
+             a fresh sequence number and retry budget). *)
+          t.give_up_handler payload
         end
         else begin
           Hashtbl.replace (unacked t) seq (payload, retries + 1);
@@ -133,6 +156,7 @@ let send t payload =
   arm_retry t seq t.config.retry_timeout
 
 let on_receive t handler = t.handler <- handler
+let on_give_up t handler = t.give_up_handler <- handler
 let out_link t = t.out_link
 
 let stats t =
@@ -146,6 +170,9 @@ let stats t =
   }
 
 let endpoint_pair ?(config = default_config) ~sim ~rng () =
+  (match validate_config config with
+  | Ok _ -> ()
+  | Error e -> invalid_arg (Format.asprintf "Transport.endpoint_pair: %a" pp_config_error e));
   let a = make_endpoint ~sim ~config in
   let b = make_endpoint ~sim ~config in
   let link_ab = Link.create ~config:config.link ~sim ~rng:(Rng.split rng) () in

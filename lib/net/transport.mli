@@ -19,6 +19,16 @@ type config = {
 
 val default_config : config
 
+type config_error = { field : string; reason : string }
+(** Which config field was rejected, and why ([link.*] fields are
+    forwarded from {!Link.validate_config}). *)
+
+val pp_config_error : Format.formatter -> config_error -> unit
+
+val validate_config : config -> (config, config_error) result
+(** Reject non-positive timeouts, negative retry budgets, backoff
+    factors below 1, and invalid link configs. *)
+
 type stats = {
   messages_sent : int;
   retransmissions : int;
@@ -33,13 +43,22 @@ type endpoint
 val endpoint_pair :
   ?config:config -> sim:Sim.t -> rng:Rng.t -> unit -> endpoint * endpoint
 (** A bidirectional connection: two endpoints over two lossy link
-    directions sharing one configuration. *)
+    directions sharing one configuration.
+    @raise Invalid_argument if the config fails {!validate_config}. *)
 
 val send : endpoint -> string -> unit
 (** Queue a message for reliable delivery to the peer. *)
 
 val on_receive : endpoint -> (string -> unit) -> unit
 (** Install the application handler (replaces any previous one). *)
+
+val on_give_up : endpoint -> (string -> unit) -> unit
+(** Install the dead-letter handler (replaces any previous one): called
+    with the payload each time a message is abandoned after
+    [max_retries], immediately after [gave_up] is counted.  The handler
+    may {!send} the payload again — the re-send gets a fresh sequence
+    number and retry budget.  Default: drop silently (the pre-existing
+    behavior). *)
 
 val out_link : endpoint -> Link.t option
 (** The endpoint's outgoing link — exposed so the chaos harness (and

@@ -28,6 +28,9 @@ type config = {
   anonymize : Anonymize.level;
   upload : upload_mode;
   slow_threshold : int;
+  backpressure_base_rate : int;
+  backpressure_defer : float;
+  resend_dead_letters : bool;
 }
 
 let default_config =
@@ -39,6 +42,9 @@ let default_config =
     anonymize = Anonymize.Full;
     upload = Full_traces;
     slow_threshold = 15_000;
+    backpressure_base_rate = 64;
+    backpressure_defer = 0.5;
+    resend_dead_letters = false;
   }
 
 type metrics = {
@@ -52,6 +58,10 @@ type metrics = {
   traces_uploaded : int;
   fix_epoch : int;
   signals : (Feedback.signal * int) list;
+  pressure : int;
+  thinned_uploads : int;
+  deferred_uploads : int;
+  dead_letters : int;
 }
 
 type t = {
@@ -75,6 +85,16 @@ type t = {
   mutable traces_uploaded : int;
   mutable signal_counts : (Feedback.signal * int) list;
   mutable active : bool;  (* false once the chaos harness stops the pod *)
+  (* ---- Backpressure response ----
+     [pressure_rng] is seeded from the pod id, never from the main
+     stream: at pressure level 0 no draw happens at all, and above it
+     the jitter draws cannot perturb session randomness. *)
+  pressure_rng : Rng.t;
+  mutable pressure : int;  (* hive load level, 0–3 *)
+  mutable success_streak : int;  (* successes since the last kept-full one *)
+  mutable thinned_uploads : int;
+  mutable deferred_uploads : int;
+  mutable dead_letters : int;
 }
 
 let next_pod_id = ref 0
@@ -87,17 +107,25 @@ let bump_signal t signal =
   in
   t.signal_counts <- loop t.signal_counts
 
+(* Hive load is global, so pressure piggybacked on a message for some
+   other program still applies; clamp to the protocol's 0–3 range so a
+   byzantine hive cannot push the shift counts out of range. *)
+let set_pressure t level = t.pressure <- max 0 (min 3 level)
+
 let handle_message t payload =
   match Protocol.decode payload with
   | Error _ -> ()
-  | Ok (Protocol.Fix_update { program_digest; epoch; fixes }) ->
+  | Ok (Protocol.Fix_update { program_digest; epoch; fixes; pressure }) ->
+    set_pressure t pressure;
     if String.equal program_digest t.digest && epoch > t.fix_epoch then begin
       t.fixes <- fixes;
       t.fix_epoch <- epoch
     end
-  | Ok (Protocol.Guidance_update { program_digest; directives }) ->
+  | Ok (Protocol.Guidance_update { program_digest; directives; pressure }) ->
+    set_pressure t pressure;
     if String.equal program_digest t.digest then
       t.pending_guidance <- t.pending_guidance @ directives
+  | Ok (Protocol.Pressure_update { level }) -> set_pressure t level
   | Ok (Protocol.Trace_upload _ | Protocol.Sampled_report _) ->
     (* Upstream-only messages. *)
     ()
@@ -126,9 +154,21 @@ let create ?(config = default_config) ~sim ~rng ~program ~endpoint () =
       traces_uploaded = 0;
       signal_counts = [];
       active = true;
+      pressure_rng = Rng.create (0x9E3779B9 lxor !next_pod_id);
+      pressure = 0;
+      success_streak = 0;
+      thinned_uploads = 0;
+      deferred_uploads = 0;
+      dead_letters = 0;
     }
   in
   Transport.on_receive endpoint (handle_message t);
+  (* Dead-letter accounting: an upload the transport abandoned after its
+     retry budget.  Optionally re-sent once per give-up (fresh sequence
+     number and budget); off by default so existing runs are unchanged. *)
+  Transport.on_give_up endpoint (fun payload ->
+      t.dead_letters <- t.dead_letters + 1;
+      if t.config.resend_dead_letters then Transport.send endpoint payload);
   t
 
 let guards t =
@@ -139,6 +179,19 @@ let guards t =
       | _ -> None)
     t.fixes
 
+(* Under backpressure, success-class uploads are deferred with a
+   jittered delay that doubles per pressure level — the pods spread
+   their load instead of synchronizing on the hive's recovery.  Failure
+   uploads never pass through here. *)
+let send_deferred t payload =
+  if t.pressure = 0 then Transport.send t.endpoint payload
+  else begin
+    let base = t.config.backpressure_defer *. float_of_int (1 lsl (t.pressure - 1)) in
+    let delay = base *. (0.5 +. Rng.float t.pressure_rng 1.0) in
+    t.deferred_uploads <- t.deferred_uploads + 1;
+    Sim.schedule t.sim ~delay (fun () -> Transport.send t.endpoint payload)
+  end
+
 let upload t (result : Interp.result) ~label =
   let trace =
     Trace.of_result ~program_digest:t.digest ~pod:t.pod_id ~fix_epoch:t.fix_epoch
@@ -146,8 +199,35 @@ let upload t (result : Interp.result) ~label =
   in
   match t.config.upload with
   | Full_traces ->
-    let scrubbed = Anonymize.apply t.config.anonymize trace in
-    Transport.send t.endpoint (Protocol.encode (Protocol.Trace_upload (Wire.encode scrubbed)));
+    let send_full () =
+      let scrubbed = Anonymize.apply t.config.anonymize trace in
+      send_deferred t (Protocol.encode (Protocol.Trace_upload (Wire.encode scrubbed)))
+    in
+    (* Adaptive coordinated sampling: at pressure level L, keep every
+       2^L-th success-class trace at full fidelity and thin the rest to
+       sampled predicate reports at rate [base × 2^L].  Failure traces
+       are always full and immediate — they carry the debugging signal.
+       At level 0 the counter-based gate keeps everything, so the
+       fault-free stream is untouched. *)
+    if Outcome.is_failure label then begin
+      let scrubbed = Anonymize.apply t.config.anonymize trace in
+      Transport.send t.endpoint (Protocol.encode (Protocol.Trace_upload (Wire.encode scrubbed)))
+    end
+    else begin
+      t.success_streak <- t.success_streak + 1;
+      let keep_every = 1 lsl t.pressure in
+      if t.success_streak mod keep_every = 0 then send_full ()
+      else begin
+        let rate = t.config.backpressure_base_rate * (1 lsl t.pressure) in
+        let report =
+          Sampling.sample t.pressure_rng ~rate ~full_path:result.Interp.full_path
+            ~outcome:label
+        in
+        t.thinned_uploads <- t.thinned_uploads + 1;
+        send_deferred t
+          (Protocol.encode (Protocol.Sampled_report { program_digest = t.digest; report }))
+      end
+    end;
     t.traces_uploaded <- t.traces_uploaded + 1
   | Outcomes_only ->
     let scrubbed = Anonymize.apply Anonymize.Outcome_only trace in
@@ -241,4 +321,8 @@ let metrics t =
     traces_uploaded = t.traces_uploaded;
     fix_epoch = t.fix_epoch;
     signals = t.signal_counts;
+    pressure = t.pressure;
+    thinned_uploads = t.thinned_uploads;
+    deferred_uploads = t.deferred_uploads;
+    dead_letters = t.dead_letters;
   }

@@ -27,6 +27,17 @@ type config = {
   anonymize : Anonymize.level;
   upload : upload_mode;
   slow_threshold : int;  (** Steps beyond which users get frustrated. *)
+  backpressure_base_rate : int;
+      (** Sampled-report rate for success traces thinned under hive
+          pressure; the effective rate is [base × 2^level]. *)
+  backpressure_defer : float;
+      (** Base seconds of jittered deferral for success-class uploads
+          under pressure; doubles per level.  Jitter draws come from a
+          pod-local stream, so level-0 runs are byte-identical to
+          builds without backpressure. *)
+  resend_dead_letters : bool;
+      (** Re-send an upload the transport gave up on (fresh sequence
+          number and retry budget).  Default false: count only. *)
 }
 
 val default_config : config
@@ -43,6 +54,11 @@ type metrics = {
   traces_uploaded : int;
   fix_epoch : int;  (** Current fix version the pod runs with. *)
   signals : (Feedback.signal * int) list;  (** User-signal histogram. *)
+  pressure : int;  (** Last hive load level heard (0–3). *)
+  thinned_uploads : int;
+      (** Success traces downgraded to sampled reports under pressure. *)
+  deferred_uploads : int;  (** Uploads delayed by jittered backoff. *)
+  dead_letters : int;  (** Uploads the transport abandoned. *)
 }
 
 type t

@@ -12,6 +12,40 @@ let pp_error fmt = function
   | Truncated -> Format.pp_print_string fmt "truncated"
   | Malformed msg -> Format.fprintf fmt "malformed: %s" msg
 
+(* ---- Resource caps ----------------------------------------------------- *)
+
+type caps = {
+  max_message_bytes : int;
+  max_branch_bits : int;
+  max_schedule_events : int;
+  max_lock_events : int;
+  max_predicates : int;
+}
+
+(* Generous for any honest trace the interpreter can produce (branch
+   bits are bounded by the pod's step watchdog), tight enough that an
+   adversarial upload cannot make the hive materialize gigabytes from a
+   few RLE bytes. *)
+let default_caps =
+  {
+    max_message_bytes = 1 lsl 20;
+    max_branch_bits = 1 lsl 20;
+    max_schedule_events = 1 lsl 20;
+    max_lock_events = 4096;
+    max_predicates = 1 lsl 16;
+  }
+
+(* [check caps what n field] raises [Codec.Malformed] when [n] exceeds
+   the cap; with no caps it accepts anything (trusted input, e.g. a
+   checkpoint the hive wrote itself). *)
+let check caps what n field =
+  match caps with
+  | None -> ()
+  | Some c ->
+    let limit = field c in
+    if n > limit then
+      raise (Codec.Malformed (Printf.sprintf "%s %d exceeds cap %d" what n limit))
+
 let syscall_tag = function
   | Ir.Sys_read -> 0
   | Ir.Sys_open -> 1
@@ -53,7 +87,7 @@ let encode_outcome w = function
       waiting
   | Outcome.Hang -> Codec.Writer.byte w 3
 
-let decode_outcome r =
+let decode_outcome ?caps r =
   match Codec.Reader.byte r with
   | 0 -> Outcome.Success
   | 1 ->
@@ -69,6 +103,7 @@ let decode_outcome r =
           let lock = Codec.Reader.varint r in
           (thread, lock))
     in
+    check caps "lock events" (List.length waiting) (fun c -> c.max_lock_events);
     Outcome.Deadlock { waiting }
   | 3 -> Outcome.Hang
   | n -> raise (Codec.Malformed (Printf.sprintf "outcome tag %d" n))
@@ -108,8 +143,15 @@ let encode (t : Trace.t) =
   encode_outcome w t.outcome;
   Codec.Writer.contents w
 
-let decode s =
+let decode ?caps s =
   match
+    (match caps with
+    | Some c when String.length s > c.max_message_bytes ->
+      raise
+        (Codec.Malformed
+           (Printf.sprintf "message of %d bytes exceeds cap %d" (String.length s)
+              c.max_message_bytes))
+    | _ -> ());
     let r = Codec.Reader.of_string s in
     let program_digest = Codec.Reader.bytes r in
     let pod = Codec.Reader.varint r in
@@ -117,11 +159,28 @@ let decode s =
     let steps = Codec.Reader.varint r in
     let n_decisions = Codec.Reader.varint r in
     let n_bits = Codec.Reader.varint r in
+    (* Caps are enforced on the *declared* sizes before any expansion:
+       a few adversarial RLE bytes must not make the hive materialize a
+       multi-gigabyte bit-vector. *)
+    check caps "branch bits" n_bits (fun c -> c.max_branch_bits);
     let bits =
       match Codec.Reader.byte r with
       | 0 -> Bitvec.of_bytes (Codec.Reader.bytes r) n_bits
       | 1 ->
-        let bits = Compress.runs_to_bits (Compress.decode_runs (Codec.Reader.bytes r)) in
+        let runs = Compress.decode_runs (Codec.Reader.bytes r) in
+        (* Running-sum check: every prefix must stay under the declared
+           bit count, so a crafted run length can neither overflow the
+           accumulator nor trigger a huge allocation in expansion. *)
+        let declared =
+          List.fold_left
+            (fun acc (_, n) ->
+              if n < 0 || n > n_bits - acc then
+                raise (Codec.Malformed "RLE bit count mismatch")
+              else acc + n)
+            0 runs
+        in
+        if declared <> n_bits then raise (Codec.Malformed "RLE bit count mismatch");
+        let bits = Compress.runs_to_bits runs in
         if Bitvec.length bits <> n_bits then raise (Codec.Malformed "RLE bit count mismatch");
         bits
       | n -> raise (Codec.Malformed (Printf.sprintf "bits encoding tag %d" n))
@@ -132,6 +191,20 @@ let decode s =
           let run = Codec.Reader.varint r in
           (thread, run))
     in
+    (match caps with
+    | None -> ()
+    | Some c ->
+      (* Prefix-sum guard, for the same no-amplification reason as the
+         branch-bit runs. *)
+      ignore
+        (List.fold_left
+           (fun acc (_, n) ->
+             if n < 0 || n > c.max_schedule_events - acc then
+               raise
+                 (Codec.Malformed
+                    (Printf.sprintf "schedule events exceed cap %d" c.max_schedule_events))
+             else acc + n)
+           0 schedule_runs));
     let schedule = Compress.expand_int_runs schedule_runs in
     let syscalls =
       Codec.Reader.list r (fun r ->
@@ -139,7 +212,7 @@ let decode s =
           let result = Codec.Reader.zigzag r in
           (kind, result))
     in
-    let outcome = decode_outcome r in
+    let outcome = decode_outcome ?caps r in
     {
       Trace.trace_id = Ids.Trace_id.fresh ();
       program_digest;

@@ -10,10 +10,32 @@ type decode_error =
   | Truncated
   | Malformed of string
 
+(** Hard resource caps for decoding untrusted uploads (poison-trace
+    quarantine, DESIGN.md §9).  Every cap bounds what the decoder will
+    {e materialize}, checked against declared sizes before any
+    expansion — a few adversarial RLE bytes cannot make the hive
+    allocate gigabytes.  Pass no caps for trusted input (checkpoints
+    the hive wrote itself). *)
+type caps = {
+  max_message_bytes : int;  (** Raw encoded frame size. *)
+  max_branch_bits : int;  (** Declared branch bit-vector length. *)
+  max_schedule_events : int;  (** Expanded schedule length. *)
+  max_lock_events : int;  (** Deadlock wait-for edges per outcome. *)
+  max_predicates : int;  (** Sampled-report predicate rows
+                             (enforced by {!Softborg_hive.Protocol}). *)
+}
+
+val default_caps : caps
+(** Generous for any honest trace (the pod's step watchdog bounds
+    them), tight enough to stop amplification attacks. *)
+
 val encode : Trace.t -> string
-val decode : string -> (Trace.t, decode_error) result
+
+val decode : ?caps:caps -> string -> (Trace.t, decode_error) result
 (** [decode (encode t)] re-creates [t] up to {!Trace.equal} (a fresh
-    trace id is assigned). *)
+    trace id is assigned).  Total: any input yields [Ok] or [Error],
+    never an exception.  With [caps], oversized or amplifying inputs
+    are rejected as [Malformed]. *)
 
 val pp_error : Format.formatter -> decode_error -> unit
 
@@ -21,6 +43,6 @@ module Codec := Softborg_util.Codec
 module Outcome := Softborg_exec.Outcome
 
 val encode_outcome : Codec.Writer.t -> Outcome.t -> unit
-val decode_outcome : Codec.Reader.t -> Outcome.t
+val decode_outcome : ?caps:caps -> Codec.Reader.t -> Outcome.t
 (** Outcome sub-codec, shared with the hive↔pod message protocol.
     @raise Softborg_util.Codec.Malformed on invalid input. *)

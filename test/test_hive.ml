@@ -643,12 +643,14 @@ let test_protocol_roundtrips () =
     [
       Protocol.Trace_upload (Softborg_trace.Wire.encode trace);
       Protocol.Sampled_report { program_digest = "d"; report = sampled };
-      Protocol.Fix_update { program_digest = "d"; epoch = 2; fixes };
+      Protocol.Fix_update { program_digest = "d"; epoch = 2; fixes; pressure = 0 };
       Protocol.Guidance_update
         {
           program_digest = "d";
           directives = [ Guidance.Probe_schedules { inputs = [| 0 |]; seeds = [ 1 ] } ];
+          pressure = 2;
         };
+      Protocol.Pressure_update { level = 3 };
     ]
   in
   List.iter

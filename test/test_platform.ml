@@ -39,6 +39,12 @@ let snap ~time ~sessions ~failures =
     tree_completeness = 0.0;
     checkpoints = 0;
     restores = 0;
+    shed_uploads = 0;
+    quarantined_frames = 0;
+    pods_muted = 0;
+    peak_queue_depth = 0;
+    thinned_uploads = 0;
+    dead_letters = 0;
   }
 
 let test_metrics_failure_rate () =

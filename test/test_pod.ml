@@ -145,13 +145,14 @@ let test_pod_applies_fix_update () =
   Transport.send hive_end
     (Protocol.encode
        (Protocol.Fix_update
-          { program_digest = Ir.digest Corpus.parser; epoch = 1; fixes = [ fix ] }));
+          { program_digest = Ir.digest Corpus.parser; epoch = 1; fixes = [ fix ]; pressure = 0 }));
   Sim.run sim;
   checki "pod at epoch 1" 1 (Pod.metrics pod).Pod.fix_epoch;
   (* Older epochs must not roll the pod back. *)
   Transport.send hive_end
     (Protocol.encode
-       (Protocol.Fix_update { program_digest = Ir.digest Corpus.parser; epoch = 0; fixes = [] }));
+       (Protocol.Fix_update
+          { program_digest = Ir.digest Corpus.parser; epoch = 0; fixes = []; pressure = 0 }));
   Sim.run sim;
   checki "stale update ignored" 1 (Pod.metrics pod).Pod.fix_epoch
 
@@ -172,7 +173,7 @@ let test_pod_guidance_takes_priority () =
   Transport.send hive_end
     (Protocol.encode
        (Protocol.Guidance_update
-          { program_digest = Ir.digest Corpus.parser; directives = [ directive ] }));
+          { program_digest = Ir.digest Corpus.parser; directives = [ directive ]; pressure = 0 }));
   Sim.run sim;
   Pod.start pod;
   Sim.run ~until:10.0 sim;
@@ -216,7 +217,7 @@ let test_pod_fix_averts_failures () =
   Transport.send hive_end
     (Protocol.encode
        (Protocol.Fix_update
-          { program_digest = Ir.digest Corpus.parser; epoch = 1; fixes = [ fix ] }));
+          { program_digest = Ir.digest Corpus.parser; epoch = 1; fixes = [ fix ]; pressure = 0 }));
   Sim.run sim;
   (* Drive the crash inputs through a guidance directive. *)
   Transport.send hive_end
@@ -237,6 +238,7 @@ let test_pod_fix_averts_failures () =
                       };
                   };
               ];
+            pressure = 0;
           }));
   Sim.run sim;
   Pod.start pod;
