@@ -15,6 +15,9 @@ module Generator = Softborg_prog.Generator
 module Env = Softborg_exec.Env
 module Sched = Softborg_exec.Sched
 module Interp = Softborg_exec.Interp
+module Bytecode = Softborg_exec.Bytecode
+module Engine = Softborg_exec.Engine
+module Build = Softborg_prog.Build
 module Outcome = Softborg_exec.Outcome
 module Trace = Softborg_trace.Trace
 module Wire = Softborg_trace.Wire
@@ -1617,6 +1620,231 @@ let overload_smoke () =
     h.Hive.shed_success h.Hive.shed_failure h.Hive.peak_queue_depth
     report.Platform.final.Metrics.thinned_uploads
 
+(* ==================================================================== *)
+(* micro-vm: bytecode VM vs tree-walk interpreter.  Cross-checks both  *)
+(* engines on a generated population (every by-product byte-equal),    *)
+(* measures executions/sec at population scale, the compile-cache hit  *)
+(* rate, and the marginal minor-heap words per dispatched instruction  *)
+(* (must be ~0: allocation in the hot loop would trigger cross-domain  *)
+(* minor collections on OCaml 5).  Emits BENCH_vm.json.                *)
+(* ==================================================================== *)
+
+let micro_vm ?(smoke = false) () =
+  heading
+    (if smoke then "micro-vm (smoke: tiny population, no JSON)"
+     else "micro-vm: bytecode VM vs tree-walk execution throughput");
+  let n_programs = if smoke then 8 else 64 in
+  let cocktails =
+    [|
+      [];
+      [ Generator.Rare_assert; Generator.Div_by_zero ];
+      [ Generator.Deadlock_pair ];
+      [ Generator.Atomicity_race; Generator.Unchecked_syscall ];
+    |]
+  in
+  let population =
+    Array.init n_programs (fun i ->
+        let params =
+          {
+            Generator.default_params with
+            Generator.bugs = cocktails.(i mod Array.length cocktails);
+            block_depth = 4;
+            stmts_per_block = 8;
+          }
+        in
+        fst (Generator.generate (Rng.create (1000 + i)) params))
+  in
+  (* Throughput workloads: input-bounded loops (tainted branches, so
+     every iteration records a decision bit), modular arithmetic, and —
+     on every other program — a second thread contending on a lock.
+     Generated programs above average ~100 steps, which measures setup
+     cost, not execution; these average ~1000 steps per run, which is
+     where an execution engine earns its keep. *)
+  let workload i =
+    let open Build.Infix in
+    let trip = 200 + (17 * i mod 250) in
+    let main =
+      [
+        Build.assign (Build.lvar "i")
+          ((Build.input 0 %: Build.const 64) +: Build.const trip);
+        Build.assign (Build.lvar "acc") (Build.const 0);
+        Build.while_
+          (Build.local "i" >: Build.const 0)
+          ([
+             Build.assign (Build.lvar "acc")
+               (Build.local "acc" +: (Build.local "i" *: Build.const (2 + (i mod 5))));
+             Build.assign (Build.lvar "acc") (Build.local "acc" %: Build.const 997);
+           ]
+          @ (if i mod 3 = 0 then
+               [
+                 Build.lock 0;
+                 Build.assign (Build.gvar "shared") (Build.glob "shared" +: Build.const 1);
+                 Build.unlock 0;
+               ]
+             else [])
+          @ [ Build.assign (Build.lvar "i") (Build.local "i" -: Build.const 1) ]);
+        Build.halt;
+      ]
+    in
+    let second =
+      [
+        Build.assign (Build.lvar "j") (Build.const (20 + (i mod 30)));
+        Build.while_
+          (Build.local "j" >: Build.const 0)
+          [
+            Build.lock 0;
+            Build.assign (Build.gvar "shared") (Build.glob "shared" +: Build.const 2);
+            Build.unlock 0;
+            Build.assign (Build.lvar "j") (Build.local "j" -: Build.const 1);
+          ];
+        Build.halt;
+      ]
+    in
+    Build.program
+      ~name:(Printf.sprintf "vm-workload-%d" i)
+      ~globals:[ "shared" ] ~n_inputs:1 ~n_locks:1
+      (if i mod 2 = 0 then [ main; second ] else [ main ])
+  in
+  let workloads = Array.init n_programs workload in
+  let max_steps = 8_000 in
+  let env_for prog i =
+    let inputs =
+      Array.init prog.Ir.n_inputs (fun k -> (((i * 131) + (k * 17)) mod 601) - 100)
+    in
+    Env.make ~seed:i ~inputs ()
+  in
+  let run ~engine ~cache ~sched prog i =
+    Engine.run ~max_steps ~cache ~engine ~program:prog ~env:(env_for prog i) ~sched ()
+  in
+  (* Engine equivalence on both populations: both engines from
+     identical (inputs, seed, schedule policy) must agree on every
+     by-product.  This is what @vm-smoke contributes to `dune
+     runtest`. *)
+  let results_equal (a : Interp.result) (b : Interp.result) =
+    a.Interp.outcome = b.Interp.outcome
+    && Bitvec.equal a.Interp.bits b.Interp.bits
+    && a.Interp.full_path = b.Interp.full_path
+    && a.Interp.schedule = b.Interp.schedule
+    && a.Interp.syscalls = b.Interp.syscalls
+    && a.Interp.lock_events = b.Interp.lock_events
+    && a.Interp.steps = b.Interp.steps
+  in
+  let check_cache = Bytecode.create_cache () in
+  let checked = ref 0 in
+  Array.iter
+    (fun prog ->
+      for rep = 0 to 2 do
+        let i = (3 * !checked) + rep in
+        let sched () = Sched.Random_sched (Rng.create (7 * i)) in
+        let tree = run ~engine:Engine.Tree ~cache:check_cache ~sched:(sched ()) prog i in
+        let vm = run ~engine:Engine.Vm ~cache:check_cache ~sched:(sched ()) prog i in
+        assert (results_equal tree vm)
+      done;
+      incr checked)
+    (Array.append population workloads);
+  Printf.printf "engine equivalence: %d programs x 3 runs — tree = vm on every by-product\n"
+    !checked;
+  (* Marginal allocation per dispatched instruction: two straight-line
+     programs of different lengths, identical everywhere else, so the
+     fixed per-run overhead (env, machine, result materialization)
+     cancels in the difference.  Straight-line assignments carry no
+     decisions, so the difference isolates the dispatch loop itself,
+     which must allocate nothing (an allocating loop would trigger
+     cross-domain stop-the-world minor collections on OCaml 5). *)
+  let straightline_program n =
+    let open Build.Infix in
+    Build.program ~name:(Printf.sprintf "vm-straight-%d" n)
+      [
+        List.init n (fun k ->
+            Build.assign (Build.lvar "acc") (Build.local "acc" +: Build.const (k mod 7)))
+        @ [ Build.halt ];
+      ]
+  in
+  let words_cache = Bytecode.create_cache () in
+  let minor_words_for prog reps =
+    let go () =
+      Engine.run ~max_steps:100_000 ~cache:words_cache ~engine:Engine.Vm ~program:prog
+        ~env:(Env.make ~seed:0 ~inputs:[||] ()) ~sched:Sched.Round_robin ()
+    in
+    ignore (go ());
+    (* warm: compile + touch every code path once *)
+    let w0 = Gc.minor_words () in
+    let steps = ref 0 in
+    for _ = 1 to reps do
+      steps := !steps + (go ()).Interp.steps
+    done;
+    (Gc.minor_words () -. w0, !steps)
+  in
+  let reps = if smoke then 2 else 5 in
+  let w_small, s_small = minor_words_for (straightline_program 1_000) reps in
+  let w_big, s_big = minor_words_for (straightline_program 5_000) reps in
+  let words_per_instr = (w_big -. w_small) /. float_of_int (s_big - s_small) in
+  Printf.printf "vm dispatch allocation: %.4f minor words/instruction (over %d instrs)\n"
+    words_per_instr (s_big - s_small);
+  assert (Float.abs words_per_instr < 0.05);
+  (* Throughput: rotate over the workload population under a
+     deterministic scheduler, fresh compile cache per measurement so
+     the hit rate is honest (misses = population size). *)
+  let bench_engine ~engine total =
+    let cache = Bytecode.create_cache () in
+    let steps = ref 0 in
+    let t0 = Unix.gettimeofday () in
+    for i = 0 to total - 1 do
+      steps :=
+        !steps
+        + (run ~engine ~cache ~sched:Sched.Round_robin workloads.(i mod n_programs) i)
+            .Interp.steps
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    Printf.printf "  [%s] avg %.0f steps/execution\n" (Engine.to_string engine)
+      (float_of_int !steps /. float_of_int total);
+    let stats = Bytecode.cache_stats cache in
+    let served = stats.Bytecode.hits + stats.Bytecode.fast_hits + stats.Bytecode.misses in
+    let hit_rate =
+      if served = 0 then 0.0
+      else float_of_int (stats.Bytecode.hits + stats.Bytecode.fast_hits) /. float_of_int served
+    in
+    (float_of_int total /. dt, hit_rate)
+  in
+  let sizes = if smoke then [ 1_000 ] else [ 10_000; 100_000 ] in
+  let rows =
+    List.map
+      (fun total ->
+        let tree_eps, _ = bench_engine ~engine:Engine.Tree total in
+        let vm_eps, hit_rate = bench_engine ~engine:Engine.Vm total in
+        let speedup = vm_eps /. tree_eps in
+        Printf.printf
+          "%7d executions: tree %10.0f execs/s | vm %10.0f execs/s | speedup %.2fx | cache hit-rate %.4f\n"
+          total tree_eps vm_eps speedup hit_rate;
+        (total, tree_eps, vm_eps, speedup, hit_rate))
+      sizes
+  in
+  (match List.rev rows with
+  | (total, _, _, speedup, _) :: _ when not smoke ->
+    if speedup < 3.0 then
+      Printf.printf "WARNING: vm speedup %.2fx at %d executions is below the 3x target\n" speedup
+        total
+  | _ -> ());
+  if not smoke then begin
+    let oc = open_out "BENCH_vm.json" in
+    Printf.fprintf oc "{\n  \"suite\": \"micro-vm\",\n";
+    Printf.fprintf oc "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
+    Printf.fprintf oc "  \"population\": %d,\n" n_programs;
+    Printf.fprintf oc "  \"minor_words_per_instruction\": %.4f,\n" words_per_instr;
+    Printf.fprintf oc "  \"results\": [\n";
+    let last = List.length rows - 1 in
+    List.iteri
+      (fun i (total, tree_eps, vm_eps, speedup, hit_rate) ->
+        Printf.fprintf oc
+          "    { \"executions\": %d, \"tree_execs_per_sec\": %.0f, \"vm_execs_per_sec\": %.0f, \"speedup\": %.2f, \"cache_hit_rate\": %.4f }%s\n"
+          total tree_eps vm_eps speedup hit_rate
+          (if i = last then "" else ","))
+      rows;
+    Printf.fprintf oc "  ]\n}\n";
+    close_out oc;
+    Printf.printf "wrote BENCH_vm.json\n"
+  end
+
 let experiments =
   [
     ("e1", "reliability grows with use (Fig 1)", e1);
@@ -1643,6 +1871,10 @@ let experiments =
       micro_solver ());
     ("micro-solver-smoke", "tiny micro-solver run for @bench-smoke", fun () ->
       micro_solver ~smoke:true ());
+    ("micro-vm", "bytecode VM vs tree-walk throughput (writes BENCH_vm.json)", fun () ->
+      micro_vm ());
+    ("micro-vm-smoke", "tiny micro-vm run with engine-equivalence asserts for @vm-smoke",
+      fun () -> micro_vm ~smoke:true ());
   ]
 
 let () =

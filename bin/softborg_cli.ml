@@ -20,6 +20,7 @@ module Generator = Softborg_prog.Generator
 module Env = Softborg_exec.Env
 module Sched = Softborg_exec.Sched
 module Interp = Softborg_exec.Interp
+module Engine = Softborg_exec.Engine
 module Outcome = Softborg_exec.Outcome
 module Trace = Softborg_trace.Trace
 module Wire = Softborg_trace.Wire
@@ -35,6 +36,7 @@ module Hive = Softborg_hive.Hive
 module Knowledge = Softborg_hive.Knowledge
 module Fixgen = Softborg_hive.Fixgen
 module Prover = Softborg_hive.Prover
+module Pod = Softborg_pod.Pod
 module Platform = Softborg.Platform
 module Scenario = Softborg.Scenario
 module Metrics = Softborg.Metrics
@@ -81,6 +83,16 @@ let program_arg =
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic random seed.")
 
+let engine_conv = Arg.enum [ ("vm", Engine.Vm); ("tree", Engine.Tree) ]
+
+let engine_arg =
+  Arg.(
+    value & opt engine_conv Engine.Vm
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Execution engine: $(b,vm) (compiled bytecode, the default) or $(b,tree) (the \
+           reference tree-walk interpreter).")
+
 (* ---- list -------------------------------------------------------------- *)
 
 let list_cmd =
@@ -111,11 +123,11 @@ let inputs_arg =
     & info [ "inputs" ] ~docv:"N,N,..." ~doc:"Program input vector (missing slots are 0).")
 
 let run_cmd =
-  let run program inputs seed =
+  let run program inputs seed engine =
     let padded = Array.make program.Ir.n_inputs 0 in
     List.iteri (fun i v -> if i < Array.length padded then padded.(i) <- v) inputs;
     let env = Env.make ~seed ~inputs:padded () in
-    let r = Interp.run ~program ~env ~sched:Sched.Round_robin () in
+    let r = Engine.run ~engine ~program ~env ~sched:Sched.Round_robin () in
     Format.printf "program:  %s@." program.Ir.name;
     Format.printf "inputs:   [%s]@."
       (String.concat "; " (Array.to_list (Array.map string_of_int padded)));
@@ -134,7 +146,7 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute a program once and show its by-products.")
-    Term.(const run $ program_arg $ inputs_arg $ seed_arg)
+    Term.(const run $ program_arg $ inputs_arg $ seed_arg $ engine_arg)
 
 (* ---- simulate ----------------------------------------------------------- *)
 
@@ -172,11 +184,14 @@ let simulate_cmd =
             "Enable hive overload protection and script an arrival spike: extra pods join \
              mid-run, driving the ingest queue into shedding and backpressure, then leave.")
   in
-  let run verbose program mode duration pods seed chaos chaos_seed overload =
+  let run verbose program mode duration pods seed chaos chaos_seed overload engine =
     setup_logs verbose;
     let config = Scenario.single_program ~mode ~seed program in
     let config =
       { config with Platform.duration; n_pods = pods; sample_interval = duration /. 10.0 }
+    in
+    let config =
+      { config with Platform.pod_config = { config.Platform.pod_config with Pod.engine } }
     in
     let config = if chaos then Scenario.with_chaos ~chaos_seed config else config in
     let config =
@@ -204,7 +219,7 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Run a whole-fleet platform simulation on one program.")
     Term.(
       const run $ verbose_flag $ program_arg $ mode_arg $ duration_arg $ pods_arg $ seed_arg
-      $ chaos_flag $ chaos_seed_arg $ overload_flag)
+      $ chaos_flag $ chaos_seed_arg $ overload_flag $ engine_arg)
 
 (* ---- explore -------------------------------------------------------------- *)
 
@@ -260,11 +275,11 @@ let schedules_cmd =
   let max_runs_arg =
     Arg.(value & opt int 200 & info [ "max-runs" ] ~docv:"N" ~doc:"Execution budget.")
   in
-  let run program inputs max_runs seed =
+  let run program inputs max_runs seed engine =
     let padded = Array.make program.Ir.n_inputs 0 in
     List.iteri (fun i v -> if i < Array.length padded then padded.(i) <- v) inputs;
     let make_env () = Env.make ~seed ~inputs:padded () in
-    let result = Schedule_explore.explore ~max_runs ~program ~make_env () in
+    let result = Schedule_explore.explore ~max_runs ~engine ~program ~make_env () in
     Format.printf "runs: %d, distinct schedules: %d, failing: %d@." result.Schedule_explore.runs
       result.Schedule_explore.distinct_schedules
       (List.length result.Schedule_explore.failures);
@@ -276,7 +291,7 @@ let schedules_cmd =
   in
   Cmd.v
     (Cmd.info "schedules" ~doc:"Systematically explore thread interleavings.")
-    Term.(const run $ program_arg $ inputs_arg $ max_runs_arg $ seed_arg)
+    Term.(const run $ program_arg $ inputs_arg $ max_runs_arg $ seed_arg $ engine_arg)
 
 (* ---- immunize ------------------------------------------------------------------ *)
 

@@ -2,6 +2,7 @@ module Ir = Softborg_prog.Ir
 module Env = Softborg_exec.Env
 module Outcome = Softborg_exec.Outcome
 module Interp = Softborg_exec.Interp
+module Engine = Softborg_exec.Engine
 module Sched = Softborg_exec.Sched
 
 type result = {
@@ -11,7 +12,7 @@ type result = {
   failures : (Outcome.t * int list) list;
 }
 
-let explore ?(max_runs = 200) ?hooks ~program ~make_env () =
+let explore ?(max_runs = 200) ?hooks ?(engine = Engine.Vm) ~program ~make_env () =
   let n_threads = Array.length program.Ir.threads in
   let seen_schedules = Hashtbl.create 64 in
   let outcomes = ref [] in
@@ -19,7 +20,7 @@ let explore ?(max_runs = 200) ?hooks ~program ~make_env () =
   let run_with prefix =
     incr runs;
     let r =
-      Interp.run ?hooks ~program ~env:(make_env ()) ~sched:(Sched.Replay prefix) ()
+      Engine.run ?hooks ~engine ~program ~env:(make_env ()) ~sched:(Sched.Replay prefix) ()
     in
     (r.Interp.outcome, r.Interp.schedule)
   in

@@ -25,10 +25,13 @@ type result = {
 val explore :
   ?max_runs:int ->
   ?hooks:Interp.hooks ->
+  ?engine:Softborg_exec.Engine.t ->
   program:Ir.t ->
   make_env:(unit -> Env.t) ->
   unit ->
   result
-(** Systematically explore interleavings (default [max_runs] 200).
-    [make_env] must build identical environments (same inputs, seed,
-    and fault plan) so that runs differ only in scheduling. *)
+(** Systematically explore interleavings (default [max_runs] 200,
+    default engine the bytecode VM — exploration is embarrassingly
+    execution-bound).  [make_env] must build identical environments
+    (same inputs, seed, and fault plan) so that runs differ only in
+    scheduling. *)

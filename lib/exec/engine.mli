@@ -1,0 +1,44 @@
+(** Execution-engine selection.
+
+    Both engines implement the same record/replay semantics (a tested
+    equivalence); pods default to the bytecode {!Vm} for throughput,
+    while the tree-walk {!Interp} remains the reference semantics and a
+    debugging fallback. *)
+
+module Bitvec := Softborg_util.Bitvec
+module Ir := Softborg_prog.Ir
+
+type t =
+  | Tree  (** Tree-walk reference interpreter ({!Interp}). *)
+  | Vm  (** Compiled bytecode ({!Bytecode} + {!Vm}). *)
+
+val to_string : t -> string
+(** ["tree"] or ["vm"]. *)
+
+val of_string : string -> t option
+
+val run :
+  ?max_steps:int ->
+  ?hooks:Interp.hooks ->
+  ?cache:Bytecode.cache ->
+  engine:t ->
+  program:Ir.t ->
+  env:Env.t ->
+  sched:Sched.policy ->
+  unit ->
+  Interp.result
+(** Dispatch to {!Interp.run} or {!Vm.execute}; [cache] only applies to
+    the VM engine. *)
+
+val reconstruct :
+  ?hooks:Interp.hooks ->
+  ?cache:Bytecode.cache ->
+  engine:t ->
+  program:Ir.t ->
+  bits:Bitvec.t ->
+  schedule:int list ->
+  total_decisions:int ->
+  total_steps:int ->
+  unit ->
+  (Interp.reconstruction, string) result
+(** Dispatch to {!Interp.reconstruct} or {!Vm.reconstruct}. *)

@@ -49,6 +49,27 @@ type thread_status =
   | Blocked_on of int
   | Finished
 
+(* Growable-array accumulators for trace by-products: no per-event cons
+   on the hot loop and no final [List.rev].  The first push allocates at
+   [hint] capacity (sized from [max_steps]); growth doubles. *)
+type 'a vec = { mutable data : 'a array; mutable len : int; hint : int }
+
+let vec_make ~max_steps = { data = [||]; len = 0; hint = max 16 (min max_steps 4096) }
+
+let vec_push v x =
+  let cap = Array.length v.data in
+  if v.len = cap then begin
+    let grown = Array.make (if cap = 0 then v.hint else 2 * cap) x in
+    Array.blit v.data 0 grown 0 v.len;
+    v.data <- grown
+  end;
+  Array.unsafe_set v.data v.len x;
+  v.len <- v.len + 1
+
+let vec_to_list v =
+  let rec go i acc = if i < 0 then acc else go (i - 1) (Array.unsafe_get v.data i :: acc) in
+  go (v.len - 1) []
+
 type machine = {
   program : Ir.t;
   mode : mode;
@@ -62,13 +83,12 @@ type machine = {
   mutable deferred : int;
   mutable suppressed : int;
   mutable out_bits : Bitvec.t;
-  mutable decisions : (Ir.site * bool) list;  (* reversed *)
-  mutable n_decisions : int;
-  mutable syscalls : (Ir.syscall_kind * int) list;  (* reversed *)
-  mutable lock_events : lock_event list;  (* reversed *)
+  decisions : (Ir.site * bool) vec;
+  syscalls : (Ir.syscall_kind * int) vec;
+  lock_events : lock_event vec;
 }
 
-let make_machine ~program ~mode ~hooks =
+let make_machine ~program ~mode ~hooks ~max_steps =
   {
     program;
     mode;
@@ -82,13 +102,16 @@ let make_machine ~program ~mode ~hooks =
     deferred = 0;
     suppressed = 0;
     out_bits = Bitvec.create ();
-    decisions = [];
-    n_decisions = 0;
-    syscalls = [];
-    lock_events = [];
+    decisions = vec_make ~max_steps;
+    syscalls = vec_make ~max_steps;
+    lock_events = vec_make ~max_steps;
   }
 
 let known n = { v = Some n; tainted = false }
+
+(* Shared default for unbound variable reads: immutable, so one value
+   serves every miss instead of consing a fresh [known 0] each time. *)
+let default_value = known 0
 
 let external_value m concrete =
   match m.mode with
@@ -98,7 +121,7 @@ let external_value m concrete =
 let read_var m thread var =
   let table = match var with Ir.Global _ -> m.globals | Ir.Local _ -> m.locals.(thread) in
   let name = match var with Ir.Global n | Ir.Local n -> n in
-  match Hashtbl.find_opt table name with Some v -> v | None -> known 0
+  match Hashtbl.find_opt table name with Some v -> v | None -> default_value
 
 let write_var m thread var value =
   let table = match var with Ir.Global _ -> m.globals | Ir.Local _ -> m.locals.(thread) in
@@ -156,9 +179,7 @@ let rec eval m thread expr =
     in
     { v; tainted = a.tainted || b.tainted }
 
-let record_decision m site taken =
-  m.decisions <- (site, taken) :: m.decisions;
-  m.n_decisions <- m.n_decisions + 1
+let record_decision m site taken = vec_push m.decisions (site, taken)
 
 let branch_decision m site cond_value =
   match cond_value with
@@ -225,7 +246,7 @@ let step m thread =
     | Ir.Syscall { kind; dst } ->
       let concrete = match m.mode with Record env -> Env.syscall env kind | Replay _ -> 0 in
       (match m.mode with
-      | Record _ -> m.syscalls <- (kind, concrete) :: m.syscalls
+      | Record _ -> vec_push m.syscalls (kind, concrete)
       | Replay _ -> ());
       write_var m thread dst (external_value m concrete);
       m.pcs.(thread) <- pc + 1;
@@ -253,14 +274,14 @@ let step m thread =
           true
         | `Proceed ->
           m.lock_owner.(lock) <- Some thread;
-          m.lock_events <- Acquired { thread; lock; step = m.steps } :: m.lock_events;
+          vec_push m.lock_events (Acquired { thread; lock; step = m.steps });
           m.status.(thread) <- Runnable;
           m.pcs.(thread) <- pc + 1;
           true))
     | Ir.Unlock lock ->
       if m.lock_owner.(lock) = Some thread then begin
         m.lock_owner.(lock) <- None;
-        m.lock_events <- Released { thread; lock; step = m.steps } :: m.lock_events
+        vec_push m.lock_events (Released { thread; lock; step = m.steps })
       end;
       m.pcs.(thread) <- pc + 1;
       true
@@ -331,15 +352,15 @@ let drive m ~max_steps ~sched =
   (outcome, Sched.record scheduler)
 
 let run ?(max_steps = 20_000) ?(hooks = no_hooks) ~program ~env ~sched () =
-  let m = make_machine ~program ~mode:(Record env) ~hooks in
+  let m = make_machine ~program ~mode:(Record env) ~hooks ~max_steps in
   let outcome, schedule = drive m ~max_steps ~sched in
   {
     outcome;
     bits = m.out_bits;
-    full_path = List.rev m.decisions;
+    full_path = vec_to_list m.decisions;
     schedule;
-    syscalls = List.rev m.syscalls;
-    lock_events = List.rev m.lock_events;
+    syscalls = vec_to_list m.syscalls;
+    lock_events = vec_to_list m.lock_events;
     steps = m.steps;
     deferred_acquisitions = m.deferred;
     suppressed_crashes = m.suppressed;
@@ -353,7 +374,7 @@ type reconstruction = {
 let reconstruct ?(hooks = no_hooks) ~program ~bits ~schedule ~total_decisions ~total_steps ()
     =
   let mode = Replay { bits; bit_pos = 0; total_decisions } in
-  let m = make_machine ~program ~mode ~hooks in
+  let m = make_machine ~program ~mode ~hooks ~max_steps:total_steps in
   let scheduler = Sched.create (Sched.Replay schedule) in
   let rec loop () =
     if m.steps >= total_steps then Ok ()
@@ -370,14 +391,14 @@ let reconstruct ?(hooks = no_hooks) ~program ~bits ~schedule ~total_decisions ~t
         | exception Replay_error msg ->
           (* Bits running dry on the recorded crash step is the normal
              end of a trace cut short while evaluating a branch. *)
-          if m.n_decisions = total_decisions && m.steps >= total_steps then Ok ()
+          if m.decisions.len = total_decisions && m.steps >= total_steps then Ok ()
           else Error msg)
   in
   match loop () with
   | Ok () ->
-    if m.n_decisions <> total_decisions then
+    if m.decisions.len <> total_decisions then
       Error
-        (Printf.sprintf "reconstructed %d decisions, trace recorded %d" m.n_decisions
+        (Printf.sprintf "reconstructed %d decisions, trace recorded %d" m.decisions.len
            total_decisions)
-    else Ok { decisions = List.rev m.decisions; locks = List.rev m.lock_events }
+    else Ok { decisions = vec_to_list m.decisions; locks = vec_to_list m.lock_events }
   | Error msg -> Error msg

@@ -53,4 +53,46 @@ let choose t ~runnable =
     t.chosen <- chosen :: t.chosen;
     chosen
 
+(* Allocation-free variant of [choose] over an array prefix.  Must stay
+   behaviorally identical to [choose] on the same runnable set — same
+   RNG draws ([Rng.choice] is one uniform index draw over the length),
+   same pending/round-robin fallbacks, same recording — so that the
+   bytecode VM and the tree-walk interpreter produce identical
+   schedules from identical policies. *)
+let choose_prefix t ~buf ~n =
+  if n <= 0 then invalid_arg "Sched.choose_prefix: no runnable threads"
+  else if n = 1 then begin
+    let only = buf.(0) in
+    t.last <- only;
+    only
+  end
+  else begin
+    let mem wanted =
+      let rec go i = i < n && (buf.(i) = wanted || go (i + 1)) in
+      go 0
+    in
+    let default () =
+      match t.policy with
+      | Random_sched rng | Guided { fallback = rng; _ } -> buf.(Rng.int rng n)
+      | Round_robin | Replay _ ->
+        (* First runnable thread strictly greater than the last choice,
+           wrapping around ([buf] is ascending like [runnable]). *)
+        let rec find i = if i >= n then buf.(0) else if buf.(i) > t.last then buf.(i) else find (i + 1) in
+        find 0
+    in
+    let chosen =
+      match t.pending with
+      | wanted :: rest when mem wanted ->
+        t.pending <- rest;
+        wanted
+      | _ :: rest ->
+        t.pending <- rest;
+        default ()
+      | [] -> default ()
+    in
+    t.last <- chosen;
+    t.chosen <- chosen :: t.chosen;
+    chosen
+  end
+
 let record t = List.rev t.chosen

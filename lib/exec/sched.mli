@@ -29,5 +29,12 @@ val choose : t -> runnable:int list -> int
     runnable, the scheduler falls back to its default rather than
     wedging. *)
 
+val choose_prefix : t -> buf:int array -> n:int -> int
+(** [choose_prefix t ~buf ~n] is [choose t ~runnable] where [runnable]
+    is the first [n] elements of [buf] (ascending, non-empty), without
+    allocating.  Identical policy semantics and RNG consumption; used
+    by the bytecode VM's dispatch loop.
+    @raise Invalid_argument if [n <= 0]. *)
+
 val record : t -> int list
 (** Contended-point choices made so far, oldest first. *)

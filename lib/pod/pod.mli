@@ -24,6 +24,10 @@ type config = {
   workload : Workload.profile;
   fault_probability : float;  (** Ambient environment-fault rate. *)
   max_steps : int;  (** Watchdog budget per session. *)
+  engine : Softborg_exec.Engine.t;
+      (** Execution engine; defaults to the bytecode {!Softborg_exec.Vm}
+          — executions/sec is the pod's traffic multiplier, and the VM
+          is a tested drop-in for the tree walk. *)
   anonymize : Anonymize.level;
   upload : upload_mode;
   slow_threshold : int;  (** Steps beyond which users get frustrated. *)

@@ -116,8 +116,115 @@ let lock_sites t =
 
 let instr_count t = Array.fold_left (fun acc body -> acc + Array.length body) 0 t.threads
 
+(* The digest feeds compile caches and persisted checkpoints, so it
+   must depend only on program {e structure}: two structurally equal
+   programs built independently must collide, and sharing inside one
+   value must not matter.  Marshal fails both (it encodes sharing), so
+   we serialize canonically into a buffer and hash that. *)
 let digest t =
-  Digest.to_hex (Digest.string (Marshal.to_string (t.name, t.globals, t.n_inputs, t.n_locks, t.threads) []))
+  let buf = Buffer.create 512 in
+  let tag c = Buffer.add_char buf c in
+  let int n =
+    Buffer.add_string buf (string_of_int n);
+    Buffer.add_char buf ';'
+  in
+  let str s =
+    int (String.length s);
+    Buffer.add_string buf s
+  in
+  let var = function
+    | Global g ->
+      tag 'G';
+      str g
+    | Local l ->
+      tag 'L';
+      str l
+  in
+  let unop_code = function Neg -> 0 | Not -> 1 in
+  let binop_code = function
+    | Add -> 0
+    | Sub -> 1
+    | Mul -> 2
+    | Div -> 3
+    | Mod -> 4
+    | Eq -> 5
+    | Ne -> 6
+    | Lt -> 7
+    | Le -> 8
+    | Gt -> 9
+    | Ge -> 10
+    | And -> 11
+    | Or -> 12
+  in
+  let syscall_code = function
+    | Sys_read -> 0
+    | Sys_open -> 1
+    | Sys_write -> 2
+    | Sys_net -> 3
+    | Sys_time -> 4
+  in
+  let rec expr = function
+    | Const c ->
+      tag 'c';
+      int c
+    | Var v ->
+      tag 'v';
+      var v
+    | Input i ->
+      tag 'i';
+      int i
+    | Unop (op, e) ->
+      tag 'u';
+      int (unop_code op);
+      expr e
+    | Binop (op, a, b) ->
+      tag 'b';
+      int (binop_code op);
+      expr a;
+      expr b
+  in
+  let instr = function
+    | Assign (v, e) ->
+      tag 'A';
+      var v;
+      expr e
+    | Branch { cond; if_true; if_false } ->
+      tag 'B';
+      expr cond;
+      int if_true;
+      int if_false
+    | Jump target ->
+      tag 'J';
+      int target
+    | Syscall { kind; dst } ->
+      tag 'S';
+      int (syscall_code kind);
+      var dst
+    | Lock l ->
+      tag 'K';
+      int l
+    | Unlock l ->
+      tag 'U';
+      int l
+    | Assert { cond; message } ->
+      tag 'T';
+      expr cond;
+      str message
+    | Yield -> tag 'Y'
+    | Halt -> tag 'H'
+  in
+  str t.name;
+  int (List.length t.globals);
+  List.iter str t.globals;
+  int t.n_inputs;
+  int t.n_locks;
+  int (Array.length t.threads);
+  Array.iter
+    (fun body ->
+      int (Array.length body);
+      Array.iter instr body)
+    t.threads;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
 
 let validate t =
   let fail fmt = Format.kasprintf (fun msg -> Error msg) fmt in

@@ -95,7 +95,10 @@ val instr_count : t -> int
 
 val digest : t -> string
 (** Structural digest (hex); the hive keys its per-program knowledge by
-    this, so two pods running the same build aggregate together. *)
+    this, so two pods running the same build aggregate together.
+    Depends only on program structure: a structurally rebuilt program
+    digests identically regardless of value sharing, which is what lets
+    compile caches and persisted checkpoints use it as a key. *)
 
 val validate : t -> (unit, string) result
 (** Checks structural well-formedness: jump/branch targets in range,

@@ -5,6 +5,7 @@ module Build = Softborg_prog.Build
 module Corpus = Softborg_prog.Corpus
 module Generator = Softborg_prog.Generator
 module Rng = Softborg_util.Rng
+module Bytecode = Softborg_exec.Bytecode
 
 let checki = Alcotest.check Alcotest.int
 let checkb = Alcotest.check Alcotest.bool
@@ -110,6 +111,92 @@ let test_digest_stable () =
   Alcotest.check Alcotest.string "same program same digest" (Ir.digest Corpus.parser)
     (Ir.digest Corpus.parser)
 
+(* Rebuild a program from scratch — fresh strings, fresh arrays, no
+   value sharing with the original.  The digest must be structural:
+   sharing-sensitive hashing (e.g. Marshal) would tell these apart. *)
+let rebuild_program (p : Ir.t) : Ir.t =
+  let s x = String.init (String.length x) (String.get x) in
+  let var = function Ir.Global g -> Ir.Global (s g) | Ir.Local l -> Ir.Local (s l) in
+  let rec expr = function
+    | Ir.Const c -> Ir.Const c
+    | Ir.Var v -> Ir.Var (var v)
+    | Ir.Input i -> Ir.Input i
+    | Ir.Unop (op, e) -> Ir.Unop (op, expr e)
+    | Ir.Binop (op, a, b) -> Ir.Binop (op, expr a, expr b)
+  in
+  let instr = function
+    | Ir.Assign (v, e) -> Ir.Assign (var v, expr e)
+    | Ir.Branch { cond; if_true; if_false } -> Ir.Branch { cond = expr cond; if_true; if_false }
+    | Ir.Jump t -> Ir.Jump t
+    | Ir.Syscall { kind; dst } -> Ir.Syscall { kind; dst = var dst }
+    | Ir.Lock l -> Ir.Lock l
+    | Ir.Unlock l -> Ir.Unlock l
+    | Ir.Assert { cond; message } -> Ir.Assert { cond = expr cond; message = s message }
+    | Ir.Yield -> Ir.Yield
+    | Ir.Halt -> Ir.Halt
+  in
+  {
+    Ir.name = s p.Ir.name;
+    globals = List.map s p.Ir.globals;
+    n_inputs = p.Ir.n_inputs;
+    n_locks = p.Ir.n_locks;
+    threads = Array.map (Array.map instr) p.Ir.threads;
+  }
+
+let test_digest_rebuild_stable () =
+  List.iter
+    (fun (name, prog) ->
+      Alcotest.check Alcotest.string (name ^ " rebuilt digest") (Ir.digest prog)
+        (Ir.digest (rebuild_program prog)))
+    Corpus.all;
+  for seed = 1 to 50 do
+    let prog, _ = Generator.generate (Rng.create seed) Generator.default_params in
+    Alcotest.check Alcotest.string
+      (Printf.sprintf "generated %d rebuilt digest" seed)
+      (Ir.digest prog)
+      (Ir.digest (rebuild_program prog))
+  done
+
+let program_structurally_equal (a : Ir.t) (b : Ir.t) =
+  a.Ir.name = b.Ir.name && a.Ir.globals = b.Ir.globals && a.Ir.n_inputs = b.Ir.n_inputs
+  && a.Ir.n_locks = b.Ir.n_locks && a.Ir.threads = b.Ir.threads
+
+(* 1000 generator programs through one compile cache: every compiled
+   value must be keyed by its own program's digest, and a repeated
+   digest may only ever come from a structurally identical program —
+   the cache never conflates distinct programs. *)
+let prop_compile_cache_never_conflates =
+  let cache = Bytecode.create_cache () in
+  let by_digest : (string, Ir.t) Hashtbl.t = Hashtbl.create 2048 in
+  let case = ref 0 in
+  QCheck.Test.make ~name:"compile cache never conflates generator programs (1000 cases)"
+    ~count:1000 QCheck.small_nat (fun salt ->
+      incr case;
+      let seed = !case + (salt mod 7) in
+      let bugs =
+        match seed mod 4 with
+        | 0 -> []
+        | 1 -> [ Generator.Rare_assert; Generator.Div_by_zero ]
+        | 2 -> [ Generator.Deadlock_pair ]
+        | _ -> [ Generator.Atomicity_race; Generator.Unchecked_syscall ]
+      in
+      let prog, _ =
+        Generator.generate (Rng.create seed) { Generator.default_params with Generator.bugs }
+      in
+      let compiled = Bytecode.find_or_compile cache prog in
+      let digest = Ir.digest prog in
+      let keyed_correctly = compiled.Bytecode.source_digest = digest in
+      let no_conflation =
+        match Hashtbl.find_opt by_digest digest with
+        | Some prior -> program_structurally_equal prior prog
+        | None ->
+          Hashtbl.add by_digest digest prog;
+          true
+      in
+      (keyed_correctly && no_conflation)
+      || QCheck.Test.fail_reportf "seed %d: keyed=%b conflated=%b" seed keyed_correctly
+           (not no_conflation))
+
 let test_lock_sites () =
   let sites = Ir.lock_sites Corpus.worker_pool in
   checki "two lock acquisitions per worker" 4 (List.length sites)
@@ -192,6 +279,8 @@ let () =
           Alcotest.test_case "corpus valid" `Quick test_corpus_all_valid;
           Alcotest.test_case "digests distinct" `Quick test_digest_distinguishes_programs;
           Alcotest.test_case "digest stable" `Quick test_digest_stable;
+          Alcotest.test_case "digest rebuild stable" `Quick test_digest_rebuild_stable;
+          q prop_compile_cache_never_conflates;
           Alcotest.test_case "lock sites" `Quick test_lock_sites;
           Alcotest.test_case "instr counts" `Quick test_instr_count_positive;
         ] );
