@@ -47,6 +47,8 @@ module Guidance = Softborg_hive.Guidance
 module Gap_memo = Softborg_hive.Gap_memo
 module Pod = Softborg_pod.Pod
 module Workload = Softborg_pod.Workload
+module Corpus_bench = Softborg_corpus.Corpus_bench
+module Repair_score = Softborg_hive.Repair_score
 module Platform = Softborg.Platform
 module Scenario = Softborg.Scenario
 module Metrics = Softborg.Metrics
@@ -1744,6 +1746,39 @@ let micro_vm ?(smoke = false) () =
     (Array.append population workloads);
   Printf.printf "engine equivalence: %d programs x 3 runs — tree = vm on every by-product\n"
     !checked;
+  (* The bug-benchmark corpus rides the same equivalence check: every
+     buggy/fixed pair, one natural run plus the instance's certified
+     trigger recipe (inputs, fault plan, failing schedule). *)
+  let corpus_checked = ref 0 in
+  List.iter
+    (fun (inst : Corpus_bench.instance) ->
+      let check ~program ~inputs ~fault_plan ~sched_of =
+        let go engine =
+          Engine.run ~cache:check_cache ~engine ~program
+            ~env:(Env.make ~fault_plan ~seed:13 ~inputs ())
+            ~sched:(sched_of ()) ()
+        in
+        assert (results_equal (go Engine.Tree) (go Engine.Vm))
+      in
+      List.iter
+        (fun program ->
+          let inputs =
+            Array.init program.Ir.n_inputs (fun k -> ((37 * !corpus_checked) + (k * 11)) mod 97)
+          in
+          check ~program ~inputs ~fault_plan:Env.No_faults ~sched_of:(fun () ->
+              Sched.Random_sched (Rng.create (31 * !corpus_checked)));
+          check ~program ~inputs:inst.Corpus_bench.trigger_inputs
+            ~fault_plan:inst.Corpus_bench.fault_plan
+            ~sched_of:(fun () ->
+              match inst.Corpus_bench.schedule_hint with
+              | Some hint -> Sched.Replay hint
+              | None -> Sched.Round_robin);
+          incr corpus_checked)
+        [ inst.Corpus_bench.buggy; inst.Corpus_bench.fixed ])
+    (Corpus_bench.corpus ~seeds:[ 1 ] ());
+  Printf.printf
+    "engine equivalence: %d corpus-bench programs x 2 runs (incl. trigger recipes) — tree = vm\n"
+    !corpus_checked;
   (* Marginal allocation per dispatched instruction: two straight-line
      programs of different lengths, identical everywhere else, so the
      fixed per-run overhead (env, machine, result materialization)
@@ -1845,6 +1880,120 @@ let micro_vm ?(smoke = false) () =
     Printf.printf "wrote BENCH_vm.json\n"
   end
 
+(* Repair scoring over the versioned bug-benchmark corpus: per family,
+   fix precision/recall against the known fixed version, executions to
+   isolation, trigger aversion under the deployed hooks, and proof
+   coverage of the fixed program's tree.  The embedded asserts are the
+   regression yardstick: every instance must stay localized, averted,
+   and at precision 1.0 — a later PR that breaks any family fails
+   @repair-smoke, not a dashboard. *)
+let repair_suite ?(smoke = false) () =
+  heading
+    (if smoke then "repair-smoke (seed 1, full scoring pipeline, no JSON)"
+     else "repair: corpus-bench repair scoring (writes BENCH_repair.json)");
+  let seeds = if smoke then [ 1 ] else Corpus_bench.default_seeds in
+  let config =
+    if smoke then { Repair_score.default_config with Repair_score.runs = 48; trigger_every = 6 }
+    else Repair_score.default_config
+  in
+  let t0 = Unix.gettimeofday () in
+  let instances = Corpus_bench.corpus ~seeds () in
+  Printf.printf
+    "corpus: %d instances (%d families x %d seeds), every one reproduction-checked under both engines at construction (%.2fs)\n"
+    (List.length instances)
+    (List.length Corpus_bench.families)
+    (List.length seeds)
+    (Unix.gettimeofday () -. t0);
+  let scores, families = Repair_score.score_corpus ~config instances in
+  Printf.printf "%-26s %5s %4s %5s %5s %6s %6s %6s  %s\n" "instance" "fails" "tti" "fixes"
+    "corr" "loc" "avert" "cover" "proposals";
+  List.iter
+    (fun (s : Repair_score.instance_score) ->
+      Printf.printf "%-26s %5d %4s %5d %5d %6b %6b %6.3f  %s\n" s.Repair_score.name
+        s.Repair_score.failures_seen
+        (match s.Repair_score.time_to_isolation with None -> "-" | Some i -> string_of_int i)
+        s.Repair_score.proposed s.Repair_score.correct s.Repair_score.localized
+        s.Repair_score.averted s.Repair_score.proof_coverage
+        (String.concat "," s.Repair_score.fix_kinds))
+    scores;
+  Printf.printf "%-18s %2s %9s %6s %8s %8s %6s %8s\n" "family" "n" "precision" "recall"
+    "isolated" "mean-tti" "avert" "coverage";
+  List.iter
+    (fun (f : Repair_score.family_score) ->
+      Printf.printf "%-18s %2d %9.2f %6.2f %8d %8.1f %6.2f %8.3f\n" f.Repair_score.family
+        f.Repair_score.instances f.Repair_score.precision f.Repair_score.recall
+        f.Repair_score.isolated f.Repair_score.mean_time_to_isolation
+        f.Repair_score.averted_rate f.Repair_score.mean_proof_coverage)
+    families;
+  (* The yardstick asserts: one planted bug per instance, so anything
+     short of localized+averted at full precision is a regression. *)
+  List.iter
+    (fun (s : Repair_score.instance_score) ->
+      assert (s.Repair_score.failures_seen > 0);
+      assert (s.Repair_score.time_to_isolation <> None);
+      assert (s.Repair_score.proposed > 0);
+      assert (s.Repair_score.correct = s.Repair_score.proposed);
+      assert s.Repair_score.localized;
+      assert s.Repair_score.averted;
+      assert (s.Repair_score.proof_coverage > 0.5))
+    scores;
+  (* Fixgen false-positive guard: the fixed variants, driven through
+     the identical traffic (trigger recipes included), must yield no
+     evidence and hence no fixes at all. *)
+  List.iter
+    (fun inst -> assert (Repair_score.fixed_variant_fixes ~config inst = []))
+    instances;
+  Printf.printf "fixed-variant sweep: 0 fixes proposed across %d instances\n"
+    (List.length instances);
+  (* Scenario wiring: a short platform run over one instance's buggy
+     build must ingest traffic and deploy a fix through the normal
+     pod->hive loop. *)
+  let inst = List.hd instances in
+  let pconfig =
+    { (Scenario.repair_instance ~seed:5 inst) with Platform.duration = 90.0 }
+  in
+  let report = Platform.run pconfig in
+  let know = List.hd report.Platform.knowledge in
+  let deployable = List.filter Fixgen.is_deployable (Knowledge.fixes know) in
+  Printf.printf "platform wiring (%s): %d traces ingested, %d failures, %d deployable fixes\n"
+    inst.Corpus_bench.name
+    (Knowledge.traces_ingested know)
+    (Knowledge.failures_observed know)
+    (List.length deployable);
+  assert (Knowledge.traces_ingested know > 0);
+  assert (deployable <> []);
+  if not smoke then begin
+    let oc = open_out "BENCH_repair.json" in
+    Printf.fprintf oc "{\n  \"suite\": \"repair\",\n";
+    Printf.fprintf oc "  \"engine\": \"%s\",\n" (Engine.to_string config.Repair_score.engine);
+    Printf.fprintf oc "  \"seeds\": [%s],\n"
+      (String.concat ", " (List.map string_of_int seeds));
+    Printf.fprintf oc "  \"runs_per_instance\": %d,\n" config.Repair_score.runs;
+    Printf.fprintf oc "  \"instances\": %d,\n" (List.length scores);
+    Printf.fprintf oc "  \"families\": [\n";
+    let last = List.length families - 1 in
+    List.iteri
+      (fun i (f : Repair_score.family_score) ->
+        let threaded =
+          match Corpus_bench.find_family f.Repair_score.family with
+          | Some fam -> fam.Corpus_bench.threaded
+          | None -> false
+        in
+        Printf.fprintf oc
+          "    { \"family\": \"%s\", \"version\": %d, \"instances\": %d, \"concurrent\": %b, \
+           \"fix_precision\": %.3f, \"fix_recall\": %.3f, \"isolated\": %d, \
+           \"mean_time_to_isolation\": %.2f, \"averted_rate\": %.3f, \"proof_coverage\": %.3f }%s\n"
+          f.Repair_score.family f.Repair_score.version f.Repair_score.instances threaded
+          f.Repair_score.precision f.Repair_score.recall f.Repair_score.isolated
+          f.Repair_score.mean_time_to_isolation f.Repair_score.averted_rate
+          f.Repair_score.mean_proof_coverage
+          (if i = last then "" else ","))
+      families;
+    Printf.fprintf oc "  ]\n}\n";
+    close_out oc;
+    Printf.printf "wrote BENCH_repair.json\n"
+  end
+
 let experiments =
   [
     ("e1", "reliability grows with use (Fig 1)", e1);
@@ -1875,6 +2024,10 @@ let experiments =
       micro_vm ());
     ("micro-vm-smoke", "tiny micro-vm run with engine-equivalence asserts for @vm-smoke",
       fun () -> micro_vm ~smoke:true ());
+    ("repair", "corpus-bench repair scoring (writes BENCH_repair.json)", fun () ->
+      repair_suite ());
+    ("repair-smoke", "seed-1 corpus through the full scoring pipeline for @repair-smoke",
+      fun () -> repair_suite ~smoke:true ());
   ]
 
 let () =

@@ -1,9 +1,13 @@
 module Rng = Softborg_util.Rng
 module Generator = Softborg_prog.Generator
+module Env = Softborg_exec.Env
 module Link = Softborg_net.Link
 module Transport = Softborg_net.Transport
 module Fault_plan = Softborg_net.Fault_plan
 module Hive = Softborg_hive.Hive
+module Pod = Softborg_pod.Pod
+module Workload = Softborg_pod.Workload
+module Corpus_bench = Softborg_corpus.Corpus_bench
 
 let single_program ?(mode = Hive.Full) ?(seed = 42) program =
   let base = Platform.default_config ~mode () in
@@ -79,6 +83,26 @@ let overload_spike ?(spike_pods = 24) ?(spike_start = 150.0) ?(spike_end = 300.0
   {
     config with
     Platform.chaos = Some (Fault_plan.create (existing @ joins @ leaves));
+  }
+
+(* A corpus-bench instance as a platform scenario: the fleet serves
+   the buggy build under a uniform workload wide enough to cover the
+   instance's trigger values, and — for error-path instances — an
+   ambient fault rate high enough that the targeted syscall failure
+   actually occurs in the field. *)
+let repair_instance ?(mode = Hive.Full) ?(seed = 42) (inst : Corpus_bench.instance) =
+  let base = single_program ~mode ~seed inst.Corpus_bench.buggy in
+  let pod = base.Platform.pod_config in
+  let hi = Array.fold_left max 191 inst.Corpus_bench.trigger_inputs in
+  let fault_probability =
+    match inst.Corpus_bench.fault_plan with
+    | Env.No_faults -> pod.Pod.fault_probability
+    | Env.Random_faults _ | Env.Targeted _ -> 0.05
+  in
+  {
+    base with
+    Platform.pod_config =
+      { pod with Pod.workload = Workload.Uniform_inputs { lo = 0; hi }; fault_probability };
   }
 
 let three_way_chaos ?seed ?chaos_seed ?crash_rate ?churn_rate ?degrade_rate () =

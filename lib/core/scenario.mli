@@ -5,6 +5,7 @@
 
 module Generator := Softborg_prog.Generator
 module Hive := Softborg_hive.Hive
+module Corpus_bench := Softborg_corpus.Corpus_bench
 
 val single_program : ?mode:Hive.mode -> ?seed:int -> Softborg_prog.Ir.t -> Platform.config
 (** A small fleet (6 pods) all running one program. *)
@@ -19,6 +20,12 @@ val buggy_population :
   Platform.config * (Softborg_prog.Ir.t * Generator.planted list) list
 (** A fleet over a population of generated buggy programs; also
     returns the planted-bug ground truth for scoring. *)
+
+val repair_instance : ?mode:Hive.mode -> ?seed:int -> Corpus_bench.instance -> Platform.config
+(** A small fleet serving a bug-benchmark instance's buggy build: the
+    workload is widened to cover the instance's trigger values, and
+    error-path instances get an ambient environment-fault rate so the
+    targeted syscall failure occurs in the field. *)
 
 val lossy_network : Platform.config -> Platform.config
 (** Degrade the network: 10% packet loss, 200ms mean latency.  The

@@ -1,0 +1,667 @@
+(* Seeded, versioned bug-benchmark families with reproduction checked
+   at construction.  See the .mli for the corpus philosophy; the key
+   invariant maintained here is that [certify] runs on every instance
+   before it escapes this module, under both execution engines. *)
+
+module Rng = Softborg_util.Rng
+module Ir = Softborg_prog.Ir
+module Build = Softborg_prog.Build
+module Env = Softborg_exec.Env
+module Sched = Softborg_exec.Sched
+module Interp = Softborg_exec.Interp
+module Engine = Softborg_exec.Engine
+module Outcome = Softborg_exec.Outcome
+module Schedule_explore = Softborg_conc.Schedule_explore
+
+type instance = {
+  name : string;
+  family : string;
+  version : int;
+  seed : int;
+  buggy : Ir.t;
+  fixed : Ir.t;
+  trigger : int array -> bool;
+  trigger_inputs : int array;
+  benign_inputs : int array;
+  fault_plan : Env.fault_plan;
+  schedule_hint : int list option;
+  bug_sites : Ir.site list;
+  trigger_path : (Ir.site * bool) list;
+  bug_locks : int list;
+}
+
+type family = {
+  family_name : string;
+  version : int;
+  threaded : bool;
+  describe : string;
+  generate : int -> instance;
+}
+
+let concurrent inst = Array.length inst.buggy.Ir.threads > 1
+
+(* ---- Certification ------------------------------------------------ *)
+
+exception Cert of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Cert s)) fmt
+let engines = [ Engine.Tree; Engine.Vm ]
+
+(* The environment seed only picks syscall return values (non-negative
+   unless the fault plan fails the call), so any fixed seed certifies
+   the same behavior the fault plan describes. *)
+let cert_env_seed = 11
+
+(* Bounded budget for per-instance schedule exploration; both conc
+   families manifest within the first few schedules (the buggy shapes
+   fail even under plain round-robin), so the budget's real job is the
+   other direction: evidence that the fixed variant has no failing
+   schedule. *)
+let explore_budget = 96
+
+let run_once ~engine ~program ~inputs ~fault_plan ~sched () =
+  let env = Env.make ~fault_plan ~seed:cert_env_seed ~inputs () in
+  Engine.run ~engine ~program ~env ~sched ()
+
+let dedup_path path =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun (site, dir) ->
+      let key = (site.Ir.thread, site.Ir.pc, dir) in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    path
+
+let check_common inst =
+  (match Ir.validate inst.buggy with
+  | Ok () -> ()
+  | Error e -> fail "%s: buggy program invalid: %s" inst.name e);
+  (match Ir.validate inst.fixed with
+  | Ok () -> ()
+  | Error e -> fail "%s: fixed program invalid: %s" inst.name e);
+  if Ir.digest inst.buggy = Ir.digest inst.fixed then
+    fail "%s: buggy and fixed are structurally identical" inst.name;
+  if not (inst.trigger inst.trigger_inputs) then
+    fail "%s: trigger predicate rejects its own trigger inputs" inst.name
+
+(* Single-threaded certification: the four-quadrant reproduction
+   matrix (buggy/fixed x trigger/benign) under both engines, plus —
+   for error-path bugs — the check that the bug really is
+   error-path-only (the trigger without the fault plan is harmless). *)
+let certify_sequential ~derive inst =
+  check_common inst;
+  if inst.trigger inst.benign_inputs then
+    fail "%s: trigger predicate accepts the benign inputs" inst.name;
+  let failing_runs =
+    List.map
+      (fun engine ->
+        let run program inputs fault_plan =
+          run_once ~engine ~program ~inputs ~fault_plan ~sched:Sched.Round_robin ()
+        in
+        let bt = run inst.buggy inst.trigger_inputs inst.fault_plan in
+        if not (Outcome.is_failure bt.Interp.outcome) then
+          fail "%s: buggy survives its trigger under %s" inst.name (Engine.to_string engine);
+        let bb = run inst.buggy inst.benign_inputs inst.fault_plan in
+        if Outcome.is_failure bb.Interp.outcome then
+          fail "%s: buggy fails on benign inputs under %s" inst.name (Engine.to_string engine);
+        let ft = run inst.fixed inst.trigger_inputs inst.fault_plan in
+        if Outcome.is_failure ft.Interp.outcome then
+          fail "%s: fixed still fails the trigger under %s" inst.name (Engine.to_string engine);
+        let fb = run inst.fixed inst.benign_inputs inst.fault_plan in
+        if Outcome.is_failure fb.Interp.outcome then
+          fail "%s: fixed fails on benign inputs under %s" inst.name (Engine.to_string engine);
+        (if inst.fault_plan <> Env.No_faults then
+           let nf = run inst.buggy inst.trigger_inputs Env.No_faults in
+           if Outcome.is_failure nf.Interp.outcome then
+             fail "%s: bug manifests even without its fault plan under %s" inst.name
+               (Engine.to_string engine));
+        bt)
+      engines
+  in
+  (match failing_runs with
+  | [ tree; vm ] ->
+    if Outcome.bucket_key tree.Interp.outcome <> Outcome.bucket_key vm.Interp.outcome then
+      fail "%s: engines disagree on the failure bucket (%s vs %s)" inst.name
+        (Outcome.bucket_key tree.Interp.outcome)
+        (Outcome.bucket_key vm.Interp.outcome)
+  | _ -> assert false);
+  let vm_failure = List.nth failing_runs 1 in
+  let path = dedup_path vm_failure.Interp.full_path in
+  if derive then { inst with trigger_path = path }
+  else if path <> inst.trigger_path then
+    fail "%s: stored trigger path disagrees with a fresh derivation" inst.name
+  else inst
+
+(* Multi-threaded certification: bounded schedule exploration must
+   find a failing schedule for the buggy variant (under both engines,
+   agreeing on the failure buckets) and none for the fixed one; the
+   chosen hint must reproduce the failure on replay under both
+   engines. *)
+let certify_threaded ~derive inst =
+  check_common inst;
+  let make_env () =
+    Env.make ~fault_plan:inst.fault_plan ~seed:cert_env_seed ~inputs:inst.trigger_inputs ()
+  in
+  let explore engine program =
+    Schedule_explore.explore ~max_runs:explore_budget ~engine ~program ~make_env ()
+  in
+  let bug_explorations = List.map (fun engine -> explore engine inst.buggy) engines in
+  List.iter2
+    (fun engine ex ->
+      if ex.Schedule_explore.failures = [] then
+        fail "%s: no failing schedule within %d runs under %s" inst.name explore_budget
+          (Engine.to_string engine))
+    engines bug_explorations;
+  let bucket_keys ex =
+    List.sort_uniq compare
+      (List.map (fun (o, _) -> Outcome.bucket_key o) ex.Schedule_explore.failures)
+  in
+  (match bug_explorations with
+  | [ tree; vm ] ->
+    if bucket_keys tree <> bucket_keys vm then
+      fail "%s: engines disagree on the explored failure buckets" inst.name
+  | _ -> assert false);
+  let hint =
+    if derive then begin
+      (* Deterministic pick: the shortest failing schedule, ties broken
+         lexicographically, from the VM exploration (both engines
+         explore identically — checked above via the bucket sets). *)
+      let shorter a b = compare (List.length a, a) (List.length b, b) < 0 in
+      match List.map snd (List.nth bug_explorations 1).Schedule_explore.failures with
+      | [] -> assert false
+      | first :: rest -> List.fold_left (fun best s -> if shorter s best then s else best) first rest
+    end
+    else
+      match inst.schedule_hint with
+      | Some h -> h
+      | None -> fail "%s: threaded instance without a schedule hint" inst.name
+  in
+  let replays =
+    List.map
+      (fun engine ->
+        let r =
+          run_once ~engine ~program:inst.buggy ~inputs:inst.trigger_inputs
+            ~fault_plan:inst.fault_plan ~sched:(Sched.Replay hint) ()
+        in
+        if not (Outcome.is_failure r.Interp.outcome) then
+          fail "%s: schedule hint does not reproduce the failure under %s" inst.name
+            (Engine.to_string engine);
+        r)
+      engines
+  in
+  List.iter
+    (fun engine ->
+      let ex = explore engine inst.fixed in
+      if ex.Schedule_explore.failures <> [] then
+        fail "%s: fixed variant still has a failing schedule under %s" inst.name
+          (Engine.to_string engine))
+    engines;
+  let path = dedup_path (List.nth replays 1).Interp.full_path in
+  let inst = { inst with schedule_hint = Some hint } in
+  if derive then { inst with trigger_path = path }
+  else if path <> inst.trigger_path then
+    fail "%s: stored trigger path disagrees with a fresh derivation" inst.name
+  else inst
+
+let certify ~derive inst =
+  try Ok ((if concurrent inst then certify_threaded else certify_sequential) ~derive inst)
+  with Cert msg -> Error msg
+
+let certified inst =
+  match certify ~derive:true inst with
+  | Ok inst -> inst
+  | Error msg -> invalid_arg ("Corpus_bench: " ^ msg)
+
+let verify inst = Result.map (fun (_ : instance) -> ()) (certify ~derive:false inst)
+
+(* ---- Site helpers ------------------------------------------------- *)
+
+let sites_where program pred =
+  let sites = ref [] in
+  Array.iteri
+    (fun thread body ->
+      Array.iteri (fun pc instr -> if pred instr then sites := { Ir.thread; pc } :: !sites) body)
+    program.Ir.threads;
+  List.rev !sites
+
+let rec expr_has_div = function
+  | Ir.Binop (Ir.Div, _, _) -> true
+  | Ir.Binop (_, a, b) -> expr_has_div a || expr_has_div b
+  | Ir.Unop (_, e) -> expr_has_div e
+  | Ir.Const _ | Ir.Var _ | Ir.Input _ -> false
+
+let div_assign_sites program =
+  sites_where program (function Ir.Assign (_, e) -> expr_has_div e | _ -> false)
+
+(* ---- Family constructions ----------------------------------------- *)
+
+(* Every family draws all of its shape parameters from one seeded RNG
+   *before* building either program variant, so buggy and fixed differ
+   exactly at the planted defect and seed-determinism is trivial to
+   audit.  Trigger values are kept non-negative so the trigger
+   predicate's [mod] matches the interpreter's semantics verbatim. *)
+
+let instance_name family version seed = Printf.sprintf "%s-v%d-s%d" family version seed
+
+(* Off-by-one boundary error: an input-bounded loop indexes one past a
+   capacity check ([<=] where [<] was meant); the overrun is made
+   observable by a bounds assert inside the loop. *)
+let off_by_one_version = 1
+
+let off_by_one seed =
+  let rng = Rng.create (0x0ff1 + (seed * 7919)) in
+  let cap = 3 + Rng.int rng 7 in
+  let m = cap + 1 in
+  let scale = 1 + Rng.int rng 5 in
+  let n_inputs = 1 + Rng.int rng 3 in
+  let slot = Rng.int rng n_inputs in
+  let pad_consts = List.init (Rng.int rng 3) (fun _ -> Rng.int rng 100) in
+  let trigger_fill = Array.init n_inputs (fun _ -> Rng.int rng 50) in
+  let trigger_value = cap + (m * Rng.int rng 3) in
+  let benign_value = m * Rng.int rng 3 in
+  let name = instance_name "off-by-one" off_by_one_version seed in
+  let body bound_cmp =
+    let open Build.Infix in
+    List.mapi
+      (fun k c -> Build.assign (Build.lvar (Printf.sprintf "pad%d" k)) (Build.const c))
+      pad_consts
+    @ [
+        Build.assign (Build.lvar "n") (Build.input slot %: Build.const m);
+        Build.assign (Build.lvar "i") (Build.const 0);
+        Build.while_
+          (bound_cmp (Build.local "i") (Build.local "n"))
+          [
+            Build.assert_ (Build.local "i" <: Build.const cap) "buffer overrun";
+            Build.assign (Build.lvar "acc")
+              (Build.local "acc" +: (Build.local "i" *: Build.const scale));
+            Build.assign (Build.lvar "i") (Build.local "i" +: Build.const 1);
+          ];
+        Build.halt;
+      ]
+  in
+  let buggy = Build.program ~name ~n_inputs [ body Build.Infix.( <=: ) ] in
+  let fixed = Build.program ~name ~n_inputs [ body Build.Infix.( <: ) ] in
+  let inputs value =
+    let a = Array.copy trigger_fill in
+    a.(slot) <- value;
+    a
+  in
+  certified
+    {
+      name;
+      family = "off-by-one";
+      version = off_by_one_version;
+      seed;
+      buggy;
+      fixed;
+      trigger = (fun inputs -> Array.length inputs > slot && inputs.(slot) mod m = cap);
+      trigger_inputs = inputs trigger_value;
+      benign_inputs = inputs benign_value;
+      fault_plan = Env.No_faults;
+      schedule_hint = None;
+      bug_sites = Ir.assert_sites buggy @ Ir.branch_sites buggy;
+      trigger_path = [];
+      bug_locks = [];
+    }
+
+(* Error-path-only fault: a second resource acquisition can fail, and
+   only the failure path divides by the unchecked handle.  Without the
+   targeted environment fault the program is correct. *)
+let error_path_version = 1
+
+let error_path seed =
+  let rng = Rng.create (0x0e44 + (seed * 6271)) in
+  let m = 2 + Rng.int rng 3 in
+  let residue = Rng.int rng m in
+  let n_inputs = 1 + Rng.int rng 2 in
+  let slot = Rng.int rng n_inputs in
+  let numerator = 10 + Rng.int rng 90 in
+  let trigger_fill = Array.init n_inputs (fun _ -> Rng.int rng 50) in
+  let trigger_value = residue + (m * Rng.int rng 3) in
+  let benign_value = ((residue + 1) mod m) + (m * Rng.int rng 3) in
+  let name = instance_name "error-path" error_path_version seed in
+  let divide =
+    let open Build.Infix in
+    Build.assign (Build.lvar "progress")
+      (Build.const numerator /: (Build.local "dst" +: Build.const 1))
+  in
+  let body ~guarded =
+    let open Build.Infix in
+    [
+      Build.assign (Build.lvar "mode") (Build.input slot %: Build.const m);
+      Build.if_
+        (Build.local "mode" ==: Build.const residue)
+        [
+          Build.syscall Ir.Sys_open (Build.lvar "src");
+          Build.if_
+            (Build.local "src" >=: Build.const 0)
+            [
+              Build.syscall Ir.Sys_open (Build.lvar "dst");
+              (if guarded then
+                 Build.if_
+                   (Build.local "dst" >=: Build.const 0)
+                   [ divide ]
+                   [ Build.assign (Build.lvar "progress") (Build.const 0) ]
+               else divide);
+            ]
+            [ Build.assign (Build.lvar "progress") (Build.const (-1)) ];
+        ]
+        [ Build.assign (Build.lvar "progress") (Build.const 1) ];
+      Build.halt;
+    ]
+  in
+  let buggy = Build.program ~name ~n_inputs [ body ~guarded:false ] in
+  let fixed = Build.program ~name ~n_inputs [ body ~guarded:true ] in
+  let inputs value =
+    let a = Array.copy trigger_fill in
+    a.(slot) <- value;
+    a
+  in
+  certified
+    {
+      name;
+      family = "error-path";
+      version = error_path_version;
+      seed;
+      buggy;
+      fixed;
+      trigger = (fun inputs -> Array.length inputs > slot && inputs.(slot) mod m = residue);
+      trigger_inputs = inputs trigger_value;
+      benign_inputs = inputs benign_value;
+      (* The second acquisition (syscall index 1, execution order)
+         fails; the first must succeed to reach it. *)
+      fault_plan = Env.Targeted [ 1 ];
+      schedule_hint = None;
+      bug_sites = div_assign_sites buggy;
+      trigger_path = [];
+      bug_locks = [];
+    }
+
+(* Resource leak: the early-exit path forgets to release the handle it
+   acquired.  The leak is made self-checking with an open-count assert
+   at function exit, so the bug is an observable crash rather than a
+   silent counter drift. *)
+let resource_leak_version = 1
+
+let resource_leak seed =
+  let rng = Rng.create (0x1eaf + (seed * 4447)) in
+  let m = 2 + Rng.int rng 3 in
+  let residue = Rng.int rng m in
+  let n_inputs = 1 + Rng.int rng 2 in
+  let slot = Rng.int rng n_inputs in
+  let work = 1 + Rng.int rng 9 in
+  let trigger_fill = Array.init n_inputs (fun _ -> Rng.int rng 50) in
+  let trigger_value = residue + (m * Rng.int rng 3) in
+  let benign_value = ((residue + 1) mod m) + (m * Rng.int rng 3) in
+  let name = instance_name "resource-leak" resource_leak_version seed in
+  let release =
+    Build.assign (Build.lvar "opens") Build.Infix.(Build.local "opens" -: Build.const 1)
+  in
+  let body ~released =
+    let open Build.Infix in
+    [
+      Build.syscall Ir.Sys_open (Build.lvar "h");
+      Build.assign (Build.lvar "opens") (Build.const 1);
+      Build.assign (Build.lvar "mode") (Build.input slot %: Build.const m);
+      Build.if_
+        (Build.local "mode" ==: Build.const residue)
+        ([ Build.assign (Build.lvar "status") (Build.const (-1)) ]
+        @ (if released then [ release ] else []))
+        [ Build.assign (Build.lvar "work") (Build.const work); release ];
+      Build.assert_ (Build.local "opens" ==: Build.const 0) "handle leaked";
+      Build.halt;
+    ]
+  in
+  let buggy = Build.program ~name ~n_inputs [ body ~released:false ] in
+  let fixed = Build.program ~name ~n_inputs [ body ~released:true ] in
+  let inputs value =
+    let a = Array.copy trigger_fill in
+    a.(slot) <- value;
+    a
+  in
+  certified
+    {
+      name;
+      family = "resource-leak";
+      version = resource_leak_version;
+      seed;
+      buggy;
+      fixed;
+      trigger = (fun inputs -> Array.length inputs > slot && inputs.(slot) mod m = residue);
+      trigger_inputs = inputs trigger_value;
+      benign_inputs = inputs benign_value;
+      fault_plan = Env.No_faults;
+      schedule_hint = None;
+      bug_sites = Ir.assert_sites buggy @ Ir.branch_sites buggy;
+      trigger_path = [];
+      bug_locks = [];
+    }
+
+(* Input-validation escape: the length check admits the boundary value
+   ([<=] instead of [<]), and the admitted path divides by
+   [limit - len], which the escaped value makes zero. *)
+let input_validation_version = 1
+
+let input_validation seed =
+  let rng = Rng.create (0x7a11 + (seed * 3557)) in
+  let limit = 3 + Rng.int rng 6 in
+  let m = limit + 1 in
+  let budget = 10 + Rng.int rng 90 in
+  let n_inputs = 1 + Rng.int rng 2 in
+  let slot = Rng.int rng n_inputs in
+  let trigger_fill = Array.init n_inputs (fun _ -> Rng.int rng 50) in
+  let trigger_value = limit + (m * Rng.int rng 3) in
+  let benign_value = m * Rng.int rng 3 in
+  let name = instance_name "input-validation" input_validation_version seed in
+  let body check_cmp =
+    let open Build.Infix in
+    [
+      Build.assign (Build.lvar "len") (Build.input slot %: Build.const m);
+      Build.if_
+        (check_cmp (Build.local "len") (Build.const limit))
+        [
+          Build.assign (Build.lvar "share")
+            (Build.const budget /: (Build.const limit -: Build.local "len"));
+        ]
+        [ Build.assign (Build.lvar "reject") (Build.const 1) ];
+      Build.halt;
+    ]
+  in
+  let buggy = Build.program ~name ~n_inputs [ body Build.Infix.( <=: ) ] in
+  let fixed = Build.program ~name ~n_inputs [ body Build.Infix.( <: ) ] in
+  let inputs value =
+    let a = Array.copy trigger_fill in
+    a.(slot) <- value;
+    a
+  in
+  certified
+    {
+      name;
+      family = "input-validation";
+      version = input_validation_version;
+      seed;
+      buggy;
+      fixed;
+      trigger = (fun inputs -> Array.length inputs > slot && inputs.(slot) mod m = limit);
+      trigger_inputs = inputs trigger_value;
+      benign_inputs = inputs benign_value;
+      fault_plan = Env.No_faults;
+      schedule_hint = None;
+      bug_sites = div_assign_sites buggy @ Ir.branch_sites buggy;
+      trigger_path = [];
+      bug_locks = [];
+    }
+
+(* Atomicity violation: two workers run an unlocked read-modify-write
+   on a shared counter (the classic lost-update / ABA shape); a checker
+   thread waits for both and asserts the combined effect.  The fixed
+   variant serializes the RMW under a lock. *)
+let atomicity_version = 1
+
+let atomicity seed =
+  let rng = Rng.create (0x0a70 + (seed * 2903)) in
+  let v = 1 + Rng.int rng 9 in
+  let n_locks = 1 + Rng.int rng 2 in
+  let lock_id = Rng.int rng n_locks in
+  let spin_pad = Rng.int rng 2 in
+  let name = instance_name "atomicity" atomicity_version seed in
+  let checker =
+    let open Build.Infix in
+    List.init spin_pad (fun _ -> Build.yield)
+    @ [
+        Build.while_
+          (Build.glob "done_a" +: Build.glob "done_b" <: Build.const 2)
+          [ Build.yield ];
+        Build.assert_ (Build.glob "counter" ==: Build.const (2 * v)) "lost update";
+        Build.halt;
+      ]
+  in
+  let worker ~locked flag =
+    let open Build.Infix in
+    let rmw =
+      [
+        Build.assign (Build.lvar "tmp") (Build.glob "counter");
+        Build.yield;
+        Build.assign (Build.gvar "counter") (Build.local "tmp" +: Build.const v);
+      ]
+    in
+    (if locked then (Build.lock lock_id :: rmw) @ [ Build.unlock lock_id ] else rmw)
+    @ [ Build.assign (Build.gvar flag) (Build.const 1); Build.halt ]
+  in
+  let build ~locked =
+    Build.program ~name
+      ~globals:[ "counter"; "done_a"; "done_b" ]
+      ~n_locks
+      [ checker; worker ~locked "done_a"; worker ~locked "done_b" ]
+  in
+  let buggy = build ~locked:false in
+  let fixed = build ~locked:true in
+  certified
+    {
+      name;
+      family = "atomicity";
+      version = atomicity_version;
+      seed;
+      buggy;
+      fixed;
+      trigger = (fun _ -> true);
+      trigger_inputs = [||];
+      benign_inputs = [||];
+      fault_plan = Env.No_faults;
+      schedule_hint = None;
+      bug_sites = Ir.assert_sites buggy;
+      trigger_path = [];
+      bug_locks = [];
+    }
+
+(* Lock-order ("feed-shift") deadlock: two threads take the same pair
+   of locks in inverted order, with a yield between the acquisitions so
+   the hold-and-wait window is schedulable.  The fixed variant imposes
+   one global order. *)
+let lock_order_version = 1
+
+let lock_order seed =
+  let rng = Rng.create (0xd1ce + (seed * 1583)) in
+  let n_locks = 2 + Rng.int rng 2 in
+  let a = Rng.int rng n_locks in
+  let b = (a + 1 + Rng.int rng (n_locks - 1)) mod n_locks in
+  let d1 = 1 + Rng.int rng 9 in
+  let d2 = 1 + Rng.int rng 9 in
+  let name = instance_name "lock-order" lock_order_version seed in
+  let locker ~first ~second ~delta =
+    let open Build.Infix in
+    [
+      Build.lock first;
+      Build.yield;
+      Build.lock second;
+      Build.assign (Build.gvar "g") (Build.glob "g" +: Build.const delta);
+      Build.unlock second;
+      Build.unlock first;
+      Build.halt;
+    ]
+  in
+  let build ~inverted =
+    Build.program ~name ~globals:[ "g" ] ~n_locks
+      [
+        locker ~first:a ~second:b ~delta:d1;
+        (if inverted then locker ~first:b ~second:a ~delta:d2
+         else locker ~first:a ~second:b ~delta:d2);
+      ]
+  in
+  let buggy = build ~inverted:true in
+  let fixed = build ~inverted:false in
+  certified
+    {
+      name;
+      family = "lock-order";
+      version = lock_order_version;
+      seed;
+      buggy;
+      fixed;
+      trigger = (fun _ -> true);
+      trigger_inputs = [||];
+      benign_inputs = [||];
+      fault_plan = Env.No_faults;
+      schedule_hint = None;
+      bug_sites = [];
+      trigger_path = [];
+      bug_locks = List.sort compare [ a; b ];
+    }
+
+(* ---- Corpus ------------------------------------------------------- *)
+
+let families =
+  [
+    {
+      family_name = "off-by-one";
+      version = off_by_one_version;
+      threaded = false;
+      describe = "loop bound one past the capacity check";
+      generate = off_by_one;
+    };
+    {
+      family_name = "error-path";
+      version = error_path_version;
+      threaded = false;
+      describe = "division by an unchecked handle, reachable only when a targeted syscall fails";
+      generate = error_path;
+    };
+    {
+      family_name = "resource-leak";
+      version = resource_leak_version;
+      threaded = false;
+      describe = "handle release skipped on the early-exit path (self-checking leak assert)";
+      generate = resource_leak;
+    };
+    {
+      family_name = "input-validation";
+      version = input_validation_version;
+      threaded = false;
+      describe = "boundary value escapes the length check into a division by zero";
+      generate = input_validation;
+    };
+    {
+      family_name = "atomicity";
+      version = atomicity_version;
+      threaded = true;
+      describe = "unlocked read-modify-write race (lost update) caught by a checker thread";
+      generate = atomicity;
+    };
+    {
+      family_name = "lock-order";
+      version = lock_order_version;
+      threaded = true;
+      describe = "two threads acquire a lock pair in inverted order (feed-shift deadlock)";
+      generate = lock_order;
+    };
+  ]
+
+let default_seeds = [ 1; 2; 3 ]
+
+let corpus ?(seeds = default_seeds) () =
+  List.concat_map (fun f -> List.map f.generate seeds) families
+
+let find_family name = List.find_opt (fun f -> f.family_name = name) families

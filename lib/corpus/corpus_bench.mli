@@ -1,0 +1,114 @@
+(** The versioned bug-benchmark corpus (after BEARS; contrast the
+    BugSwarm critiques in PAPERS.md).
+
+    The hand-written {!Softborg_prog.Corpus} is eight programs; it
+    cannot quantify "handles as many scenarios as you can imagine".
+    This module generates {e seeded families} of realistic bug classes
+    as versioned (buggy, fixed) program pairs, each carrying an
+    executable reproduction recipe — trigger inputs, an environment
+    fault plan, and (for concurrency bugs) a failing schedule.
+
+    The BugSwarm lesson is that ad-hoc benchmark corpora rot:
+    duplicated, trivial, or unreproducible entries mislead every tool
+    scored against them.  The defense here is {e reproduction at
+    construction}: every instance is certified when it is built — the
+    buggy program fails under its trigger, survives benign inputs, and
+    the fixed program survives the trigger, all checked under {e both}
+    execution engines ({!Softborg_exec.Engine.Tree} and
+    {!Softborg_exec.Engine.Vm}).  An unreproducible instance is
+    impossible by design: construction raises instead of returning it.
+
+    Families are versioned: [version] bumps whenever a family's
+    construction changes shape, so scores recorded against
+    ["off-by-one" v1] are never silently compared with a different
+    program population. *)
+
+module Ir := Softborg_prog.Ir
+module Env := Softborg_exec.Env
+
+type instance = {
+  name : string;  (** ["<family>-v<version>-s<seed>"]; shared by buggy and fixed. *)
+  family : string;
+  version : int;
+  seed : int;
+  buggy : Ir.t;
+  fixed : Ir.t;
+  trigger : int array -> bool;
+      (** Input-space description of the bug: [trigger inputs] holds
+          iff these inputs put the buggy program on the failing path
+          (under [fault_plan], and for multi-threaded instances under
+          [schedule_hint]).  Always [true] for purely
+          schedule-triggered bugs. *)
+  trigger_inputs : int array;  (** A certified witness of [trigger]. *)
+  benign_inputs : int array;
+      (** Certified non-triggering inputs ([trigger benign_inputs] is
+          [false] for input-triggered families). *)
+  fault_plan : Env.fault_plan;
+      (** Environment faults required to manifest the bug
+          ([No_faults] unless the bug lives on an error path). *)
+  schedule_hint : int list option;
+      (** For multi-threaded instances: a contended-point schedule,
+          found by bounded exploration at construction, whose replay
+          manifests the failure.  [None] for single-threaded
+          instances. *)
+  bug_sites : Ir.site list;
+      (** The ground-truth fix location(s) in {e buggy}'s coordinates:
+          the crash site plus the branch the fixed version corrects.
+          A proposed guard/suppression fix is scored correct iff its
+          site is in this list.  Empty for deadlock instances, whose
+          ground truth is [bug_locks]. *)
+  trigger_path : (Ir.site * bool) list;
+      (** Deduplicated branch decisions of the certified failing run —
+          the predicates statistical isolation should surface.  Empty
+          when the failing path crosses no branch (pure lock-order
+          deadlocks). *)
+  bug_locks : int list;
+      (** Sorted lock set of the planted deadlock; a proposed
+          deadlock-immunity fix is scored correct iff it serializes
+          exactly this set.  Empty for non-deadlock instances. *)
+}
+
+type family = {
+  family_name : string;
+  version : int;
+  threaded : bool;  (** Whether instances are multi-threaded. *)
+  describe : string;
+  generate : int -> instance;
+      (** [generate seed] builds and certifies one instance.
+          Deterministic: the same seed always yields the same instance
+          (byte-identical programs).
+          @raise Invalid_argument if certification fails — an
+          unreproducible instance is a construction bug, not data. *)
+}
+
+val families : family list
+(** The six bug-class families, in fixed order: off-by-one boundary
+    errors, error-path-only faults (manifest only when a targeted
+    syscall fails), resource leaks (release skipped on an early-exit
+    path, made self-checking by a leak assert), input-validation
+    escapes (boundary value slips past the check into a trapping
+    computation), atomicity violations (unlocked read-modify-write
+    races, lost-update/ABA shaped), and lock-order deadlocks (two
+    threads acquiring the same pair of locks in inverted order). *)
+
+val default_seeds : int list
+(** [[1; 2; 3]] — three instances per family, the floor the repair
+    benchmark reports against. *)
+
+val corpus : ?seeds:int list -> unit -> instance list
+(** All families at each seed (default {!default_seeds}), certified.
+    Order: families in {!families} order, seeds in the given order
+    within a family. *)
+
+val concurrent : instance -> bool
+(** True iff the instance is multi-threaded (its reproduction needs a
+    schedule, not just inputs). *)
+
+val find_family : string -> family option
+
+val verify : instance -> (unit, string) result
+(** Re-run the full certification on an existing instance (both
+    engines, trigger/benign/fixed checks, schedule-hint replay for
+    threaded instances) and additionally check that the stored
+    [trigger_path] matches a fresh derivation.  [Ok ()] for every
+    instance this module constructs. *)
