@@ -45,6 +45,11 @@ module Prover = Softborg_hive.Prover
 module Allocate = Softborg_hive.Allocate
 module Guidance = Softborg_hive.Guidance
 module Gap_memo = Softborg_hive.Gap_memo
+module Protocol = Softborg_hive.Protocol
+module Shard_map = Softborg_hive.Shard_map
+module Federation = Softborg_hive.Federation
+module Sim = Softborg_net.Sim
+module Transport = Softborg_net.Transport
 module Pod = Softborg_pod.Pod
 module Workload = Softborg_pod.Workload
 module Corpus_bench = Softborg_corpus.Corpus_bench
@@ -1994,6 +1999,329 @@ let repair_suite ?(smoke = false) () =
     Printf.printf "wrote BENCH_repair.json\n"
   end
 
+(* ==================================================================== *)
+(* fed — N-shard hive federation: deterministic-merge asserts, BSP     *)
+(* superstep scaling, and time-to-first-fix.  The smoke variant runs   *)
+(* the equality asserts only (for @fed-smoke / `dune runtest`); the    *)
+(* full run also measures shard scaling and writes BENCH_fed.json.     *)
+(*                                                                     *)
+(* Scaling is reported in the BSP model: each shard's gap-closing job  *)
+(* is timed individually, so the superstep critical path (the slowest  *)
+(* shard) plus the sequential merge gives the federated tick time on   *)
+(* any machine — including single-core CI hosts, where a pooled        *)
+(* wall-clock measurement could only show time-sharing parity.        *)
+(* ==================================================================== *)
+
+let fed_suite ?(smoke = false) () =
+  heading
+    (if smoke then "fed-smoke: N-shard merge equality asserts"
+     else "fed: N-shard federation scaling (writes BENCH_fed.json)");
+  let fed_programs =
+    (* A population with varied early branching, so path prefixes spread
+       across shard ranges instead of piling onto one shard. *)
+    List.init 12 (fun i ->
+        fst
+          (Generator.generate
+             (Rng.create (9100 + i))
+             {
+               Generator.default_params with
+               Generator.bugs = (if i mod 2 = 0 then [ Generator.Rare_assert ] else []);
+               block_depth = 3;
+               stmts_per_block = 6;
+             }))
+  in
+  let upload_of program r =
+    let trace =
+      Trace.of_result ~program_digest:(Ir.digest program) ~pod:1 ~fix_epoch:0 r
+    in
+    (trace, Protocol.encode (Protocol.Trace_upload (Wire.encode trace)))
+  in
+  let traces_for program n =
+    List.init n (fun i ->
+        let inputs =
+          Array.init program.Ir.n_inputs (fun k -> (((i * 53) + (k * 19)) mod 211) - 40)
+        in
+        let env = Env.make ~seed:i ~inputs () in
+        upload_of program (Interp.run ~program ~env ~sched:Sched.Round_robin ()))
+  in
+  let settle sim fed =
+    let rec go budget =
+      if budget = 0 then failwith "fed: exchange did not quiesce";
+      Federation.flush fed;
+      Sim.run sim;
+      if Federation.commit fed > 0 then go (budget - 1)
+    in
+    go 8
+  in
+  (* ---- Merge-equality asserts (the @fed-smoke payload) ---------------- *)
+  let eq_uploads = List.concat_map (fun p -> traces_for p 12) fed_programs in
+  let oracle =
+    let sim = Sim.create () in
+    let config = { (Hive.default_config Hive.Full) with Hive.synthesize = false } in
+    let hive = Hive.create ~config ~sim () in
+    List.iter (fun p -> ignore (Hive.register_program hive p)) fed_programs;
+    List.iter (fun (_, payload) -> Hive.ingest_payload hive payload) eq_uploads;
+    Hive.checkpoint hive
+  in
+  let merged_bytes n_shards =
+    let sim = Sim.create () in
+    let config =
+      { (Federation.default_config ~n_shards ()) with Federation.synthesize = false }
+    in
+    let fed = Federation.create ~config ~sim ~rng:(Rng.create (40 + n_shards)) () in
+    List.iter (fun p -> ignore (Federation.register_program fed p)) fed_programs;
+    let pod, router = Transport.endpoint_pair ~sim ~rng:(Rng.create 7) () in
+    Federation.attach_pod fed router;
+    Sim.run sim;
+    List.iter (fun (_, payload) -> Transport.send pod payload) eq_uploads;
+    Sim.run sim;
+    settle sim fed;
+    let bytes = Hive.checkpoint (Federation.merged fed) in
+    Federation.shutdown fed;
+    bytes
+  in
+  List.iter
+    (fun n_shards ->
+      assert (merged_bytes n_shards = oracle);
+      Printf.printf "merge equality: %d-shard merge == single hive (%d uploads)\n" n_shards
+        (List.length eq_uploads))
+    [ 1; 2; 4 ];
+  assert (merged_bytes 4 = merged_bytes 4);
+  Printf.printf "determinism: repeated 4-shard runs byte-identical\n";
+  if not smoke then begin
+    (* ---- Superstep scaling, shards in {1,2,4,8} ----------------------- *)
+    let rounds = 4 in
+    let per_round = 10 in
+    let slices =
+      Array.init rounds (fun round ->
+          List.concat_map
+            (fun p ->
+              List.init per_round (fun i ->
+                  let inputs =
+                    Array.init p.Ir.n_inputs (fun k ->
+                        (((round * 997) + (i * 53) + (k * 19)) mod 211) - 40)
+                  in
+                  let env = Env.make ~seed:((round * per_round) + i) ~inputs () in
+                  upload_of p (Interp.run ~program:p ~env ~sched:Sched.Round_robin ())))
+            fed_programs)
+    in
+    let gap_limit = 4096 in
+    (* Shard compute runs under a bounded per-superstep solver budget:
+       an unbounded budget lets a handful of deep explorations cost
+       seconds each, and no partition can balance work concentrated in
+       one verdict.  Bounded verdicts are near-uniform in cost, which
+       is what lets hash ownership spread them evenly. *)
+    let shard_symexec =
+      { Sym_exec.default_config with max_paths = 24; solver_budget = 8_000 }
+    in
+    let scaling_row n_shards =
+      let sim = Sim.create () in
+      let config =
+        {
+          (Federation.default_config ~n_shards ()) with
+          Federation.synthesize = false;
+          gap_limit;
+          shard_hive =
+            {
+              (Federation.default_config ~n_shards ()).Federation.shard_hive with
+              Hive.symexec_config = Some shard_symexec;
+            };
+        }
+      in
+      let fed = Federation.create ~config ~sim ~rng:(Rng.create 77) () in
+      List.iter (fun p -> ignore (Federation.register_program fed p)) fed_programs;
+      let map = Federation.map fed in
+      let serial = ref 0.0 and critical = ref 0.0 and merge_s = ref 0.0 in
+      Array.iter
+        (fun slice ->
+          List.iter
+            (fun (trace, payload) ->
+              let owner = Shard_map.owner_of_bits map trace.Trace.bits in
+              Hive.ingest_payload (Federation.shard_hive fed owner) payload)
+            slice;
+          (* The compute phase, one shard at a time so the critical path
+             (the slowest shard) is measurable on any core count. *)
+          let times =
+            List.init n_shards (fun i ->
+                let t0 = Unix.gettimeofday () in
+                List.iter
+                  (fun k ->
+                    let owned (gap : Exec_tree.gap) =
+                      Shard_map.owner_of_verdict map ~program:(Knowledge.digest k)
+                        ~thread:gap.Exec_tree.site.Ir.thread
+                        ~pc:gap.Exec_tree.site.Ir.pc ~direction:gap.Exec_tree.missing
+                      = i
+                    in
+                    ignore
+                      (Prover.close_gaps ~config:shard_symexec
+                         ~cache:(Knowledge.verdict_cache k)
+                         ~memo:(Knowledge.gap_memo k) ~owned ~limit:gap_limit
+                         (Knowledge.program k) (Knowledge.tree k)))
+                  (Hive.knowledge_list (Federation.shard_hive fed i));
+                Unix.gettimeofday () -. t0)
+          in
+          serial := !serial +. List.fold_left ( +. ) 0.0 times;
+          critical := !critical +. List.fold_left Float.max 0.0 times;
+          (* The sequential merge: flush the deltas, deliver, commit in
+             (shard, seq) order into the coordinator. *)
+          let t0 = Unix.gettimeofday () in
+          Federation.flush fed;
+          Sim.run sim;
+          ignore (Federation.commit fed);
+          merge_s := !merge_s +. (Unix.gettimeofday () -. t0))
+        slices;
+      let stats = Federation.stats fed in
+      let shard_traces =
+        List.map
+          (fun s -> s.Federation.hive_stats.Hive.traces_received)
+          stats.Federation.per_shard
+      in
+      let merged_traces =
+        List.fold_left
+          (fun acc k -> acc + Knowledge.traces_ingested k)
+          0
+          (Hive.knowledge_list (Federation.merged fed))
+      in
+      assert (merged_traces = rounds * per_round * List.length fed_programs);
+      Federation.shutdown fed;
+      let tick_seconds = (!critical +. !merge_s) /. float_of_int rounds in
+      (n_shards, !serial, !critical, !merge_s, tick_seconds, shard_traces)
+    in
+    let rows = List.map scaling_row [ 1; 2; 4; 8 ] in
+    let base_tick =
+      match rows with (_, _, _, _, tick, _) :: _ -> tick | [] -> assert false
+    in
+    Tabular.print ~title:"federated superstep scaling (BSP model)"
+      [ rcol "shards"; rcol "compute-total-ms"; rcol "critical-path-ms"; rcol "merge-ms";
+        rcol "ticks/s"; rcol "speedup"; col "traces/shard" ]
+      (List.map
+         (fun (n, serial, critical, merge_s, tick, shard_traces) ->
+           [
+             string_of_int n;
+             fmt_f ~decimals:1 (1000.0 *. serial);
+             fmt_f ~decimals:1 (1000.0 *. critical);
+             fmt_f ~decimals:1 (1000.0 *. merge_s);
+             fmt_f ~decimals:1 (1.0 /. tick);
+             fmt_f ~decimals:2 (base_tick /. tick);
+             String.concat "/" (List.map string_of_int shard_traces);
+           ])
+         rows);
+    let speedup_at n =
+      match List.find_opt (fun (m, _, _, _, _, _) -> m = n) rows with
+      | Some (_, _, _, _, tick, _) -> base_tick /. tick
+      | None -> 0.0
+    in
+    if speedup_at 4 < 2.0 then
+      Printf.printf "WARNING: 4-shard tick speedup %.2fx is below the 2x target\n"
+        (speedup_at 4);
+    (* ---- Time-to-first-fix ------------------------------------------- *)
+    (* Identical upload schedule against a standalone hive and against
+       federations: simulated seconds until a fix epoch moves.  The
+       coordinator runs its merged analysis every half analysis
+       interval — it serves no pods, so the faster cadence is free —
+       which pays for the extra flush-then-commit hop a superstep merge
+       inserts before evidence reaches the analyzer. *)
+    let ttff_program = Corpus.parser in
+    let ttff_uploads =
+      List.init 40 (fun i ->
+          let inputs =
+            if i mod 5 = 0 then Corpus.parser_trigger
+            else Array.init 3 (fun k -> ((i * 7) + (k * 3)) mod 30)
+          in
+          let env = Env.make ~seed:i ~inputs () in
+          snd (upload_of ttff_program (Interp.run ~program:ttff_program ~env ~sched:Sched.Round_robin ())))
+    in
+    let horizon = 600.0 in
+    let schedule_uploads sim pod =
+      List.iteri
+        (fun i payload ->
+          Sim.schedule_at sim
+            ~time:(2.0 +. (1.5 *. float_of_int i))
+            (fun () -> Transport.send pod payload))
+        ttff_uploads
+    in
+    let run_until_fix sim epoch_of =
+      let rec go () =
+        if epoch_of () then Some (Sim.now sim)
+        else if Sim.now sim > horizon || not (Sim.step sim) then None
+        else go ()
+      in
+      go ()
+    in
+    let ttff_single () =
+      let sim = Sim.create () in
+      let hive = Hive.create ~sim () in
+      let k = Hive.register_program hive ttff_program in
+      let pod, hive_end = Transport.endpoint_pair ~sim ~rng:(Rng.create 3) () in
+      Hive.attach_pod hive hive_end;
+      schedule_uploads sim pod;
+      Hive.start hive;
+      let t = run_until_fix sim (fun () -> Knowledge.epoch k > 0) in
+      Hive.shutdown hive;
+      t
+    in
+    let ttff_fed n_shards =
+      let sim = Sim.create () in
+      let base = Federation.default_config ~n_shards () in
+      let config =
+        { base with Federation.superstep_interval = base.Federation.superstep_interval /. 2.0 }
+      in
+      let fed = Federation.create ~config ~sim ~rng:(Rng.create (50 + n_shards)) () in
+      let k = Federation.register_program fed ttff_program in
+      let pod, router = Transport.endpoint_pair ~sim ~rng:(Rng.create 5) () in
+      (* No Sim.run between attach and start: the superstep schedule
+         must anchor at t=0, exactly like the single hive's ticks. *)
+      Federation.attach_pod fed router;
+      schedule_uploads sim pod;
+      Federation.start fed;
+      let t = run_until_fix sim (fun () -> Knowledge.epoch k > 0) in
+      Federation.shutdown fed;
+      t
+    in
+    let fmt_ttff = function Some t -> Printf.sprintf "%.1f" t | None -> "none" in
+    let single_ttff = ttff_single () in
+    let fed_ttffs = List.map (fun n -> (n, ttff_fed n)) [ 1; 2; 4; 8 ] in
+    Printf.printf "time-to-first-fix: single hive %ss" (fmt_ttff single_ttff);
+    List.iter (fun (n, t) -> Printf.printf " | %d-shard %ss" n (fmt_ttff t)) fed_ttffs;
+    print_newline ();
+    let ttff_ok =
+      match single_ttff with
+      | None -> true
+      | Some s ->
+        List.for_all (fun (_, t) -> match t with Some t -> t <= s | None -> false) fed_ttffs
+    in
+    if not ttff_ok then
+      Printf.printf "WARNING: a federated time-to-first-fix exceeds the single hive's\n";
+    let oc = open_out "BENCH_fed.json" in
+    Printf.fprintf oc "{\n  \"suite\": \"fed\",\n";
+    Printf.fprintf oc "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
+    Printf.fprintf oc "  \"programs\": %d,\n" (List.length fed_programs);
+    Printf.fprintf oc "  \"supersteps\": %d,\n" rounds;
+    Printf.fprintf oc "  \"single_hive_ttff_seconds\": %s,\n"
+      (match single_ttff with Some t -> Printf.sprintf "%.2f" t | None -> "null");
+    Printf.fprintf oc "  \"ttff_no_worse_than_single\": %b,\n" ttff_ok;
+    Printf.fprintf oc "  \"results\": [\n";
+    let last = List.length rows - 1 in
+    List.iteri
+      (fun i (n, serial, critical, merge_s, tick, _) ->
+        let ttff =
+          match List.assoc_opt n fed_ttffs with
+          | Some (Some t) -> Printf.sprintf "%.2f" t
+          | _ -> "null"
+        in
+        Printf.fprintf oc
+          "    { \"shards\": %d, \"compute_total_ms\": %.2f, \"critical_path_ms\": %.2f, \
+           \"merge_ms\": %.2f, \"ticks_per_sec\": %.2f, \"tick_speedup\": %.2f, \
+           \"ttff_seconds\": %s }%s\n"
+          n (1000.0 *. serial) (1000.0 *. critical) (1000.0 *. merge_s) (1.0 /. tick)
+          (base_tick /. tick) ttff
+          (if i = last then "" else ","))
+      rows;
+    Printf.fprintf oc "  ]\n}\n";
+    close_out oc;
+    Printf.printf "wrote BENCH_fed.json\n"
+  end
+
 let experiments =
   [
     ("e1", "reliability grows with use (Fig 1)", e1);
@@ -2028,6 +2356,10 @@ let experiments =
       repair_suite ());
     ("repair-smoke", "seed-1 corpus through the full scoring pipeline for @repair-smoke",
       fun () -> repair_suite ~smoke:true ());
+    ("fed", "N-shard federation scaling + time-to-first-fix (writes BENCH_fed.json)",
+      fun () -> fed_suite ());
+    ("fed-smoke", "N-shard-equals-single-hive merge asserts for @fed-smoke",
+      fun () -> fed_suite ~smoke:true ());
   ]
 
 let () =

@@ -184,7 +184,15 @@ let simulate_cmd =
             "Enable hive overload protection and script an arrival spike: extra pods join \
              mid-run, driving the ingest queue into shedding and backpressure, then leave.")
   in
-  let run verbose program mode duration pods seed chaos chaos_seed overload engine =
+  let shards_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Federate the hive across $(docv) path-prefix shards with a deterministic \
+             superstep merge; 1 (the default) runs the classic single hive.")
+  in
+  let run verbose program mode duration pods seed chaos chaos_seed overload shards engine =
     setup_logs verbose;
     let config = Scenario.single_program ~mode ~seed program in
     let config =
@@ -200,6 +208,7 @@ let simulate_cmd =
           (Scenario.with_overload config)
       else config
     in
+    let config = if shards > 1 then Scenario.with_shards shards config else config in
     let report = Platform.run config in
     Format.printf "%a" Platform.pp_report report;
     let f = report.Platform.final in
@@ -219,7 +228,7 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Run a whole-fleet platform simulation on one program.")
     Term.(
       const run $ verbose_flag $ program_arg $ mode_arg $ duration_arg $ pods_arg $ seed_arg
-      $ chaos_flag $ chaos_seed_arg $ overload_flag $ engine_arg)
+      $ chaos_flag $ chaos_seed_arg $ overload_flag $ shards_arg $ engine_arg)
 
 (* ---- explore -------------------------------------------------------------- *)
 

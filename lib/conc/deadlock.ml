@@ -53,15 +53,17 @@ let pp_pattern fmt p =
 
 module Codec = Softborg_util.Codec
 
-(* [manifested] is an insertion-ordered assoc list; serialize it
-   verbatim so a restored miner reports patterns in the same order. *)
+(* [manifested] is kept as an insertion-ordered assoc list in memory,
+   but serialized sorted by lock set: the bytes must be independent of
+   observation order (pattern reporting already canonicalizes through
+   [patterns]' sort, so the restored order is behaviorally invisible). *)
 let write w t =
   Lock_graph.write w t.graph;
   Codec.Writer.list w
     (fun (locks, count) ->
       Codec.Writer.list w (Codec.Writer.varint w) locks;
       Codec.Writer.varint w count)
-    t.manifested
+    (List.sort compare t.manifested)
 
 let read r =
   let graph = Lock_graph.read r in

@@ -26,6 +26,16 @@ type snapshot = {
   peak_queue_depth : int;  (** Ingest-queue high-water mark. *)
   thinned_uploads : int;  (** Pod uploads downgraded under pressure. *)
   dead_letters : int;  (** Pod uploads the transport abandoned. *)
+  gap_memo_hits : int;  (** Guidance gap-memo hits over all knowledge. *)
+  gap_memo_misses : int;
+  verdict_cache_hits : int;  (** Solver verdict-cache hits likewise. *)
+  verdict_cache_misses : int;
+      (** The four cache counters are data-only in the snapshot:
+          [pp_snapshot] omits them because the hit/miss split varies
+          with the speculative-solver pool size, and snapshot lines
+          are covered by pool-size byte-identity tests.  Federated
+          runs print them per shard in the report's federation
+          section. *)
 }
 
 val failure_rate : snapshot -> float

@@ -8,6 +8,8 @@ module Fault_plan = Softborg_net.Fault_plan
 module Hive = Softborg_hive.Hive
 module Knowledge = Softborg_hive.Knowledge
 module Prover = Softborg_hive.Prover
+module Federation = Softborg_hive.Federation
+module Shard_map = Softborg_hive.Shard_map
 module Exec_tree = Softborg_tree.Exec_tree
 module Pod = Softborg_pod.Pod
 
@@ -23,6 +25,7 @@ type config = {
   cbi_sampling_rate : int;
   chaos : Fault_plan.t option;
   checkpoint_interval : float;
+  n_shards : int;
 }
 
 let default_programs seed =
@@ -49,6 +52,7 @@ let default_config ?(mode = Hive.Full) () =
     cbi_sampling_rate = 100;
     chaos = None;
     checkpoint_interval = 120.0;
+    n_shards = 1;
   }
 
 type report = {
@@ -58,6 +62,7 @@ type report = {
   pod_metrics : Pod.metrics list;
   transport_stats : Transport.stats list;
   knowledge : Knowledge.t list;
+  federation : Federation.stats option;
 }
 
 let upload_mode config =
@@ -73,9 +78,8 @@ let snapshot ~time ~pods ~hive =
   let knowledge_list = Hive.knowledge_list hive in
   let sum f = List.fold_left (fun acc pod -> acc + f (Pod.metrics pod)) 0 pods in
   let hive_stats = Hive.stats hive in
-  let proofs_valid =
-    List.fold_left (fun acc k -> acc + List.length (Knowledge.valid_proofs k)) 0 knowledge_list
-  in
+  let sum_knowledge f = List.fold_left (fun acc k -> acc + f k) 0 knowledge_list in
+  let proofs_valid = sum_knowledge (fun k -> List.length (Knowledge.valid_proofs k)) in
   let tree_paths =
     List.fold_left (fun acc k -> acc + Exec_tree.n_distinct_paths (Knowledge.tree k)) 0 knowledge_list
   in
@@ -107,6 +111,15 @@ let snapshot ~time ~pods ~hive =
     peak_queue_depth = hive_stats.Hive.peak_queue_depth;
     thinned_uploads = sum (fun m -> m.Pod.thinned_uploads);
     dead_letters = sum (fun m -> m.Pod.dead_letters);
+    gap_memo_hits = sum_knowledge (fun k -> Softborg_hive.Gap_memo.hits (Knowledge.gap_memo k));
+    gap_memo_misses =
+      sum_knowledge (fun k -> Softborg_hive.Gap_memo.misses (Knowledge.gap_memo k));
+    verdict_cache_hits =
+      sum_knowledge (fun k ->
+          Softborg_solver.Verdict_cache.hits (Knowledge.verdict_cache k));
+    verdict_cache_misses =
+      sum_knowledge (fun k ->
+          Softborg_solver.Verdict_cache.misses (Knowledge.verdict_cache k));
   }
 
 (* Interpret the fault plan against a live fleet.  All chaos-side
@@ -164,7 +177,7 @@ let install_chaos ~sim ~config ~hive ~chaos_rng ~pods ~pod_endpoints ~hive_endpo
               (all_links ())))
     (Fault_plan.events plan)
 
-let run config =
+let run_single config =
   let sim = Sim.create () in
   let rng = Rng.create config.seed in
   let hive = Hive.create ~config:config.hive_config ~sim () in
@@ -226,7 +239,202 @@ let run config =
     pod_metrics = List.map Pod.metrics !pods;
     transport_stats = List.map Transport.stats !pod_endpoints;
     knowledge = Hive.knowledge_list hive;
+    federation = None;
   }
+
+(* ---- Federated runs ----------------------------------------------------- *)
+
+(* Fleet-level counters come from the merge coordinator (fixes, proofs,
+   tree) and from summing the shard hives (checkpoints, restores,
+   overload interventions, cache counters): the merged hive never faces
+   pods directly, so shard totals are the platform-level truth. *)
+let snapshot_fed ~time ~pods ~fed =
+  let merged = Federation.merged fed in
+  let knowledge_list = Hive.knowledge_list merged in
+  let sum f = List.fold_left (fun acc pod -> acc + f (Pod.metrics pod)) 0 pods in
+  let merged_stats = Hive.stats merged in
+  let fs = Federation.stats fed in
+  let shard_sum f =
+    List.fold_left (fun acc ss -> acc + f ss) 0 fs.Federation.per_shard
+  in
+  let shard_hive_sum f = shard_sum (fun ss -> f ss.Federation.hive_stats) in
+  let sum_knowledge f = List.fold_left (fun acc k -> acc + f k) 0 knowledge_list in
+  let proofs_valid = sum_knowledge (fun k -> List.length (Knowledge.valid_proofs k)) in
+  let tree_paths = sum_knowledge (fun k -> Exec_tree.n_distinct_paths (Knowledge.tree k)) in
+  let completeness =
+    match knowledge_list with
+    | [] -> 1.0
+    | ks ->
+      List.fold_left (fun acc k -> acc +. Exec_tree.completeness (Knowledge.tree k)) 0.0 ks
+      /. float_of_int (List.length ks)
+  in
+  {
+    Metrics.time;
+    sessions = sum (fun m -> m.Pod.sessions);
+    guided_runs = sum (fun m -> m.Pod.guided_runs);
+    user_failures = sum (fun m -> m.Pod.user_failures);
+    averted_crashes = sum (fun m -> m.Pod.averted_crashes);
+    deferred_acquisitions = sum (fun m -> m.Pod.deferred_acquisitions);
+    guard_flags = sum (fun m -> m.Pod.guard_flags);
+    traces_uploaded = sum (fun m -> m.Pod.traces_uploaded);
+    fixes_deployed = merged_stats.Hive.fixes_deployed;
+    proofs_valid;
+    tree_paths;
+    tree_completeness = completeness;
+    checkpoints = shard_hive_sum (fun h -> h.Hive.checkpoints_taken);
+    restores = shard_hive_sum (fun h -> h.Hive.restores_completed);
+    shed_uploads = shard_hive_sum (fun h -> h.Hive.shed_success + h.Hive.shed_failure);
+    quarantined_frames = shard_hive_sum (fun h -> h.Hive.quarantined_frames);
+    pods_muted = shard_hive_sum (fun h -> h.Hive.pods_muted);
+    peak_queue_depth =
+      List.fold_left
+        (fun acc ss -> max acc ss.Federation.hive_stats.Hive.peak_queue_depth)
+        0 fs.Federation.per_shard;
+    thinned_uploads = sum (fun m -> m.Pod.thinned_uploads);
+    dead_letters = sum (fun m -> m.Pod.dead_letters);
+    gap_memo_hits = shard_sum (fun ss -> ss.Federation.gap_memo_hits);
+    gap_memo_misses = shard_sum (fun ss -> ss.Federation.gap_memo_misses);
+    verdict_cache_hits = shard_sum (fun ss -> ss.Federation.verdict_cache_hits);
+    verdict_cache_misses = shard_sum (fun ss -> ss.Federation.verdict_cache_misses);
+  }
+
+let install_chaos_fed ~sim ~config ~fed ~chaos_rng ~pods ~pod_endpoints ~last_checkpoints
+    plan =
+  let pod_upload = upload_mode config in
+  let n = Federation.n_shards fed in
+  let take_checkpoints () =
+    last_checkpoints := Array.init n (Federation.checkpoint_shard fed)
+  in
+  let crash_count = ref 0 in
+  let all_links () =
+    List.filter_map Transport.out_link !pod_endpoints @ Federation.links fed
+  in
+  List.iter
+    (fun event ->
+      match event with
+      | Fault_plan.Checkpoint { at } -> Sim.schedule_at sim ~time:at take_checkpoints
+      | Fault_plan.Hive_crash { at } ->
+        (* One shard dies per crash event, round-robin, and restores
+           from its side of the last federation-wide checkpoint — the
+           coordinator and the other shards keep running. *)
+        Sim.schedule_at sim ~time:at (fun () ->
+            let shard = !crash_count mod n in
+            incr crash_count;
+            match Federation.restore_shard fed shard !last_checkpoints.(shard) with
+            | Ok _ | Error _ -> ())
+      | Fault_plan.Pod_leave { at; pod } ->
+        Sim.schedule_at sim ~time:at (fun () ->
+            match !pods with
+            | [] -> ()
+            | alive -> Pod.stop (List.nth alive (pod mod List.length alive)))
+      | Fault_plan.Pod_join { at } ->
+        Sim.schedule_at sim ~time:at (fun () ->
+            let program =
+              List.nth config.programs (Rng.int chaos_rng (List.length config.programs))
+            in
+            let pod_end, hive_end =
+              Transport.endpoint_pair ~config:config.transport_config ~sim
+                ~rng:(Rng.split chaos_rng) ()
+            in
+            Federation.attach_pod fed hive_end;
+            let pod_config = { config.pod_config with Pod.upload = pod_upload } in
+            let pod =
+              Pod.create ~config:pod_config ~sim ~rng:(Rng.split chaos_rng) ~program
+                ~endpoint:pod_end ()
+            in
+            Pod.start pod;
+            pods := !pods @ [ pod ];
+            pod_endpoints := !pod_endpoints @ [ pod_end ])
+      | Fault_plan.Degrade { at; until_; link } ->
+        Sim.schedule_at sim ~time:at (fun () ->
+            List.iter (fun l -> Link.set_config l link) (all_links ()));
+        Sim.schedule_at sim ~time:until_ (fun () ->
+            List.iter
+              (fun l -> Link.set_config l config.transport_config.Transport.link)
+              (all_links ())))
+    (Fault_plan.events plan)
+
+let run_federated config =
+  let sim = Sim.create () in
+  let rng = Rng.create config.seed in
+  let base = config.hive_config in
+  let fed_config =
+    {
+      (Federation.default_config ~n_shards:config.n_shards ()) with
+      (* Half the analysis cadence: the coordinator serves no pods, and
+         the faster merged analysis pays for the flush-then-commit hop
+         a superstep merge inserts before evidence reaches it — keeping
+         time-to-first-fix on par with the single hive. *)
+      Federation.superstep_interval = base.Hive.analysis_interval /. 2.0;
+      synthesize = true;
+      (* The platform's pool budget goes to the federation's cross-shard
+         compute phase; individual hives stay domain-free. *)
+      shard_hive = { base with Hive.synthesize = false; prove = false; pool_size = 1 };
+      merged_hive = { base with Hive.pool_size = 1; overload = None };
+      transport = config.transport_config;
+      pool_size = base.Hive.pool_size;
+    }
+  in
+  let fed = Federation.create ~config:fed_config ~sim ~rng:(Rng.split rng) () in
+  List.iter (fun program -> ignore (Federation.register_program fed program)) config.programs;
+  let pod_upload = upload_mode config in
+  let fleet =
+    List.init config.n_pods (fun i ->
+        let program = List.nth config.programs (i mod List.length config.programs) in
+        let pod_end, hive_end =
+          Transport.endpoint_pair ~config:config.transport_config ~sim ~rng:(Rng.split rng) ()
+        in
+        Federation.attach_pod fed hive_end;
+        let pod_config = { config.pod_config with Pod.upload = pod_upload } in
+        let pod =
+          Pod.create ~config:pod_config ~sim ~rng:(Rng.split rng) ~program ~endpoint:pod_end ()
+        in
+        (pod, pod_end))
+  in
+  let pods = ref (List.map fst fleet) in
+  let pod_endpoints = ref (List.map snd fleet) in
+  Federation.start fed;
+  List.iter Pod.start !pods;
+  (match config.chaos with
+  | None -> ()
+  | Some plan ->
+    let chaos_rng = Rng.create (config.seed lxor 0x6368616f73) in
+    let n = Federation.n_shards fed in
+    let last_checkpoints = ref (Array.init n (Federation.checkpoint_shard fed)) in
+    if config.checkpoint_interval > 0.0 then begin
+      let rec arm at =
+        if at <= config.duration then
+          Sim.schedule_at sim ~time:at (fun () ->
+              last_checkpoints := Array.init n (Federation.checkpoint_shard fed);
+              arm (at +. config.checkpoint_interval))
+      in
+      arm config.checkpoint_interval
+    end;
+    install_chaos_fed ~sim ~config ~fed ~chaos_rng ~pods ~pod_endpoints ~last_checkpoints
+      plan);
+  let snapshots = ref [ snapshot_fed ~time:0.0 ~pods:!pods ~fed ] in
+  let rec sample at =
+    if at <= config.duration then
+      Sim.schedule_at sim ~time:at (fun () ->
+          snapshots := snapshot_fed ~time:at ~pods:!pods ~fed :: !snapshots;
+          sample (at +. config.sample_interval))
+  in
+  sample config.sample_interval;
+  Sim.run ~until:config.duration sim;
+  Federation.shutdown fed;
+  let snapshots = List.rev !snapshots in
+  let final = List.nth snapshots (List.length snapshots - 1) in
+  {
+    snapshots;
+    final;
+    hive_stats = Hive.stats (Federation.merged fed);
+    pod_metrics = List.map Pod.metrics !pods;
+    transport_stats = List.map Transport.stats !pod_endpoints;
+    knowledge = Hive.knowledge_list (Federation.merged fed);
+    federation = Some (Federation.stats fed);
+  }
+
+let run config = if config.n_shards <= 1 then run_single config else run_federated config
 
 let pp_report fmt report =
   Format.fprintf fmt "snapshots:@.";
@@ -248,6 +456,34 @@ let pp_report fmt report =
       "overload: shed=%d+%d quarantined=%d muted=%d muted-drops=%d pressure-updates=%d peak-queue=%d@."
       h.Hive.shed_failure h.Hive.shed_success h.Hive.quarantined_frames h.Hive.pods_muted
       h.Hive.muted_drops h.Hive.pressure_updates_sent h.Hive.peak_queue_depth;
+  (* The federation section exists only for sharded runs, so printing
+     per-shard cache efficiency here never perturbs the single-hive
+     byte-identity invariants. *)
+  (match report.federation with
+  | None -> ()
+  | Some fs ->
+    Format.fprintf fmt
+      "federation: shards=%d supersteps=%d deltas=%d/%d merged-payloads=%d fix-updates=%d@."
+      (List.length fs.Federation.per_shard)
+      fs.Federation.supersteps fs.Federation.deltas_committed fs.Federation.deltas_sent
+      fs.Federation.payloads_merged fs.Federation.fix_updates_sent;
+    List.iter
+      (fun (ss : Federation.shard_stats) ->
+        let sh = ss.Federation.hive_stats in
+        Format.fprintf fmt "  shard %d: traces=%d memo=%d/%d vcache=%d/%d%s%s%s@."
+          ss.Federation.shard sh.Hive.traces_received ss.Federation.gap_memo_hits
+          ss.Federation.gap_memo_misses ss.Federation.verdict_cache_hits
+          ss.Federation.verdict_cache_misses
+          (if sh.Hive.restores_completed > 0 then
+             Printf.sprintf " restores=%d" sh.Hive.restores_completed
+           else "")
+          (if sh.Hive.shed_success + sh.Hive.shed_failure > 0 then
+             Printf.sprintf " shed=%d" (sh.Hive.shed_success + sh.Hive.shed_failure)
+           else "")
+          (if sh.Hive.quarantined_frames > 0 then
+             Printf.sprintf " quarantined=%d" sh.Hive.quarantined_frames
+           else ""))
+      fs.Federation.per_shard);
   List.iter
     (fun k ->
       Format.fprintf fmt "program %s: traces=%d failures=%d paths=%d proofs=%d@."

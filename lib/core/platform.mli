@@ -18,6 +18,7 @@ module Transport := Softborg_net.Transport
 module Fault_plan := Softborg_net.Fault_plan
 module Hive := Softborg_hive.Hive
 module Knowledge := Softborg_hive.Knowledge
+module Federation := Softborg_hive.Federation
 module Pod := Softborg_pod.Pod
 
 type config = {
@@ -42,6 +43,12 @@ type config = {
       (** Seconds between automatic hive checkpoints when [chaos] is
           active ([<= 0.] disables; explicit [Checkpoint] events still
           apply).  A [Hive_crash] restores from the latest one. *)
+  n_shards : int;
+      (** [1] (the default) runs the single-hive platform, bit-for-bit
+          as before.  [> 1] federates the hive: uploads route to
+          path-prefix shards, knowledge merges at superstep boundaries
+          ({!Softborg_hive.Federation}), and a chaos [Hive_crash]
+          kills one shard per event instead of the whole hive. *)
 }
 
 val default_config : ?mode:Hive.mode -> unit -> config
@@ -53,7 +60,13 @@ type report = {
   hive_stats : Hive.stats;
   pod_metrics : Pod.metrics list;
   transport_stats : Transport.stats list;  (** Pod-side endpoints. *)
-  knowledge : Knowledge.t list;  (** Final hive knowledge, per program. *)
+  knowledge : Knowledge.t list;
+      (** Final hive knowledge, per program (the merge coordinator's in
+          a federated run). *)
+  federation : Federation.stats option;
+      (** Present exactly when [config.n_shards > 1]; carries superstep
+          and per-shard statistics, including the cache-efficiency
+          counters printed in the report's federation section. *)
 }
 
 val run : config -> report

@@ -54,6 +54,8 @@ let with_chaos ?(chaos_seed = 1337) ?(crash_rate = 1.0 /. 400.0)
   in
   { config with Platform.chaos = Some plan }
 
+let with_shards n config = { config with Platform.n_shards = n }
+
 let with_overload ?overload config =
   let overload = Option.value ~default:Hive.default_overload_config overload in
   {

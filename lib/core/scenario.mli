@@ -49,6 +49,11 @@ val with_chaos :
     plan is deterministic in [chaos_seed] and the config's duration and
     pod count. *)
 
+val with_shards : int -> Platform.config -> Platform.config
+(** Federate the hive across [n] path-prefix shards with a
+    deterministic superstep merge ({!Softborg_hive.Federation});
+    [with_shards 1] is the single-hive platform unchanged. *)
+
 val with_overload : ?overload:Hive.overload_config -> Platform.config -> Platform.config
 (** Enable hive overload protection (admission control, shedding,
     backpressure, quarantine); defaults to

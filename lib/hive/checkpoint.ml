@@ -1,7 +1,11 @@
 module Codec = Softborg_util.Codec
 
 let magic = "SBCP"
-let format_version = 1
+
+(* v2: Exec_tree node ids and Knowledge.replay_cache_hits left the wire
+   — knowledge bytes became a pure function of the ingested evidence
+   (the federation merge-equality invariant). *)
+let format_version = 2
 
 let encode_knowledge knowledge =
   let w = Codec.Writer.create () in

@@ -1,0 +1,469 @@
+module Rng = Softborg_util.Rng
+module Pool = Softborg_util.Pool
+module Codec = Softborg_util.Codec
+module Ir = Softborg_prog.Ir
+module Wire = Softborg_trace.Wire
+module Trace = Softborg_trace.Trace
+module Exec_tree = Softborg_tree.Exec_tree
+module Sim = Softborg_net.Sim
+module Transport = Softborg_net.Transport
+
+let src = Logs.Src.create "softborg.federation" ~doc:"SoftBorg hive federation"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type config = {
+  shard_map : Shard_map.t;
+  superstep_interval : float;
+  synthesize : bool;
+  shard_hive : Hive.config;
+  merged_hive : Hive.config;
+  transport : Transport.config;
+  pool_size : int;
+  gap_limit : int;
+}
+
+let default_config ~n_shards () =
+  let base = Hive.default_config Hive.Full in
+  {
+    shard_map = Shard_map.create ~n_shards ();
+    superstep_interval = base.Hive.analysis_interval;
+    synthesize = true;
+    (* Shards never mint fixes or whole-program proofs; see the
+       [create]-time override below. *)
+    shard_hive = { base with Hive.synthesize = false; prove = false };
+    merged_hive = base;
+    transport = Transport.default_config;
+    pool_size = 1;
+    gap_limit = 96;
+  }
+
+type shard = {
+  s_index : int;
+  s_hive : Hive.t;
+  s_uplink : Transport.endpoint;  (* shard side of the link to the coordinator *)
+  mutable s_ends : Transport.endpoint list;  (* hive-side pod attachments *)
+  mutable s_pending : string list;  (* admitted canonical payloads, newest first *)
+  mutable s_next_seq : int;
+}
+
+(* One pod's view of the federation: its connection terminates at the
+   router, which holds a dedicated lossy link to every shard on the
+   pod's behalf.  Per-pod shard links keep the shards' per-slot
+   accounting (fair-share shedding, poison quarantine, mutes) exactly
+   as meaningful as with a directly attached pod. *)
+type attachment = {
+  pod_link : Transport.endpoint;  (* router side of the pod connection *)
+  to_shard : Transport.endpoint array;  (* router side toward each shard *)
+}
+
+type shard_stats = {
+  shard : int;
+  hive_stats : Hive.stats;
+  pending : int;
+  gap_memo_hits : int;
+  gap_memo_misses : int;
+  verdict_cache_hits : int;
+  verdict_cache_misses : int;
+}
+
+type stats = {
+  supersteps : int;
+  deltas_sent : int;
+  deltas_committed : int;
+  payloads_merged : int;
+  fix_updates_sent : int;
+  per_shard : shard_stats list;
+}
+
+type t = {
+  sim : Sim.t;
+  config : config;
+  map : Shard_map.t;
+  rng : Rng.t;
+  shards : shard array;
+  merged : Hive.t;
+  downlinks : Transport.endpoint array;  (* coordinator side of each uplink *)
+  (* Superstep inboxes: deltas received but not yet committed, keyed by
+     sequence number per shard.  Commit drains them in (shard, seq)
+     order — the fixed total order of the merge. *)
+  inboxes : (int, string list) Hashtbl.t array;
+  next_expected : int array;
+  frontier : (string * int * int) list array;
+  mutable attachments : attachment list;
+  published_epoch : (string, int) Hashtbl.t;
+  (* (shard, digest) -> knowledge state at the last compute phase, so
+     unchanged shards skip re-running symbolic gap closing. *)
+  compute_state : (int * string, int * int) Hashtbl.t;
+  pool : Pool.t option;
+  mutable supersteps : int;
+  mutable deltas_sent : int;
+  mutable deltas_committed : int;
+  mutable payloads_merged : int;
+  mutable fix_updates_sent : int;
+}
+
+(* ---- Coordinator receive path ----------------------------------------- *)
+
+let stash t payload =
+  match Protocol.decode payload with
+  | Ok (Protocol.Knowledge_delta { shard; seq; payloads })
+    when shard >= 0 && shard < Array.length t.shards ->
+    (* The transport already suppresses link-level duplicates; the seq
+       guard additionally drops a delta re-sent after a shard restore
+       rewound its counter. *)
+    if seq >= t.next_expected.(shard) && not (Hashtbl.mem t.inboxes.(shard) seq) then
+      Hashtbl.replace t.inboxes.(shard) seq payloads
+  | Ok (Protocol.Frontier_summary { shard; programs })
+    when shard >= 0 && shard < Array.length t.shards ->
+    t.frontier.(shard) <- programs
+  | Ok _ | Error _ -> ()
+
+let create ~config ~sim ~rng () =
+  let n = Shard_map.n_shards config.shard_map in
+  let shard_config = { config.shard_hive with Hive.synthesize = false } in
+  let uplinks =
+    Array.init n (fun _ ->
+        Transport.endpoint_pair ~config:config.transport ~sim ~rng:(Rng.split rng) ())
+  in
+  let shards =
+    Array.init n (fun i ->
+        {
+          s_index = i;
+          s_hive = Hive.create ~config:shard_config ~sim ();
+          s_uplink = fst uplinks.(i);
+          s_ends = [];
+          s_pending = [];
+          s_next_seq = 0;
+        })
+  in
+  Array.iter
+    (fun s -> Hive.set_ingest_tap s.s_hive (fun payload -> s.s_pending <- payload :: s.s_pending))
+    shards;
+  let t =
+    {
+      sim;
+      config;
+      map = config.shard_map;
+      rng;
+      shards;
+      merged = Hive.create ~config:config.merged_hive ~sim ();
+      downlinks = Array.map snd uplinks;
+      inboxes = Array.init n (fun _ -> Hashtbl.create 8);
+      next_expected = Array.make n 0;
+      frontier = Array.make n [];
+      attachments = [];
+      published_epoch = Hashtbl.create 4;
+      compute_state = Hashtbl.create 8;
+      pool = (if config.pool_size > 1 then Some (Pool.create ~size:config.pool_size) else None);
+      supersteps = 0;
+      deltas_sent = 0;
+      deltas_committed = 0;
+      payloads_merged = 0;
+      fix_updates_sent = 0;
+    }
+  in
+  Array.iter (fun endpoint -> Transport.on_receive endpoint (stash t)) t.downlinks;
+  t
+
+let n_shards t = Array.length t.shards
+let merged t = t.merged
+let shard_hive t i = t.shards.(i).s_hive
+let map t = t.map
+
+let register_program t program =
+  Array.iter (fun s -> ignore (Hive.register_program s.s_hive program)) t.shards;
+  Hive.register_program t.merged program
+
+(* ---- Pod routing -------------------------------------------------------- *)
+
+let relay_down pod_link payload =
+  match Protocol.decode payload with
+  | Ok (Protocol.Fix_update _ | Protocol.Guidance_update _ | Protocol.Pressure_update _) ->
+    Transport.send pod_link payload
+  | Ok _ | Error _ -> ()
+
+let route t a payload =
+  let owner =
+    match Protocol.decode payload with
+    | Ok (Protocol.Trace_upload inner) -> (
+      match Wire.decode inner with
+      | Ok trace -> Shard_map.owner_of_bits t.map trace.Trace.bits
+      | Error _ ->
+        (* Malformed inner frame: still deliver it (deterministically,
+           by frame content) so the owning shard's poison quarantine
+           sees it — the router must not silently launder poison. *)
+        Shard_map.owner_of_digest t.map payload)
+    | Ok (Protocol.Sampled_report { program_digest; _ }) ->
+      Shard_map.owner_of_digest t.map program_digest
+    | Ok _ -> -1  (* downstream echoes stop at the router *)
+    | Error _ -> Shard_map.owner_of_digest t.map payload
+  in
+  if owner >= 0 then Transport.send a.to_shard.(owner) payload
+
+let attach_pod t pod_link =
+  let to_shard =
+    Array.map
+      (fun s ->
+        let router_end, shard_end =
+          Transport.endpoint_pair ~config:t.config.transport ~sim:t.sim ~rng:(Rng.split t.rng)
+            ()
+        in
+        Hive.attach_pod s.s_hive shard_end;
+        s.s_ends <- shard_end :: s.s_ends;
+        Transport.on_receive router_end (relay_down pod_link);
+        router_end)
+      t.shards
+  in
+  let a = { pod_link; to_shard } in
+  t.attachments <- t.attachments @ [ a ];
+  Transport.on_receive pod_link (route t a);
+  (* Tell the pod which routing table its uploads will travel under;
+     current pods ignore the frame, but it keeps the map on the wire
+     (and under chaos) rather than implicit in router state. *)
+  Transport.send pod_link (Protocol.encode (Protocol.Shard_map_update { map = t.map }))
+
+(* ---- The superstep ------------------------------------------------------ *)
+
+(* Compute phase: close symbolic gaps on every shard knowledge that
+   changed since last time.  Jobs touch disjoint per-shard state and
+   never the simulator, so they parallelize across the worker pool;
+   verdicts land in each knowledge's gap memo, which the shard's own
+   guidance tick then reads for free. *)
+let compute_phase t =
+  let jobs =
+    Array.to_list t.shards
+    |> List.concat_map (fun s ->
+           Hive.knowledge_list s.s_hive
+           |> List.filter_map (fun k ->
+                  let key = (s.s_index, Knowledge.digest k) in
+                  let state = (Exec_tree.version (Knowledge.tree k), Knowledge.epoch k) in
+                  if Hashtbl.find_opt t.compute_state key = Some state then None
+                  else Some (key, k)))
+  in
+  let close ((key, k) : (int * string) * Knowledge.t) =
+    let shard, digest = key in
+    (* Each shard closes only the verdicts it owns (see
+       {!Shard_map.owner_of_verdict}): a gap verdict is keyed by
+       (site, direction), not by the prefix it appears under, and hot
+       sites recur in every shard's subtree — per-verdict ownership is
+       what partitions the solver work instead of replicating it. *)
+    let owned (gap : Exec_tree.gap) =
+      Shard_map.owner_of_verdict t.map ~program:digest
+        ~thread:gap.Exec_tree.site.Ir.thread ~pc:gap.Exec_tree.site.Ir.pc
+        ~direction:gap.Exec_tree.missing
+      = shard
+    in
+    ignore
+      (Prover.close_gaps ?config:t.config.shard_hive.Hive.symexec_config
+         ~cache:(Knowledge.verdict_cache k) ~memo:(Knowledge.gap_memo k) ~owned
+         ~limit:t.config.gap_limit (Knowledge.program k) (Knowledge.tree k));
+    (key, (Exec_tree.version (Knowledge.tree k), Knowledge.epoch k))
+  in
+  let results =
+    match t.pool with Some pool -> Pool.map pool close jobs | None -> List.map close jobs
+  in
+  List.iter (fun (key, state) -> Hashtbl.replace t.compute_state key state) results
+
+let frontier_of s =
+  Hive.knowledge_list s.s_hive
+  |> List.map (fun k ->
+         ( Knowledge.digest k,
+           Exec_tree.n_distinct_paths (Knowledge.tree k),
+           Knowledge.traces_ingested k ))
+  |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+
+let flush t =
+  Array.iter
+    (fun s ->
+      if s.s_pending <> [] then begin
+        let payloads = List.rev s.s_pending in
+        s.s_pending <- [];
+        let seq = s.s_next_seq in
+        s.s_next_seq <- seq + 1;
+        Transport.send s.s_uplink
+          (Protocol.encode (Protocol.Knowledge_delta { shard = s.s_index; seq; payloads }));
+        Transport.send s.s_uplink
+          (Protocol.encode
+             (Protocol.Frontier_summary { shard = s.s_index; programs = frontier_of s }));
+        t.deltas_sent <- t.deltas_sent + 1;
+        Log.debug (fun m ->
+            m "shard %d delta seq=%d payloads=%d" s.s_index seq (List.length payloads))
+      end)
+    t.shards
+
+let commit t =
+  let merged_now = ref 0 in
+  Array.iteri
+    (fun i inbox ->
+      let rec drain () =
+        match Hashtbl.find_opt inbox t.next_expected.(i) with
+        | None -> ()
+        | Some payloads ->
+          Hashtbl.remove inbox t.next_expected.(i);
+          t.next_expected.(i) <- t.next_expected.(i) + 1;
+          t.deltas_committed <- t.deltas_committed + 1;
+          List.iter
+            (fun payload ->
+              incr merged_now;
+              Hive.ingest_payload t.merged payload)
+            payloads;
+          drain ()
+      in
+      drain ())
+    t.inboxes;
+  t.payloads_merged <- t.payloads_merged + !merged_now;
+  !merged_now
+
+(* Publish fixes the merged analysis deployed since the last superstep:
+   shards adopt the full set (so their replay hooks for any epoch match
+   the coordinator's), pods get the deployable subset exactly as a
+   standalone hive would send it. *)
+let publish t =
+  Hive.knowledge_list t.merged
+  |> List.sort (fun a b -> String.compare (Knowledge.digest a) (Knowledge.digest b))
+  |> List.iter (fun k ->
+         let digest = Knowledge.digest k in
+         let epoch = Knowledge.epoch k in
+         let prev = Option.value ~default:0 (Hashtbl.find_opt t.published_epoch digest) in
+         if epoch > prev then begin
+           Hashtbl.replace t.published_epoch digest epoch;
+           let fixes = Knowledge.fixes k in
+           Array.iter
+             (fun s -> Hive.adopt_fixes s.s_hive ~digest ~fixes ~epoch)
+             t.shards;
+           let payload =
+             Protocol.encode
+               (Protocol.Fix_update
+                  {
+                    program_digest = digest;
+                    epoch;
+                    fixes = List.filter Fixgen.is_deployable fixes;
+                    pressure = 0;
+                  })
+           in
+           List.iter (fun a -> Transport.send a.pod_link payload) t.attachments;
+           t.fix_updates_sent <- t.fix_updates_sent + 1
+         end)
+
+let superstep t =
+  t.supersteps <- t.supersteps + 1;
+  compute_phase t;
+  flush t;
+  ignore (commit t);
+  if t.config.synthesize then begin
+    Hive.tick t.merged;
+    publish t
+  end
+
+let rec arm t =
+  Sim.schedule t.sim ~delay:t.config.superstep_interval (fun () ->
+      superstep t;
+      arm t)
+
+let start t =
+  Array.iter (fun s -> Hive.start s.s_hive) t.shards;
+  arm t
+
+let shutdown t =
+  Array.iter (fun s -> Hive.shutdown s.s_hive) t.shards;
+  Hive.shutdown t.merged;
+  Option.iter Pool.shutdown t.pool
+
+(* ---- Observability ------------------------------------------------------ *)
+
+let sum_cache f s =
+  List.fold_left (fun acc k -> acc + f k) 0 (Hive.knowledge_list s.s_hive)
+
+let stats t =
+  {
+    supersteps = t.supersteps;
+    deltas_sent = t.deltas_sent;
+    deltas_committed = t.deltas_committed;
+    payloads_merged = t.payloads_merged;
+    fix_updates_sent = t.fix_updates_sent;
+    per_shard =
+      Array.to_list t.shards
+      |> List.map (fun s ->
+             {
+               shard = s.s_index;
+               hive_stats = Hive.stats s.s_hive;
+               pending = List.length s.s_pending;
+               gap_memo_hits = sum_cache (fun k -> Gap_memo.hits (Knowledge.gap_memo k)) s;
+               gap_memo_misses = sum_cache (fun k -> Gap_memo.misses (Knowledge.gap_memo k)) s;
+               verdict_cache_hits =
+                 sum_cache
+                   (fun k -> Softborg_solver.Verdict_cache.hits (Knowledge.verdict_cache k))
+                   s;
+               verdict_cache_misses =
+                 sum_cache
+                   (fun k -> Softborg_solver.Verdict_cache.misses (Knowledge.verdict_cache k))
+                   s;
+             });
+  }
+
+let frontier t shard = t.frontier.(shard)
+
+let links t =
+  let endpoints =
+    List.concat_map (fun a -> a.pod_link :: Array.to_list a.to_shard) t.attachments
+    @ Array.to_list (Array.map (fun s -> s.s_uplink) t.shards)
+    @ List.concat_map (fun s -> s.s_ends) (Array.to_list t.shards)
+    @ Array.to_list t.downlinks
+  in
+  List.filter_map Transport.out_link endpoints
+
+(* ---- Shard checkpoint / restore ----------------------------------------- *)
+
+let checkpoint_magic = "SBFS"
+let checkpoint_version = 1
+
+(* A shard checkpoint wraps the hive checkpoint with the federation's
+   shard-local transfer state (unsent pending payloads and the delta
+   sequence counter), so a crash-restore cycle resumes exchange without
+   losing admitted-but-unflushed work that the checkpoint saw. *)
+let checkpoint_shard t i =
+  let s = t.shards.(i) in
+  let w = Codec.Writer.create () in
+  String.iter (fun c -> Codec.Writer.byte w (Char.code c)) checkpoint_magic;
+  Codec.Writer.varint w checkpoint_version;
+  Codec.Writer.varint w s.s_next_seq;
+  Codec.Writer.list w (Codec.Writer.bytes w) (List.rev s.s_pending);
+  Codec.Writer.bytes w (Hive.checkpoint s.s_hive);
+  Codec.Writer.contents w
+
+let restore_shard t i data =
+  let s = t.shards.(i) in
+  let r = Codec.Reader.of_string data in
+  match
+    let seen =
+      String.init (String.length checkpoint_magic) (fun _ -> Char.chr (Codec.Reader.byte r))
+    in
+    if seen <> checkpoint_magic then Error (Printf.sprintf "bad shard checkpoint magic %S" seen)
+    else
+      let version = Codec.Reader.varint r in
+      if version <> checkpoint_version then
+        Error (Printf.sprintf "unsupported shard checkpoint version %d" version)
+      else
+        let next_seq = Codec.Reader.varint r in
+        let pending = Codec.Reader.list r Codec.Reader.bytes in
+        match Hive.restore s.s_hive (Codec.Reader.bytes r) with
+        | Error _ as e -> e
+        | Ok n ->
+          (* Never rewind the sequence counter: the coordinator has
+             already committed (or holds) deltas up to the live value,
+             and a reused seq would be dropped as a duplicate. *)
+          s.s_next_seq <- max s.s_next_seq next_seq;
+          s.s_pending <- List.rev pending;
+          (* Catch the restored knowledge up with fixes published after
+             the checkpoint was taken (no-op when none were). *)
+          List.iter
+            (fun k ->
+              Hive.adopt_fixes s.s_hive ~digest:(Knowledge.digest k)
+                ~fixes:(Knowledge.fixes k) ~epoch:(Knowledge.epoch k))
+            (Hive.knowledge_list t.merged);
+          Ok n
+  with
+  | result -> result
+  | exception Codec.Truncated -> Error "truncated shard checkpoint"
+  | exception Codec.Malformed msg -> Error (Printf.sprintf "malformed shard checkpoint: %s" msg)

@@ -54,11 +54,12 @@ type crash_evidence = {
   count : int;
 }
 
-let next_fix_id = ref 0
-
-let make_fix epoch kind =
-  incr next_fix_id;
-  { id = !next_fix_id; epoch; kind }
+(* Fix ids continue from the highest id already deployed on the same
+   knowledge, not from a process-global counter: two hives proposing
+   over equal evidence and equal existing fixes must mint equal ids,
+   or a federated merge could never be byte-identical to the
+   single-hive baseline. *)
+let next_id_over existing = 1 + List.fold_left (fun m fix -> max m fix.id) 0 existing
 
 let covers_deadlock existing locks =
   List.exists
@@ -108,7 +109,12 @@ let guard_condition ?symexec_config ~program evidence =
 
 let propose ?symexec_config ~program ~deadlock_patterns ~crashes ~existing ~next_epoch () =
   let fixes = ref [] in
-  let emit kind = fixes := make_fix next_epoch kind :: !fixes in
+  let next_id = ref (next_id_over existing) in
+  let emit kind =
+    let fix = { id = !next_id; epoch = next_epoch; kind } in
+    incr next_id;
+    fixes := fix :: !fixes
+  in
   List.iter
     (fun locks ->
       let locks = List.sort_uniq Int.compare locks in
@@ -243,8 +249,8 @@ let write_fix w fix =
 
 let read_fix r =
   let id = Codec.Reader.varint r in
-  (* Keep later synthesized ids unique after a checkpoint restore. *)
-  if id > !next_fix_id then next_fix_id := id;
+  (* Id uniqueness after a restore is automatic: [propose] numbers
+     from the highest id among the fixes it extends. *)
   let epoch = Codec.Reader.varint r in
   let kind =
     match Codec.Reader.byte r with

@@ -55,6 +55,7 @@ type config = {
   symexec_config : Sym_exec.config option;
   pool_size : int;
   overload : overload_config option;
+  synthesize : bool;
 }
 
 let default_config mode =
@@ -68,6 +69,7 @@ let default_config mode =
     prove = (mode = Full);
     pool_size = 1;
     overload = None;
+    synthesize = true;
     symexec_config =
       (* The hive analyzes many programs per tick; bound each symbolic
          operation tightly and rely on repetition across ticks. *)
@@ -168,6 +170,11 @@ type t = {
      part of the checkpointed state itself. *)
   mutable checkpoints_taken : int;
   mutable restores_completed : int;
+  mutable shut_down : bool;
+  (* Federation hook: observes the canonical re-encoding of every
+     upload this hive actually ingests (post admission-control), so a
+     shard's superstep delta is exactly its admitted work. *)
+  mutable ingest_tap : (string -> unit) option;
 }
 
 let create ?config ~sim () =
@@ -212,6 +219,8 @@ let create ?config ~sim () =
     human_fixes_scheduled = 0;
     checkpoints_taken = 0;
     restores_completed = 0;
+    shut_down = false;
+    ingest_tap = None;
   }
 
 let register_program t program =
@@ -225,6 +234,11 @@ let register_program t program =
 
 let knowledge t ~digest = Hashtbl.find_opt t.programs digest
 let knowledge_list t = Hashtbl.fold (fun _ k acc -> k :: acc) t.programs []
+
+let adopt_fixes t ~digest ~fixes ~epoch =
+  match Hashtbl.find_opt t.programs digest with
+  | None -> ()
+  | Some k -> Knowledge.adopt_fixes k ~fixes ~epoch
 
 let broadcast t message =
   let payload = Protocol.encode message in
@@ -247,8 +261,18 @@ let send_fix_update t k =
 
 (* ---- Ingestion -------------------------------------------------------- *)
 
+(* The tap sees a *re-encoding* of the decoded work, not the pod's
+   original frame: re-encoding is canonical, so two shards ingesting
+   equal content report byte-equal payloads no matter how the pods
+   chose to frame them. *)
+let canonical_payload = function
+  | Trace_work trace -> Protocol.encode (Protocol.Trace_upload (Wire.encode trace))
+  | Sampled_work { program_digest; report } ->
+    Protocol.encode (Protocol.Sampled_report { program_digest; report })
+
 let process_work t work =
   t.traces_received <- t.traces_received + 1;
+  (match t.ingest_tap with None -> () | Some tap -> tap (canonical_payload work));
   match work with
   | Trace_work trace -> (
     match Hashtbl.find_opt t.programs trace.Trace.program_digest with
@@ -275,9 +299,22 @@ let handle_message t payload =
     | Ok trace -> process_work t (Trace_work trace))
   | Ok (Protocol.Sampled_report { program_digest; report }) ->
     process_work t (Sampled_work { program_digest; report })
-  | Ok (Protocol.Fix_update _ | Protocol.Guidance_update _ | Protocol.Pressure_update _) ->
-    (* Downstream-only messages; ignore if echoed back. *)
+  | Ok
+      ( Protocol.Fix_update _ | Protocol.Guidance_update _ | Protocol.Pressure_update _
+      | Protocol.Shard_map_update _ | Protocol.Knowledge_delta _ | Protocol.Frontier_summary _
+        ) ->
+    (* Downstream-only and federation-plane messages; ignore if echoed
+       back.  A shard hive never ingests a Knowledge_delta directly —
+       the federation coordinator unpacks deltas itself so commit
+       order stays canonical. *)
     ()
+
+(* Federation entry points: the merge coordinator commits a shard's
+   delta payloads through the same synchronous path a directly
+   attached pod would take, and a shard exposes its admitted work via
+   the tap. *)
+let ingest_payload = handle_message
+let set_ingest_tap t tap = t.ingest_tap <- Some tap
 
 (* ---- Overload protection ---------------------------------------------- *)
 
@@ -421,7 +458,11 @@ let admit t (oc : overload_config) slot payload =
   else
     match Protocol.decode ~caps:oc.caps payload with
     | Error _ -> quarantine t oc slot
-    | Ok (Protocol.Fix_update _ | Protocol.Guidance_update _ | Protocol.Pressure_update _) -> ()
+    | Ok
+        ( Protocol.Fix_update _ | Protocol.Guidance_update _ | Protocol.Pressure_update _
+        | Protocol.Shard_map_update _ | Protocol.Knowledge_delta _
+        | Protocol.Frontier_summary _ ) ->
+      ()
     | Ok (Protocol.Trace_upload inner) -> (
       match Wire.decode ~caps:oc.caps inner with
       | Error _ -> quarantine t oc slot
@@ -667,11 +708,17 @@ let tick t =
     (fun digest k ->
       match t.config.mode with
       | Full ->
-        let new_fixes = Knowledge.analyze ?symexec_config:t.config.symexec_config k in
-        let deployable = List.filter Fixgen.is_deployable new_fixes in
-        if deployable <> [] then begin
-          t.fixes_deployed <- t.fixes_deployed + List.length deployable;
-          send_fix_update t k
+        (* Federation shards run with [synthesize = false]: proposing
+           fixes from a shard's partial evidence would mint ids and
+           epochs that diverge from the coordinator's, and only the
+           merged knowledge sees whole-program evidence. *)
+        if t.config.synthesize then begin
+          let new_fixes = Knowledge.analyze ?symexec_config:t.config.symexec_config k in
+          let deployable = List.filter Fixgen.is_deployable new_fixes in
+          if deployable <> [] then begin
+            t.fixes_deployed <- t.fixes_deployed + List.length deployable;
+            send_fix_update t k
+          end
         end;
         (* Guidance and proofs involve symbolic exploration: only
            re-run them when this program's knowledge changed. *)
@@ -696,7 +743,14 @@ let rec arm t =
 
 let start t = arm t
 
-let shutdown t = Option.iter Pool.shutdown t.pool
+(* Idempotent: the federation supervisor calls this once per shard on
+   teardown and again during chaos kill/restore cycles, so a second
+   call must not attempt a second [Domain.join] on the pool workers. *)
+let shutdown t =
+  if not t.shut_down then begin
+    t.shut_down <- true;
+    Option.iter Pool.shutdown t.pool
+  end
 
 let stats t =
   {
@@ -724,7 +778,7 @@ let stats t =
 module Codec = Softborg_util.Codec
 
 let checkpoint_magic = "SBHV"
-let checkpoint_version = 1
+let checkpoint_version = 2
 
 let checkpoint t =
   let w = Codec.Writer.create () in

@@ -81,6 +81,11 @@ type config = {
           protection.  [Some _] enables admission control, bounded
           queueing with shedding, pod backpressure signalling, and
           poison-trace quarantine. *)
+  synthesize : bool;
+      (** [true] (the default) lets the analysis tick propose and
+          deploy fixes.  Federation shards run with [false]: fix ids
+          and epochs are minted only by the merge coordinator, whose
+          knowledge sees whole-program evidence. *)
 }
 
 val default_config : mode -> config
@@ -114,6 +119,22 @@ val register_program : t -> Ir.t -> Knowledge.t
 
 val knowledge : t -> digest:string -> Knowledge.t option
 val knowledge_list : t -> Knowledge.t list
+
+val adopt_fixes : t -> digest:string -> fixes:Fixgen.fix list -> epoch:int -> unit
+(** Replace a program's fix set and epoch with the federation
+    coordinator's (no-op for an unknown digest or an unchanged set).
+    See {!Knowledge.adopt_fixes}. *)
+
+val ingest_payload : t -> string -> unit
+(** Process one encoded protocol frame synchronously, exactly as the
+    legacy receive path would — the federation coordinator commits
+    shard delta payloads through this. *)
+
+val set_ingest_tap : t -> (string -> unit) -> unit
+(** Observe the canonical re-encoding of every upload this hive
+    ingests (after admission control and poison rejection).  A
+    federation shard's superstep delta is the tap's output since the
+    previous flush. *)
 
 val attach_pod : t -> Transport.endpoint -> unit
 (** Wire up the hive side of one pod's connection.  With overload

@@ -166,7 +166,14 @@ let crash_evidence t =
       { Fixgen.site = bucket.site; crash_kind = bucket.crash_kind; bucket = key; count = bucket.count }
       :: acc)
     t.crash_buckets []
-  |> List.sort (fun (a : Fixgen.crash_evidence) b -> Int.compare b.Fixgen.count a.Fixgen.count)
+  (* Ties broken by bucket key: the hashtable fold order depends on
+     insertion history, and evidence order must not (fix proposal
+     iterates it, and proposed-fix bytes must be ingestion-order
+     independent). *)
+  |> List.sort (fun (a : Fixgen.crash_evidence) b ->
+         match Int.compare b.Fixgen.count a.Fixgen.count with
+         | 0 -> String.compare a.Fixgen.bucket b.Fixgen.bucket
+         | c -> c)
 
 let deadlock_pattern_sets t =
   List.map (fun (p : Deadlock.pattern) -> p.Deadlock.locks) (Deadlock.patterns t.deadlocks)
@@ -178,7 +185,10 @@ let bucket_counts t =
   let crash = Hashtbl.fold (fun key b acc -> (key, b.count) :: acc) t.crash_buckets [] in
   let dl = Hashtbl.fold (fun key (_, n) acc -> (key, !n) :: acc) t.deadlock_buckets [] in
   let other = Hashtbl.fold (fun key n acc -> (key, !n) :: acc) t.other_buckets [] in
-  List.sort (fun (_, a) (_, b) -> Int.compare b a) (crash @ dl @ other)
+  List.sort
+    (fun (k1, a) (k2, b) ->
+      match Int.compare b a with 0 -> String.compare k1 k2 | c -> c)
+    (crash @ dl @ other)
 
 let bump_epoch t =
   t.epoch <- t.epoch + 1;
@@ -211,6 +221,21 @@ let add_fix t kind =
   t.fixes <- t.fixes @ [ fix ];
   fix
 
+(* Federation: a shard adopts the coordinator's deployed fix set
+   wholesale, so its replay hooks for a given epoch match what the
+   pods (and the merged knowledge) compute.  Invalidation mirrors
+   [bump_epoch] — a new fix set means previously cached verdicts and
+   reconstructions describe a different analyzed behavior. *)
+let adopt_fixes t ~fixes ~epoch =
+  if epoch <> t.epoch || fixes <> t.fixes then begin
+    t.fixes <- fixes;
+    t.epoch <- epoch;
+    Option.iter Lru.clear t.replay_cache;
+    Gap_memo.clear t.gap_memo;
+    Softborg_solver.Verdict_cache.clear t.verdict_cache;
+    ignore (Prover.invalidate t.proofs ~current_epoch:t.epoch)
+  end
+
 let record_proof t proof = t.proofs <- proof :: t.proofs
 let valid_proofs t = List.filter (fun (p : Prover.proof) -> p.Prover.valid) t.proofs
 
@@ -240,7 +265,10 @@ let write w t =
   Codec.Writer.varint w t.traces_ingested;
   Codec.Writer.varint w t.failures;
   Codec.Writer.varint w t.replay_errors;
-  Codec.Writer.varint w t.replay_cache_hits;
+  (* [replay_cache_hits] is deliberately not serialized: it depends on
+     LRU arrival order (a process-local accident, like the cache
+     itself), and knowledge bytes must be a pure function of the
+     ingested evidence for the federation's merge-equality check. *)
   Exec_tree.write w t.tree;
   Trace_store.write w t.store;
   Isolate.write w t.isolate;
@@ -273,7 +301,6 @@ let read ?(replay_cache = 256) r =
   let traces_ingested = Codec.Reader.varint r in
   let failures = Codec.Reader.varint r in
   let replay_errors = Codec.Reader.varint r in
-  let replay_cache_hits = Codec.Reader.varint r in
   let tree = Exec_tree.read r in
   let store = Trace_store.read r in
   let isolate = Isolate.read r in
@@ -323,7 +350,7 @@ let read ?(replay_cache = 256) r =
     replay_errors;
     proofs;
     replay_cache = (if replay_cache <= 0 then None else Some (Lru.create replay_cache));
-    replay_cache_hits;
+    replay_cache_hits = 0;
     gap_memo = Gap_memo.create ();
     verdict_cache = Softborg_solver.Verdict_cache.create ();
   }

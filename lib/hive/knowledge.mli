@@ -96,6 +96,13 @@ val add_fix : t -> Fixgen.kind -> Fixgen.fix
 (** Install an externally-decided fix (the human repair lab of WER
     mode); bumps the epoch and invalidates stale proofs. *)
 
+val adopt_fixes : t -> fixes:Fixgen.fix list -> epoch:int -> unit
+(** Replace the fix set and epoch wholesale with the federation
+    coordinator's, so replay hooks computed here for any epoch match
+    the merged knowledge's.  Clears the replay/memo/verdict caches and
+    invalidates stale proofs (as {!analyze} would); no-op when the set
+    and epoch are already equal. *)
+
 val record_proof : t -> Prover.proof -> unit
 val valid_proofs : t -> Prover.proof list
 

@@ -18,6 +18,9 @@ type message =
       pressure : int;
     }
   | Pressure_update of { level : int }
+  | Shard_map_update of { map : Shard_map.t }
+  | Knowledge_delta of { shard : int; seq : int; payloads : string list }
+  | Frontier_summary of { shard : int; programs : (string * int * int) list }
 
 let message_name = function
   | Trace_upload _ -> "trace-upload"
@@ -25,11 +28,16 @@ let message_name = function
   | Fix_update _ -> "fix-update"
   | Guidance_update _ -> "guidance-update"
   | Pressure_update _ -> "pressure-update"
+  | Shard_map_update _ -> "shard-map-update"
+  | Knowledge_delta _ -> "knowledge-delta"
+  | Frontier_summary _ -> "frontier-summary"
 
 let pressure_of = function
   | Fix_update { pressure; _ } | Guidance_update { pressure; _ } -> Some pressure
   | Pressure_update { level } -> Some level
-  | Trace_upload _ | Sampled_report _ -> None
+  | Trace_upload _ | Sampled_report _ | Shard_map_update _ | Knowledge_delta _
+  | Frontier_summary _ ->
+    None
 
 let write_sampled w (report : Sampling.t) =
   Codec.Writer.varint w report.Sampling.rate;
@@ -89,8 +97,35 @@ let encode message =
     Codec.Writer.list w (Guidance.write_directive w) directives
   | Pressure_update { level } ->
     Codec.Writer.byte w 4;
-    Codec.Writer.varint w level);
+    Codec.Writer.varint w level
+  | Shard_map_update { map } ->
+    Codec.Writer.byte w 5;
+    Shard_map.write w map
+  | Knowledge_delta { shard; seq; payloads } ->
+    Codec.Writer.byte w 6;
+    Codec.Writer.varint w shard;
+    Codec.Writer.varint w seq;
+    Codec.Writer.list w (Codec.Writer.bytes w) payloads
+  | Frontier_summary { shard; programs } ->
+    Codec.Writer.byte w 7;
+    Codec.Writer.varint w shard;
+    Codec.Writer.list w
+      (fun (digest, paths, traces) ->
+        Codec.Writer.bytes w digest;
+        Codec.Writer.varint w paths;
+        Codec.Writer.varint w traces)
+      programs);
   Codec.Writer.contents w
+
+(* Inter-hive frames share the pod-facing row cap: a Knowledge_delta's
+   payload count (and a Frontier_summary's program rows) are bounded
+   like sampled-report predicate rows, so a poison frame on the uplink
+   cannot force unbounded allocation either. *)
+let check_rows ?caps ~what n =
+  match caps with
+  | Some c when n > c.Wire.max_predicates ->
+    raise (Codec.Malformed (Printf.sprintf "%s %d exceed cap %d" what n c.Wire.max_predicates))
+  | _ -> ()
 
 let decode ?caps s =
   match
@@ -120,6 +155,24 @@ let decode ?caps s =
       let directives = Codec.Reader.list r Guidance.read_directive in
       Guidance_update { program_digest; directives; pressure }
     | 4 -> Pressure_update { level = Codec.Reader.varint r }
+    | 5 -> Shard_map_update { map = Shard_map.read r }
+    | 6 ->
+      let shard = Codec.Reader.varint r in
+      let seq = Codec.Reader.varint r in
+      let payloads = Codec.Reader.list r Codec.Reader.bytes in
+      check_rows ?caps ~what:"delta payloads" (List.length payloads);
+      Knowledge_delta { shard; seq; payloads }
+    | 7 ->
+      let shard = Codec.Reader.varint r in
+      let programs =
+        Codec.Reader.list r (fun r ->
+            let digest = Codec.Reader.bytes r in
+            let paths = Codec.Reader.varint r in
+            let traces = Codec.Reader.varint r in
+            (digest, paths, traces))
+      in
+      check_rows ?caps ~what:"frontier rows" (List.length programs);
+      Frontier_summary { shard; programs }
     | n -> raise (Codec.Malformed (Printf.sprintf "message tag %d" n))
   with
   | message -> Ok message

@@ -32,6 +32,19 @@ type message =
   | Pressure_update of { level : int }
       (** Standalone backpressure broadcast, sent when the hive's load
           level changes and no other downstream push is imminent. *)
+  | Shard_map_update of { map : Shard_map.t }
+      (** Federation routing table push: which shard owns which
+          path-prefix range.  Sent to routers/pods so upload routing
+          is a pure function of the trace and the map. *)
+  | Knowledge_delta of { shard : int; seq : int; payloads : string list }
+      (** Superstep uplink from a shard to the merge coordinator:
+          the canonical ingest payloads (encoded protocol frames)
+          the shard admitted since its previous delta.  [seq] orders
+          deltas from one shard; the coordinator commits rounds in
+          (shard, seq) order. *)
+  | Frontier_summary of { shard : int; programs : (string * int * int) list }
+      (** Periodic shard telemetry: per program digest, distinct
+          execution-tree paths and traces ingested. *)
 
 val encode : message -> string
 

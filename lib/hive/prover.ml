@@ -42,7 +42,7 @@ let make_proof property strength epoch distinct_paths =
   incr next_proof_id;
   { id = !next_proof_id; property; strength; epoch; distinct_paths; valid = true }
 
-let close_gaps ?config ?cache ?memo ?(limit = 24) program tree =
+let close_gaps ?config ?cache ?memo ?owned ?(limit = 24) program tree =
   let closed = ref 0 in
   let verdict_for site direction =
     (* Solving through [Testgen.for_direction] (rather than
@@ -62,6 +62,7 @@ let close_gaps ?config ?cache ?memo ?(limit = 24) program tree =
   (* Only the hottest [limit] gaps are pulled from the index; the
      frontier is never materialized in full. *)
   Exec_tree.frontier_seq tree
+  |> (match owned with None -> Fun.id | Some owned -> Seq.filter owned)
   |> Seq.take (max 0 limit)
   |> Seq.iter (fun (gap : Exec_tree.gap) ->
          match verdict_for gap.Exec_tree.site gap.Exec_tree.missing with

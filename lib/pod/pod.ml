@@ -129,8 +129,11 @@ let handle_message t payload =
     if String.equal program_digest t.digest then
       t.pending_guidance <- t.pending_guidance @ directives
   | Ok (Protocol.Pressure_update { level }) -> set_pressure t level
-  | Ok (Protocol.Trace_upload _ | Protocol.Sampled_report _) ->
-    (* Upstream-only messages. *)
+  | Ok
+      ( Protocol.Trace_upload _ | Protocol.Sampled_report _ | Protocol.Shard_map_update _
+      | Protocol.Knowledge_delta _ | Protocol.Frontier_summary _ ) ->
+    (* Upstream-only and federation-plane messages: pods upload through
+       a federation router, which consumes the shard map itself. *)
     ()
 
 let create ?(config = default_config) ~sim ~rng ~program ~endpoint () =

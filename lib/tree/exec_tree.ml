@@ -515,13 +515,16 @@ let read_dir r =
   let direction = Codec.Reader.bool r in
   (site, direction)
 
-(* One node record: identity, hits, terminal buckets, infeasibility
-   marks, and the labeled out-edges with their traversal counts.  All
-   collections are emitted in their map/set order, so equal trees
-   always serialize to equal bytes.  Child records follow the parent in
-   edge order (preorder). *)
-let write_node_record w node =
-  Codec.Writer.varint w node.id;
+(* One node record: hits, terminal buckets, infeasibility marks, and
+   the labeled out-edges with their traversal counts.  All collections
+   are emitted in their map/set order, and node ids — which encode
+   creation order, an artifact of ingestion order — are NOT written
+   (the reader re-assigns them in preorder).  Equal trees therefore
+   always serialize to equal bytes, *regardless of the order their
+   paths arrived in* — the byte-level merge-equality of the shard
+   federation rests on this.  Child records follow the parent in edge
+   order (preorder). *)
+let write_node_record w (node : node) =
   Codec.Writer.varint w node.hits;
   Codec.Writer.list w
     (fun (bucket, count) ->
@@ -539,7 +542,6 @@ let write w t =
   Codec.Writer.varint w t.nodes;
   Codec.Writer.varint w t.executions;
   Codec.Writer.varint w t.distinct_paths;
-  Codec.Writer.varint w t.next_id;
   Codec.Writer.varint w t.version;
   (* Preorder via an explicit stack; children pushed in ascending edge
      order so they pop (and serialize) in that order. *)
@@ -553,7 +555,6 @@ let write w t =
   emit [ t.root ]
 
 type node_record = {
-  r_id : int;
   r_hits : int;
   r_terminal : int Bucket_map.t;
   r_infeasible : Edge_set.t;
@@ -561,7 +562,6 @@ type node_record = {
 }
 
 let read_node_record r =
-  let r_id = Codec.Reader.varint r in
   let r_hits = Codec.Reader.varint r in
   let r_terminal =
     List.fold_left
@@ -579,7 +579,7 @@ let read_node_record r =
         let count = Codec.Reader.varint r in
         (key, count))
   in
-  { r_id; r_hits; r_terminal; r_infeasible; r_edges }
+  { r_hits; r_terminal; r_infeasible; r_edges }
 
 (* Rebuild the incremental aggregates from the restored structure.  By
    construction this walk computes exactly what the *_recompute oracles
@@ -619,11 +619,18 @@ let read r =
   let nodes = Codec.Reader.varint r in
   let executions = Codec.Reader.varint r in
   let distinct_paths = Codec.Reader.varint r in
-  let next_id = Codec.Reader.varint r in
   let version = Codec.Reader.varint r in
+  (* Ids are assigned in record (= preorder) order: they only key the
+     open-gap table and must merely be distinct, so the serialized form
+     can stay independent of the original creation order. *)
+  let next_restored_id = ref (-1) in
+  let fresh_id () =
+    incr next_restored_id;
+    !next_restored_id
+  in
   let node_of_record ~depth ~parent rec_ =
     {
-      id = rec_.r_id;
+      id = fresh_id ();
       depth;
       parent;
       edges = Edge_map.empty;
@@ -657,7 +664,7 @@ let read r =
       nodes;
       executions;
       distinct_paths;
-      next_id;
+      next_id = !next_restored_id;
       edge_count = 0;
       max_depth = 0;
       closed_dirs = 0;

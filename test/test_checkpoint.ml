@@ -274,6 +274,71 @@ let test_hive_restore_keeps_late_programs () =
   | Ok n -> checki "one program in the checkpoint" 1 n);
   checki "late registration survives the restore" 2 (List.length (Hive.knowledge_list hive))
 
+(* ---- Federation shard checkpoints -------------------------------------- *)
+
+module Transport = Softborg_net.Transport
+module Protocol = Softborg_hive.Protocol
+module Wire = Softborg_trace.Wire
+module Federation = Softborg_hive.Federation
+
+let shard_upload_pool =
+  let rng = Rng.create 555 in
+  Array.init 24 (fun i ->
+      let inputs =
+        if Rng.int rng 5 = 0 then Corpus.parser_trigger
+        else Array.init 3 (fun _ -> Rng.int_in rng 0 30)
+      in
+      let r = run_once ~seed:i Corpus.parser inputs in
+      Protocol.encode
+        (Protocol.Trace_upload (Wire.encode (trace_of ~pod:(i mod 4) Corpus.parser r))))
+
+(* Random interleaving of shard-local ingestion, delta flushes, and
+   mid-sequence shard checkpoints, across shard counts 1/2/4: at every
+   checkpoint the restored shard must re-serialize to the same bytes —
+   the shard-local transfer state (pending buffer, delta seq counter)
+   round-trips along with the hive knowledge. *)
+let prop_shard_checkpoint_roundtrip =
+  QCheck.Test.make ~name:"shard snapshot/restore round-trips shard-local state" ~count:500
+    QCheck.(triple small_nat (int_range 1 12) (int_range 0 2))
+    (fun (seed, n_ops, shard_choice) ->
+      let n_shards = [| 1; 2; 4 |].(shard_choice) in
+      let sim = Sim.create () in
+      let fed =
+        Federation.create
+          ~config:
+            { (Federation.default_config ~n_shards ()) with Federation.synthesize = false }
+          ~sim ~rng:(Rng.create (seed + 9)) ()
+      in
+      ignore (Federation.register_program fed Corpus.parser);
+      let rng = Rng.create (seed * 677 + 29) in
+      let check_shard i =
+        let s1 = Federation.checkpoint_shard fed i in
+        (match Federation.restore_shard fed i s1 with
+        | Error e -> QCheck.Test.fail_reportf "shard restore failed: %s" e
+        | Ok n -> if n <> 1 then QCheck.Test.fail_report "wrong program count restored");
+        if Federation.checkpoint_shard fed i <> s1 then
+          QCheck.Test.fail_report "shard re-snapshot not byte-identical"
+      in
+      for _ = 1 to n_ops do
+        match Rng.int rng 4 with
+        | 0 | 1 ->
+          (* Admit a payload directly into a random shard: the ingest
+             tap buffers its canonical form for the next delta. *)
+          let payload = shard_upload_pool.(Rng.int rng (Array.length shard_upload_pool)) in
+          Hive.ingest_payload (Federation.shard_hive fed (Rng.int rng n_shards)) payload
+        | 2 ->
+          (* Advance the delta exchange so seq counters move. *)
+          Federation.flush fed;
+          Sim.run sim;
+          ignore (Federation.commit fed)
+        | _ -> check_shard (Rng.int rng n_shards)
+      done;
+      for i = 0 to n_shards - 1 do
+        check_shard i
+      done;
+      Federation.shutdown fed;
+      true)
+
 (* ---- Corruption -------------------------------------------------------- *)
 
 let test_decode_rejects_garbage () =
@@ -365,6 +430,7 @@ let () =
           Alcotest.test_case "late programs kept" `Quick test_hive_restore_keeps_late_programs;
           Alcotest.test_case "determinism" `Quick test_checkpoint_determinism_across_processes;
         ] );
+      ("federation", [ q prop_shard_checkpoint_roundtrip ]);
       ( "corruption",
         [
           Alcotest.test_case "decode rejects garbage" `Quick test_decode_rejects_garbage;

@@ -1,0 +1,547 @@
+(* The federation battery: the N-shard merge must be indistinguishable,
+   byte-for-byte, from one hive fed the same traces — for any shard
+   count, any routing split, and any delivery interleaving (latency
+   jitter, duplication, retransmission) the transport produces.  Shard
+   checkpoints must make a crash-restore cycle invisible, and the shard
+   map must be a pure, codec-stable partition. *)
+
+module Ir = Softborg_prog.Ir
+module Corpus = Softborg_prog.Corpus
+module Env = Softborg_exec.Env
+module Sched = Softborg_exec.Sched
+module Interp = Softborg_exec.Interp
+module Trace = Softborg_trace.Trace
+module Wire = Softborg_trace.Wire
+module Bitvec = Softborg_util.Bitvec
+module Codec = Softborg_util.Codec
+module Rng = Softborg_util.Rng
+module Sim = Softborg_net.Sim
+module Link = Softborg_net.Link
+module Transport = Softborg_net.Transport
+module Hive = Softborg_hive.Hive
+module Knowledge = Softborg_hive.Knowledge
+module Protocol = Softborg_hive.Protocol
+module Shard_map = Softborg_hive.Shard_map
+module Federation = Softborg_hive.Federation
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+let checks = Alcotest.check Alcotest.string
+
+(* ---- Trace payload pools ----------------------------------------------- *)
+
+let run_once ?(seed = 7) program inputs =
+  let env = Env.make ~seed ~inputs () in
+  Interp.run ~program ~env ~sched:Sched.Round_robin ()
+
+let upload_of program r =
+  let trace = Trace.of_result ~program_digest:(Ir.digest program) ~pod:1 ~fix_epoch:0 r in
+  Protocol.encode (Protocol.Trace_upload (Wire.encode trace))
+
+(* Pre-computed upload frames over two programs, so each QCheck case
+   picks a random multiset without re-running the interpreter. *)
+let upload_pool =
+  let rng = Rng.create 4242 in
+  let parser =
+    List.init 32 (fun i ->
+        let inputs =
+          if Rng.int rng 5 = 0 then Corpus.parser_trigger
+          else Array.init 3 (fun _ -> Rng.int_in rng 0 30)
+        in
+        upload_of Corpus.parser (run_once ~seed:i Corpus.parser inputs))
+  in
+  let fig2 =
+    List.init 16 (fun i ->
+        upload_of Corpus.fig2_write (run_once ~seed:i Corpus.fig2_write [| Rng.int_in rng (-5) 305 |]))
+  in
+  Array.of_list (parser @ fig2)
+
+let pick_uploads rng n =
+  List.init n (fun _ -> upload_pool.(Rng.int rng (Array.length upload_pool)))
+
+(* ---- Drivers ------------------------------------------------------------ *)
+
+let fed_config ?(synthesize = false) ?transport ~n_shards () =
+  let base = Federation.default_config ~n_shards () in
+  {
+    base with
+    Federation.synthesize;
+    transport = Option.value ~default:base.Federation.transport transport;
+  }
+
+let make_fed ?synthesize ?transport ~n_shards ~seed () =
+  let sim = Sim.create () in
+  let rng = Rng.create seed in
+  let config = fed_config ?synthesize ?transport ~n_shards () in
+  let fed = Federation.create ~config ~sim ~rng () in
+  ignore (Federation.register_program fed Corpus.parser);
+  ignore (Federation.register_program fed Corpus.fig2_write);
+  (sim, rng, fed)
+
+(* Attach [n_pods] pod connections; returns the pod-side endpoints. *)
+let attach_pods ?transport sim rng fed n_pods =
+  List.init n_pods (fun _ ->
+      let pod_side, router_side = Transport.endpoint_pair ?config:transport ~sim ~rng () in
+      Federation.attach_pod fed router_side;
+      Sim.run sim;
+      pod_side)
+
+(* Flush/commit until the exchange quiesces: no pending payloads on any
+   shard and a commit round that merges nothing. *)
+let settle sim fed =
+  let rec go budget =
+    if budget = 0 then Alcotest.fail "federation exchange did not quiesce";
+    Federation.flush fed;
+    Sim.run sim;
+    let merged_now = Federation.commit fed in
+    let stats = Federation.stats fed in
+    let pending =
+      List.fold_left (fun acc s -> acc + s.Federation.pending) 0 stats.Federation.per_shard
+    in
+    if merged_now > 0 || pending > 0 then go (budget - 1)
+  in
+  go 8
+
+(* Send every upload through the pod fleet (round-robin), deliver, then
+   settle the superstep exchange. *)
+let run_fed ?synthesize ?transport ~n_shards ~seed uploads =
+  let sim, rng, fed = make_fed ?synthesize ?transport ~n_shards ~seed () in
+  let pods = attach_pods ?transport sim rng fed 2 in
+  List.iteri
+    (fun i payload -> Transport.send (List.nth pods (i mod List.length pods)) payload)
+    uploads;
+  Sim.run sim;
+  settle sim fed;
+  (sim, fed)
+
+(* The single-hive oracle: one hive ingests the identical upload frames
+   directly, in submission order. *)
+let oracle_bytes uploads =
+  let sim = Sim.create () in
+  let config = { (Hive.default_config Hive.Full) with Hive.synthesize = false } in
+  let hive = Hive.create ~config ~sim () in
+  ignore (Hive.register_program hive Corpus.parser);
+  ignore (Hive.register_program hive Corpus.fig2_write);
+  List.iter (Hive.ingest_payload hive) uploads;
+  (hive, Hive.checkpoint hive)
+
+let sorted_knowledge hive =
+  Hive.knowledge_list hive
+  |> List.sort (fun a b -> String.compare (Knowledge.digest a) (Knowledge.digest b))
+
+(* ---- Merge equality ----------------------------------------------------- *)
+
+(* The headline property: for shard counts 1/2/4 the merged knowledge
+   checkpoint is byte-identical to the single hive's, even though the
+   commit order (shard, seq) differs from submission order; and one
+   post-merge analysis pass on each side still agrees byte-for-byte —
+   fix ids and epochs are a pure function of the evidence multiset. *)
+let prop_merge_equals_single =
+  QCheck.Test.make ~name:"N-shard merge is byte-identical to the single hive" ~count:40
+    QCheck.(triple small_nat (int_range 1 36) (int_range 0 2))
+    (fun (seed, n, shard_choice) ->
+      let n_shards = [| 1; 2; 4 |].(shard_choice) in
+      let uploads = pick_uploads (Rng.create (seed * 31 + 5)) n in
+      let _sim, fed = run_fed ~n_shards ~seed:(seed + 1) uploads in
+      let oracle_hive, oracle = oracle_bytes uploads in
+      let merged = Federation.merged fed in
+      if Hive.checkpoint merged <> oracle then
+        QCheck.Test.fail_report "merged knowledge differs from single hive";
+      List.iter (fun k -> ignore (Knowledge.analyze k)) (sorted_knowledge merged);
+      List.iter (fun k -> ignore (Knowledge.analyze k)) (sorted_knowledge oracle_hive);
+      if Hive.checkpoint merged <> Hive.checkpoint oracle_hive then
+        QCheck.Test.fail_report "post-merge analysis diverged from single hive";
+      Federation.shutdown fed;
+      true)
+
+(* Same property under a hostile delivery schedule: latency jitter
+   (reordering), packet drops (retransmission), and fault-injected
+   duplication on every federation link.  The transport's dedup plus
+   the (shard, seq) commit order must still reproduce the oracle. *)
+let prop_merge_equality_survives_link_faults =
+  QCheck.Test.make ~name:"merge equality survives duplication, drops, and reordering"
+    ~count:25
+    QCheck.(triple small_nat (int_range 1 24) bool)
+    (fun (seed, n, four_shards) ->
+      let n_shards = if four_shards then 4 else 2 in
+      let transport =
+        {
+          Transport.default_config with
+          Transport.link =
+            { Link.drop_probability = 0.05; mean_latency = 0.08; min_latency = 0.001 };
+        }
+      in
+      let uploads = pick_uploads (Rng.create (seed * 13 + 3)) n in
+      let sim, rng, fed = make_fed ~transport ~n_shards ~seed:(seed + 2) () in
+      let pods = attach_pods ~transport sim rng fed 2 in
+      List.iter (fun l -> Link.set_duplicate_probability l 0.25) (Federation.links fed);
+      List.iteri
+        (fun i payload -> Transport.send (List.nth pods (i mod List.length pods)) payload)
+        uploads;
+      Sim.run sim;
+      settle sim fed;
+      let _, oracle = oracle_bytes uploads in
+      let equal = Hive.checkpoint (Federation.merged fed) = oracle in
+      Federation.shutdown fed;
+      equal)
+
+let test_commit_order_is_shard_then_seq () =
+  (* Drive two superstep rounds and check the accounting: every delta
+     sent is committed, nothing is merged twice, and the merged trace
+     count equals the uploads delivered. *)
+  let uploads = pick_uploads (Rng.create 99) 20 in
+  let _sim, fed = run_fed ~n_shards:4 ~seed:11 uploads in
+  let stats = Federation.stats fed in
+  checki "all deltas committed" stats.Federation.deltas_sent stats.Federation.deltas_committed;
+  checki "every upload merged exactly once" (List.length uploads)
+    stats.Federation.payloads_merged;
+  let merged_traces =
+    List.fold_left
+      (fun acc k -> acc + Knowledge.traces_ingested k)
+      0
+      (Hive.knowledge_list (Federation.merged fed))
+  in
+  checki "merged hive ingested the full multiset" (List.length uploads) merged_traces;
+  Federation.shutdown fed
+
+let test_fix_publication_reaches_shards_and_pods () =
+  (* With synthesis on, the coordinator's deployed fixes must propagate:
+     shards adopt the full set (same epoch), pods receive a Fix_update. *)
+  let uploads = pick_uploads (Rng.create 7) 30 in
+  let sim, rng, fed = make_fed ~synthesize:true ~n_shards:2 ~seed:21 () in
+  let pods = attach_pods sim rng fed 2 in
+  let pod_fix_updates = ref 0 in
+  List.iter
+    (fun pod ->
+      Transport.on_receive pod (fun payload ->
+          match Protocol.decode payload with
+          | Ok (Protocol.Fix_update _) -> incr pod_fix_updates
+          | _ -> ()))
+    pods;
+  List.iteri
+    (fun i payload -> Transport.send (List.nth pods (i mod List.length pods)) payload)
+    uploads;
+  Sim.run sim;
+  Federation.superstep fed;
+  Sim.run sim;
+  Federation.superstep fed;
+  Sim.run sim;
+  let merged_epochs =
+    List.map (fun k -> (Knowledge.digest k, Knowledge.epoch k, Knowledge.fixes k))
+      (sorted_knowledge (Federation.merged fed))
+  in
+  checkb "the merged analysis deployed at least one fix" true
+    (List.exists (fun (_, epoch, _) -> epoch > 0) merged_epochs);
+  for i = 0 to Federation.n_shards fed - 1 do
+    let shard_epochs =
+      List.map (fun k -> (Knowledge.digest k, Knowledge.epoch k, Knowledge.fixes k))
+        (sorted_knowledge (Federation.shard_hive fed i))
+    in
+    checkb "shard adopted the coordinator's fix set" true (shard_epochs = merged_epochs)
+  done;
+  checkb "pods received fix updates" true (!pod_fix_updates > 0);
+  Federation.shutdown fed
+
+(* ---- Shard checkpoint / restore ----------------------------------------- *)
+
+let knowledge_fingerprints hive =
+  List.map
+    (fun k ->
+      (Knowledge.digest k, Knowledge.epoch k, Knowledge.traces_ingested k,
+       Knowledge.failures_observed k))
+    (sorted_knowledge hive)
+
+let test_shard_checkpoint_roundtrip () =
+  (* Checkpoint with a non-empty pending buffer: restore must bring the
+     buffer back and re-checkpoint to the same bytes. *)
+  let uploads = pick_uploads (Rng.create 17) 12 in
+  let sim, rng, fed = make_fed ~n_shards:2 ~seed:31 () in
+  let pods = attach_pods sim rng fed 1 in
+  List.iter (fun payload -> Transport.send (List.hd pods) payload) uploads;
+  Sim.run sim;
+  (* No flush yet: everything admitted sits in the pending buffers. *)
+  let stats = Federation.stats fed in
+  let pending =
+    List.fold_left (fun acc s -> acc + s.Federation.pending) 0 stats.Federation.per_shard
+  in
+  checki "uploads are pending, not yet flushed" (List.length uploads) pending;
+  for i = 0 to Federation.n_shards fed - 1 do
+    let bytes = Federation.checkpoint_shard fed i in
+    let before = knowledge_fingerprints (Federation.shard_hive fed i) in
+    (match Federation.restore_shard fed i bytes with
+    | Error e -> Alcotest.failf "restore failed: %s" e
+    | Ok n -> checki "both programs restored" 2 n);
+    checkb "knowledge identical after restore" true
+      (knowledge_fingerprints (Federation.shard_hive fed i) = before);
+    checks "re-checkpoint byte-identical" bytes (Federation.checkpoint_shard fed i)
+  done;
+  (* The restored pending buffers must still flush and merge. *)
+  settle sim fed;
+  let _, oracle = oracle_bytes uploads in
+  checks "restored shards still merge to the oracle" oracle
+    (Hive.checkpoint (Federation.merged fed));
+  Federation.shutdown fed
+
+let test_shard_crash_restore_invisible_vs_twin () =
+  (* Two federations run the identical upload schedule; in one, shard 0
+     crashes mid-run and restores from a just-taken checkpoint.  The
+     crash must be invisible: final merged bytes and every shard's
+     checkpoint bytes equal the fault-free twin's. *)
+  let uploads = pick_uploads (Rng.create 23) 24 in
+  let phase1, phase2 =
+    let rec split i = function
+      | rest when i = 0 -> ([], rest)
+      | x :: rest ->
+        let a, b = split (i - 1) rest in
+        (x :: a, b)
+      | [] -> ([], [])
+    in
+    split 12 uploads
+  in
+  let drive_phase sim pods uploads =
+    List.iteri
+      (fun i payload -> Transport.send (List.nth pods (i mod List.length pods)) payload)
+      uploads;
+    Sim.run sim
+  in
+  let build crash =
+    let sim, rng, fed = make_fed ~n_shards:2 ~seed:41 () in
+    let pods = attach_pods sim rng fed 2 in
+    drive_phase sim pods phase1;
+    if crash then begin
+      (* Kill-and-restart from a checkpoint taken at the moment of the
+         crash: pending payloads and the delta seq counter round-trip. *)
+      let bytes = Federation.checkpoint_shard fed 0 in
+      match Federation.restore_shard fed 0 bytes with
+      | Error e -> Alcotest.failf "crash restore failed: %s" e
+      | Ok _ -> ()
+    end;
+    drive_phase sim pods phase2;
+    settle sim fed;
+    fed
+  in
+  let fed_a = build false in
+  let fed_b = build true in
+  checks "merged knowledge equal to fault-free twin"
+    (Hive.checkpoint (Federation.merged fed_a))
+    (Hive.checkpoint (Federation.merged fed_b));
+  for i = 0 to 1 do
+    checks "shard checkpoint equal to fault-free twin"
+      (Federation.checkpoint_shard fed_a i)
+      (Federation.checkpoint_shard fed_b i)
+  done;
+  Federation.shutdown fed_a;
+  Federation.shutdown fed_b
+
+let test_restore_never_rewinds_delta_seq () =
+  (* Restore from a checkpoint older than the last flush: the shard's
+     knowledge reverts, but the next delta must use a fresh sequence
+     number, so post-restore evidence still reaches the coordinator. *)
+  let sim, rng, fed = make_fed ~n_shards:1 ~seed:51 () in
+  let pods = attach_pods sim rng fed 1 in
+  let old = Federation.checkpoint_shard fed 0 in
+  let uploads = pick_uploads (Rng.create 29) 6 in
+  List.iter (fun payload -> Transport.send (List.hd pods) payload) uploads;
+  Sim.run sim;
+  settle sim fed;
+  let merged_before = (Federation.stats fed).Federation.payloads_merged in
+  checki "first round merged" (List.length uploads) merged_before;
+  (match Federation.restore_shard fed 0 old with
+  | Error e -> Alcotest.failf "restore failed: %s" e
+  | Ok _ -> ());
+  let more = pick_uploads (Rng.create 37) 5 in
+  List.iter (fun payload -> Transport.send (List.hd pods) payload) more;
+  Sim.run sim;
+  settle sim fed;
+  checki "post-restore deltas are not dropped as duplicates"
+    (merged_before + List.length more)
+    (Federation.stats fed).Federation.payloads_merged;
+  Federation.shutdown fed
+
+let test_restore_rejects_corruption_untouched () =
+  let uploads = pick_uploads (Rng.create 43) 8 in
+  let _sim, fed = run_fed ~n_shards:2 ~seed:61 uploads in
+  let good = Federation.checkpoint_shard fed 0 in
+  let before = knowledge_fingerprints (Federation.shard_hive fed 0) in
+  (match Federation.restore_shard fed 0 "" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty input must not restore");
+  (match Federation.restore_shard fed 0 "SBFSgarbage" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage must not restore");
+  (match Federation.restore_shard fed 0 (String.sub good 0 (String.length good / 2)) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncation must not restore");
+  checkb "failed restores leave the shard untouched" true
+    (knowledge_fingerprints (Federation.shard_hive fed 0) = before);
+  checks "checkpoint unchanged" good (Federation.checkpoint_shard fed 0);
+  Federation.shutdown fed
+
+(* ---- Shutdown idempotence ----------------------------------------------- *)
+
+let test_shutdown_idempotent () =
+  (* Double shutdown must not raise — including with worker pools, where
+     a second join of the same domains used to be the hazard. *)
+  let sim = Sim.create () in
+  let hive =
+    Hive.create ~config:{ (Hive.default_config Hive.Full) with Hive.pool_size = 2 } ~sim ()
+  in
+  Hive.shutdown hive;
+  Hive.shutdown hive;
+  let config =
+    let base = Federation.default_config ~n_shards:2 () in
+    { base with Federation.pool_size = 2 }
+  in
+  let fed = Federation.create ~config ~sim ~rng:(Rng.create 71) () in
+  ignore (Federation.register_program fed Corpus.parser);
+  Federation.shutdown fed;
+  Federation.shutdown fed;
+  checkb "double shutdown is a no-op" true true
+
+(* ---- Shard map ----------------------------------------------------------- *)
+
+let test_shard_map_validation () =
+  (match Shard_map.create ~n_shards:0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "n_shards 0 must be rejected");
+  (match Shard_map.create ~prefix_bits:0 ~n_shards:2 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "prefix_bits 0 must be rejected");
+  match Shard_map.create ~prefix_bits:21 ~n_shards:2 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "prefix_bits 21 must be rejected"
+
+let prop_shard_map_partition =
+  QCheck.Test.make ~name:"shard map is a contiguous monotone partition" ~count:200
+    QCheck.(triple (int_range 1 16) (int_range 1 12) (list_of_size Gen.(0 -- 30) bool))
+    (fun (n_shards, prefix_bits, path) ->
+      let map = Shard_map.create ~prefix_bits ~n_shards () in
+      let owner = Shard_map.owner_of_bits map (Bitvec.of_bools path) in
+      if owner < 0 || owner >= n_shards then
+        QCheck.Test.fail_report "owner out of range";
+      (* Monotone in the prefix value: flipping any 0-bit of the first
+         [prefix_bits] decisions to 1 cannot move the path to a lower
+         shard. *)
+      List.iteri
+        (fun i b ->
+          if i < prefix_bits && not b then begin
+            let raised = List.mapi (fun j x -> if j = i then true else x) path in
+            if Shard_map.owner_of_bits map (Bitvec.of_bools raised) < owner then
+              QCheck.Test.fail_report "owner not monotone in the prefix value"
+          end)
+        path;
+      (* Zero-padding: a short path and its explicit all-false extension
+         share an owner, and no extension maps below it — the padded
+         owner is the rendezvous shard for the whole subtree. *)
+      let padded = path @ List.init prefix_bits (fun _ -> false) in
+      if Shard_map.owner_of_prefix map path <> Shard_map.owner_of_bits map (Bitvec.of_bools padded)
+      then QCheck.Test.fail_report "zero-pad owner mismatch";
+      if Shard_map.owner_of_prefix map path > owner then
+        QCheck.Test.fail_report "rendezvous owner exceeds a member's owner";
+      true)
+
+let test_shard_map_covers_all_shards () =
+  (* With at least as many ranges as shards, every shard owns a value —
+     no shard can sit idle by construction. *)
+  List.iter
+    (fun n_shards ->
+      let bits = 4 in
+      let map = Shard_map.create ~prefix_bits:bits ~n_shards () in
+      let seen = Array.make n_shards false in
+      for v = 0 to (1 lsl bits) - 1 do
+        let path = List.init bits (fun i -> (v lsr (bits - 1 - i)) land 1 = 1) in
+        seen.(Shard_map.owner_of_prefix map path) <- true
+      done;
+      Array.iteri
+        (fun i covered -> if not covered then Alcotest.failf "shard %d owns no range" i)
+        seen)
+    [ 1; 2; 3; 8; 16 ]
+
+let test_shard_map_codec () =
+  let map = Shard_map.create ~prefix_bits:11 ~n_shards:5 () in
+  let w = Codec.Writer.create () in
+  Shard_map.write w map;
+  let bytes = Codec.Writer.contents w in
+  checkb "round trip" true (Shard_map.equal map (Shard_map.read (Codec.Reader.of_string bytes)));
+  let encode n_shards prefix_bits =
+    let w = Codec.Writer.create () in
+    Codec.Writer.varint w n_shards;
+    Codec.Writer.varint w prefix_bits;
+    Codec.Writer.contents w
+  in
+  List.iter
+    (fun (n, b) ->
+      match Shard_map.read (Codec.Reader.of_string (encode n b)) with
+      | exception Codec.Malformed _ -> ()
+      | _ -> Alcotest.failf "map n=%d bits=%d must not decode" n b)
+    [ (0, 8); (2, 0); (2, 21) ]
+
+let test_shard_map_update_on_the_wire () =
+  let map = Shard_map.create ~prefix_bits:9 ~n_shards:3 () in
+  match Protocol.decode (Protocol.encode (Protocol.Shard_map_update { map })) with
+  | Ok (Protocol.Shard_map_update { map = map' }) ->
+    checkb "protocol round trip" true (Shard_map.equal map map')
+  | Ok _ -> Alcotest.fail "decoded to the wrong constructor"
+  | Error e -> Alcotest.failf "decode failed: %s" e
+
+(* ---- Platform-level determinism ----------------------------------------- *)
+
+let report_bytes config =
+  Format.asprintf "%a" Softborg.Platform.pp_report (Softborg.Platform.run config)
+
+let fed_platform_config ?(n_shards = 2) () =
+  let config =
+    Softborg.Scenario.single_program ~seed:5 Corpus.parser
+    |> Softborg.Scenario.with_shards n_shards
+  in
+  { config with Softborg.Platform.duration = 90.0; n_pods = 4; sample_interval = 30.0 }
+
+let test_federated_platform_deterministic () =
+  let config = fed_platform_config () in
+  checks "identical seeds, identical federated reports" (report_bytes config)
+    (report_bytes config)
+
+let test_federated_platform_chaos_deterministic () =
+  (* Chaos (shard crashes restored from checkpoints, churn, degradation)
+     over the federation must stay reproducible and complete. *)
+  let config = Softborg.Scenario.with_chaos ~chaos_seed:77 (fed_platform_config ()) in
+  let r1 = report_bytes config in
+  checks "federated chaos runs are deterministic" r1 (report_bytes config);
+  checkb "federation section present" true
+    (let report = Softborg.Platform.run config in
+     report.Softborg.Platform.federation <> None)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "softborg_federation"
+    [
+      ( "merge",
+        [
+          q prop_merge_equals_single;
+          q prop_merge_equality_survives_link_faults;
+          Alcotest.test_case "delta accounting" `Quick test_commit_order_is_shard_then_seq;
+          Alcotest.test_case "fix publication" `Quick test_fix_publication_reaches_shards_and_pods;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "shard round trip" `Quick test_shard_checkpoint_roundtrip;
+          Alcotest.test_case "crash invisible" `Quick test_shard_crash_restore_invisible_vs_twin;
+          Alcotest.test_case "seq never rewinds" `Quick test_restore_never_rewinds_delta_seq;
+          Alcotest.test_case "corruption rejected" `Quick test_restore_rejects_corruption_untouched;
+        ] );
+      ( "shutdown", [ Alcotest.test_case "idempotent" `Quick test_shutdown_idempotent ] );
+      ( "shard_map",
+        [
+          Alcotest.test_case "validation" `Quick test_shard_map_validation;
+          q prop_shard_map_partition;
+          Alcotest.test_case "coverage" `Quick test_shard_map_covers_all_shards;
+          Alcotest.test_case "codec" `Quick test_shard_map_codec;
+          Alcotest.test_case "protocol frame" `Quick test_shard_map_update_on_the_wire;
+        ] );
+      ( "platform",
+        [
+          Alcotest.test_case "deterministic" `Quick test_federated_platform_deterministic;
+          Alcotest.test_case "chaos deterministic" `Quick
+            test_federated_platform_chaos_deterministic;
+        ] );
+    ]
