@@ -2322,6 +2322,452 @@ let fed_suite ?(smoke = false) () =
     Printf.printf "wrote BENCH_fed.json\n"
   end
 
+(* ==================================================================== *)
+(* fleet — fleet-scale ingestion: delta/prefix records, batched        *)
+(* frames, parallel decode, sustained load.  The smoke variant runs    *)
+(* the wire-reduction and knowledge byte-identity asserts (for         *)
+(* @fleet-smoke / `dune runtest`); the full run adds the decode        *)
+(* scaling model, a 10^5-pod pressure sweep, and time-to-first-fix,    *)
+(* and writes BENCH_fleet.json.                                        *)
+(*                                                                     *)
+(* Decode scaling is reported in the same BSP style as the fed suite:  *)
+(* the parallelizable per-record work (decode + canonicalize + replay  *)
+(* precompute — exactly the closure [Hive.decode_batch] ships to the   *)
+(* pool) and the serial commit residue are timed separately, so the    *)
+(* pool-P throughput (D/P + C) is measurable on any machine —          *)
+(* including single-core CI hosts, where a wall-clock pool run can     *)
+(* only show time-sharing parity.                                      *)
+(* ==================================================================== *)
+
+let fleet_suite ?(smoke = false) () =
+  heading
+    (if smoke then "fleet-smoke: wire-reduction + knowledge byte-identity asserts"
+     else "fleet: sustained-load ingestion at fleet scale (writes BENCH_fleet.json)");
+  let prog = Corpus.checksum in
+  let digest = Ir.digest prog in
+  let trace_of ?(pod = 1) inputs =
+    let env = Env.make ~seed:7 ~inputs () in
+    Trace.of_result ~program_digest:digest ~pod ~fix_epoch:0
+      (Interp.run ~program:prog ~env ~sched:Sched.Round_robin ())
+  in
+  (* Checksum keeps a constant step count across inputs, so a fleet's
+     traces share both the path prefix and the step counter — the shape
+     delta records exist for. *)
+  let fleet_traces n =
+    let rng = Rng.create 23 in
+    List.init n (fun i ->
+        trace_of ~pod:(1 + (i mod 5))
+          (Array.init prog.Ir.n_inputs (fun _ -> Rng.int rng 200)))
+  in
+  let single_frame t = Protocol.encode (Protocol.Trace_upload (Wire.encode t)) in
+  let chunks size xs =
+    let rec take n = function
+      | x :: rest when n > 0 ->
+        let head, tail = take (n - 1) rest in
+        (x :: head, tail)
+      | rest -> ([], rest)
+    in
+    let rec go = function
+      | [] -> []
+      | xs ->
+        let head, tail = take size xs in
+        head :: go tail
+    in
+    go xs
+  in
+  (* The self-anchored frame shape: leading record full, the rest
+     delta-encoded against it (no announced basis needed). *)
+  let batch_frame ?(delta = true) ~digest chunk =
+    let records =
+      match chunk with
+      | [] -> []
+      | first :: rest ->
+        Wire.encode_record first
+        :: List.map
+             (fun t ->
+               if delta then Wire.encode_record ~basis:first t else Wire.encode_record t)
+             rest
+    in
+    Protocol.encode
+      (Protocol.Batch_upload
+         { program_digest = digest; basis_id = 0; basis_check = 0; records })
+  in
+  let batch_frames ?delta ~size traces =
+    List.map (fun c -> batch_frame ?delta ~digest c) (chunks size traces)
+  in
+  let frame_bytes frames = List.fold_left (fun a f -> a + String.length f) 0 frames in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  (* ---- Wire reduction (the @fleet-smoke payload, part 1) --------------- *)
+  let wire_traces = fleet_traces 512 in
+  let n_wire = List.length wire_traces in
+  let full_bytes = frame_bytes (List.map single_frame wire_traces) in
+  let batched_bytes = frame_bytes (batch_frames ~size:16 wire_traces) in
+  let full_per = float_of_int full_bytes /. float_of_int n_wire in
+  let batched_per = float_of_int batched_bytes /. float_of_int n_wire in
+  let reduction = full_per /. batched_per in
+  Printf.printf
+    "bytes/trace over %d traces: singles %.1f | batch-16+delta %.1f | %.2fx reduction\n"
+    n_wire full_per batched_per reduction;
+  assert (reduction >= 2.0);
+  (* ---- Knowledge byte-identity (the smoke payload, part 2) ------------- *)
+  let make_hive ?(pool_size = 1) ?overload () =
+    let sim = Sim.create () in
+    let config = { (Hive.default_config Hive.Full) with Hive.pool_size; overload } in
+    let hive = Hive.create ~config ~sim () in
+    ignore (Hive.register_program hive prog);
+    (sim, hive)
+  in
+  let knowledge_bytes h = Checkpoint.encode (Hive.knowledge_list h) in
+  let id_traces = fleet_traces 48 in
+  let ingest_frames ?pool_size frames =
+    let _, h = make_hive ?pool_size () in
+    List.iter (Hive.inject h ~slot:0) frames;
+    let bytes = knowledge_bytes h in
+    let ingested = (Hive.stats h).Hive.traces_received in
+    Hive.shutdown h;
+    (bytes, ingested)
+  in
+  let baseline, base_n = ingest_frames (List.map single_frame id_traces) in
+  assert (base_n = List.length id_traces);
+  List.iter
+    (fun (label, frames, pool_size) ->
+      let bytes, n = ingest_frames ~pool_size frames in
+      assert (n = List.length id_traces);
+      assert (String.equal baseline bytes);
+      Printf.printf "knowledge identity: %s == singles (%d traces)\n" label n)
+    [
+      ("batch-16 delta", batch_frames ~size:16 id_traces, 1);
+      ("batch-16 full", batch_frames ~delta:false ~size:16 id_traces, 1);
+      ("batch-16 delta, pool-4 decode", batch_frames ~size:16 id_traces, 4);
+      ("batch-5 delta", batch_frames ~size:5 id_traces, 1);
+    ];
+  if not smoke then begin
+    (* ---- Parallel decode: serial baseline + BSP model ------------------ *)
+    (* A pod-shaped service program for the scaling measurement: the
+       same two input-dependent branches as [Corpus.checksum] but a
+       much longer deterministic compute loop, so the per-trace replay
+       the pool precomputes costs more than the serial commit residue
+       (tree merge + store admit) — as it does for real services, whose
+       step counts dwarf their decision counts. *)
+    let fleet_prog =
+      let open Build in
+      let open Build.Infix in
+      (* Shape matters twice here.  Straight-line mixing keeps the full
+         decision path short (every branch evaluation lands in it, and
+         the commit-side tree merge walks it per trace) while steps
+         climb past a thousand, so replay — the work the pool
+         precomputes — dominates the serial residue.  And the sixteen
+         input-tainted branches spread the fleet's traces across 2^16
+         path signatures: near-every trace is novel content, which is
+         precisely when the replay cache cannot help and parallel
+         decode earns its keep. *)
+      let mix i =
+        assign (lvar "acc") ((local "acc" *: const 3) +: const ((i * 7) mod 31))
+      in
+      let round r =
+        List.init 75 (fun i -> mix ((r * 75) + i))
+        @ [
+            (* Mod an odd prime, not 2: an affine mix only permutes the
+               low bit, and a parity branch would collapse the fleet to
+               two path signatures. *)
+            if_
+              (local "acc" %: const 97 >: const 48)
+              [ assign (lvar "acc") (local "acc" +: const 1) ]
+              [ assign (lvar "acc") (local "acc" -: const 1) ];
+          ]
+      in
+      program ~name:"fleet-service" ~n_inputs:2
+        [
+          (assign (lvar "acc") (input 0) :: List.concat (List.init 16 round))
+          @ [
+              if_
+                (input 1 >: const 100)
+                [ assign (lvar "mode") (const 2) ]
+                [ assign (lvar "mode") (const 1) ];
+            ];
+        ]
+    in
+    let fleet_digest = Ir.digest fleet_prog in
+    let heavy_traces =
+      let rng = Rng.create 29 in
+      List.init 6400 (fun i ->
+          let inputs = [| Rng.int rng 1_000_000; Rng.int rng 200 |] in
+          let env = Env.make ~seed:7 ~inputs () in
+          Trace.of_result ~program_digest:fleet_digest ~pod:(1 + (i mod 977)) ~fix_epoch:0
+            (Interp.run ~program:fleet_prog ~env ~sched:Sched.Round_robin ()))
+    in
+    let heavy_frames =
+      List.map (fun c -> batch_frame ~digest:fleet_digest c) (chunks 64 heavy_traces)
+    in
+    let n_heavy = List.length heavy_traces in
+    (match heavy_traces with
+    | t :: _ ->
+      Printf.printf "decode workload: %d-step, %d-decision traces\n" t.Trace.steps
+        t.Trace.n_decisions
+    | [] -> ());
+    let pool_run pool_size =
+      let _, h = make_hive ~pool_size () in
+      ignore (Hive.register_program h fleet_prog);
+      let (), wall = timed (fun () -> List.iter (Hive.inject h ~slot:0) heavy_frames) in
+      let bytes = knowledge_bytes h in
+      let n = (Hive.stats h).Hive.traces_received in
+      Hive.shutdown h;
+      assert (n = n_heavy);
+      (bytes, wall)
+    in
+    let serial_bytes, t_serial = pool_run 1 in
+    (* Pre-encoded record chunks, so the timed region below decodes the
+       exact bytes the hive would without paying re-encode cost. *)
+    let record_chunks =
+      List.map
+        (fun chunk ->
+          match chunk with
+          | [] -> assert false
+          | first :: rest ->
+            (Wire.encode_record first, List.map (fun t -> Wire.encode_record ~basis:first t) rest))
+        (chunks 64 heavy_traces)
+    in
+    let decode_one ?basis s =
+      match Wire.decode_record ?basis ~program_digest:fleet_digest s with
+      | Error _ -> assert false
+      | Ok trace ->
+        let prep = Trace_store.prepare trace in
+        let hooks = Fixgen.runtime_hooks ~epoch:trace.Trace.fix_epoch [] in
+        (match
+           Interp.reconstruct ~hooks ~program:fleet_prog ~bits:trace.Trace.bits
+             ~schedule:trace.Trace.schedule ~total_decisions:trace.Trace.n_decisions
+             ~total_steps:trace.Trace.steps ()
+         with
+        | Ok _ -> ()
+        | Error _ -> assert false);
+        prep
+    in
+    let (), t_par =
+      timed (fun () ->
+          List.iter
+            (fun (anchor_rec, rest_recs) ->
+              let anchor = decode_one anchor_rec in
+              List.iter
+                (fun s -> ignore (decode_one ~basis:anchor.Trace_store.p_trace s))
+                rest_recs)
+            record_chunks)
+    in
+    let t_commit = Float.max 0.0 (t_serial -. t_par) in
+    let modeled_tp pool =
+      float_of_int n_heavy /. ((t_par /. float_of_int pool) +. t_commit)
+    in
+    let measured =
+      List.map
+        (fun pool_size ->
+          let bytes, wall = pool_run pool_size in
+          assert (String.equal serial_bytes bytes);
+          (pool_size, float_of_int n_heavy /. wall))
+        [ 2; 4 ]
+    in
+    let measured_tp p =
+      if p = 1 then Some (float_of_int n_heavy /. t_serial)
+      else List.assoc_opt p measured
+    in
+    Tabular.print
+      ~title:
+        (Printf.sprintf
+           "parallel batch decode, %d traces in %d-record frames (parallel fraction %.2f)"
+           n_heavy 64 (t_par /. Float.max 1e-9 t_serial))
+      [ rcol "pool"; rcol "modeled-traces/s"; rcol "modeled-speedup"; rcol "measured-traces/s" ]
+      (List.map
+         (fun p ->
+           [
+             string_of_int p;
+             fmt_f ~decimals:0 (modeled_tp p);
+             fmt_f ~decimals:2 (modeled_tp p /. modeled_tp 1);
+             (match measured_tp p with Some tp -> fmt_f ~decimals:0 tp | None -> "-");
+           ])
+         [ 1; 2; 4; 8 ]);
+    let decode_speedup4 = modeled_tp 4 /. modeled_tp 1 in
+    if decode_speedup4 < 1.5 then
+      Printf.printf "WARNING: modeled 4-worker decode speedup %.2fx is below the 1.5x target\n"
+        decode_speedup4;
+    (* ---- Sustained-load pressure sweep, 10^5 pod slots ----------------- *)
+    (* Arrival shape per target level: bursts sized so queue occupancy
+       lands in the wanted pressure quartile (level = 4*queue/bound),
+       spaced so the queue fully drains between bursts.  Level 3 bursts
+       exceed the bound outright and must shed. *)
+    let n_pods = 100_000 in
+    let olc = Hive.default_overload_config in
+    let service = olc.Hive.service_interval in
+    let bound = olc.Hive.queue_bound in
+    let payloads = Array.of_list (List.map single_frame (fleet_traces 64)) in
+    let pressure_row target =
+      let burst =
+        match target with
+        | 0 -> 1
+        | 1 -> (bound / 4) + 2
+        | 2 -> (bound / 2) + 2
+        | _ -> 2 * bound
+      in
+      let spacing =
+        Float.max (2.0 *. service)
+          (1.5 *. float_of_int (min burst bound + 1) *. service)
+      in
+      let sim, hive = make_hive ~overload:olc () in
+      let peak = ref 0 in
+      let sent = ref 0 in
+      let next = ref 1.0 in
+      while !sent < n_pods do
+        let b = min burst (n_pods - !sent) in
+        let t0 = !next in
+        for j = 0 to b - 1 do
+          let slot = !sent + j in
+          let payload = payloads.(slot mod Array.length payloads) in
+          Sim.schedule_at sim ~time:t0 (fun () -> Hive.inject hive ~slot payload)
+        done;
+        if burst > 1 then
+          Sim.schedule_at sim
+            ~time:(t0 +. (0.5 *. service))
+            (fun () -> peak := max !peak (Hive.pressure_level hive));
+        sent := !sent + b;
+        next := t0 +. spacing
+      done;
+      let sim_end = !next in
+      let (), wall = timed (fun () -> Sim.run sim) in
+      let s = Hive.stats hive in
+      let shed = s.Hive.shed_success + s.Hive.shed_failure in
+      let ingested = s.Hive.traces_received in
+      assert (ingested + shed = n_pods);
+      (match target with
+      | 0 -> assert (shed = 0 && !peak = 0)
+      | 1 | 2 -> assert (!peak = target)
+      | _ -> assert (shed > 0 && !peak = 3));
+      ( target,
+        burst,
+        float_of_int burst /. spacing,
+        ingested,
+        shed,
+        float_of_int shed /. float_of_int n_pods,
+        !peak,
+        float_of_int ingested /. wall,
+        sim_end )
+    in
+    let sweep = List.map pressure_row [ 0; 1; 2; 3 ] in
+    Tabular.print
+      ~title:(Printf.sprintf "sustained load, %d pod slots per row" n_pods)
+      [ rcol "target"; rcol "burst"; rcol "arrivals/s"; rcol "ingested"; rcol "shed";
+        rcol "shed-rate"; rcol "peak-pressure"; rcol "ingest-traces/s" ]
+      (List.map
+         (fun (target, burst, rate, ingested, shed, shed_rate, peak, tp, _) ->
+           [
+             string_of_int target;
+             string_of_int burst;
+             fmt_f ~decimals:1 rate;
+             string_of_int ingested;
+             string_of_int shed;
+             fmt_f ~decimals:3 shed_rate;
+             string_of_int peak;
+             fmt_f ~decimals:0 tp;
+           ])
+         sweep);
+    (* ---- Time-to-first-fix: singles vs batched uploads ----------------- *)
+    (* Identical trace schedule; a batch frame leaves when its last
+       member would have, so any TTFF slip is the framing's own cost. *)
+    let ttff_prog = Corpus.parser in
+    let ttff_digest = Ir.digest ttff_prog in
+    let ttff_traces =
+      List.init 40 (fun i ->
+          let inputs =
+            if i mod 5 = 0 then Corpus.parser_trigger
+            else Array.init 3 (fun k -> ((i * 7) + (k * 3)) mod 30)
+          in
+          let env = Env.make ~seed:i ~inputs () in
+          Trace.of_result ~program_digest:ttff_digest ~pod:1 ~fix_epoch:0
+            (Interp.run ~program:ttff_prog ~env ~sched:Sched.Round_robin ()))
+    in
+    let upload_time i = 2.0 +. (1.5 *. float_of_int i) in
+    let horizon = 600.0 in
+    let ttff frames =
+      let sim = Sim.create () in
+      let hive = Hive.create ~sim () in
+      let k = Hive.register_program hive ttff_prog in
+      let pod, hive_end = Transport.endpoint_pair ~sim ~rng:(Rng.create 3) () in
+      Hive.attach_pod hive hive_end;
+      List.iter
+        (fun (time, payload) ->
+          Sim.schedule_at sim ~time (fun () -> Transport.send pod payload))
+        frames;
+      Hive.start hive;
+      let rec go () =
+        if Knowledge.epoch k > 0 then Some (Sim.now sim)
+        else if Sim.now sim > horizon || not (Sim.step sim) then None
+        else go ()
+      in
+      let t = go () in
+      Hive.shutdown hive;
+      t
+    in
+    let ttff_single = ttff (List.mapi (fun i t -> (upload_time i, single_frame t)) ttff_traces) in
+    let ttff_batched =
+      ttff
+        (List.mapi
+           (fun j chunk ->
+             ( upload_time ((j * 4) + List.length chunk - 1),
+               batch_frame ~digest:ttff_digest chunk ))
+           (chunks 4 ttff_traces))
+    in
+    let fmt_ttff = function Some t -> Printf.sprintf "%.1f" t | None -> "none" in
+    Printf.printf "time-to-first-fix: singles %ss | batch-4+delta %ss\n"
+      (fmt_ttff ttff_single) (fmt_ttff ttff_batched);
+    (* ---- BENCH_fleet.json --------------------------------------------- *)
+    let out = open_out "BENCH_fleet.json" in
+    let json_ttff = function Some t -> Printf.sprintf "%.2f" t | None -> "null" in
+    Printf.fprintf out "{\n  \"suite\": \"fleet\",\n";
+    Printf.fprintf out "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
+    Printf.fprintf out "  \"simulated_pods\": %d,\n" n_pods;
+    Printf.fprintf out "  \"bytes_per_trace_full\": %.2f,\n" full_per;
+    Printf.fprintf out "  \"bytes_per_trace_batched_delta\": %.2f,\n" batched_per;
+    Printf.fprintf out "  \"wire_reduction\": %.2f,\n" reduction;
+    Printf.fprintf out "  \"knowledge_identity\": true,\n";
+    Printf.fprintf out "  \"decode\": {\n";
+    Printf.fprintf out "    \"batch_records\": 64,\n";
+    Printf.fprintf out "    \"traces\": %d,\n" n_heavy;
+    Printf.fprintf out "    \"parallel_fraction\": %.3f,\n"
+      (t_par /. Float.max 1e-9 t_serial);
+    Printf.fprintf out "    \"modeled_speedup_pool4\": %.2f,\n" decode_speedup4;
+    Printf.fprintf out "    \"pools\": [\n";
+    List.iteri
+      (fun i p ->
+        Printf.fprintf out
+          "      { \"pool\": %d, \"modeled_traces_per_sec\": %.0f, \"modeled_speedup\": \
+           %.2f, \"measured_traces_per_sec\": %s }%s\n"
+          p (modeled_tp p)
+          (modeled_tp p /. modeled_tp 1)
+          (match measured_tp p with Some tp -> Printf.sprintf "%.0f" tp | None -> "null")
+          (if i = 3 then "" else ","))
+      [ 1; 2; 4; 8 ];
+    Printf.fprintf out "    ]\n  },\n";
+    Printf.fprintf out "  \"ttff_singles_seconds\": %s,\n" (json_ttff ttff_single);
+    Printf.fprintf out "  \"ttff_batched_seconds\": %s,\n" (json_ttff ttff_batched);
+    Printf.fprintf out "  \"results\": [\n";
+    let last = List.length sweep - 1 in
+    List.iteri
+      (fun i (target, burst, rate, ingested, shed, shed_rate, peak, tp, sim_end) ->
+        Printf.fprintf out
+          "    { \"target_pressure\": %d, \"burst\": %d, \"arrivals_per_sec\": %.1f, \
+           \"pods\": %d, \"ingested\": %d, \"shed\": %d, \"shed_rate\": %.3f, \
+           \"peak_pressure\": %d, \"ingest_traces_per_sec\": %.0f, \
+           \"sim_seconds\": %.0f, \"bytes_per_trace_full\": %.2f, \
+           \"bytes_per_trace_batched_delta\": %.2f }%s\n"
+          target burst rate n_pods ingested shed shed_rate peak tp sim_end full_per
+          batched_per
+          (if i = last then "" else ","))
+      sweep;
+    Printf.fprintf out "  ]\n}\n";
+    close_out out;
+    Printf.printf "wrote BENCH_fleet.json\n"
+  end
+
 let experiments =
   [
     ("e1", "reliability grows with use (Fig 1)", e1);
@@ -2360,6 +2806,10 @@ let experiments =
       fun () -> fed_suite ());
     ("fed-smoke", "N-shard-equals-single-hive merge asserts for @fed-smoke",
       fun () -> fed_suite ~smoke:true ());
+    ("fleet", "fleet-scale ingestion: wire reduction, parallel decode, pressure sweep (writes BENCH_fleet.json)",
+      fun () -> fleet_suite ());
+    ("fleet-smoke", "wire-reduction + knowledge byte-identity asserts for @fleet-smoke",
+      fun () -> fleet_suite ~smoke:true ());
   ]
 
 let () =

@@ -192,7 +192,23 @@ let simulate_cmd =
             "Federate the hive across $(docv) path-prefix shards with a deterministic \
              superstep merge; 1 (the default) runs the classic single hive.")
   in
-  let run verbose program mode duration pods seed chaos chaos_seed overload shards engine =
+  let batch_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "batch" ] ~docv:"N"
+          ~doc:
+            "Batch $(docv) traces per upload frame (delta-encoded against the \
+             hive-announced prefix basis unless $(b,--no-delta)); 1 (the default) keeps \
+             the classic one-frame-per-trace wire format.")
+  in
+  let no_delta_flag =
+    Arg.(
+      value & flag
+      & info [ "no-delta" ]
+          ~doc:"With $(b,--batch), send full records instead of delta-encoded ones.")
+  in
+  let run verbose program mode duration pods seed chaos chaos_seed overload shards batch
+      no_delta engine =
     setup_logs verbose;
     let config = Scenario.single_program ~mode ~seed program in
     let config =
@@ -209,6 +225,10 @@ let simulate_cmd =
       else config
     in
     let config = if shards > 1 then Scenario.with_shards shards config else config in
+    let config =
+      if batch > 1 then Scenario.with_fleet_encoding ~batch ~delta:(not no_delta) config
+      else config
+    in
     let report = Platform.run config in
     Format.printf "%a" Platform.pp_report report;
     let f = report.Platform.final in
@@ -228,7 +248,8 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Run a whole-fleet platform simulation on one program.")
     Term.(
       const run $ verbose_flag $ program_arg $ mode_arg $ duration_arg $ pods_arg $ seed_arg
-      $ chaos_flag $ chaos_seed_arg $ overload_flag $ shards_arg $ engine_arg)
+      $ chaos_flag $ chaos_seed_arg $ overload_flag $ shards_arg $ batch_arg $ no_delta_flag
+      $ engine_arg)
 
 (* ---- explore -------------------------------------------------------------- *)
 

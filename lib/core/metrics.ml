@@ -19,6 +19,13 @@ type snapshot = {
   peak_queue_depth : int;
   thinned_uploads : int;
   dead_letters : int;
+  (* Wire-plane counters, summed over the pod-side endpoints: what the
+     delta/batch encodings exist to shrink.  Data-only in the snapshot
+     ([pp_snapshot] omits them; [Platform.pp_report] prints one wire
+     line from the final snapshot instead). *)
+  wire_bytes : int;
+  wire_frames_sent : int;
+  wire_frames_received : int;
   (* Cache-efficiency counters summed over the knowledge bases.  They
      are carried in the snapshot for programmatic access but are NOT
      printed by [pp_snapshot]: the hit/miss split legitimately varies

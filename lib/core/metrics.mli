@@ -26,6 +26,13 @@ type snapshot = {
   peak_queue_depth : int;  (** Ingest-queue high-water mark. *)
   thinned_uploads : int;  (** Pod uploads downgraded under pressure. *)
   dead_letters : int;  (** Pod uploads the transport abandoned. *)
+  wire_bytes : int;
+      (** Packet bytes pushed onto the pod-side outgoing links (data +
+          acks + retransmissions).  Data-only in the snapshot —
+          [Platform.pp_report] prints one wire line from the final
+          snapshot, zero-silent for the batch/delta counters. *)
+  wire_frames_sent : int;  (** Upstream transport frames sent by pods. *)
+  wire_frames_received : int;  (** Downstream frames delivered to pods. *)
   gap_memo_hits : int;  (** Guidance gap-memo hits over all knowledge. *)
   gap_memo_misses : int;
   verdict_cache_hits : int;  (** Solver verdict-cache hits likewise. *)

@@ -74,9 +74,10 @@ let upload_mode config =
 (* The knowledge list is fetched fresh on every snapshot: a checkpoint
    restore replaces the hive's [Knowledge.t] objects, so a list captured
    at t=0 would silently keep reading the pre-restore ones. *)
-let snapshot ~time ~pods ~hive =
+let snapshot ~time ~pods ~endpoints ~hive =
   let knowledge_list = Hive.knowledge_list hive in
   let sum f = List.fold_left (fun acc pod -> acc + f (Pod.metrics pod)) 0 pods in
+  let sum_wire f = List.fold_left (fun acc e -> acc + f (Transport.stats e)) 0 endpoints in
   let hive_stats = Hive.stats hive in
   let sum_knowledge f = List.fold_left (fun acc k -> acc + f k) 0 knowledge_list in
   let proofs_valid = sum_knowledge (fun k -> List.length (Knowledge.valid_proofs k)) in
@@ -111,6 +112,9 @@ let snapshot ~time ~pods ~hive =
     peak_queue_depth = hive_stats.Hive.peak_queue_depth;
     thinned_uploads = sum (fun m -> m.Pod.thinned_uploads);
     dead_letters = sum (fun m -> m.Pod.dead_letters);
+    wire_bytes = sum_wire (fun s -> s.Transport.bytes_on_wire);
+    wire_frames_sent = sum_wire (fun s -> s.Transport.messages_sent);
+    wire_frames_received = sum_wire (fun s -> s.Transport.delivered);
     gap_memo_hits = sum_knowledge (fun k -> Softborg_hive.Gap_memo.hits (Knowledge.gap_memo k));
     gap_memo_misses =
       sum_knowledge (fun k -> Softborg_hive.Gap_memo.misses (Knowledge.gap_memo k));
@@ -219,11 +223,14 @@ let run_single config =
     end;
     install_chaos ~sim ~config ~hive ~chaos_rng ~pods ~pod_endpoints ~hive_endpoints
       ~last_checkpoint plan);
-  let snapshots = ref [ snapshot ~time:0.0 ~pods:!pods ~hive ] in
+  let snapshots =
+    ref [ snapshot ~time:0.0 ~pods:!pods ~endpoints:!pod_endpoints ~hive ]
+  in
   let rec sample at =
     if at <= config.duration then
       Sim.schedule_at sim ~time:at (fun () ->
-          snapshots := snapshot ~time:at ~pods:!pods ~hive :: !snapshots;
+          snapshots :=
+            snapshot ~time:at ~pods:!pods ~endpoints:!pod_endpoints ~hive :: !snapshots;
           sample (at +. config.sample_interval))
   in
   sample config.sample_interval;
@@ -248,10 +255,11 @@ let run_single config =
    tree) and from summing the shard hives (checkpoints, restores,
    overload interventions, cache counters): the merged hive never faces
    pods directly, so shard totals are the platform-level truth. *)
-let snapshot_fed ~time ~pods ~fed =
+let snapshot_fed ~time ~pods ~endpoints ~fed =
   let merged = Federation.merged fed in
   let knowledge_list = Hive.knowledge_list merged in
   let sum f = List.fold_left (fun acc pod -> acc + f (Pod.metrics pod)) 0 pods in
+  let sum_wire f = List.fold_left (fun acc e -> acc + f (Transport.stats e)) 0 endpoints in
   let merged_stats = Hive.stats merged in
   let fs = Federation.stats fed in
   let shard_sum f =
@@ -292,6 +300,9 @@ let snapshot_fed ~time ~pods ~fed =
         0 fs.Federation.per_shard;
     thinned_uploads = sum (fun m -> m.Pod.thinned_uploads);
     dead_letters = sum (fun m -> m.Pod.dead_letters);
+    wire_bytes = sum_wire (fun s -> s.Transport.bytes_on_wire);
+    wire_frames_sent = sum_wire (fun s -> s.Transport.messages_sent);
+    wire_frames_received = sum_wire (fun s -> s.Transport.delivered);
     gap_memo_hits = shard_sum (fun ss -> ss.Federation.gap_memo_hits);
     gap_memo_misses = shard_sum (fun ss -> ss.Federation.gap_memo_misses);
     verdict_cache_hits = shard_sum (fun ss -> ss.Federation.verdict_cache_hits);
@@ -412,11 +423,14 @@ let run_federated config =
     end;
     install_chaos_fed ~sim ~config ~fed ~chaos_rng ~pods ~pod_endpoints ~last_checkpoints
       plan);
-  let snapshots = ref [ snapshot_fed ~time:0.0 ~pods:!pods ~fed ] in
+  let snapshots =
+    ref [ snapshot_fed ~time:0.0 ~pods:!pods ~endpoints:!pod_endpoints ~fed ]
+  in
   let rec sample at =
     if at <= config.duration then
       Sim.schedule_at sim ~time:at (fun () ->
-          snapshots := snapshot_fed ~time:at ~pods:!pods ~fed :: !snapshots;
+          snapshots :=
+            snapshot_fed ~time:at ~pods:!pods ~endpoints:!pod_endpoints ~fed :: !snapshots;
           sample (at +. config.sample_interval))
   in
   sample config.sample_interval;
@@ -444,6 +458,21 @@ let pp_report fmt report =
     "hive: traces=%d ticks=%d fixes=%d fix-updates=%d guidance=%d proofs=%d human-fixes=%d@."
     h.Hive.traces_received h.Hive.analysis_ticks h.Hive.fixes_deployed h.Hive.fix_updates_sent
     h.Hive.guidance_sent h.Hive.proofs_established h.Hive.human_fixes_scheduled;
+  (* Wire-plane accounting from the final snapshot.  Batch/delta
+     counters print only when batching actually ran, so legacy runs'
+     reports gain one line whose numbers are a pure function of the
+     traffic — identical across the byte-identity comparison pairs. *)
+  (let f = report.final in
+   if f.Metrics.wire_frames_sent > 0 then begin
+     let sum_pod g = List.fold_left (fun acc m -> acc + g m) 0 report.pod_metrics in
+     let batches = sum_pod (fun m -> m.Pod.batches_sent) in
+     Format.fprintf fmt "wire: bytes=%d frames=%d/%d%s@." f.Metrics.wire_bytes
+       f.Metrics.wire_frames_sent f.Metrics.wire_frames_received
+       (if batches > 0 then
+          Printf.sprintf " batches=%d delta-records=%d" batches
+            (sum_pod (fun m -> m.Pod.delta_records))
+        else "")
+   end);
   (* Printed only when overload protection actually intervened, so an
      unpressured run's report is byte-identical to one without the
      overload layer. *)

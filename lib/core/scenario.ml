@@ -56,6 +56,29 @@ let with_chaos ?(chaos_seed = 1337) ?(crash_rate = 1.0 /. 400.0)
 
 let with_shards n config = { config with Platform.n_shards = n }
 
+(* Fleet-scale wire encoding: pods batch [batch] traces per frame and
+   (unless [delta = false]) delta-encode records against the
+   hive-announced prefix basis; the hive announces one basis per
+   program on its analysis tick.  [batch = 1, delta = false] leaves the
+   config untouched — the legacy one-frame-per-trace wire format. *)
+let with_fleet_encoding ?(batch = 16) ?(delta = true) ?(linger = 5.0) config =
+  if batch <= 1 && not delta then config
+  else
+    {
+      config with
+      Platform.pod_config =
+        {
+          config.Platform.pod_config with
+          Pod.upload_batch = max 1 batch;
+          delta_encode = delta;
+          (* The default 0.25s linger suits failure-latency SLOs, but a
+             batch only amortizes its header if it fills — give it a
+             few inter-arrival times. *)
+          batch_linger = linger;
+        };
+      hive_config = { config.Platform.hive_config with Hive.announce_basis = delta };
+    }
+
 let with_overload ?overload config =
   let overload = Option.value ~default:Hive.default_overload_config overload in
   {

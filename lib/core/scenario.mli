@@ -54,6 +54,15 @@ val with_shards : int -> Platform.config -> Platform.config
     deterministic superstep merge ({!Softborg_hive.Federation});
     [with_shards 1] is the single-hive platform unchanged. *)
 
+val with_fleet_encoding :
+  ?batch:int -> ?delta:bool -> ?linger:float -> Platform.config -> Platform.config
+(** Turn on the fleet-scale wire encoding: pods send
+    {!Softborg_hive.Protocol.Batch_upload} frames of [batch] traces
+    (default 16) and, with [delta] (default true), delta-encode the
+    records against the hive-announced per-program prefix basis.
+    [linger] (default 5s) bounds how long a partial batch waits.
+    [~batch:1 ~delta:false] is the identity. *)
+
 val with_overload : ?overload:Hive.overload_config -> Platform.config -> Platform.config
 (** Enable hive overload protection (admission control, shedding,
     backpressure, quarantine); defaults to

@@ -179,7 +179,9 @@ let register_program t program =
 
 let relay_down pod_link payload =
   match Protocol.decode payload with
-  | Ok (Protocol.Fix_update _ | Protocol.Guidance_update _ | Protocol.Pressure_update _) ->
+  | Ok
+      ( Protocol.Fix_update _ | Protocol.Guidance_update _ | Protocol.Pressure_update _
+      | Protocol.Basis_update _ ) ->
     Transport.send pod_link payload
   | Ok _ | Error _ -> ()
 
@@ -195,6 +197,11 @@ let route t a payload =
            sees it — the router must not silently launder poison. *)
         Shard_map.owner_of_digest t.map payload)
     | Ok (Protocol.Sampled_report { program_digest; _ }) ->
+      Shard_map.owner_of_digest t.map program_digest
+    | Ok (Protocol.Batch_upload { program_digest; _ }) ->
+      (* A batch's records may cover many branch prefixes, and a delta
+         record is only decodable next to its anchor — the whole frame
+         goes to one shard, keyed by program. *)
       Shard_map.owner_of_digest t.map program_digest
     | Ok _ -> -1  (* downstream echoes stop at the router *)
     | Error _ -> Shard_map.owner_of_digest t.map payload

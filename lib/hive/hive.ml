@@ -1,8 +1,11 @@
 module Ir = Softborg_prog.Ir
 module Outcome = Softborg_exec.Outcome
 module Env = Softborg_exec.Env
+module Interp = Softborg_exec.Interp
 module Wire = Softborg_trace.Wire
 module Trace = Softborg_trace.Trace
+module Bitvec = Softborg_util.Bitvec
+module Ids = Softborg_util.Ids
 module Exec_tree = Softborg_tree.Exec_tree
 module Sim = Softborg_net.Sim
 module Transport = Softborg_net.Transport
@@ -56,6 +59,7 @@ type config = {
   pool_size : int;
   overload : overload_config option;
   synthesize : bool;
+  announce_basis : bool;
 }
 
 let default_config mode =
@@ -70,6 +74,9 @@ let default_config mode =
     pool_size = 1;
     overload = None;
     synthesize = true;
+    (* Off by default: announcing bases broadcasts extra frames, which
+       would consume link RNG draws and perturb existing seeded runs. *)
+    announce_basis = false;
     symexec_config =
       (* The hive analyzes many programs per tick; bound each symbolic
          operation tightly and rely on repetition across ticks. *)
@@ -100,13 +107,30 @@ type stats = {
   muted_drops : int;
   pressure_updates_sent : int;
   peak_queue_depth : int;
+  batch_frames_received : int;
+  batch_records_received : int;
+  basis_updates_sent : int;
+}
+
+(* A reconstruction precomputed on a decode worker, stamped with the
+   fix-list value it was built against.  It is only usable while the
+   program's fix list is still that exact value (physical equality —
+   the list is replaced wholesale on every change), because replay
+   hooks derive from the fixes. *)
+type precomputed = {
+  pc_fixes : Fixgen.fix list;
+  pc_recon : Interp.reconstruction;
 }
 
 (* One admitted-but-not-yet-processed upload.  The frame is decoded at
    admission (that is where poison is detected and the outcome class
-   read), so the drain only has to ingest. *)
+   read), so the drain only has to ingest.  Traces carry their
+   prepared canonical bytes (one encode at decode time serves the
+   trace store, the replay cache key, and the federation tap) and,
+   when they arrived in a batch decoded on the worker pool, a
+   precomputed replay. *)
 type work =
-  | Trace_work of Trace.t
+  | Trace_work of { prep : Trace_store.prepared; recon : precomputed option }
   | Sampled_work of { program_digest : string; report : Softborg_trace.Sampling.t }
 
 type queued = {
@@ -140,6 +164,19 @@ type t = {
   mutable muted_drops : int;
   mutable pressure_updates_sent : int;
   mutable peak_queue_depth : int;
+  (* ---- Fleet ingestion (delta/batch wire plane) ----
+     Announced bases are a wire-plane accelerator, not knowledge: they
+     are not checkpointed, and a restarted hive simply announces fresh
+     ones.  [bases] keeps every basis this hive ever announced (keyed
+     by id, so pods holding an older announcement still decode), with
+     the fingerprint echoed back by batches. *)
+  bases : (string * int, Trace.t * int) Hashtbl.t;  (* (digest, basis id) *)
+  basis_candidates : (string, Trace_store.prepared) Hashtbl.t;
+  announced_basis : (string, int) Hashtbl.t;  (* digest -> latest basis id *)
+  mutable next_basis_id : int;
+  mutable batch_frames_received : int;
+  mutable batch_records_received : int;
+  mutable basis_updates_sent : int;
   pending_human_fixes : (string, unit) Hashtbl.t;  (* bucket keys already scheduled *)
   (* Throttles: symbolic work is expensive, so gaps already issued to a
      pod are not re-planned, and proofs are only re-attempted when the
@@ -201,6 +238,13 @@ let create ?config ~sim () =
     muted_drops = 0;
     pressure_updates_sent = 0;
     peak_queue_depth = 0;
+    bases = Hashtbl.create 8;
+    basis_candidates = Hashtbl.create 8;
+    announced_basis = Hashtbl.create 8;
+    next_basis_id = 1;
+    batch_frames_received = 0;
+    batch_records_received = 0;
+    basis_updates_sent = 0;
     pending_human_fixes = Hashtbl.create 16;
     issued_guidance = Hashtbl.create 8;
     proof_state = Hashtbl.create 8;
@@ -261,12 +305,15 @@ let send_fix_update t k =
 
 (* ---- Ingestion -------------------------------------------------------- *)
 
-(* The tap sees a *re-encoding* of the decoded work, not the pod's
-   original frame: re-encoding is canonical, so two shards ingesting
-   equal content report byte-equal payloads no matter how the pods
-   chose to frame them. *)
+(* The tap sees the *canonical* encoding of the decoded work, not the
+   pod's original frame: two shards ingesting equal content report
+   byte-equal payloads no matter how the pods chose to frame them
+   (single frames, batches, deltas).  For traces the canonical bytes
+   were already produced once at decode time ([Trace_store.prepare]) —
+   the tap reuses them instead of re-encoding per shard. *)
 let canonical_payload = function
-  | Trace_work trace -> Protocol.encode (Protocol.Trace_upload (Wire.encode trace))
+  | Trace_work { prep; _ } ->
+    Protocol.encode (Protocol.Trace_upload prep.Trace_store.p_encoded)
   | Sampled_work { program_digest; report } ->
     Protocol.encode (Protocol.Sampled_report { program_digest; report })
 
@@ -274,17 +321,135 @@ let process_work t work =
   t.traces_received <- t.traces_received + 1;
   (match t.ingest_tap with None -> () | Some tap -> tap (canonical_payload work));
   match work with
-  | Trace_work trace -> (
+  | Trace_work { prep; recon } -> (
+    let trace = prep.Trace_store.p_trace in
+    if
+      t.config.announce_basis
+      && Bitvec.length trace.Trace.bits > 0
+      && not (Hashtbl.mem t.basis_candidates trace.Trace.program_digest)
+    then Hashtbl.replace t.basis_candidates trace.Trace.program_digest prep;
     match Hashtbl.find_opt t.programs trace.Trace.program_digest with
     | None -> ()
     | Some k -> (
       match t.config.mode with
-      | Full -> ignore (Knowledge.ingest_trace k trace)
+      | Full ->
+        (* A precomputed replay is only trustworthy while the fix list
+           is still the exact value the worker saw — hooks derive from
+           it.  Stale precomputes fall back to the normal replay path
+           (identical result, just slower). *)
+        let reconstruction =
+          match recon with
+          | Some pc when pc.pc_fixes == Knowledge.fixes k -> Some pc.pc_recon
+          | _ -> None
+        in
+        ignore (Knowledge.ingest_trace ~prepared:prep ?reconstruction k trace)
       | Wer | Cbi -> Knowledge.ingest_outcome_only k trace))
   | Sampled_work { program_digest; report } -> (
     match Hashtbl.find_opt t.programs program_digest with
     | None -> ()
     | Some k -> Knowledge.ingest_sampled k report)
+
+(* ---- Batched-frame decode ---------------------------------------------- *)
+
+exception Bad_batch
+
+(* Decode a whole batch to admission-ready work items, or reject it as
+   one poison frame (any malformed record, basis mismatch, or blown
+   total budget damns the whole batch — parse-then-commit, nothing
+   partial is ingested).
+
+   Records after the anchor are decoded, canonicalized, and optionally
+   replay-precomputed on the worker pool; [Pool.map] preserves input
+   order and every per-record function is pure, so the resulting work
+   list — and therefore all downstream knowledge bytes — is identical
+   for any pool size.  Trace ids are minted afterwards on this thread,
+   in record order ([Ids] counters are plain refs, not domain-safe). *)
+let decode_batch t ~caps ~program_digest ~basis_id ~basis_check records =
+  t.batch_frames_received <- t.batch_frames_received + 1;
+  match
+    (* Total-budget pre-pass over declared sizes: a batch of records
+       that each clear the per-frame bit cap must also jointly clear
+       the batch budget, so splitting an attack across records cannot
+       smuggle volume past quarantine accounting. *)
+    (match caps with
+    | None -> ()
+    | Some c ->
+      ignore
+        (List.fold_left
+           (fun acc s ->
+             match Wire.declared_bits s with
+             | Error _ -> raise Bad_batch
+             | Ok n ->
+               if n < 0 || n > c.Wire.max_batch_total_bits - acc then raise Bad_batch
+               else acc + n)
+           0 records));
+    let basis =
+      if basis_id = 0 then None
+      else
+        match Hashtbl.find_opt t.bases (program_digest, basis_id) with
+        | Some (b, fp) when fp = basis_check -> Some b
+        | Some _ | None -> raise Bad_batch
+    in
+    let knowledge = Hashtbl.find_opt t.programs program_digest in
+    (* Precompute replays on the workers only when there is real
+       parallelism to exploit; the snapshot gate in [process_work]
+       keeps the result byte-identical either way. *)
+    let precompute =
+      match (knowledge, t.pool, t.config.mode) with
+      | Some k, Some _, Full -> Some (Knowledge.program k, Knowledge.fixes k)
+      | _ -> None
+    in
+    let decode_one ?basis s =
+      match Wire.decode_record ?caps ?basis ~program_digest s with
+      | Error _ -> raise Bad_batch
+      | Ok trace ->
+        let prep = Trace_store.prepare trace in
+        let recon =
+          match precompute with
+          | Some (program, fixes)
+            when not (trace.Trace.steps = 0 && trace.Trace.n_decisions = 0) -> (
+            let hooks = Fixgen.runtime_hooks ~epoch:trace.Trace.fix_epoch fixes in
+            match
+              Interp.reconstruct ~hooks ~program ~bits:trace.Trace.bits
+                ~schedule:trace.Trace.schedule ~total_decisions:trace.Trace.n_decisions
+                ~total_steps:trace.Trace.steps ()
+            with
+            | Ok r -> Some { pc_fixes = fixes; pc_recon = r }
+            | Error _ -> None)
+          | _ -> None
+        in
+        (prep, recon)
+    in
+    let par_map f xs =
+      match t.pool with
+      | Some pool when List.length xs > 1 -> Pool.map pool f xs
+      | _ -> List.map f xs
+    in
+    let decoded =
+      match basis with
+      | Some b -> par_map (fun s -> decode_one ~basis:b s) records
+      | None -> (
+        match records with
+        | [] -> []
+        | first :: rest ->
+          (* No announced basis: the leading record anchors the batch
+             and must be full (a delta tag with no basis is malformed
+             inside [decode_one]). *)
+          let ((anchor_prep, _) as anchor) = decode_one first in
+          anchor :: par_map (fun s -> decode_one ~basis:anchor_prep.Trace_store.p_trace s) rest)
+    in
+    t.batch_records_received <- t.batch_records_received + List.length decoded;
+    List.map
+      (fun (prep, recon) ->
+        let trace =
+          { prep.Trace_store.p_trace with Trace.trace_id = Ids.Trace_id.fresh () }
+        in
+        let prep = Trace_store.with_trace prep trace in
+        (Outcome.is_failure trace.Trace.outcome, Trace_work { prep; recon }))
+      decoded
+  with
+  | works -> Ok works
+  | exception Bad_batch -> Error ()
 
 (* Without overload protection, uploads are processed synchronously in
    the receive callback — the pre-existing behavior, kept byte-for-byte
@@ -296,13 +461,18 @@ let handle_message t payload =
   | Ok (Protocol.Trace_upload payload) -> (
     match Wire.decode payload with
     | Error _ -> ()
-    | Ok trace -> process_work t (Trace_work trace))
+    | Ok trace ->
+      process_work t (Trace_work { prep = Trace_store.prepare trace; recon = None }))
   | Ok (Protocol.Sampled_report { program_digest; report }) ->
     process_work t (Sampled_work { program_digest; report })
+  | Ok (Protocol.Batch_upload { program_digest; basis_id; basis_check; records }) -> (
+    match decode_batch t ~caps:None ~program_digest ~basis_id ~basis_check records with
+    | Error () -> ()
+    | Ok works -> List.iter (fun (_failing, work) -> process_work t work) works)
   | Ok
       ( Protocol.Fix_update _ | Protocol.Guidance_update _ | Protocol.Pressure_update _
       | Protocol.Shard_map_update _ | Protocol.Knowledge_delta _ | Protocol.Frontier_summary _
-        ) ->
+      | Protocol.Basis_update _ ) ->
     (* Downstream-only and federation-plane messages; ignore if echoed
        back.  A shard hive never ingests a Knowledge_delta directly —
        the federation coordinator unpacks deltas itself so commit
@@ -461,7 +631,7 @@ let admit t (oc : overload_config) slot payload =
     | Ok
         ( Protocol.Fix_update _ | Protocol.Guidance_update _ | Protocol.Pressure_update _
         | Protocol.Shard_map_update _ | Protocol.Knowledge_delta _
-        | Protocol.Frontier_summary _ ) ->
+        | Protocol.Frontier_summary _ | Protocol.Basis_update _ ) ->
       ()
     | Ok (Protocol.Trace_upload inner) -> (
       match Wire.decode ~caps:oc.caps inner with
@@ -471,8 +641,19 @@ let admit t (oc : overload_config) slot payload =
           {
             q_slot = slot;
             q_failing = Outcome.is_failure trace.Trace.outcome;
-            q_work = Trace_work trace;
+            q_work = Trace_work { prep = Trace_store.prepare trace; recon = None };
           })
+    | Ok (Protocol.Batch_upload { program_digest; basis_id; basis_check; records }) -> (
+      (* [Protocol.decode ~caps] already bounded the record count and
+         frame size; the batch decode enforces the total bit budget and
+         per-record caps.  One bad record poisons the whole batch. *)
+      match decode_batch t ~caps:(Some oc.caps) ~program_digest ~basis_id ~basis_check records with
+      | Error () -> quarantine t oc slot
+      | Ok works ->
+        List.iter
+          (fun (failing, work) ->
+            offer t oc { q_slot = slot; q_failing = failing; q_work = work })
+          works)
     | Ok (Protocol.Sampled_report { program_digest; report }) ->
       offer t oc
         {
@@ -489,6 +670,43 @@ let attach_pod t endpoint =
     let slot = t.next_slot in
     t.next_slot <- slot + 1;
     Transport.on_receive endpoint (admit t oc slot)
+
+(* Transport-less injection for load harnesses: one encoded frame
+   enters exactly the receive path an attached pod's frame would — the
+   admission-controlled one when overload protection is on.  [slot]
+   plays the role of the pod attachment slot for fair-share shedding
+   and quarantine accounting. *)
+let inject t ~slot payload =
+  match t.config.overload with
+  | None -> handle_message t payload
+  | Some oc -> admit t oc slot payload
+
+(* ---- Basis announcements ----------------------------------------------- *)
+
+(* Announce one prefix basis per program that has produced a trace with
+   branch bits: pods delta their future uploads against it.  The
+   announced payload is the candidate's canonical wire encoding; both
+   sides decode/encode from those exact bytes, so the XOR anchors
+   agree.  Digest-sorted iteration keeps basis-id assignment
+   deterministic across runs. *)
+let announce_bases t =
+  Hashtbl.fold (fun digest _ acc -> digest :: acc) t.basis_candidates []
+  |> List.sort String.compare
+  |> List.iter (fun digest ->
+         if not (Hashtbl.mem t.announced_basis digest) then begin
+           match Hashtbl.find_opt t.basis_candidates digest with
+           | None -> ()
+           | Some prep ->
+             let basis_id = t.next_basis_id in
+             t.next_basis_id <- basis_id + 1;
+             let payload = prep.Trace_store.p_encoded in
+             Hashtbl.replace t.bases (digest, basis_id)
+               (prep.Trace_store.p_trace, Protocol.basis_fingerprint payload);
+             Hashtbl.replace t.announced_basis digest basis_id;
+             t.basis_updates_sent <- t.basis_updates_sent + 1;
+             Log.debug (fun m -> m "announcing basis %d for %s" basis_id digest);
+             broadcast t (Protocol.Basis_update { program_digest = digest; basis_id; payload })
+         end)
 
 (* ---- Human repair lab (Wer/Cbi modes) --------------------------------- *)
 
@@ -699,6 +917,7 @@ let guidance_tick t k =
 
 let tick t =
   t.analysis_ticks <- t.analysis_ticks + 1;
+  if t.config.announce_basis then announce_bases t;
   (* Periodically forget the issued-guidance memory: directives can be
      lost with their pod, and a stale exclusion must not shadow a gap
      forever. *)
@@ -771,6 +990,9 @@ let stats t =
     muted_drops = t.muted_drops;
     pressure_updates_sent = t.pressure_updates_sent;
     peak_queue_depth = t.peak_queue_depth;
+    batch_frames_received = t.batch_frames_received;
+    batch_records_received = t.batch_records_received;
+    basis_updates_sent = t.basis_updates_sent;
   }
 
 (* ---- Checkpoint / restore ---------------------------------------------- *)

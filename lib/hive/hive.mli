@@ -86,6 +86,13 @@ type config = {
           deploy fixes.  Federation shards run with [false]: fix ids
           and epochs are minted only by the merge coordinator, whose
           knowledge sees whole-program evidence. *)
+  announce_basis : bool;
+      (** [true] makes the analysis tick broadcast one
+          {!Protocol.Basis_update} per program (the first trace seen
+          with branch bits), so pods can delta-encode uploads against a
+          shared prefix basis.  Default [false]: the extra broadcasts
+          would perturb seeded runs.  Bases are a wire-plane
+          accelerator and are not checkpointed. *)
 }
 
 val default_config : mode -> config
@@ -108,6 +115,9 @@ type stats = {
   muted_drops : int;  (** Messages dropped because their pod was muted. *)
   pressure_updates_sent : int;  (** Standalone pressure broadcasts. *)
   peak_queue_depth : int;  (** High-water mark of the ingest queue. *)
+  batch_frames_received : int;  (** {!Protocol.Batch_upload} frames decoded. *)
+  batch_records_received : int;  (** Trace records across all batches. *)
+  basis_updates_sent : int;  (** {!Protocol.Basis_update} broadcasts. *)
 }
 
 type t
@@ -140,6 +150,20 @@ val attach_pod : t -> Transport.endpoint -> unit
 (** Wire up the hive side of one pod's connection.  With overload
     protection enabled, each attachment gets a slot in the quarantine
     ledger and fair-share accounting. *)
+
+val inject : t -> slot:int -> string -> unit
+(** Feed one encoded protocol frame through the real receive path
+    without a transport — the admission-controlled path when overload
+    protection is on, the legacy synchronous path otherwise.  [slot]
+    stands in for the pod attachment slot (fair-share shedding,
+    quarantine ledger).  Load harnesses use this to simulate fleets
+    far larger than the endpoint table. *)
+
+val announce_bases : t -> unit
+(** Broadcast a {!Protocol.Basis_update} for every program that has a
+    basis candidate but no announced basis yet (normally done by the
+    analysis tick when [config.announce_basis] is set; exposed so
+    tests and benches can force announcement deterministically). *)
 
 val pressure_level : t -> int
 (** Current load level (0–3; always 0 without overload protection). *)

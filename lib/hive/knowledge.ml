@@ -121,9 +121,9 @@ let merge_reconstruction t (trace : Trace.t) ({ Interp.decisions; locks } : Inte
   Deadlock.observe t.deadlocks ~outcome:trace.Trace.outcome ~locks;
   Isolate.record_path t.isolate ~full_path:decisions ~outcome:trace.Trace.outcome
 
-let ingest_trace t (trace : Trace.t) =
+let ingest_trace ?prepared ?reconstruction t (trace : Trace.t) =
   t.traces_ingested <- t.traces_ingested + 1;
-  let content_key, _ = Trace_store.admit_keyed t.store trace in
+  let content_key, _ = Trace_store.admit_keyed ?prepared t.store trace in
   record_failure t trace.Trace.outcome;
   if trace.Trace.steps = 0 && trace.Trace.n_decisions = 0 then
     (* Outcome-only disclosure: nothing to replay or merge. *)
@@ -137,19 +137,29 @@ let ingest_trace t (trace : Trace.t) =
       merge_reconstruction t trace reconstruction;
       Ok ()
     | None -> (
-      let hooks = hooks_for_epoch t trace.Trace.fix_epoch in
-      match
-        Interp.reconstruct ~hooks ~program:t.program ~bits:trace.Trace.bits
-          ~schedule:trace.Trace.schedule ~total_decisions:trace.Trace.n_decisions
-          ~total_steps:trace.Trace.steps ()
-      with
-      | Ok reconstruction ->
+      match reconstruction with
+      | Some reconstruction ->
+        (* Precomputed off-thread (batch decode on the worker pool).
+           The caller guarantees it was built against the current fix
+           set, so it equals what the replay below would produce — the
+           cache and merge behave exactly as in a sequential run. *)
         Option.iter (fun cache -> Lru.add cache content_key reconstruction) t.replay_cache;
         merge_reconstruction t trace reconstruction;
         Ok ()
-      | Error msg ->
-        t.replay_errors <- t.replay_errors + 1;
-        Error msg)
+      | None -> (
+        let hooks = hooks_for_epoch t trace.Trace.fix_epoch in
+        match
+          Interp.reconstruct ~hooks ~program:t.program ~bits:trace.Trace.bits
+            ~schedule:trace.Trace.schedule ~total_decisions:trace.Trace.n_decisions
+            ~total_steps:trace.Trace.steps ()
+        with
+        | Ok reconstruction ->
+          Option.iter (fun cache -> Lru.add cache content_key reconstruction) t.replay_cache;
+          merge_reconstruction t trace reconstruction;
+          Ok ()
+        | Error msg ->
+          t.replay_errors <- t.replay_errors + 1;
+          Error msg))
 
 let ingest_sampled t sampled =
   t.traces_ingested <- t.traces_ingested + 1;

@@ -21,6 +21,28 @@ type message =
   | Shard_map_update of { map : Shard_map.t }
   | Knowledge_delta of { shard : int; seq : int; payloads : string list }
   | Frontier_summary of { shard : int; programs : (string * int * int) list }
+  | Batch_upload of {
+      program_digest : string;
+      basis_id : int;
+      basis_check : int;
+      records : string list;
+    }
+  | Basis_update of { program_digest : string; basis_id : int; payload : string }
+
+(* FNV-1a over the basis payload bytes, masked non-negative so it
+   travels as a plain varint.  Pods echo it in every delta batch; the
+   hive refuses to XOR-decode against a basis whose fingerprint
+   disagrees (a stale or colliding basis id would silently corrupt
+   every decoded bit-vector otherwise). *)
+let basis_fingerprint s =
+  let fnv_prime = 0x100000001b3 in
+  let h = ref 0x3bf29ce484222325 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * fnv_prime land max_int)
+    s;
+  !h
 
 let message_name = function
   | Trace_upload _ -> "trace-upload"
@@ -31,12 +53,14 @@ let message_name = function
   | Shard_map_update _ -> "shard-map-update"
   | Knowledge_delta _ -> "knowledge-delta"
   | Frontier_summary _ -> "frontier-summary"
+  | Batch_upload _ -> "batch-upload"
+  | Basis_update _ -> "basis-update"
 
 let pressure_of = function
   | Fix_update { pressure; _ } | Guidance_update { pressure; _ } -> Some pressure
   | Pressure_update { level } -> Some level
   | Trace_upload _ | Sampled_report _ | Shard_map_update _ | Knowledge_delta _
-  | Frontier_summary _ ->
+  | Frontier_summary _ | Batch_upload _ | Basis_update _ ->
     None
 
 let write_sampled w (report : Sampling.t) =
@@ -114,7 +138,18 @@ let encode message =
         Codec.Writer.bytes w digest;
         Codec.Writer.varint w paths;
         Codec.Writer.varint w traces)
-      programs);
+      programs
+  | Batch_upload { program_digest; basis_id; basis_check; records } ->
+    Codec.Writer.byte w 8;
+    Codec.Writer.bytes w program_digest;
+    Codec.Writer.varint w basis_id;
+    Codec.Writer.varint w basis_check;
+    Codec.Writer.list w (Codec.Writer.bytes w) records
+  | Basis_update { program_digest; basis_id; payload } ->
+    Codec.Writer.byte w 9;
+    Codec.Writer.bytes w program_digest;
+    Codec.Writer.varint w basis_id;
+    Codec.Writer.bytes w payload);
   Codec.Writer.contents w
 
 (* Inter-hive frames share the pod-facing row cap: a Knowledge_delta's
@@ -173,6 +208,24 @@ let decode ?caps s =
       in
       check_rows ?caps ~what:"frontier rows" (List.length programs);
       Frontier_summary { shard; programs }
+    | 8 ->
+      let program_digest = Codec.Reader.bytes r in
+      let basis_id = Codec.Reader.varint r in
+      let basis_check = Codec.Reader.varint r in
+      let records = Codec.Reader.list r Codec.Reader.bytes in
+      (match caps with
+      | Some c when List.length records > c.Wire.max_batch_records ->
+        raise
+          (Codec.Malformed
+             (Printf.sprintf "batch records %d exceed cap %d" (List.length records)
+                c.Wire.max_batch_records))
+      | _ -> ());
+      Batch_upload { program_digest; basis_id; basis_check; records }
+    | 9 ->
+      let program_digest = Codec.Reader.bytes r in
+      let basis_id = Codec.Reader.varint r in
+      let payload = Codec.Reader.bytes r in
+      Basis_update { program_digest; basis_id; payload }
     | n -> raise (Codec.Malformed (Printf.sprintf "message tag %d" n))
   with
   | message -> Ok message

@@ -45,6 +45,31 @@ type message =
   | Frontier_summary of { shard : int; programs : (string * int * int) list }
       (** Periodic shard telemetry: per program digest, distinct
           execution-tree paths and traces ingested. *)
+  | Batch_upload of {
+      program_digest : string;  (** Shared by every record in the batch. *)
+      basis_id : int;
+          (** The hive-announced basis the delta records anchor to, or
+              0 when the anchor is the batch's own first record (which
+              must then be a full record). *)
+      basis_check : int;
+          (** {!basis_fingerprint} of the anchor's wire payload when
+              [basis_id > 0] (0 otherwise); the hive refuses to
+              XOR-decode against a basis whose fingerprint disagrees. *)
+      records : string list;
+          (** Self-tagged {!Softborg_trace.Wire.encode_record} blobs;
+              count capped by [caps.max_batch_records], summed declared
+              bits capped by [caps.max_batch_total_bits]. *)
+    }
+      (** Multi-trace upload: one header, one digest, many records. *)
+  | Basis_update of { program_digest : string; basis_id : int; payload : string }
+      (** Hive→pod basis announcement: [payload] is a full
+          {!Softborg_trace.Wire.encode}d trace whose branch bits pods
+          should delta future uploads of [program_digest] against.
+          [basis_id] increases monotonically per program. *)
+
+val basis_fingerprint : string -> int
+(** Non-negative FNV-1a fingerprint of a basis payload — pods echo it
+    in {!Batch_upload}, the hive verifies before XOR-decoding. *)
 
 val encode : message -> string
 

@@ -13,10 +13,23 @@ type t = {
   mutable received : int;
   mutable bytes_received : int;
   mutable bytes_stored : int;
+  (* Admissions that had to re-encode because the caller did not hand
+     over prepared canonical bytes.  The hive's serving paths prepare
+     every trace exactly once at decode time, so this stays 0 there —
+     a regression guard against the double-encode creeping back in.
+     Not checkpointed: knowledge bytes are a pure function of the
+     ingested evidence, not of which code path delivered it. *)
+  mutable fallback_encodes : int;
 }
 
 let create () =
-  { entries = Hashtbl.create 64; received = 0; bytes_received = 0; bytes_stored = 0 }
+  {
+    entries = Hashtbl.create 64;
+    received = 0;
+    bytes_received = 0;
+    bytes_stored = 0;
+    fallback_encodes = 0;
+  }
 
 (* Content digest input: everything except the per-upload identifiers
    (trace id and reporting pod) — two pods reporting the same execution
@@ -26,19 +39,46 @@ let encode_content (trace : Trace.t) =
 
 let content_key trace = Digest.to_hex (Digest.string (encode_content trace))
 
+type prepared = {
+  p_trace : Trace.t;
+  p_encoded : string;
+  p_key : string;
+  p_size : int;
+}
+
+(* One encode serves everything downstream: the canonical wire bytes
+   (federation superstep deltas re-ship them verbatim), the content
+   digest, and the byte accounting.  The content buffer differs from
+   the real encoding only in the pod varint — spliced to a single zero
+   byte instead of encoding the whole trace a second time.  Pure:
+   safe to run on worker domains. *)
+let prepare (trace : Trace.t) =
+  let encoded = Wire.encode trace in
+  let dlen = String.length trace.Trace.program_digest in
+  let off = Codec.varint_len dlen + dlen in
+  let plen = Codec.varint_len trace.Trace.pod in
+  let content =
+    String.concat ""
+      [
+        String.sub encoded 0 off;
+        "\x00";
+        String.sub encoded (off + plen) (String.length encoded - off - plen);
+      ]
+  in
+  {
+    p_trace = trace;
+    p_encoded = encoded;
+    p_key = Digest.to_hex (Digest.string content);
+    p_size = String.length encoded;
+  }
+
+let with_trace prepared trace = { prepared with p_trace = trace }
+
 type admission =
   | Novel
   | Duplicate of int
 
-let admit_keyed t (trace : Trace.t) =
-  (* Single-pass admission: one encode serves both the content digest
-     and the byte accounting.  The canonical buffer differs from the
-     pod's actual upload only in the pod varint (a zero, one byte), so
-     the wire size is recovered arithmetically instead of encoding the
-     trace a second time. *)
-  let encoded = encode_content trace in
-  let key = Digest.to_hex (Digest.string encoded) in
-  let size = String.length encoded - 1 + Codec.varint_len trace.Trace.pod in
+let record t key size =
   t.received <- t.received + 1;
   t.bytes_received <- t.bytes_received + size;
   match Hashtbl.find_opt t.entries key with
@@ -50,7 +90,22 @@ let admit_keyed t (trace : Trace.t) =
     t.bytes_stored <- t.bytes_stored + size;
     (key, Novel)
 
+let admit_keyed ?prepared t (trace : Trace.t) =
+  match prepared with
+  | Some p -> record t p.p_key p.p_size
+  | None ->
+    (* No prepared bytes: encode here.  The canonical buffer differs
+       from the pod's actual upload only in the pod varint (a zero, one
+       byte), so the wire size is recovered arithmetically instead of
+       encoding the trace a second time. *)
+    t.fallback_encodes <- t.fallback_encodes + 1;
+    let encoded = encode_content trace in
+    let key = Digest.to_hex (Digest.string encoded) in
+    let size = String.length encoded - 1 + Codec.varint_len trace.Trace.pod in
+    record t key size
+
 let admit t trace = snd (admit_keyed t trace)
+let fallback_encodes t = t.fallback_encodes
 
 let distinct t = Hashtbl.length t.entries
 let received t = t.received
@@ -97,4 +152,4 @@ let read r =
          let count = Codec.Reader.varint r in
          let size = Codec.Reader.varint r in
          (key, { count; size })));
-  { entries; received; bytes_received; bytes_stored }
+  { entries; received; bytes_received; bytes_stored; fallback_encodes = 0 }

@@ -18,14 +18,40 @@ type admission =
   | Novel  (** First time this exact execution content was seen. *)
   | Duplicate of int  (** Seen before; the new multiplicity. *)
 
+type prepared = {
+  p_trace : Trace.t;
+  p_encoded : string;  (** Canonical {!Softborg_trace.Wire.encode} bytes. *)
+  p_key : string;  (** Content digest, as {!content_key}. *)
+  p_size : int;  (** Wire bytes for accounting ([= String.length p_encoded]). *)
+}
+(** A trace together with its canonical wire bytes, content key, and
+    byte accounting, all derived from one encode. *)
+
+val prepare : Trace.t -> prepared
+(** Encode once, derive everything.  Pure — safe on worker domains.
+    The hive prepares every decoded upload so admission, the replay
+    cache, and the federation ingest tap all reuse the same buffer. *)
+
+val with_trace : prepared -> Trace.t -> prepared
+(** Replace the carried trace (e.g. after assigning a fresh trace id —
+    ids are not encoded, so the canonical bytes stay valid). *)
+
 val admit : t -> Trace.t -> admission
 (** Record one uploaded trace.  Encodes the trace exactly once: the
     content digest and the wire-byte accounting come from the same
     buffer. *)
 
-val admit_keyed : t -> Trace.t -> string * admission
+val admit_keyed : ?prepared:prepared -> t -> Trace.t -> string * admission
 (** Like {!admit}, but also returns the content key so callers (e.g.
-    the knowledge replay cache) can reuse it without re-encoding. *)
+    the knowledge replay cache) can reuse it without re-encoding.
+    With [prepared], no encode happens at all — the prepared key and
+    size are filed directly; without it, the store encodes and counts
+    a {!fallback_encodes}. *)
+
+val fallback_encodes : t -> int
+(** Admissions that re-encoded because no prepared bytes were supplied.
+    Stays 0 on the hive's serving paths — a regression counter for the
+    federation double-encode bug.  Not checkpointed. *)
 
 val content_key : Trace.t -> string
 (** The content digest {!admit} files the trace under: a hex digest of

@@ -35,6 +35,7 @@ type stats = {
   duplicates_suppressed : int;
   gave_up : int;
   acks_sent : int;
+  bytes_on_wire : int;
 }
 
 type packet =
@@ -167,6 +168,7 @@ let stats t =
     duplicates_suppressed = t.duplicates_suppressed;
     gave_up = t.gave_up;
     acks_sent = t.acks_sent;
+    bytes_on_wire = (match t.out_link with Some l -> Link.bytes_sent l | None -> 0);
   }
 
 let endpoint_pair ?(config = default_config) ~sim ~rng () =

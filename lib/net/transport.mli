@@ -36,6 +36,10 @@ type stats = {
   duplicates_suppressed : int;
   gave_up : int;  (** Messages abandoned after [max_retries]. *)
   acks_sent : int;
+  bytes_on_wire : int;
+      (** Total packet bytes this endpoint pushed onto its outgoing
+          link (data + acks, including retransmissions) — the wire
+          cost the delta/batch encodings exist to shrink. *)
 }
 
 type endpoint

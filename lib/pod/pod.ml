@@ -33,6 +33,9 @@ type config = {
   backpressure_base_rate : int;
   backpressure_defer : float;
   resend_dead_letters : bool;
+  upload_batch : int;
+  delta_encode : bool;
+  batch_linger : float;
 }
 
 let default_config =
@@ -48,6 +51,11 @@ let default_config =
     backpressure_base_rate = 64;
     backpressure_defer = 0.5;
     resend_dead_letters = false;
+    (* Batching and delta encoding are off by default: the legacy
+       single-frame upload path stays byte-for-byte unperturbed. *)
+    upload_batch = 1;
+    delta_encode = false;
+    batch_linger = 0.25;
   }
 
 type metrics = {
@@ -65,6 +73,8 @@ type metrics = {
   thinned_uploads : int;
   deferred_uploads : int;
   dead_letters : int;
+  batches_sent : int;
+  delta_records : int;
 }
 
 type t = {
@@ -98,6 +108,16 @@ type t = {
   mutable thinned_uploads : int;
   mutable deferred_uploads : int;
   mutable dead_letters : int;
+  (* ---- Batched / delta uploads ----
+     [batch] accumulates scrubbed success-class traces newest-first;
+     it flushes when full, when a failure joins it (failures are
+     immediate), or when the linger timer fires.  [basis] is the last
+     hive-announced prefix basis for this program. *)
+  mutable batch : Trace.t list;
+  mutable batch_armed : bool;  (* linger timer pending *)
+  mutable basis : (int * int * Trace.t) option;  (* id, fingerprint, trace *)
+  mutable batches_sent : int;
+  mutable delta_records : int;
 }
 
 let next_pod_id = ref 0
@@ -129,9 +149,19 @@ let handle_message t payload =
     if String.equal program_digest t.digest then
       t.pending_guidance <- t.pending_guidance @ directives
   | Ok (Protocol.Pressure_update { level }) -> set_pressure t level
+  | Ok (Protocol.Basis_update { program_digest; basis_id; payload }) ->
+    (* A prefix basis to delta future uploads against.  Decoded from
+       the announced payload bytes — the hive keeps the same decoded
+       trace on its side, so the XOR anchors agree exactly. *)
+    if String.equal program_digest t.digest then begin
+      match Wire.decode payload with
+      | Error _ -> ()
+      | Ok basis ->
+        t.basis <- Some (basis_id, Protocol.basis_fingerprint payload, basis)
+    end
   | Ok
       ( Protocol.Trace_upload _ | Protocol.Sampled_report _ | Protocol.Shard_map_update _
-      | Protocol.Knowledge_delta _ | Protocol.Frontier_summary _ ) ->
+      | Protocol.Knowledge_delta _ | Protocol.Frontier_summary _ | Protocol.Batch_upload _ ) ->
     (* Upstream-only and federation-plane messages: pods upload through
        a federation router, which consumes the shard map itself. *)
     ()
@@ -166,14 +196,26 @@ let create ?(config = default_config) ~sim ~rng ~program ~endpoint () =
       thinned_uploads = 0;
       deferred_uploads = 0;
       dead_letters = 0;
+      batch = [];
+      batch_armed = false;
+      basis = None;
+      batches_sent = 0;
+      delta_records = 0;
     }
   in
   Transport.on_receive endpoint (handle_message t);
   (* Dead-letter accounting: an upload the transport abandoned after its
-     retry budget.  Optionally re-sent once per give-up (fresh sequence
+     retry budget.  A batched frame loses every trace it carried, so it
+     counts its record count, not 1 — pressure and shed quartiles stay
+     honest.  Optionally re-sent once per give-up (fresh sequence
      number and budget); off by default so existing runs are unchanged. *)
   Transport.on_give_up endpoint (fun payload ->
-      t.dead_letters <- t.dead_letters + 1;
+      let lost =
+        match Protocol.decode payload with
+        | Ok (Protocol.Batch_upload { records; _ }) -> max 1 (List.length records)
+        | Ok _ | Error _ -> 1
+      in
+      t.dead_letters <- t.dead_letters + lost;
       if t.config.resend_dead_letters then Transport.send endpoint payload);
   t
 
@@ -198,6 +240,40 @@ let send_deferred t payload =
     Sim.schedule t.sim ~delay (fun () -> Transport.send t.endpoint payload)
   end
 
+(* Flush the accumulated batch as one {!Protocol.Batch_upload} frame.
+   With an announced basis every record delta-encodes against it (the
+   fingerprint rides along so the hive can detect a stale basis);
+   otherwise the first record anchors the rest.  [encode_record] falls
+   back to full encoding whenever the delta would be larger, so a
+   batch is never bigger than the sum of its full frames. *)
+let flush_batch t ~immediate =
+  match List.rev t.batch with
+  | [] -> ()
+  | first :: rest as traces ->
+    t.batch <- [];
+    let basis_id, basis_check, records =
+      match (t.config.delta_encode, t.basis) with
+      | true, Some (id, check, basis) ->
+        (id, check, List.map (fun tr -> Wire.encode_record ~basis tr) traces)
+      | true, None ->
+        ( 0,
+          0,
+          Wire.encode_record first
+          :: List.map (fun tr -> Wire.encode_record ~basis:first tr) rest )
+      | false, _ -> (0, 0, List.map (fun tr -> Wire.encode_record tr) traces)
+    in
+    List.iter
+      (fun r ->
+        if String.length r > 0 && r.[0] = '\x01' then
+          t.delta_records <- t.delta_records + 1)
+      records;
+    t.batches_sent <- t.batches_sent + 1;
+    let payload =
+      Protocol.encode
+        (Protocol.Batch_upload { program_digest = t.digest; basis_id; basis_check; records })
+    in
+    if immediate then Transport.send t.endpoint payload else send_deferred t payload
+
 let upload t (result : Interp.result) ~label =
   let trace =
     Trace.of_result ~program_digest:t.digest ~pod:t.pod_id ~fix_epoch:t.fix_epoch
@@ -205,9 +281,28 @@ let upload t (result : Interp.result) ~label =
   in
   match t.config.upload with
   | Full_traces ->
-    let send_full () =
+    let batching = t.config.upload_batch > 1 in
+    (* Batched path: the scrubbed trace joins the batch; the batch
+       flushes when full, immediately when a failure joins it, or when
+       the linger timer fires — a trickle of traces is never held for
+       long.  An immediate flush carries any queued successes along. *)
+    let enqueue ~immediate =
       let scrubbed = Anonymize.apply t.config.anonymize trace in
-      send_deferred t (Protocol.encode (Protocol.Trace_upload (Wire.encode scrubbed)))
+      t.batch <- scrubbed :: t.batch;
+      if immediate || List.length t.batch >= t.config.upload_batch then
+        flush_batch t ~immediate
+      else if not t.batch_armed then begin
+        t.batch_armed <- true;
+        Sim.schedule t.sim ~delay:t.config.batch_linger (fun () ->
+            t.batch_armed <- false;
+            flush_batch t ~immediate:false)
+      end
+    in
+    let send_full () =
+      if batching then enqueue ~immediate:false
+      else
+        let scrubbed = Anonymize.apply t.config.anonymize trace in
+        send_deferred t (Protocol.encode (Protocol.Trace_upload (Wire.encode scrubbed)))
     in
     (* Adaptive coordinated sampling: at pressure level L, keep every
        2^L-th success-class trace at full fidelity and thin the rest to
@@ -216,8 +311,10 @@ let upload t (result : Interp.result) ~label =
        At level 0 the counter-based gate keeps everything, so the
        fault-free stream is untouched. *)
     if Outcome.is_failure label then begin
-      let scrubbed = Anonymize.apply t.config.anonymize trace in
-      Transport.send t.endpoint (Protocol.encode (Protocol.Trace_upload (Wire.encode scrubbed)))
+      if batching then enqueue ~immediate:true
+      else
+        let scrubbed = Anonymize.apply t.config.anonymize trace in
+        Transport.send t.endpoint (Protocol.encode (Protocol.Trace_upload (Wire.encode scrubbed)))
     end
     else begin
       t.success_streak <- t.success_streak + 1;
@@ -332,4 +429,6 @@ let metrics t =
     thinned_uploads = t.thinned_uploads;
     deferred_uploads = t.deferred_uploads;
     dead_letters = t.dead_letters;
+    batches_sent = t.batches_sent;
+    delta_records = t.delta_records;
   }

@@ -42,6 +42,19 @@ type config = {
   resend_dead_letters : bool;
       (** Re-send an upload the transport gave up on (fresh sequence
           number and retry budget).  Default false: count only. *)
+  upload_batch : int;
+      (** Traces per {!Softborg_hive.Protocol.Batch_upload} frame.  The
+          default 1 keeps the legacy one-frame-per-trace path
+          byte-for-byte unperturbed; [> 1] accumulates success-class
+          traces and flushes when full, when a failure joins the batch
+          (failures are immediate), or after [batch_linger]. *)
+  delta_encode : bool;
+      (** Delta-encode batch records against the hive-announced prefix
+          basis (or, without one, against the batch's own first
+          record).  Never worse than full encoding — the smaller of the
+          two encodings is sent per record.  Default false. *)
+  batch_linger : float;
+      (** Max seconds a partially-filled batch waits before flushing. *)
 }
 
 val default_config : config
@@ -62,7 +75,11 @@ type metrics = {
   thinned_uploads : int;
       (** Success traces downgraded to sampled reports under pressure. *)
   deferred_uploads : int;  (** Uploads delayed by jittered backoff. *)
-  dead_letters : int;  (** Uploads the transport abandoned. *)
+  dead_letters : int;
+      (** Traces the transport abandoned (a lost batch counts every
+          record it carried). *)
+  batches_sent : int;  (** {!Softborg_hive.Protocol.Batch_upload} frames sent. *)
+  delta_records : int;  (** Batch records that went out delta-encoded. *)
 }
 
 type t

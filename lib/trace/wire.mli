@@ -23,6 +23,13 @@ type caps = {
   max_lock_events : int;  (** Deadlock wait-for edges per outcome. *)
   max_predicates : int;  (** Sampled-report predicate rows
                              (enforced by {!Softborg_hive.Protocol}). *)
+  max_batch_records : int;  (** Trace records per batched frame
+                                (enforced by {!Softborg_hive.Protocol}). *)
+  max_batch_total_bits : int;
+      (** Sum of declared branch bits across a whole batch — a batch
+          gets the same total bit budget as one frame, so batching
+          cannot smuggle volume past per-frame quarantine accounting
+          (enforced by the hive's batch admission). *)
 }
 
 val default_caps : caps
@@ -38,6 +45,38 @@ val decode : ?caps:caps -> string -> (Trace.t, decode_error) result
     are rejected as [Malformed]. *)
 
 val pp_error : Format.formatter -> decode_error -> unit
+
+(** {2 Batch records}
+
+    A batched upload carries the program digest once (in the
+    {!Softborg_hive.Protocol.Batch_upload} header) and each member
+    trace as a self-tagged {e record} blob: a full body, or a delta
+    body against a shared anchor trace (the hive-announced basis, or
+    the batch's leading full record).  Delta bodies encode steps and
+    decision counts as signed differences and branch bits as the XOR
+    against the anchor — shared path prefixes become one long zero run
+    that the RLE stage collapses. *)
+
+val encode_record : ?basis:Trace.t -> Trace.t -> string
+(** [encode_record ?basis t] is the record blob for [t].  With a basis
+    of the same program, both the full and the delta candidate are
+    built and the smaller ships — a delta record is never larger than
+    the full encoding plus its one tag byte.  Without a basis (or with
+    a basis for another program) the record is always full. *)
+
+val decode_record :
+  ?caps:caps -> ?basis:Trace.t -> program_digest:string -> string -> (Trace.t, decode_error) result
+(** Total inverse of {!encode_record}.  The returned trace has
+    [trace_id = 0]; the hive assigns real ids on its single ingest
+    thread (ids are minted from a domain-unsafe counter).  A delta
+    record without a matching [basis] is [Malformed] — the pod should
+    have fallen back to a full record. *)
+
+val declared_bits : string -> (int, decode_error) result
+(** Cheap header probe: the declared branch-bit count of a record blob,
+    read without expanding anything.  The hive's batch admission sums
+    these against [max_batch_total_bits] before spending any decode
+    work. *)
 
 module Codec := Softborg_util.Codec
 module Outcome := Softborg_exec.Outcome

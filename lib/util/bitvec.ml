@@ -138,6 +138,28 @@ let of_string s =
     s;
   t
 
+let xor a b =
+  (* Result length follows [a]; [b] is zero-extended (or truncated) to
+     match, so [xor (xor a b) b] = [a] for any basis [b] — the property
+     delta wire decoding relies on. *)
+  let r = create () in
+  ensure_capacity r a.len;
+  r.len <- a.len;
+  let a_bytes = (a.len + 7) / 8 in
+  let b_bytes = (b.len + 7) / 8 in
+  for i = 0 to a_bytes - 1 do
+    let av = Char.code (Bytes.unsafe_get a.data i) in
+    let bv = if i < b_bytes then Char.code (Bytes.unsafe_get b.data i) else 0 in
+    Bytes.unsafe_set r.data i (Char.unsafe_chr (av lxor bv))
+  done;
+  (* Zero padding bits that [b]'s tail byte may have leaked past
+     [a.len], and any of [b]'s real bits beyond [a.len] inside the
+     shared final byte. *)
+  for i = a.len to (8 * a_bytes) - 1 do
+    if i < 8 * Bytes.length r.data then unsafe_set r i false
+  done;
+  r
+
 let hash t =
   let fnv_prime = 0x100000001b3 in
   let h = ref 0x3bf29ce484222325 in

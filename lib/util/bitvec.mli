@@ -81,6 +81,12 @@ val of_string : string -> t
 (** Inverse of [to_string].  @raise Invalid_argument on characters
     other than ['0'] and ['1']. *)
 
+val xor : t -> t -> t
+(** [xor a b] is the bitwise XOR, with the result's length equal to
+    [length a]; [b] is zero-extended or truncated as needed.  Since
+    [xor (xor a b) b = a], this is the primitive behind delta wire
+    encoding of branch vectors against a shared basis. *)
+
 val hash : t -> int
 (** FNV-1a hash of length and contents; equal vectors hash equally. *)
 

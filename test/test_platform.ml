@@ -45,6 +45,9 @@ let snap ~time ~sessions ~failures =
     peak_queue_depth = 0;
     thinned_uploads = 0;
     dead_letters = 0;
+    wire_bytes = 0;
+    wire_frames_sent = 0;
+    wire_frames_received = 0;
     gap_memo_hits = 0;
     gap_memo_misses = 0;
     verdict_cache_hits = 0;
