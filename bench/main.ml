@@ -1046,6 +1046,7 @@ let synthetic_trace rng =
     outcome = Outcome.Success;
     steps = n * 3;
     fix_epoch = 0;
+    attribution = None;
   }
 
 (* Run one Bechamel batch and return (name, ns/run) pairs. *)
@@ -2768,6 +2769,235 @@ let fleet_suite ?(smoke = false) () =
     Printf.printf "wrote BENCH_fleet.json\n"
   end
 
+(* --------------------------------------------------------------------- *)
+(* rollout — staged fix rollout vs naive instant-fleet deployment.  A    *)
+(* sabotaged fix (an over-broad immunity set that livelocks benign       *)
+(* schedules) is injected mid-run.  Deployed instantly fleet-wide it     *)
+(* degrades every pod forever; staged through a canary cohort the hive's *)
+(* health test retracts it, and only the cohort was ever exposed.  A     *)
+(* second pair of runs shows the price of staging a GOOD fix: promotion  *)
+(* lands within two analysis ticks of instant deployment.  Emits         *)
+(* BENCH_rollout.json.                                                   *)
+(* --------------------------------------------------------------------- *)
+
+(* The bad-fix arms run a *benign* lock-rich program: two append paths
+   with globally consistent acquisition orders (2<0 and 1<2 — acyclic),
+   so every schedule completes and the fleet's natural failure rate is
+   zero.  That makes the saboteur's damage unmistakable: its over-broad
+   immunity set [0;1] makes the 2→0 thread defer while the 1→2 thread
+   blocks on the lock it holds, livelocking ~70% of schedules into
+   [Hang].  (On a program with a real deadlock the natural failure
+   rate would mask the harm signal — and once the genuine immunity fix
+   is fleet-wide, the merged pattern sets serialize the saboteur's
+   livelock away entirely.) *)
+let audit_ledger =
+  Build.(
+    Infix.(
+      program ~name:"audit-ledger" ~globals:[ "entries" ] ~n_inputs:1 ~n_locks:3
+        [
+          [ assign (gvar "entries") (const 0) ];
+          [
+            lock 2;
+            yield;
+            lock 0;
+            assign (gvar "entries") (glob "entries" +: const 1);
+            unlock 0;
+            unlock 2;
+          ];
+          [
+            lock 1;
+            yield;
+            lock 2;
+            assign (gvar "entries") (glob "entries" +: const 2);
+            unlock 2;
+            unlock 1;
+          ];
+        ]))
+
+let rollout_suite ?(smoke = false) () =
+  let module Fix_lifecycle = Softborg_hive.Fix_lifecycle in
+  heading
+    (if smoke then
+       "rollout-smoke: retraction, cohort determinism, shard/pool identity asserts"
+     else "rollout: staged canary rollout vs naive instant-fleet deployment");
+  let duration = if smoke then 240.0 else 900.0 in
+  let sample_interval = 15.0 in
+  (* 36 pods at a 12.5% canary fraction: every plausible fix id (the
+     saboteur's 1_000_000+k as well as synthesized ids 1..4) lands a
+     non-empty cohort well under the 30% exposure bar — the rendezvous
+     hash is a pure function, so this is checkable up front. *)
+  let n_pods = 36 in
+  let inject_at = if smoke then 60.0 else 120.0 in
+  let staged_config =
+    {
+      Fix_lifecycle.default_config with
+      Fix_lifecycle.canary_mils = 125;
+      min_exposed = 4;
+      min_control = 8;
+      (* Hold unsampled canaries longer than the default: with a small
+         cohort the verdict should come from evidence, not a timeout. *)
+      max_hold_ticks = 6;
+    }
+  in
+  let arm ?(rollout = false) ?(bad_fix = false) ?(shards = 1) ?(pool = 1) program =
+    let c = Scenario.single_program ~seed:9 program in
+    let c = { c with Platform.duration; n_pods; sample_interval } in
+    (* Halved arrival rate and a tighter step ceiling keep the naive
+       arm affordable: a livelocked session burns its whole budget. *)
+    let c =
+      {
+        c with
+        Platform.pod_config =
+          { c.Platform.pod_config with Pod.arrival_rate = 0.5; max_steps = 4_000 };
+        hive_config = { c.Platform.hive_config with Hive.pool_size = pool };
+      }
+    in
+    let c = if rollout then Scenario.with_rollout ~rollout:staged_config c else c in
+    let c = if bad_fix then Scenario.inject_bad_fix ~at:inject_at c else c in
+    if shards > 1 then Scenario.with_shards shards c else c
+  in
+  let first_time pred report =
+    List.find_opt pred report.Platform.snapshots |> Option.map (fun s -> s.Metrics.time)
+  in
+  let rate report = Metrics.failure_rate report.Platform.final in
+  (* Injected fixes mint ids from 1_000_000 up; synthesized ones count
+     from 1 — so the saboteur's fate is identifiable in the ledger. *)
+  let injected_retracted report =
+    List.concat_map
+      (fun k -> List.filter (fun id -> id >= 1_000_000) (Knowledge.retracted_ids k))
+      report.Platform.knowledge
+  in
+  (* ---- the saboteur over the benign lock-rich audit-ledger ---- *)
+  let baseline = Platform.run (arm audit_ledger) in
+  let naive = Platform.run (arm ~bad_fix:true audit_ledger) in
+  let staged = Platform.run (arm ~rollout:true ~bad_fix:true audit_ledger) in
+  let bad_id =
+    match injected_retracted staged with
+    | [ id ] -> id
+    | ids ->
+      failwith (Printf.sprintf "rollout: expected one retracted saboteur, got %d" (List.length ids))
+  in
+  let cohort_size =
+    List.length
+      (List.filter
+         (fun i ->
+           Fix_lifecycle.in_cohort ~cohort:i ~fix_id:bad_id
+             ~mils:staged_config.Fix_lifecycle.canary_mils)
+         (List.init n_pods Fun.id))
+  in
+  let cohort_fraction = float_of_int cohort_size /. float_of_int n_pods in
+  let ttr =
+    match first_time (fun s -> s.Metrics.fix_retractions > 0) staged with
+    | Some t -> t -. inject_at
+    | None -> failwith "rollout: staged run never retracted the saboteur"
+  in
+  let analysis_interval =
+    (arm audit_ledger).Platform.hive_config.Hive.analysis_interval
+  in
+  Printf.printf "baseline (no saboteur):      failure rate %.4f\n" (rate baseline);
+  Printf.printf "naive instant-fleet:         failure rate %.4f, retractions %d, exposed all %d pods\n"
+    (rate naive) naive.Platform.final.Metrics.fix_retractions n_pods;
+  Printf.printf
+    "staged canary (%.1f%% cohort): failure rate %.4f, retracted fix %d in %.0fs, %d/%d pods exposed\n"
+    (float_of_int staged_config.Fix_lifecycle.canary_mils /. 10.0)
+    (rate staged) bad_id ttr cohort_size n_pods;
+  assert (naive.Platform.final.Metrics.fix_retractions = 0);
+  assert (staged.Platform.final.Metrics.fix_retractions >= 1);
+  (* The acceptance bar: retraction is automatic and fast, exposure
+     stays under 30% of the fleet, and the fleet ends the run as
+     healthy as if the saboteur had never existed (within 10%). *)
+  assert (ttr <= (4.0 *. analysis_interval) +. sample_interval);
+  assert (cohort_fraction < 0.3);
+  assert (staged.Platform.final.Metrics.pods_exposed <= cohort_size + 1);
+  (* A canary pod hangs for the sampling window, so short smoke runs
+     get a little absolute headroom; the full run must meet the bar. *)
+  let eps = if smoke then 0.02 else 0.005 in
+  assert (rate staged <= (rate baseline *. 1.1) +. eps);
+  assert (rate naive > rate staged);
+  (* ---- the cost of staging a good fix: parser's synthesized guard ---- *)
+  let instant = Platform.run (arm Corpus.parser) in
+  let staged_good = Platform.run (arm ~rollout:true Corpus.parser) in
+  let ttff_instant =
+    match first_time (fun s -> s.Metrics.fixes_deployed > 0) instant with
+    | Some t -> t
+    | None -> failwith "rollout: instant run never deployed the parser fix"
+  in
+  let ttff_staged =
+    match first_time (fun s -> s.Metrics.fix_promotions > 0) staged_good with
+    | Some t -> t
+    | None -> failwith "rollout: staged run never promoted the parser fix"
+  in
+  Printf.printf
+    "good fix fleet-wide: instant %.0fs, staged %.0fs (promotion lag %.0fs, tick %.0fs)\n"
+    ttff_instant ttff_staged (ttff_staged -. ttff_instant) analysis_interval;
+  assert (ttff_staged -. ttff_instant <= (2.0 *. analysis_interval) +. sample_interval);
+  assert (staged_good.Platform.final.Metrics.fix_retractions = 0);
+  (* ---- determinism: the retraction outcome is a pure function of the
+     evidence — same verdict, same ledger, same cohort for any shard
+     count, and byte-identical reports for any analysis pool size. ---- *)
+  let shard_counts = [ 1; 2; 4 ] in
+  let shard_runs =
+    List.map
+      (fun shards ->
+        (shards, Platform.run (arm ~rollout:true ~bad_fix:true ~shards audit_ledger)))
+      shard_counts
+  in
+  List.iter
+    (fun (shards, r) ->
+      Printf.printf "shards=%d: retracted=%s exposed=%d\n" shards
+        (String.concat "," (List.map string_of_int (injected_retracted r)))
+        r.Platform.final.Metrics.pods_exposed;
+      (* Every shard republishes the coordinator's ledger, so dedupe
+         before comparing against the single-hive verdict. *)
+      assert (List.sort_uniq Int.compare (injected_retracted r) = [ bad_id ]);
+      assert (r.Platform.final.Metrics.pods_exposed <= cohort_size + 1))
+    shard_runs;
+  let pool_sizes = [ 1; 2; 4 ] in
+  let pool_reports =
+    List.map
+      (fun pool ->
+        Format.asprintf "%a" Platform.pp_report
+          (Platform.run (arm ~rollout:true ~bad_fix:true ~pool audit_ledger)))
+      pool_sizes
+  in
+  (match pool_reports with
+  | first :: rest -> List.iter (fun r -> assert (r = first)) rest
+  | [] -> ());
+  Printf.printf "pool sizes %s: reports byte-identical\n"
+    (String.concat "/" (List.map string_of_int pool_sizes));
+  if smoke then Printf.printf "rollout-smoke: all asserts passed\n"
+  else begin
+    let out = open_out "BENCH_rollout.json" in
+    Printf.fprintf out "{\n";
+    Printf.fprintf out "  \"config\": { \"n_pods\": %d, \"duration_s\": %.0f, \"inject_at_s\": %.0f, \"canary_mils\": %d },\n"
+      n_pods duration inject_at staged_config.Fix_lifecycle.canary_mils;
+    Printf.fprintf out "  \"bad_fix\": {\n";
+    Printf.fprintf out "    \"baseline_failure_rate\": %.5f,\n" (rate baseline);
+    Printf.fprintf out
+      "    \"naive\": { \"final_failure_rate\": %.5f, \"retracted\": false, \"peak_exposed_fraction\": 1.0 },\n"
+      (rate naive);
+    Printf.fprintf out
+      "    \"staged\": { \"final_failure_rate\": %.5f, \"retracted\": true, \
+       \"time_to_retraction_s\": %.0f, \"peak_exposed_fraction\": %.3f, \
+       \"exposed_pods\": %d }\n"
+      (rate staged) ttr cohort_fraction staged.Platform.final.Metrics.pods_exposed;
+    Printf.fprintf out "  },\n";
+    Printf.fprintf out
+      "  \"good_fix\": { \"ttff_instant_s\": %.0f, \"ttff_staged_s\": %.0f, \
+       \"promotion_lag_s\": %.0f, \"analysis_interval_s\": %.0f },\n"
+      ttff_instant ttff_staged (ttff_staged -. ttff_instant) analysis_interval;
+    Printf.fprintf out "  \"determinism\": {\n";
+    Printf.fprintf out "    \"shard_counts\": [%s],\n"
+      (String.concat ", " (List.map (fun (s, _) -> string_of_int s) shard_runs));
+    Printf.fprintf out "    \"retracted_ids_identical\": true,\n";
+    Printf.fprintf out "    \"pool_sizes\": [%s],\n"
+      (String.concat ", " (List.map string_of_int pool_sizes));
+    Printf.fprintf out "    \"pool_reports_byte_identical\": true\n";
+    Printf.fprintf out "  }\n}\n";
+    close_out out;
+    Printf.printf "wrote BENCH_rollout.json\n"
+  end
+
 let experiments =
   [
     ("e1", "reliability grows with use (Fig 1)", e1);
@@ -2810,6 +3040,10 @@ let experiments =
       fun () -> fleet_suite ());
     ("fleet-smoke", "wire-reduction + knowledge byte-identity asserts for @fleet-smoke",
       fun () -> fleet_suite ~smoke:true ());
+    ("rollout", "staged canary rollout vs naive instant-fleet (writes BENCH_rollout.json)",
+      fun () -> rollout_suite ());
+    ("rollout-smoke", "bad-fix retraction + cohort/shard/pool determinism asserts for @rollout-smoke",
+      fun () -> rollout_suite ~smoke:true ());
   ]
 
 let () =

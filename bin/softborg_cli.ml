@@ -33,6 +33,7 @@ module Consistency = Softborg_symexec.Consistency
 module Immunity = Softborg_conc.Immunity
 module Schedule_explore = Softborg_conc.Schedule_explore
 module Hive = Softborg_hive.Hive
+module Fix_lifecycle = Softborg_hive.Fix_lifecycle
 module Knowledge = Softborg_hive.Knowledge
 module Fixgen = Softborg_hive.Fixgen
 module Prover = Softborg_hive.Prover
@@ -207,8 +208,26 @@ let simulate_cmd =
       & info [ "no-delta" ]
           ~doc:"With $(b,--batch), send full records instead of delta-encoded ones.")
   in
+  let rollout_conv = Arg.enum [ ("off", false); ("canary", true) ] in
+  let rollout_arg =
+    Arg.(
+      value
+      & opt rollout_conv false
+      & info [ "rollout" ] ~docv:"MODE"
+          ~doc:
+            "Fix rollout policy: $(b,off) (the default — fixes deploy fleet-wide \
+             instantly, byte-identical to builds without staged rollout) or $(b,canary) \
+             (every new fix is staged through a canary cohort and promoted or retracted \
+             by the hive's health test).")
+  in
+  let canary_fraction_arg =
+    Arg.(
+      value & opt float 0.125
+      & info [ "canary-fraction" ] ~docv:"F"
+          ~doc:"With $(b,--rollout canary), the fleet fraction in each fix's cohort.")
+  in
   let run verbose program mode duration pods seed chaos chaos_seed overload shards batch
-      no_delta engine =
+      no_delta rollout canary_fraction engine =
     setup_logs verbose;
     let config = Scenario.single_program ~mode ~seed program in
     let config =
@@ -229,6 +248,14 @@ let simulate_cmd =
       if batch > 1 then Scenario.with_fleet_encoding ~batch ~delta:(not no_delta) config
       else config
     in
+    let config =
+      if rollout then
+        let mils = max 1 (min 1000 (int_of_float ((canary_fraction *. 1000.0) +. 0.5))) in
+        Scenario.with_rollout
+          ~rollout:{ Fix_lifecycle.default_config with Fix_lifecycle.canary_mils = mils }
+          config
+      else config
+    in
     let report = Platform.run config in
     Format.printf "%a" Platform.pp_report report;
     let f = report.Platform.final in
@@ -238,6 +265,10 @@ let simulate_cmd =
       Format.printf "overload: shed=%d quarantined=%d muted=%d peak-queue=%d thinned=%d@."
         f.Metrics.shed_uploads f.Metrics.quarantined_frames f.Metrics.pods_muted
         f.Metrics.peak_queue_depth f.Metrics.thinned_uploads;
+    if rollout then
+      Format.printf "rollout: canary=%d promoted=%d retracted=%d quarantined=%d exposed=%d@."
+        f.Metrics.canary_fixes f.Metrics.fix_promotions f.Metrics.fix_retractions
+        f.Metrics.quarantined_fix_traces f.Metrics.pods_exposed;
     match config.Platform.chaos with
     | None -> ()
     | Some plan ->
@@ -249,7 +280,7 @@ let simulate_cmd =
     Term.(
       const run $ verbose_flag $ program_arg $ mode_arg $ duration_arg $ pods_arg $ seed_arg
       $ chaos_flag $ chaos_seed_arg $ overload_flag $ shards_arg $ batch_arg $ no_delta_flag
-      $ engine_arg)
+      $ rollout_arg $ canary_fraction_arg $ engine_arg)
 
 (* ---- explore -------------------------------------------------------------- *)
 

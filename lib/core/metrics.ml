@@ -38,6 +38,13 @@ type snapshot = {
   gap_memo_misses : int;
   verdict_cache_hits : int;
   verdict_cache_misses : int;
+  (* Staged-rollout counters; all zero (and silent in [pp_snapshot])
+     when the run has no rollout config. *)
+  canary_fixes : int;
+  fix_promotions : int;
+  fix_retractions : int;
+  quarantined_fix_traces : int;
+  pods_exposed : int;
 }
 
 let failure_rate s =
@@ -78,7 +85,7 @@ let windows snapshots =
    layer (the byte-identity invariant tests rely on). *)
 let pp_snapshot fmt s =
   Format.fprintf fmt
-    "t=%-7.0f sessions=%-6d failures=%-5d averted=%-5d fixes=%-3d proofs=%-2d paths=%-5d%s%s%s%s%s"
+    "t=%-7.0f sessions=%-6d failures=%-5d averted=%-5d fixes=%-3d proofs=%-2d paths=%-5d%s%s%s%s%s%s%s%s"
     s.time s.sessions s.user_failures s.averted_crashes s.fixes_deployed s.proofs_valid
     s.tree_paths
     (if s.restores > 0 then Printf.sprintf " restores=%d" s.restores else "")
@@ -87,6 +94,9 @@ let pp_snapshot fmt s =
      else "")
     (if s.pods_muted > 0 then Printf.sprintf " muted=%d" s.pods_muted else "")
     (if s.thinned_uploads > 0 then Printf.sprintf " thinned=%d" s.thinned_uploads else "")
+    (if s.canary_fixes > 0 then Printf.sprintf " canary=%d" s.canary_fixes else "")
+    (if s.fix_retractions > 0 then Printf.sprintf " retracted=%d" s.fix_retractions else "")
+    (if s.pods_exposed > 0 then Printf.sprintf " exposed=%d" s.pods_exposed else "")
 
 let pp_window fmt w =
   Format.fprintf fmt "[%6.0f,%6.0f) sessions=%-5d failures=%-4d rate=%.4f" w.t_start w.t_end

@@ -43,6 +43,16 @@ type snapshot = {
           are covered by pool-size byte-identity tests.  Federated
           runs print them per shard in the report's federation
           section. *)
+  canary_fixes : int;  (** Fixes currently held in canary stage. *)
+  fix_promotions : int;  (** Canary fixes promoted fleet-wide so far. *)
+  fix_retractions : int;  (** Canary fixes condemned and retracted. *)
+  quarantined_fix_traces : int;
+      (** Uploads quarantined because their attribution named a
+          retracted fix. *)
+  pods_exposed : int;
+      (** Pods that ever ran a session with a canary fix active.  All
+          five rollout counters are zero — and silent in
+          {!pp_snapshot} — when the run has no rollout config. *)
 }
 
 val failure_rate : snapshot -> float

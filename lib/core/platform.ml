@@ -7,6 +7,7 @@ module Transport = Softborg_net.Transport
 module Fault_plan = Softborg_net.Fault_plan
 module Hive = Softborg_hive.Hive
 module Knowledge = Softborg_hive.Knowledge
+module Fixgen = Softborg_hive.Fixgen
 module Prover = Softborg_hive.Prover
 module Federation = Softborg_hive.Federation
 module Shard_map = Softborg_hive.Shard_map
@@ -124,6 +125,11 @@ let snapshot ~time ~pods ~endpoints ~hive =
     verdict_cache_misses =
       sum_knowledge (fun k ->
           Softborg_solver.Verdict_cache.misses (Knowledge.verdict_cache k));
+    canary_fixes = sum_knowledge (fun k -> List.length (Knowledge.canary_ids k));
+    fix_promotions = hive_stats.Hive.fix_promotions;
+    fix_retractions = hive_stats.Hive.fix_retractions;
+    quarantined_fix_traces = hive_stats.Hive.quarantined_fix_traces;
+    pods_exposed = sum (fun m -> if m.Pod.canary_exposed then 1 else 0);
   }
 
 (* Interpret the fault plan against a live fleet.  All chaos-side
@@ -132,7 +138,7 @@ let snapshot ~time ~pods ~endpoints ~hive =
    main fleet streams — a plan containing only Checkpoint events leaves
    a run byte-identical to its fault-free twin. *)
 let install_chaos ~sim ~config ~hive ~chaos_rng ~pods ~pod_endpoints ~hive_endpoints
-    ~last_checkpoint plan =
+    ~last_checkpoint ~next_cohort plan =
   let pod_upload = upload_mode config in
   let all_links () =
     List.filter_map Transport.out_link (!pod_endpoints @ !hive_endpoints)
@@ -164,8 +170,10 @@ let install_chaos ~sim ~config ~hive ~chaos_rng ~pods ~pod_endpoints ~hive_endpo
             in
             Hive.attach_pod hive hive_end;
             let pod_config = { config.pod_config with Pod.upload = pod_upload } in
+            let cohort = !next_cohort in
+            next_cohort := cohort + 1;
             let pod =
-              Pod.create ~config:pod_config ~sim ~rng:(Rng.split chaos_rng) ~program
+              Pod.create ~config:pod_config ~cohort ~sim ~rng:(Rng.split chaos_rng) ~program
                 ~endpoint:pod_end ()
             in
             Pod.start pod;
@@ -178,7 +186,18 @@ let install_chaos ~sim ~config ~hive ~chaos_rng ~pods ~pod_endpoints ~hive_endpo
         Sim.schedule_at sim ~time:until_ (fun () ->
             List.iter
               (fun l -> Link.set_config l config.transport_config.Transport.link)
-              (all_links ())))
+              (all_links ()))
+      | Fault_plan.Bad_fix { at; program; variant } ->
+        (* The saboteur: a plausible-but-wrong fix enters the hive as if
+           synthesis (or a human) produced it.  With a rollout config it
+           lands in a canary cohort and must be retracted; without one
+           it deploys fleet-wide — exactly the hazard staging removes. *)
+        Sim.schedule_at sim ~time:at (fun () ->
+            let p = List.nth config.programs (program mod List.length config.programs) in
+            let kind =
+              Fixgen.sabotage_kind (Fixgen.sabotage_of_variant variant) ~program:p
+            in
+            Hive.inject_fix hive ~digest:(Ir.digest p) kind))
     (Fault_plan.events plan)
 
 let run_single config =
@@ -196,7 +215,8 @@ let run_single config =
         Hive.attach_pod hive hive_end;
         let pod_config = { config.pod_config with Pod.upload = pod_upload } in
         let pod =
-          Pod.create ~config:pod_config ~sim ~rng:(Rng.split rng) ~program ~endpoint:pod_end ()
+          Pod.create ~config:pod_config ~cohort:i ~sim ~rng:(Rng.split rng) ~program
+            ~endpoint:pod_end ()
         in
         (pod, pod_end, hive_end))
   in
@@ -222,7 +242,7 @@ let run_single config =
       arm config.checkpoint_interval
     end;
     install_chaos ~sim ~config ~hive ~chaos_rng ~pods ~pod_endpoints ~hive_endpoints
-      ~last_checkpoint plan);
+      ~last_checkpoint ~next_cohort:(ref config.n_pods) plan);
   let snapshots =
     ref [ snapshot ~time:0.0 ~pods:!pods ~endpoints:!pod_endpoints ~hive ]
   in
@@ -307,10 +327,16 @@ let snapshot_fed ~time ~pods ~endpoints ~fed =
     gap_memo_misses = shard_sum (fun ss -> ss.Federation.gap_memo_misses);
     verdict_cache_hits = shard_sum (fun ss -> ss.Federation.verdict_cache_hits);
     verdict_cache_misses = shard_sum (fun ss -> ss.Federation.verdict_cache_misses);
+    (* Rollout verdicts are decided only at the merge coordinator. *)
+    canary_fixes = sum_knowledge (fun k -> List.length (Knowledge.canary_ids k));
+    fix_promotions = merged_stats.Hive.fix_promotions;
+    fix_retractions = merged_stats.Hive.fix_retractions;
+    quarantined_fix_traces = merged_stats.Hive.quarantined_fix_traces;
+    pods_exposed = sum (fun m -> if m.Pod.canary_exposed then 1 else 0);
   }
 
 let install_chaos_fed ~sim ~config ~fed ~chaos_rng ~pods ~pod_endpoints ~last_checkpoints
-    plan =
+    ~next_cohort plan =
   let pod_upload = upload_mode config in
   let n = Federation.n_shards fed in
   let take_checkpoints () =
@@ -349,8 +375,10 @@ let install_chaos_fed ~sim ~config ~fed ~chaos_rng ~pods ~pod_endpoints ~last_ch
             in
             Federation.attach_pod fed hive_end;
             let pod_config = { config.pod_config with Pod.upload = pod_upload } in
+            let cohort = !next_cohort in
+            next_cohort := cohort + 1;
             let pod =
-              Pod.create ~config:pod_config ~sim ~rng:(Rng.split chaos_rng) ~program
+              Pod.create ~config:pod_config ~cohort ~sim ~rng:(Rng.split chaos_rng) ~program
                 ~endpoint:pod_end ()
             in
             Pod.start pod;
@@ -362,7 +390,17 @@ let install_chaos_fed ~sim ~config ~fed ~chaos_rng ~pods ~pod_endpoints ~last_ch
         Sim.schedule_at sim ~time:until_ (fun () ->
             List.iter
               (fun l -> Link.set_config l config.transport_config.Transport.link)
-              (all_links ())))
+              (all_links ()))
+      | Fault_plan.Bad_fix { at; program; variant } ->
+        (* Injected at the merge coordinator only: retraction is a
+           coordinator decision, and shards/pods learn the fix — and
+           its eventual fate — in superstep order. *)
+        Sim.schedule_at sim ~time:at (fun () ->
+            let p = List.nth config.programs (program mod List.length config.programs) in
+            let kind =
+              Fixgen.sabotage_kind (Fixgen.sabotage_of_variant variant) ~program:p
+            in
+            Hive.inject_fix (Federation.merged fed) ~digest:(Ir.digest p) kind))
     (Fault_plan.events plan)
 
 let run_federated config =
@@ -398,7 +436,8 @@ let run_federated config =
         Federation.attach_pod fed hive_end;
         let pod_config = { config.pod_config with Pod.upload = pod_upload } in
         let pod =
-          Pod.create ~config:pod_config ~sim ~rng:(Rng.split rng) ~program ~endpoint:pod_end ()
+          Pod.create ~config:pod_config ~cohort:i ~sim ~rng:(Rng.split rng) ~program
+            ~endpoint:pod_end ()
         in
         (pod, pod_end))
   in
@@ -422,7 +461,7 @@ let run_federated config =
       arm config.checkpoint_interval
     end;
     install_chaos_fed ~sim ~config ~fed ~chaos_rng ~pods ~pod_endpoints ~last_checkpoints
-      plan);
+      ~next_cohort:(ref config.n_pods) plan);
   let snapshots =
     ref [ snapshot_fed ~time:0.0 ~pods:!pods ~endpoints:!pod_endpoints ~fed ]
   in
@@ -485,6 +524,18 @@ let pp_report fmt report =
       "overload: shed=%d+%d quarantined=%d muted=%d muted-drops=%d pressure-updates=%d peak-queue=%d@."
       h.Hive.shed_failure h.Hive.shed_success h.Hive.quarantined_frames h.Hive.pods_muted
       h.Hive.muted_drops h.Hive.pressure_updates_sent h.Hive.peak_queue_depth;
+  (* Rollout accounting prints only when staging actually happened, so
+     rollout-off runs' reports stay byte-identical to older builds. *)
+  (let f = report.final in
+   if
+     h.Hive.fix_promotions + h.Hive.fix_retractions + h.Hive.retracts_sent
+     + h.Hive.quarantined_fix_traces + f.Metrics.canary_fixes + f.Metrics.pods_exposed
+     > 0
+   then
+     Format.fprintf fmt
+       "rollout: canary=%d promoted=%d retracted=%d retract-frames=%d quarantined-traces=%d exposed-pods=%d@."
+       f.Metrics.canary_fixes h.Hive.fix_promotions h.Hive.fix_retractions
+       h.Hive.retracts_sent h.Hive.quarantined_fix_traces f.Metrics.pods_exposed);
   (* The federation section exists only for sharded runs, so printing
      per-shard cache efficiency here never perturbs the single-hive
      byte-identity invariants. *)

@@ -5,6 +5,7 @@ module Link = Softborg_net.Link
 module Transport = Softborg_net.Transport
 module Fault_plan = Softborg_net.Fault_plan
 module Hive = Softborg_hive.Hive
+module Fix_lifecycle = Softborg_hive.Fix_lifecycle
 module Pod = Softborg_pod.Pod
 module Workload = Softborg_pod.Workload
 module Corpus_bench = Softborg_corpus.Corpus_bench
@@ -78,6 +79,31 @@ let with_fleet_encoding ?(batch = 16) ?(delta = true) ?(linger = 5.0) config =
         };
       hive_config = { config.Platform.hive_config with Hive.announce_basis = delta };
     }
+
+(* Staged fix rollout: the hive holds every new fix in a canary cohort
+   and judges it with the sequential health test before fleet-wide
+   promotion (or retraction).  Pods attribute uploads with their active
+   fix ids so the hive can split canary vs control evidence. *)
+let with_rollout ?(rollout = Fix_lifecycle.default_config) config =
+  {
+    config with
+    Platform.hive_config = { config.Platform.hive_config with Hive.rollout = Some rollout };
+    pod_config = { config.Platform.pod_config with Pod.attribute_fixes = true };
+  }
+
+(* Script a saboteur: at [at], a plausible-but-wrong fix for
+   [program] is injected straight into the hive, exactly as a bad
+   synthesis (or bad human patch) would land.  Appended to any chaos
+   plan already attached, like [overload_spike]. *)
+let inject_bad_fix ?(at = 120.0) ?(program = 0) ?(variant = 0) config =
+  let existing =
+    match config.Platform.chaos with Some plan -> Fault_plan.events plan | None -> []
+  in
+  {
+    config with
+    Platform.chaos =
+      Some (Fault_plan.create (existing @ [ Fault_plan.Bad_fix { at; program; variant } ]));
+  }
 
 let with_overload ?overload config =
   let overload = Option.value ~default:Hive.default_overload_config overload in

@@ -63,6 +63,19 @@ val with_fleet_encoding :
     [linger] (default 5s) bounds how long a partial batch waits.
     [~batch:1 ~delta:false] is the identity. *)
 
+val with_rollout : ?rollout:Softborg_hive.Fix_lifecycle.config -> Platform.config -> Platform.config
+(** Stage every new fix through a canary cohort with health-verdict
+    promotion/retraction (defaults to
+    {!Softborg_hive.Fix_lifecycle.default_config}), and turn on pod
+    fix attribution so uploads carry their active fix ids. *)
+
+val inject_bad_fix : ?at:float -> ?program:int -> ?variant:int -> Platform.config -> Platform.config
+(** Append a {!Softborg_net.Fault_plan.Bad_fix} saboteur event to the
+    scenario's chaos plan: at [at] (default 120s) a plausible-but-wrong
+    fix for [program] (index into the scenario's program list) is
+    injected into the hive.  [variant] selects the sabotage shape via
+    {!Softborg_hive.Fixgen.sabotage_of_variant}. *)
+
 val with_overload : ?overload:Hive.overload_config -> Platform.config -> Platform.config
 (** Enable hive overload protection (admission control, shedding,
     backpressure, quarantine); defaults to

@@ -665,3 +665,28 @@ let corpus ?(seeds = default_seeds) () =
   List.concat_map (fun f -> List.map f.generate seeds) families
 
 let find_family name = List.find_opt (fun f -> f.family_name = name) families
+
+(* ---- Wrong-fix ingredients ------------------------------------------ *)
+
+(* Branch sites on the certified failing path that are NOT ground-truth
+   fix locations.  A guard parked at one of these is exactly the
+   BugSwarm-style misattributed fix: it correlates with the failure
+   (the site is on the trigger path) but repairs nothing. *)
+let decoy_sites inst =
+  List.sort_uniq compare
+    (List.filter_map
+       (fun (site, _) -> if List.mem site inst.bug_sites then None else Some site)
+       inst.trigger_path)
+
+(* An immunity set that serializes benign schedules without matching
+   the planted deadlock: every lock of the buggy build except the
+   highest (the [Fixgen] spin-immunity shape, derived from the
+   instance instead of invented).  [None] when the instance has no
+   locks to over-serialize, or when the over-broad set happens to
+   coincide with the ground truth. *)
+let overbroad_lock_set inst =
+  let n = inst.buggy.Ir.n_locks in
+  if n < 2 then None
+  else
+    let locks = List.init (n - 1) Fun.id in
+    if locks = inst.bug_locks then None else Some locks

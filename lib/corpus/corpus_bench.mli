@@ -112,3 +112,15 @@ val verify : instance -> (unit, string) result
     threaded instances) and additionally check that the stored
     [trigger_path] matches a fresh derivation.  [Ok ()] for every
     instance this module constructs. *)
+
+val decoy_sites : instance -> Ir.site list
+(** Branch sites on the certified failing path ([trigger_path]) that
+    are {e not} ground-truth fix locations ([bug_sites]) — the places a
+    misattributed guard would plausibly be parked.  Sorted and
+    deduplicated; empty when every trigger-path site is a bug site. *)
+
+val overbroad_lock_set : instance -> int list option
+(** An immunity lock set that would serialize benign schedules without
+    matching the planted deadlock: all of [buggy]'s locks but the
+    highest.  [None] for instances with fewer than two locks, or when
+    the over-broad set coincides with [bug_locks]. *)

@@ -4,8 +4,11 @@ let magic = "SBCP"
 
 (* v2: Exec_tree node ids and Knowledge.replay_cache_hits left the wire
    — knowledge bytes became a pure function of the ingested evidence
-   (the federation merge-equality invariant). *)
-let format_version = 2
+   (the federation merge-equality invariant).
+   v3: staged-rollout state appended to each knowledge base (retracted
+   fix ids + the fix-lifecycle ledger), so a restored hive cannot
+   resurrect a retracted fix. *)
+let format_version = 3
 
 let encode_knowledge knowledge =
   let w = Codec.Writer.create () in

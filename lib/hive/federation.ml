@@ -73,6 +73,7 @@ type stats = {
   deltas_committed : int;
   payloads_merged : int;
   fix_updates_sent : int;
+  retracts_sent : int;
   per_shard : shard_stats list;
 }
 
@@ -92,6 +93,10 @@ type t = {
   frontier : (string * int * int) list array;
   mutable attachments : attachment list;
   published_epoch : (string, int) Hashtbl.t;
+  (* Retracted ids already pushed per digest: a retraction is decided
+     only here at the coordinator, and the delta against this table
+     picks Fix_retract over Fix_update for the downstream frame. *)
+  published_retracted : (string, int list) Hashtbl.t;
   (* (shard, digest) -> knowledge state at the last compute phase, so
      unchanged shards skip re-running symbolic gap closing. *)
   compute_state : (int * string, int * int) Hashtbl.t;
@@ -101,6 +106,7 @@ type t = {
   mutable deltas_committed : int;
   mutable payloads_merged : int;
   mutable fix_updates_sent : int;
+  mutable retracts_sent : int;
 }
 
 (* ---- Coordinator receive path ----------------------------------------- *)
@@ -154,6 +160,7 @@ let create ~config ~sim ~rng () =
       frontier = Array.make n [];
       attachments = [];
       published_epoch = Hashtbl.create 4;
+      published_retracted = Hashtbl.create 4;
       compute_state = Hashtbl.create 8;
       pool = (if config.pool_size > 1 then Some (Pool.create ~size:config.pool_size) else None);
       supersteps = 0;
@@ -161,6 +168,7 @@ let create ~config ~sim ~rng () =
       deltas_committed = 0;
       payloads_merged = 0;
       fix_updates_sent = 0;
+      retracts_sent = 0;
     }
   in
   Array.iter (fun endpoint -> Transport.on_receive endpoint (stash t)) t.downlinks;
@@ -180,8 +188,8 @@ let register_program t program =
 let relay_down pod_link payload =
   match Protocol.decode payload with
   | Ok
-      ( Protocol.Fix_update _ | Protocol.Guidance_update _ | Protocol.Pressure_update _
-      | Protocol.Basis_update _ ) ->
+      ( Protocol.Fix_update _ | Protocol.Fix_retract _ | Protocol.Guidance_update _
+      | Protocol.Pressure_update _ | Protocol.Basis_update _ ) ->
     Transport.send pod_link payload
   | Ok _ | Error _ -> ()
 
@@ -322,10 +330,12 @@ let commit t =
   t.payloads_merged <- t.payloads_merged + !merged_now;
   !merged_now
 
-(* Publish fixes the merged analysis deployed since the last superstep:
-   shards adopt the full set (so their replay hooks for any epoch match
-   the coordinator's), pods get the deployable subset exactly as a
-   standalone hive would send it. *)
+(* Publish fixes the merged analysis deployed — or retracted — since
+   the last superstep: shards adopt the full set plus the retracted ids
+   (so their replay hooks and ingest quarantine for any epoch match the
+   coordinator's), pods get the deployable subset exactly as a
+   standalone hive would send it.  Retraction is decided only here at
+   the coordinator; shards and pods learn of it in superstep order. *)
 let publish t =
   Hive.knowledge_list t.merged
   |> List.sort (fun a b -> String.compare (Knowledge.digest a) (Knowledge.digest b))
@@ -336,18 +346,43 @@ let publish t =
          if epoch > prev then begin
            Hashtbl.replace t.published_epoch digest epoch;
            let fixes = Knowledge.fixes k in
+           let retracted = Knowledge.retracted_ids k in
+           let prev_retracted =
+             Option.value ~default:[] (Hashtbl.find_opt t.published_retracted digest)
+           in
+           Hashtbl.replace t.published_retracted digest retracted;
            Array.iter
-             (fun s -> Hive.adopt_fixes s.s_hive ~digest ~fixes ~epoch)
+             (fun s -> Hive.adopt_fixes s.s_hive ~digest ~fixes ~epoch ~retracted)
              t.shards;
+           let deployable = List.filter Fixgen.is_deployable (Knowledge.live_fixes k) in
+           let canary = Knowledge.canary_ids k in
+           let canary_mils = Knowledge.canary_mils k in
            let payload =
-             Protocol.encode
-               (Protocol.Fix_update
-                  {
-                    program_digest = digest;
-                    epoch;
-                    fixes = List.filter Fixgen.is_deployable fixes;
-                    pressure = 0;
-                  })
+             if retracted <> prev_retracted then begin
+               t.retracts_sent <- t.retracts_sent + 1;
+               Protocol.encode
+                 (Protocol.Fix_retract
+                    {
+                      program_digest = digest;
+                      epoch;
+                      retracted;
+                      fixes = deployable;
+                      canary;
+                      canary_mils;
+                      pressure = 0;
+                    })
+             end
+             else
+               Protocol.encode
+                 (Protocol.Fix_update
+                    {
+                      program_digest = digest;
+                      epoch;
+                      fixes = deployable;
+                      canary;
+                      canary_mils;
+                      pressure = 0;
+                    })
            in
            List.iter (fun a -> Transport.send a.pod_link payload) t.attachments;
            t.fix_updates_sent <- t.fix_updates_sent + 1
@@ -389,6 +424,7 @@ let stats t =
     deltas_committed = t.deltas_committed;
     payloads_merged = t.payloads_merged;
     fix_updates_sent = t.fix_updates_sent;
+    retracts_sent = t.retracts_sent;
     per_shard =
       Array.to_list t.shards
       |> List.map (fun s ->
@@ -462,12 +498,14 @@ let restore_shard t i data =
              and a reused seq would be dropped as a duplicate. *)
           s.s_next_seq <- max s.s_next_seq next_seq;
           s.s_pending <- List.rev pending;
-          (* Catch the restored knowledge up with fixes published after
-             the checkpoint was taken (no-op when none were). *)
+          (* Catch the restored knowledge up with fixes published (and
+             retracted) after the checkpoint was taken (no-op when none
+             were — adoption is epoch-monotonic). *)
           List.iter
             (fun k ->
               Hive.adopt_fixes s.s_hive ~digest:(Knowledge.digest k)
-                ~fixes:(Knowledge.fixes k) ~epoch:(Knowledge.epoch k))
+                ~fixes:(Knowledge.fixes k) ~epoch:(Knowledge.epoch k)
+                ~retracted:(Knowledge.retracted_ids k))
             (Hive.knowledge_list t.merged);
           Ok n
   with

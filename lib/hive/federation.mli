@@ -73,6 +73,7 @@ type stats = {
   deltas_committed : int;
   payloads_merged : int;
   fix_updates_sent : int;  (** Fix broadcasts from the coordinator. *)
+  retracts_sent : int;  (** {!Protocol.Fix_retract} broadcasts (coordinator only). *)
   per_shard : shard_stats list;
 }
 

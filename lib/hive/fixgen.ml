@@ -1,5 +1,6 @@
 module Ir = Softborg_prog.Ir
 module Ir_codec = Softborg_prog.Ir_codec
+module Corpus_bench = Softborg_corpus.Corpus_bench
 module Outcome = Softborg_exec.Outcome
 module Path_cond = Softborg_solver.Path_cond
 module Codec = Softborg_util.Codec
@@ -186,6 +187,89 @@ let runtime_hooks ?epoch fixes =
           `Suppress
         else `Propagate);
   }
+
+let runtime_hooks_for_ids ~ids fixes =
+  runtime_hooks (List.filter (fun fix -> List.mem fix.id ids) fixes)
+
+(* ---- Saboteur fixes (fault injection) -------------------------------- *)
+
+type sabotage =
+  | Spin_immunity
+  | Misplaced_guard
+  | Misplaced_suppression
+
+let sabotage_of_variant = function
+  | 0 -> Spin_immunity
+  | 1 -> Misplaced_guard
+  | _ -> Misplaced_suppression
+
+let sabotage_name = function
+  | Spin_immunity -> "spin-immunity"
+  | Misplaced_guard -> "misplaced-guard"
+  | Misplaced_suppression -> "misplaced-suppression"
+
+let sabotage_kind sab ~(program : Ir.t) =
+  match sab with
+  | Spin_immunity ->
+    (* An over-broad immunity set: every lock but the highest.  A
+       thread already inside a non-pattern critical section that then
+       requests a pattern lock defers while the pattern's owner blocks
+       on the lock the deferring thread holds — benign schedules
+       livelock into [Hang]. *)
+    let n = program.Ir.n_locks in
+    let locks = if n >= 2 then List.init (n - 1) Fun.id else [ 0 ] in
+    Deadlock_immunity locks
+  | Misplaced_guard ->
+    (* A guard whose input condition flags (practically) every run, at
+       a site that never crashes: pure misfire telemetry. *)
+    Input_guard
+      {
+        bucket = "sabotage:guard";
+        condition = [ Path_cond.atom (Ir.Binop (Ir.Ge, Ir.Input 0, Ir.Const 0)) true ];
+        site = { Ir.thread = 0; pc = 0 };
+        crash_kind = Outcome.Assertion_failure;
+      }
+  | Misplaced_suppression ->
+    (* A suppression parked at a site no failure ever reaches: inert
+       rather than harmful — the health test should hold or promote
+       it, not retract it. *)
+    Crash_suppression
+      {
+        bucket = "sabotage:suppression";
+        site = { Ir.thread = 0; pc = 0 };
+        crash_kind = Outcome.Division_by_zero;
+      }
+
+(* Corpus-derived wrong-fix variants: the same sabotage shapes, but
+   grounded in a certified benchmark instance instead of invented —
+   a guard at a decoy site (on the failing path, not a ground-truth
+   fix location) and an over-broad immunity set that serializes
+   benign schedules. *)
+let corpus_wrong_fixes (inst : Corpus_bench.instance) =
+  let guards =
+    match Corpus_bench.decoy_sites inst with
+    | [] -> []
+    | site :: _ ->
+      [
+        ( "decoy-guard",
+          Input_guard
+            {
+              bucket = "wrong:decoy-guard";
+              (* Flags every run: the decoy site correlates with the
+                 failure but the condition repairs nothing, so benign
+                 paths pay pure misfire telemetry. *)
+              condition = [ Path_cond.atom (Ir.Binop (Ir.Ge, Ir.Input 0, Ir.Const 0)) true ];
+              site;
+              crash_kind = Outcome.Assertion_failure;
+            } );
+      ]
+  in
+  let immunities =
+    match Corpus_bench.overbroad_lock_set inst with
+    | None -> []
+    | Some locks -> [ ("benign-serializer", Deadlock_immunity locks) ]
+  in
+  guards @ immunities
 
 (* ---- Wire format ---------------------------------------------------- *)
 

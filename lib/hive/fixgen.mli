@@ -76,6 +76,38 @@ val runtime_hooks : ?epoch:int -> fix list -> Interp.hooks
     at or below that epoch are in force (used by the hive to replay a
     trace exactly as the recording pod ran it). *)
 
+val runtime_hooks_for_ids : ids:int list -> fix list -> Interp.hooks
+(** Hooks for exactly the fixes whose ids are listed — how the hive
+    replays a fix-attributed trace: the recording pod's active set, not
+    an epoch approximation (a canary pod's hooks are a strict subset of
+    its epoch's fixes). *)
+
+type sabotage =
+  | Spin_immunity  (** Over-broad immunity set that livelocks benign schedules. *)
+  | Misplaced_guard  (** Always-true input guard at a never-crashing site. *)
+  | Misplaced_suppression  (** Inert suppression at a never-crashing site. *)
+
+val sabotage_of_variant : int -> sabotage
+(** Map a {!Softborg_net.Fault_plan.Bad_fix} variant code (0/1/2+) to
+    a sabotage shape — the fault plan is data-only and cannot name hive
+    types. *)
+
+val sabotage_name : sabotage -> string
+
+val sabotage_kind : sabotage -> program:Ir.t -> kind
+(** Construct the wrong fix against a concrete program (lock universe,
+    sites).  Deployable by construction — the point is to watch the
+    rollout health test catch or clear it. *)
+
+val corpus_wrong_fixes : Softborg_corpus.Corpus_bench.instance -> (string * kind) list
+(** Corpus-derived wrong-fix variants for a certified benchmark
+    instance, each labelled: a guard at a decoy site (on the failing
+    path, not a ground-truth fix location —
+    {!Softborg_corpus.Corpus_bench.decoy_sites}) and an over-broad
+    immunity set that serializes benign schedules
+    ({!Softborg_corpus.Corpus_bench.overbroad_lock_set}).  Empty when
+    the instance offers neither ingredient. *)
+
 val write_fix : Codec.Writer.t -> fix -> unit
 val read_fix : Codec.Reader.t -> fix
 (** @raise Softborg_util.Codec.Malformed on invalid input. *)

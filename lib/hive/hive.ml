@@ -60,6 +60,7 @@ type config = {
   overload : overload_config option;
   synthesize : bool;
   announce_basis : bool;
+  rollout : Fix_lifecycle.config option;
 }
 
 let default_config mode =
@@ -77,6 +78,9 @@ let default_config mode =
     (* Off by default: announcing bases broadcasts extra frames, which
        would consume link RNG draws and perturb existing seeded runs. *)
     announce_basis = false;
+    (* Off by default for the same reason: without a rollout config,
+       fixes deploy fleet-wide instantly, exactly as before. *)
+    rollout = None;
     symexec_config =
       (* The hive analyzes many programs per tick; bound each symbolic
          operation tightly and rely on repetition across ticks. *)
@@ -110,15 +114,21 @@ type stats = {
   batch_frames_received : int;
   batch_records_received : int;
   basis_updates_sent : int;
+  fix_promotions : int;
+  fix_retractions : int;
+  retracts_sent : int;
+  quarantined_fix_traces : int;
 }
 
 (* A reconstruction precomputed on a decode worker, stamped with the
    fix-list value it was built against.  It is only usable while the
    program's fix list is still that exact value (physical equality —
-   the list is replaced wholesale on every change), because replay
-   hooks derive from the fixes. *)
+   the list is replaced wholesale on every change) and the retracted
+   set is unchanged (retraction mutates the retracted list without
+   replacing the fixes), because replay hooks derive from both. *)
 type precomputed = {
   pc_fixes : Fixgen.fix list;
+  pc_retracted : int list;
   pc_recon : Interp.reconstruction;
 }
 
@@ -200,6 +210,9 @@ type t = {
   mutable analysis_ticks : int;
   mutable fixes_deployed : int;
   mutable fix_updates_sent : int;
+  mutable fix_promotions : int;
+  mutable fix_retractions : int;
+  mutable retracts_sent : int;
   mutable guidance_sent : int;
   mutable proofs_established : int;
   mutable human_fixes_scheduled : int;
@@ -258,6 +271,9 @@ let create ?config ~sim () =
     analysis_ticks = 0;
     fixes_deployed = 0;
     fix_updates_sent = 0;
+    fix_promotions = 0;
+    fix_retractions = 0;
+    retracts_sent = 0;
     guidance_sent = 0;
     proofs_established = 0;
     human_fixes_scheduled = 0;
@@ -273,16 +289,17 @@ let register_program t program =
   | Some k -> k
   | None ->
     let k = Knowledge.create program in
+    Knowledge.set_rollout k t.config.rollout;
     Hashtbl.replace t.programs digest k;
     k
 
 let knowledge t ~digest = Hashtbl.find_opt t.programs digest
 let knowledge_list t = Hashtbl.fold (fun _ k acc -> k :: acc) t.programs []
 
-let adopt_fixes t ~digest ~fixes ~epoch =
+let adopt_fixes t ~digest ~fixes ~epoch ~retracted =
   match Hashtbl.find_opt t.programs digest with
   | None -> ()
-  | Some k -> Knowledge.adopt_fixes k ~fixes ~epoch
+  | Some k -> Knowledge.adopt_fixes k ~fixes ~epoch ~retracted
 
 let broadcast t message =
   let payload = Protocol.encode message in
@@ -292,16 +309,44 @@ let pressure_level t = t.pressure_level
 let queue_length t = t.queue_len
 
 let send_fix_update t k =
-  let deployable = List.filter Fixgen.is_deployable (Knowledge.fixes k) in
+  let deployable = List.filter Fixgen.is_deployable (Knowledge.live_fixes k) in
   broadcast t
     (Protocol.Fix_update
        {
          program_digest = Knowledge.digest k;
          epoch = Knowledge.epoch k;
          fixes = deployable;
+         canary = Knowledge.canary_ids k;
+         canary_mils = Knowledge.canary_mils k;
          pressure = t.pressure_level;
        });
   t.fix_updates_sent <- t.fix_updates_sent + 1
+
+let send_fix_retract t k =
+  broadcast t
+    (Protocol.Fix_retract
+       {
+         program_digest = Knowledge.digest k;
+         epoch = Knowledge.epoch k;
+         retracted = Knowledge.retracted_ids k;
+         fixes = List.filter Fixgen.is_deployable (Knowledge.live_fixes k);
+         canary = Knowledge.canary_ids k;
+         canary_mils = Knowledge.canary_mils k;
+         pressure = t.pressure_level;
+       });
+  t.retracts_sent <- t.retracts_sent + 1
+
+(* An externally-decided fix lands exactly as a synthesized one would:
+   minted into the knowledge (canary-staged when rollout is attached)
+   and pushed downstream.  The chaos harness injects sabotaged fixes
+   through this to prove the rollout machinery retracts them. *)
+let inject_fix t ~digest kind =
+  match Hashtbl.find_opt t.programs digest with
+  | None -> ()
+  | Some k ->
+    ignore (Knowledge.add_fix k kind);
+    t.fixes_deployed <- t.fixes_deployed + 1;
+    send_fix_update t k
 
 (* ---- Ingestion -------------------------------------------------------- *)
 
@@ -339,7 +384,10 @@ let process_work t work =
            (identical result, just slower). *)
         let reconstruction =
           match recon with
-          | Some pc when pc.pc_fixes == Knowledge.fixes k -> Some pc.pc_recon
+          | Some pc
+            when pc.pc_fixes == Knowledge.fixes k
+                 && pc.pc_retracted = Knowledge.retracted_ids k ->
+            Some pc.pc_recon
           | _ -> None
         in
         ignore (Knowledge.ingest_trace ~prepared:prep ?reconstruction k trace)
@@ -396,7 +444,8 @@ let decode_batch t ~caps ~program_digest ~basis_id ~basis_check records =
        keeps the result byte-identical either way. *)
     let precompute =
       match (knowledge, t.pool, t.config.mode) with
-      | Some k, Some _, Full -> Some (Knowledge.program k, Knowledge.fixes k)
+      | Some k, Some _, Full ->
+        Some (Knowledge.program k, Knowledge.fixes k, Knowledge.retracted_ids k)
       | _ -> None
     in
     let decode_one ?basis s =
@@ -406,15 +455,28 @@ let decode_batch t ~caps ~program_digest ~basis_id ~basis_check records =
         let prep = Trace_store.prepare trace in
         let recon =
           match precompute with
-          | Some (program, fixes)
+          | Some (program, fixes, retracted)
             when not (trace.Trace.steps = 0 && trace.Trace.n_decisions = 0) -> (
-            let hooks = Fixgen.runtime_hooks ~epoch:trace.Trace.fix_epoch fixes in
+            (* Mirror [Knowledge.replay_hooks] exactly: an attributed
+               trace names its active fix set, an unattributed one gets
+               the epoch approximation over the non-retracted fixes. *)
+            let hooks =
+              match trace.Trace.attribution with
+              | Some a -> Fixgen.runtime_hooks_for_ids ~ids:a.Trace.active_fixes fixes
+              | None ->
+                let live =
+                  if retracted = [] then fixes
+                  else
+                    List.filter (fun f -> not (List.mem f.Fixgen.id retracted)) fixes
+                in
+                Fixgen.runtime_hooks ~epoch:trace.Trace.fix_epoch live
+            in
             match
               Interp.reconstruct ~hooks ~program ~bits:trace.Trace.bits
                 ~schedule:trace.Trace.schedule ~total_decisions:trace.Trace.n_decisions
                 ~total_steps:trace.Trace.steps ()
             with
-            | Ok r -> Some { pc_fixes = fixes; pc_recon = r }
+            | Ok r -> Some { pc_fixes = fixes; pc_retracted = retracted; pc_recon = r }
             | Error _ -> None)
           | _ -> None
         in
@@ -470,9 +532,9 @@ let handle_message t payload =
     | Error () -> ()
     | Ok works -> List.iter (fun (_failing, work) -> process_work t work) works)
   | Ok
-      ( Protocol.Fix_update _ | Protocol.Guidance_update _ | Protocol.Pressure_update _
-      | Protocol.Shard_map_update _ | Protocol.Knowledge_delta _ | Protocol.Frontier_summary _
-      | Protocol.Basis_update _ ) ->
+      ( Protocol.Fix_update _ | Protocol.Fix_retract _ | Protocol.Guidance_update _
+      | Protocol.Pressure_update _ | Protocol.Shard_map_update _ | Protocol.Knowledge_delta _
+      | Protocol.Frontier_summary _ | Protocol.Basis_update _ ) ->
     (* Downstream-only and federation-plane messages; ignore if echoed
        back.  A shard hive never ingests a Knowledge_delta directly —
        the federation coordinator unpacks deltas itself so commit
@@ -629,9 +691,10 @@ let admit t (oc : overload_config) slot payload =
     match Protocol.decode ~caps:oc.caps payload with
     | Error _ -> quarantine t oc slot
     | Ok
-        ( Protocol.Fix_update _ | Protocol.Guidance_update _ | Protocol.Pressure_update _
-        | Protocol.Shard_map_update _ | Protocol.Knowledge_delta _
-        | Protocol.Frontier_summary _ | Protocol.Basis_update _ ) ->
+        ( Protocol.Fix_update _ | Protocol.Fix_retract _ | Protocol.Guidance_update _
+        | Protocol.Pressure_update _ | Protocol.Shard_map_update _
+        | Protocol.Knowledge_delta _ | Protocol.Frontier_summary _ | Protocol.Basis_update _
+          ) ->
       ()
     | Ok (Protocol.Trace_upload inner) -> (
       match Wire.decode ~caps:oc.caps inner with
@@ -932,6 +995,24 @@ let tick t =
            epochs that diverge from the coordinator's, and only the
            merged knowledge sees whole-program evidence. *)
         if t.config.synthesize then begin
+          (* Run the canary health court before proposing new fixes, so
+             a fix synthesized this tick starts its canary hold at the
+             next tick, never judged on zero evidence. *)
+          let promoted, condemned = Knowledge.lifecycle_tick k in
+          if condemned <> [] then begin
+            t.fix_retractions <- t.fix_retractions + List.length condemned;
+            List.iter
+              (fun (fix_id, reason) ->
+                Log.warn (fun m ->
+                    m "retracting fix %d for %s: %s" fix_id (Knowledge.digest k) reason))
+              condemned
+          end;
+          if promoted <> [] then t.fix_promotions <- t.fix_promotions + List.length promoted;
+          (* One downstream push per verdict batch: a retraction frame
+             already carries the surviving fix set, so promotion in the
+             same tick rides along. *)
+          if condemned <> [] then send_fix_retract t k
+          else if promoted <> [] then send_fix_update t k;
           let new_fixes = Knowledge.analyze ?symexec_config:t.config.symexec_config k in
           let deployable = List.filter Fixgen.is_deployable new_fixes in
           if deployable <> [] then begin
@@ -993,6 +1074,11 @@ let stats t =
     batch_frames_received = t.batch_frames_received;
     batch_records_received = t.batch_records_received;
     basis_updates_sent = t.basis_updates_sent;
+    fix_promotions = t.fix_promotions;
+    fix_retractions = t.fix_retractions;
+    retracts_sent = t.retracts_sent;
+    quarantined_fix_traces =
+      Hashtbl.fold (fun _ k acc -> acc + Knowledge.quarantined_traces k) t.programs 0;
   }
 
 (* ---- Checkpoint / restore ---------------------------------------------- *)
@@ -1114,8 +1200,14 @@ let restore ?replay_cache t data =
           List.iter (fun (digest, state) -> Hashtbl.replace t.proof_state digest state) proof_states;
           (* Hashtbl.replace on an existing key keeps its position in
              iteration order, so the analysis tick visits programs in
-             the same order before and after a restore. *)
-          List.iter (fun k -> Hashtbl.replace t.programs (Knowledge.digest k) k) restored;
+             the same order before and after a restore.  The rollout
+             config is a runtime attachment (not checkpointed) — the
+             restored knowledge re-inherits this hive's. *)
+          List.iter
+            (fun k ->
+              Knowledge.set_rollout k t.config.rollout;
+              Hashtbl.replace t.programs (Knowledge.digest k) k)
+            restored;
           t.restores_completed <- t.restores_completed + 1;
           Ok (List.length restored)
       end

@@ -93,6 +93,11 @@ type config = {
           shared prefix basis.  Default [false]: the extra broadcasts
           would perturb seeded runs.  Bases are a wire-plane
           accelerator and are not checkpointed. *)
+  rollout : Fix_lifecycle.config option;
+      (** [Some _] stages every new fix through a canary cohort with
+          health-verdict promotion/retraction (see {!Fix_lifecycle}).
+          Default [None]: fixes deploy fleet-wide instantly,
+          byte-identical to builds without staged rollout. *)
 }
 
 val default_config : mode -> config
@@ -118,6 +123,12 @@ type stats = {
   batch_frames_received : int;  (** {!Protocol.Batch_upload} frames decoded. *)
   batch_records_received : int;  (** Trace records across all batches. *)
   basis_updates_sent : int;  (** {!Protocol.Basis_update} broadcasts. *)
+  fix_promotions : int;  (** Canary fixes promoted fleet-wide. *)
+  fix_retractions : int;  (** Canary fixes condemned by the health test. *)
+  retracts_sent : int;  (** {!Protocol.Fix_retract} broadcasts. *)
+  quarantined_fix_traces : int;
+      (** Uploads rejected because their attribution named a retracted
+          fix (summed over programs; runtime-only, not checkpointed). *)
 }
 
 type t
@@ -130,10 +141,17 @@ val register_program : t -> Ir.t -> Knowledge.t
 val knowledge : t -> digest:string -> Knowledge.t option
 val knowledge_list : t -> Knowledge.t list
 
-val adopt_fixes : t -> digest:string -> fixes:Fixgen.fix list -> epoch:int -> unit
-(** Replace a program's fix set and epoch with the federation
-    coordinator's (no-op for an unknown digest or an unchanged set).
-    See {!Knowledge.adopt_fixes}. *)
+val adopt_fixes :
+  t -> digest:string -> fixes:Fixgen.fix list -> epoch:int -> retracted:int list -> unit
+(** Replace a program's fix set, epoch, and retracted set with the
+    federation coordinator's (no-op for an unknown digest or a
+    non-advancing epoch).  See {!Knowledge.adopt_fixes}. *)
+
+val inject_fix : t -> digest:string -> Fixgen.kind -> unit
+(** Install an externally-decided fix (no-op for an unknown digest):
+    minted via {!Knowledge.add_fix} — canary-staged when a rollout
+    config is attached — and broadcast downstream.  The chaos
+    harness's bad-fix saboteur enters here. *)
 
 val ingest_payload : t -> string -> unit
 (** Process one encoded protocol frame synchronously, exactly as the

@@ -28,6 +28,17 @@ type t = {
   other_buckets : (string, int ref) Hashtbl.t;  (* hang buckets *)
   mutable fixes : Fixgen.fix list;
   mutable epoch : int;
+  (* Staged rollout: retracted fix ids (sorted; the fixes themselves
+     stay in [fixes] so id minting never reuses a condemned id) and
+     the per-fix lifecycle ledger.  Both are serialized — a restored
+     hive must not resurrect a retracted fix.  The rollout config and
+     the quarantine counter are runtime attachments: config comes from
+     [Hive.config], and quarantined traces are by definition *not*
+     evidence, so they must not influence knowledge bytes. *)
+  mutable retracted : int list;
+  mutable lifecycle : Fix_lifecycle.entry list;
+  mutable rollout : Fix_lifecycle.config option;
+  mutable quarantined : int;
   mutable traces_ingested : int;
   mutable failures : int;
   mutable replay_errors : int;
@@ -57,6 +68,10 @@ let create ?(replay_cache = 256) program =
     other_buckets = Hashtbl.create 8;
     fixes = [];
     epoch = 0;
+    retracted = [];
+    lifecycle = [];
+    rollout = None;
+    quarantined = 0;
     traces_ingested = 0;
     failures = 0;
     replay_errors = 0;
@@ -81,7 +96,30 @@ let replay_cache_hits t = t.replay_cache_hits
 let gap_memo t = t.gap_memo
 let verdict_cache t = t.verdict_cache
 
-let hooks_for_epoch t target_epoch = Fixgen.runtime_hooks ~epoch:target_epoch t.fixes
+(* The fix set minus retractions — what deploys, replays, and guards.
+   Retracted fixes are dead everywhere except id continuity. *)
+let live_fixes t =
+  match t.retracted with
+  | [] -> t.fixes
+  | retracted -> List.filter (fun fix -> not (List.mem fix.Fixgen.id retracted)) t.fixes
+
+let retracted_ids t = t.retracted
+let lifecycle t = t.lifecycle
+let rollout t = t.rollout
+let set_rollout t config = t.rollout <- config
+let quarantined_traces t = t.quarantined
+
+let canary_ids t =
+  List.filter_map
+    (fun (e : Fix_lifecycle.entry) ->
+      if e.Fix_lifecycle.stage = Fix_lifecycle.Canary then Some e.Fix_lifecycle.fix_id else None)
+    t.lifecycle
+  |> List.sort Int.compare
+
+let canary_mils t =
+  match t.rollout with None -> 0 | Some c -> c.Fix_lifecycle.canary_mils
+
+let hooks_for_epoch t target_epoch = Fixgen.runtime_hooks ~epoch:target_epoch (live_fixes t)
 
 let current_hooks t = hooks_for_epoch t t.epoch
 
@@ -89,7 +127,7 @@ let input_guards t =
   List.filter_map
     (fun fix ->
       match fix.Fixgen.kind with Fixgen.Input_guard { condition; _ } -> Some condition | _ -> None)
-    t.fixes
+    (live_fixes t)
 
 let record_failure t (outcome : Outcome.t) =
   match outcome with
@@ -121,45 +159,87 @@ let merge_reconstruction t (trace : Trace.t) ({ Interp.decisions; locks } : Inte
   Deadlock.observe t.deadlocks ~outcome:trace.Trace.outcome ~locks;
   Isolate.record_path t.isolate ~full_path:decisions ~outcome:trace.Trace.outcome
 
+(* Quarantine test: evidence recorded under a since-retracted fix
+   describes behavior the fleet no longer exhibits, and admitting it
+   would make knowledge bytes depend on *when* the retraction landed
+   rather than on the accepted-trace multiset alone. *)
+let quarantines t (trace : Trace.t) =
+  t.retracted <> []
+  &&
+  match trace.Trace.attribution with
+  | None -> false
+  | Some a -> List.exists (fun id -> List.mem id t.retracted) a.Trace.active_fixes
+
+(* Canary health accounting: every attributed run is a sample — exposed
+   for the canary fixes in its active set, control for the rest. *)
+let observe_health t (trace : Trace.t) =
+  match (t.rollout, trace.Trace.attribution) with
+  | None, _ | _, None -> ()
+  | Some _, Some a ->
+    let failed = Outcome.is_failure trace.Trace.outcome in
+    let bucket = Outcome.bucket_key trace.Trace.outcome in
+    List.iter
+      (fun (e : Fix_lifecycle.entry) ->
+        if e.Fix_lifecycle.stage = Fix_lifecycle.Canary then
+          Fix_lifecycle.observe e
+            ~exposed:(List.mem e.Fix_lifecycle.fix_id a.Trace.active_fixes)
+            ~failed ~bucket ~hook_fires:a.Trace.hook_fires)
+      t.lifecycle
+
+(* Replay hooks for one trace: an attributed trace names its exact
+   active fix set (a canary pod runs a strict subset of its epoch's
+   fixes), an unattributed one falls back to the epoch approximation. *)
+let replay_hooks t (trace : Trace.t) =
+  match trace.Trace.attribution with
+  | Some a -> Fixgen.runtime_hooks_for_ids ~ids:a.Trace.active_fixes t.fixes
+  | None -> hooks_for_epoch t trace.Trace.fix_epoch
+
 let ingest_trace ?prepared ?reconstruction t (trace : Trace.t) =
-  t.traces_ingested <- t.traces_ingested + 1;
-  let content_key, _ = Trace_store.admit_keyed ?prepared t.store trace in
-  record_failure t trace.Trace.outcome;
-  if trace.Trace.steps = 0 && trace.Trace.n_decisions = 0 then
-    (* Outcome-only disclosure: nothing to replay or merge. *)
+  if quarantines t trace then begin
+    t.quarantined <- t.quarantined + 1;
     Ok ()
-  else
-    match Option.bind t.replay_cache (fun cache -> Lru.find cache content_key) with
-    | Some reconstruction ->
-      (* Same content already replayed: skip the wire/replay round-trip
-         and merge the cached decision sequence directly. *)
-      t.replay_cache_hits <- t.replay_cache_hits + 1;
-      merge_reconstruction t trace reconstruction;
+  end
+  else begin
+    t.traces_ingested <- t.traces_ingested + 1;
+    let content_key, _ = Trace_store.admit_keyed ?prepared t.store trace in
+    record_failure t trace.Trace.outcome;
+    observe_health t trace;
+    if trace.Trace.steps = 0 && trace.Trace.n_decisions = 0 then
+      (* Outcome-only disclosure: nothing to replay or merge. *)
       Ok ()
-    | None -> (
-      match reconstruction with
+    else
+      match Option.bind t.replay_cache (fun cache -> Lru.find cache content_key) with
       | Some reconstruction ->
-        (* Precomputed off-thread (batch decode on the worker pool).
-           The caller guarantees it was built against the current fix
-           set, so it equals what the replay below would produce — the
-           cache and merge behave exactly as in a sequential run. *)
-        Option.iter (fun cache -> Lru.add cache content_key reconstruction) t.replay_cache;
+        (* Same content already replayed: skip the wire/replay round-trip
+           and merge the cached decision sequence directly. *)
+        t.replay_cache_hits <- t.replay_cache_hits + 1;
         merge_reconstruction t trace reconstruction;
         Ok ()
       | None -> (
-        let hooks = hooks_for_epoch t trace.Trace.fix_epoch in
-        match
-          Interp.reconstruct ~hooks ~program:t.program ~bits:trace.Trace.bits
-            ~schedule:trace.Trace.schedule ~total_decisions:trace.Trace.n_decisions
-            ~total_steps:trace.Trace.steps ()
-        with
-        | Ok reconstruction ->
+        match reconstruction with
+        | Some reconstruction ->
+          (* Precomputed off-thread (batch decode on the worker pool).
+             The caller guarantees it was built against the current fix
+             set, so it equals what the replay below would produce — the
+             cache and merge behave exactly as in a sequential run. *)
           Option.iter (fun cache -> Lru.add cache content_key reconstruction) t.replay_cache;
           merge_reconstruction t trace reconstruction;
           Ok ()
-        | Error msg ->
-          t.replay_errors <- t.replay_errors + 1;
-          Error msg))
+        | None -> (
+          let hooks = replay_hooks t trace in
+          match
+            Interp.reconstruct ~hooks ~program:t.program ~bits:trace.Trace.bits
+              ~schedule:trace.Trace.schedule ~total_decisions:trace.Trace.n_decisions
+              ~total_steps:trace.Trace.steps ()
+          with
+          | Ok reconstruction ->
+            Option.iter (fun cache -> Lru.add cache content_key reconstruction) t.replay_cache;
+            merge_reconstruction t trace reconstruction;
+            Ok ()
+          | Error msg ->
+            t.replay_errors <- t.replay_errors + 1;
+            Error msg))
+  end
 
 let ingest_sampled t sampled =
   t.traces_ingested <- t.traces_ingested + 1;
@@ -167,8 +247,12 @@ let ingest_sampled t sampled =
   Isolate.record t.isolate sampled
 
 let ingest_outcome_only t (trace : Trace.t) =
-  t.traces_ingested <- t.traces_ingested + 1;
-  record_failure t trace.Trace.outcome
+  if quarantines t trace then t.quarantined <- t.quarantined + 1
+  else begin
+    t.traces_ingested <- t.traces_ingested + 1;
+    record_failure t trace.Trace.outcome;
+    observe_health t trace
+  end
 
 let crash_evidence t =
   Hashtbl.fold
@@ -211,6 +295,26 @@ let bump_epoch t =
   Softborg_solver.Verdict_cache.clear t.verdict_cache;
   ignore (Prover.invalidate t.proofs ~current_epoch:t.epoch)
 
+(* With rollout active, every newly deployed fix enters the ledger as
+   a canary; without it, fixes ship fleet-wide instantly (the legacy —
+   and the bench's "naive" — behavior). *)
+let register_canaries t new_fixes =
+  match t.rollout with
+  | None -> ()
+  | Some _ ->
+    List.iter
+      (fun (fix : Fixgen.fix) ->
+        if
+          Fixgen.is_deployable fix
+          && not
+               (List.exists
+                  (fun (e : Fix_lifecycle.entry) -> e.Fix_lifecycle.fix_id = fix.id)
+                  t.lifecycle)
+        then
+          t.lifecycle <-
+            t.lifecycle @ [ Fix_lifecycle.create_entry ~fix_id:fix.id ~stage:Fix_lifecycle.Canary ])
+      new_fixes
+
 let analyze ?symexec_config t =
   let new_fixes =
     Fixgen.propose ?symexec_config ~program:t.program
@@ -220,6 +324,7 @@ let analyze ?symexec_config t =
   let deployable = List.filter Fixgen.is_deployable new_fixes in
   if deployable <> [] then bump_epoch t;
   t.fixes <- t.fixes @ new_fixes;
+  register_canaries t new_fixes;
   new_fixes
 
 let add_fix t kind =
@@ -229,17 +334,66 @@ let add_fix t kind =
   let fix = { fix with Fixgen.id = 1_000_000 + List.length t.fixes } in
   bump_epoch t;
   t.fixes <- t.fixes @ [ fix ];
+  register_canaries t [ fix ];
   fix
+
+(* The sequential health test, run once per analysis tick.  Stage
+   moves and the epoch bump happen together at the end, so one tick
+   costs at most one epoch (one cache/proof invalidation) however many
+   canaries move. *)
+let lifecycle_tick t =
+  match t.rollout with
+  | None -> ([], [])
+  | Some config ->
+    let promoted = ref [] in
+    let condemned = ref [] in
+    List.iter
+      (fun (e : Fix_lifecycle.entry) ->
+        if e.Fix_lifecycle.stage = Fix_lifecycle.Canary then begin
+          e.Fix_lifecycle.ticks_held <- e.Fix_lifecycle.ticks_held + 1;
+          match Fix_lifecycle.decide config e with
+          | Fix_lifecycle.Hold -> ()
+          | Fix_lifecycle.Promote -> promoted := e :: !promoted
+          | Fix_lifecycle.Retract reason -> condemned := (e, reason) :: !condemned
+        end)
+      (List.sort
+         (fun (a : Fix_lifecycle.entry) b -> Int.compare a.Fix_lifecycle.fix_id b.Fix_lifecycle.fix_id)
+         t.lifecycle);
+    let promoted = List.rev !promoted in
+    let condemned = List.rev !condemned in
+    if promoted <> [] || condemned <> [] then begin
+      List.iter (fun (e : Fix_lifecycle.entry) -> e.Fix_lifecycle.stage <- Fix_lifecycle.Fleet) promoted;
+      List.iter
+        (fun ((e : Fix_lifecycle.entry), _) -> e.Fix_lifecycle.stage <- Fix_lifecycle.Retracted)
+        condemned;
+      t.retracted <-
+        List.sort_uniq Int.compare
+          (List.map (fun ((e : Fix_lifecycle.entry), _) -> e.Fix_lifecycle.fix_id) condemned
+          @ t.retracted);
+      bump_epoch t;
+      List.iter
+        (fun ((e : Fix_lifecycle.entry), _) -> e.Fix_lifecycle.retired_epoch <- t.epoch)
+        condemned
+    end;
+    ( List.map (fun (e : Fix_lifecycle.entry) -> e.Fix_lifecycle.fix_id) promoted,
+      List.map (fun ((e : Fix_lifecycle.entry), reason) -> (e.Fix_lifecycle.fix_id, reason)) condemned
+    )
 
 (* Federation: a shard adopts the coordinator's deployed fix set
    wholesale, so its replay hooks for a given epoch match what the
    pods (and the merged knowledge) compute.  Invalidation mirrors
    [bump_epoch] — a new fix set means previously cached verdicts and
-   reconstructions describe a different analyzed behavior. *)
-let adopt_fixes t ~fixes ~epoch =
-  if epoch <> t.epoch || fixes <> t.fixes then begin
+   reconstructions describe a different analyzed behavior.
+
+   Monotonic: a stale or reordered adoption (epoch ≤ ours) is dropped,
+   never applied — a duplicated/delayed [Fix_update] on a lossy link
+   must not regress anyone to an older fix set (every legitimate
+   change, including a retraction, bumps the epoch first). *)
+let adopt_fixes t ~fixes ~epoch ~retracted =
+  if epoch > t.epoch then begin
     t.fixes <- fixes;
     t.epoch <- epoch;
+    t.retracted <- List.sort_uniq Int.compare retracted;
     Option.iter Lru.clear t.replay_cache;
     Gap_memo.clear t.gap_memo;
     Softborg_solver.Verdict_cache.clear t.verdict_cache;
@@ -302,7 +456,12 @@ let write w t =
       Codec.Writer.varint w !count)
     (sorted_bindings t.other_buckets);
   Codec.Writer.list w (Fixgen.write_fix w) t.fixes;
-  Codec.Writer.list w (Prover.write_proof w) t.proofs
+  Codec.Writer.list w (Prover.write_proof w) t.proofs;
+  (* Rollout state rides at the end (checkpoint format v3): sorted
+     retracted ids, then the lifecycle ledger.  A restored hive can
+     therefore never resurrect a retracted fix. *)
+  Codec.Writer.list w (Codec.Writer.varint w) t.retracted;
+  Fix_lifecycle.write_entries w t.lifecycle
 
 let read ?(replay_cache = 256) r =
   let program = Ir_codec.read_program r in
@@ -343,6 +502,8 @@ let read ?(replay_cache = 256) r =
   in
   let fixes = Codec.Reader.list r (fun r -> Fixgen.read_fix r) in
   let proofs = Codec.Reader.list r (fun r -> Prover.read_proof r) in
+  let retracted = Codec.Reader.list r Codec.Reader.varint in
+  let lifecycle = Fix_lifecycle.read_entries r in
   {
     program;
     digest;
@@ -355,6 +516,10 @@ let read ?(replay_cache = 256) r =
     other_buckets;
     fixes;
     epoch;
+    retracted;
+    lifecycle;
+    rollout = None;
+    quarantined = 0;
     traces_ingested;
     failures;
     replay_errors;

@@ -32,6 +32,33 @@ val epoch : t -> int
 (** Current fix-set version; pods at an older epoch get an update. *)
 
 val fixes : t -> Fixgen.fix list
+(** Every fix ever minted, retracted ones included (id continuity). *)
+
+val live_fixes : t -> Fixgen.fix list
+(** {!fixes} minus retractions — the set that deploys and replays. *)
+
+val retracted_ids : t -> int list
+(** Sorted ids of every fix ever retracted for this program. *)
+
+val lifecycle : t -> Fix_lifecycle.entry list
+(** The per-fix rollout ledger (persisted in checkpoints). *)
+
+val rollout : t -> Fix_lifecycle.config option
+val set_rollout : t -> Fix_lifecycle.config option -> unit
+(** Attach/detach the staged-rollout config.  A runtime attachment,
+    not persisted: the owning hive re-attaches it after a restore. *)
+
+val canary_ids : t -> int list
+(** Sorted ids of fixes currently in canary stage. *)
+
+val canary_mils : t -> int
+(** The attached config's cohort fraction; [0] without rollout. *)
+
+val quarantined_traces : t -> int
+(** Arrivals rejected because their attribution named a retracted fix.
+    Runtime-only: quarantined traces are not evidence and never touch
+    knowledge bytes. *)
+
 val proofs : t -> Prover.proof list
 val traces_ingested : t -> int
 val failures_observed : t -> int
@@ -104,14 +131,24 @@ val analyze : ?symexec_config:Sym_exec.config -> t -> Fixgen.fix list
 
 val add_fix : t -> Fixgen.kind -> Fixgen.fix
 (** Install an externally-decided fix (the human repair lab of WER
-    mode); bumps the epoch and invalidates stale proofs. *)
+    mode, or an injected saboteur fix); bumps the epoch and
+    invalidates stale proofs.  With rollout attached the new fix
+    enters canary stage, otherwise it deploys fleet-wide instantly. *)
 
-val adopt_fixes : t -> fixes:Fixgen.fix list -> epoch:int -> unit
-(** Replace the fix set and epoch wholesale with the federation
-    coordinator's, so replay hooks computed here for any epoch match
-    the merged knowledge's.  Clears the replay/memo/verdict caches and
-    invalidates stale proofs (as {!analyze} would); no-op when the set
-    and epoch are already equal. *)
+val lifecycle_tick : t -> int list * (int * string) list
+(** Run the sequential health test over every canary entry (one held
+    tick each) and apply the verdicts: returns (promoted fix ids,
+    (retracted fix id, reason) pairs).  Any movement bumps the epoch
+    exactly once; retraction also extends {!retracted_ids}.  ([[], []]
+    without an attached rollout config.) *)
+
+val adopt_fixes : t -> fixes:Fixgen.fix list -> epoch:int -> retracted:int list -> unit
+(** Replace the fix set, epoch, and retracted set wholesale with the
+    federation coordinator's, so replay hooks computed here for any
+    epoch match the merged knowledge's.  Clears the replay/memo/verdict
+    caches and invalidates stale proofs (as {!analyze} would).
+    {b Monotonic}: adoptions at an epoch ≤ the current one are dropped
+    — a duplicated or reordered update can never regress the fix set. *)
 
 val record_proof : t -> Prover.proof -> unit
 val valid_proofs : t -> Prover.proof list

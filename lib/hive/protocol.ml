@@ -10,6 +10,17 @@ type message =
       program_digest : string;
       epoch : int;
       fixes : Fixgen.fix list;
+      canary : int list;
+      canary_mils : int;
+      pressure : int;
+    }
+  | Fix_retract of {
+      program_digest : string;
+      epoch : int;
+      retracted : int list;
+      fixes : Fixgen.fix list;
+      canary : int list;
+      canary_mils : int;
       pressure : int;
     }
   | Guidance_update of {
@@ -48,6 +59,7 @@ let message_name = function
   | Trace_upload _ -> "trace-upload"
   | Sampled_report _ -> "sampled-report"
   | Fix_update _ -> "fix-update"
+  | Fix_retract _ -> "fix-retract"
   | Guidance_update _ -> "guidance-update"
   | Pressure_update _ -> "pressure-update"
   | Shard_map_update _ -> "shard-map-update"
@@ -57,7 +69,9 @@ let message_name = function
   | Basis_update _ -> "basis-update"
 
 let pressure_of = function
-  | Fix_update { pressure; _ } | Guidance_update { pressure; _ } -> Some pressure
+  | Fix_update { pressure; _ } | Fix_retract { pressure; _ } | Guidance_update { pressure; _ }
+    ->
+    Some pressure
   | Pressure_update { level } -> Some level
   | Trace_upload _ | Sampled_report _ | Shard_map_update _ | Knowledge_delta _
   | Frontier_summary _ | Batch_upload _ | Basis_update _ ->
@@ -108,12 +122,23 @@ let encode message =
     Codec.Writer.byte w 1;
     Codec.Writer.bytes w program_digest;
     write_sampled w report
-  | Fix_update { program_digest; epoch; fixes; pressure } ->
+  | Fix_update { program_digest; epoch; fixes; canary; canary_mils; pressure } ->
     Codec.Writer.byte w 2;
     Codec.Writer.bytes w program_digest;
     Codec.Writer.varint w epoch;
     Codec.Writer.varint w pressure;
-    Codec.Writer.list w (Fixgen.write_fix w) fixes
+    Codec.Writer.list w (Fixgen.write_fix w) fixes;
+    Codec.Writer.list w (Codec.Writer.varint w) canary;
+    Codec.Writer.varint w canary_mils
+  | Fix_retract { program_digest; epoch; retracted; fixes; canary; canary_mils; pressure } ->
+    Codec.Writer.byte w 10;
+    Codec.Writer.bytes w program_digest;
+    Codec.Writer.varint w epoch;
+    Codec.Writer.varint w pressure;
+    Codec.Writer.list w (Codec.Writer.varint w) retracted;
+    Codec.Writer.list w (Fixgen.write_fix w) fixes;
+    Codec.Writer.list w (Codec.Writer.varint w) canary;
+    Codec.Writer.varint w canary_mils
   | Guidance_update { program_digest; directives; pressure } ->
     Codec.Writer.byte w 3;
     Codec.Writer.bytes w program_digest;
@@ -183,7 +208,10 @@ let decode ?caps s =
       let epoch = Codec.Reader.varint r in
       let pressure = Codec.Reader.varint r in
       let fixes = Codec.Reader.list r Fixgen.read_fix in
-      Fix_update { program_digest; epoch; fixes; pressure }
+      let canary = Codec.Reader.list r Codec.Reader.varint in
+      check_rows ?caps ~what:"canary ids" (List.length canary);
+      let canary_mils = Codec.Reader.varint r in
+      Fix_update { program_digest; epoch; fixes; canary; canary_mils; pressure }
     | 3 ->
       let program_digest = Codec.Reader.bytes r in
       let pressure = Codec.Reader.varint r in
@@ -226,6 +254,17 @@ let decode ?caps s =
       let basis_id = Codec.Reader.varint r in
       let payload = Codec.Reader.bytes r in
       Basis_update { program_digest; basis_id; payload }
+    | 10 ->
+      let program_digest = Codec.Reader.bytes r in
+      let epoch = Codec.Reader.varint r in
+      let pressure = Codec.Reader.varint r in
+      let retracted = Codec.Reader.list r Codec.Reader.varint in
+      check_rows ?caps ~what:"retracted ids" (List.length retracted);
+      let fixes = Codec.Reader.list r Fixgen.read_fix in
+      let canary = Codec.Reader.list r Codec.Reader.varint in
+      check_rows ?caps ~what:"canary ids" (List.length canary);
+      let canary_mils = Codec.Reader.varint r in
+      Fix_retract { program_digest; epoch; retracted; fixes; canary; canary_mils; pressure }
     | n -> raise (Codec.Malformed (Printf.sprintf "message tag %d" n))
   with
   | message -> Ok message

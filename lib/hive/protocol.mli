@@ -17,12 +17,31 @@ type message =
       program_digest : string;
       epoch : int;
       fixes : Fixgen.fix list;
+      canary : int list;
+          (** Ids (within [fixes]) still in canary stage: a pod
+              activates one only if its cohort hash says so. *)
+      canary_mils : int;
+          (** Canary cohort fraction in thousandths; [0] disables
+              staging (every fix in [fixes] is fleet-wide). *)
       pressure : int;
           (** Hive load level (0 = unloaded), piggybacked on every
               downstream push so pods track backpressure without extra
               messages. *)
     }
       (** The hive's current deployable fix set for a program. *)
+  | Fix_retract of {
+      program_digest : string;
+      epoch : int;  (** The post-retraction epoch (monotonic, like {!Fix_update}). *)
+      retracted : int list;  (** All fix ids ever retracted for this program. *)
+      fixes : Fixgen.fix list;  (** The surviving deployable set. *)
+      canary : int list;
+      canary_mils : int;
+      pressure : int;
+    }
+      (** Rollback push: the canary health test condemned a fix.  Pods
+          replace their fix set with [fixes] (the retracted ids are
+          guaranteed absent) under the same monotonic-epoch guard as
+          {!Fix_update}. *)
   | Guidance_update of {
       program_digest : string;
       directives : Guidance.directive list;

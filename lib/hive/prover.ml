@@ -188,8 +188,12 @@ let invalidate proofs ~current_epoch =
 
 module Codec = Softborg_util.Codec
 
+(* The id is a process-local ticket (like the replay-cache hit count):
+   a hive that restores a checkpoint and re-derives the same proofs
+   mints different ids, and checkpoint bytes must stay a pure function
+   of the evidence.  So it is not serialized; readers mint a fresh
+   one. *)
 let write_proof w proof =
-  Codec.Writer.varint w proof.id;
   Codec.Writer.byte w (match proof.property with Assert_safety -> 0 | Deadlock_freedom -> 1);
   (match proof.strength with
   | Proved { domain = lo, hi } ->
@@ -205,7 +209,6 @@ let write_proof w proof =
   Codec.Writer.bool w proof.valid
 
 let read_proof r =
-  let id = Codec.Reader.varint r in
   let property =
     match Codec.Reader.byte r with
     | 0 -> Assert_safety
@@ -227,7 +230,5 @@ let read_proof r =
   let epoch = Codec.Reader.varint r in
   let distinct_paths = Codec.Reader.varint r in
   let valid = Codec.Reader.bool r in
-  (* Restored ids must stay unique against proofs minted after the
-     restore, so the global counter jumps past them. *)
-  if id > !next_proof_id then next_proof_id := id;
-  { id; property; strength; epoch; distinct_paths; valid }
+  incr next_proof_id;
+  { id = !next_proof_id; property; strength; epoch; distinct_paths; valid }

@@ -102,10 +102,12 @@ val invalidate : proof list -> current_epoch:int -> int
     returns how many were invalidated. *)
 
 val write_proof : Softborg_util.Codec.Writer.t -> proof -> unit
-(** Checkpoint codec for a proof record. *)
+(** Checkpoint codec for a proof record.  The process-local [id] is
+    not serialized: checkpoint bytes stay a pure function of the
+    evidence even when a restored hive re-derives its proofs. *)
 
 val read_proof : Softborg_util.Codec.Reader.t -> proof
-(** Inverse of {!write_proof}.  Advances the internal proof-id counter
-    past the restored id so later proofs stay unique.
+(** Inverse of {!write_proof}; mints a fresh id for the restored
+    proof.
     @raise Softborg_util.Codec.Malformed on invalid input.
     @raise Softborg_util.Codec.Truncated on premature end. *)

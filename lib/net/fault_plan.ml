@@ -6,6 +6,7 @@ type event =
   | Pod_leave of { at : float; pod : int }
   | Pod_join of { at : float }
   | Degrade of { at : float; until_ : float; link : Link.config }
+  | Bad_fix of { at : float; program : int; variant : int }
 
 type t = { events : event list }
 
@@ -14,7 +15,8 @@ let time_of = function
   | Hive_crash { at }
   | Pod_leave { at; _ }
   | Pod_join { at }
-  | Degrade { at; _ } ->
+  | Degrade { at; _ }
+  | Bad_fix { at; _ } ->
     at
 
 (* Stable sort: events authored at the same instant keep their plan
@@ -32,6 +34,8 @@ let pp_event fmt = function
   | Degrade { at; until_; link } ->
     Format.fprintf fmt "t=%.1f..%.1f degrade (drop=%.2f, latency=%.3fs)" at until_
       link.Link.drop_probability link.Link.mean_latency
+  | Bad_fix { at; program; variant } ->
+    Format.fprintf fmt "t=%.1f bad-fix program=%d variant=%d" at program variant
 
 (* Poisson arrival times at [rate] events/second over [0, duration). *)
 let arrivals rng ~rate ~duration =

@@ -21,6 +21,12 @@ type event =
   | Pod_join of { at : float }  (** Start a fresh pod mid-session. *)
   | Degrade of { at : float; until_ : float; link : Link.config }
       (** Swap every pod↔hive link to [link] during [at, until_). *)
+  | Bad_fix of { at : float; program : int; variant : int }
+      (** Inject a sabotaged fix for program [program mod n_programs]
+          into the hive, as if synthesis went wrong: [variant] selects
+          the sabotage shape (see {!Softborg_hive.Fixgen.sabotage_of_variant}).
+          Data-only here — the platform interprets it; the staged
+          rollout must detect and retract it. *)
 
 type t
 

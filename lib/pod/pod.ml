@@ -12,6 +12,7 @@ module Anonymize = Softborg_trace.Anonymize
 module Sim = Softborg_net.Sim
 module Transport = Softborg_net.Transport
 module Fixgen = Softborg_hive.Fixgen
+module Fix_lifecycle = Softborg_hive.Fix_lifecycle
 module Guidance = Softborg_hive.Guidance
 module Protocol = Softborg_hive.Protocol
 module Path_cond = Softborg_solver.Path_cond
@@ -36,6 +37,7 @@ type config = {
   upload_batch : int;
   delta_encode : bool;
   batch_linger : float;
+  attribute_fixes : bool;
 }
 
 let default_config =
@@ -56,6 +58,9 @@ let default_config =
     upload_batch = 1;
     delta_encode = false;
     batch_linger = 0.25;
+    (* Attribution adds bytes to every upload; off by default so the
+       legacy wire stream is byte-for-byte unperturbed. *)
+    attribute_fixes = false;
   }
 
 type metrics = {
@@ -75,6 +80,7 @@ type metrics = {
   dead_letters : int;
   batches_sent : int;
   delta_records : int;
+  canary_exposed : bool;
 }
 
 type t = {
@@ -85,8 +91,15 @@ type t = {
   digest : string;
   endpoint : Transport.endpoint;
   pod_id : int;
+  (* Replayable cohort identity for canary membership: the platform
+     passes the pod's fleet index, so the same run config yields the
+     same cohort regardless of how many pods were minted before. *)
+  cohort : int;
   mutable fixes : Fixgen.fix list;
   mutable fix_epoch : int;
+  mutable canary : int list;  (* fix ids gated by cohort membership *)
+  mutable canary_mils : int;
+  mutable canary_exposed : bool;  (* ever ran with a canary fix active *)
   mutable pending_guidance : Guidance.directive list;
   mutable sessions : int;
   mutable guided_runs : int;
@@ -135,15 +148,32 @@ let bump_signal t signal =
    byzantine hive cannot push the shift counts out of range. *)
 let set_pressure t level = t.pressure <- max 0 (min 3 level)
 
+(* The monotonic fix-epoch guard: a duplicated, reordered, or replayed
+   downstream frame carrying an older epoch can never regress the pod's
+   fix state — in particular a stale Fix_update can never resurrect a
+   fix a later Fix_retract removed. *)
+let apply_fix_state t ~program_digest ~epoch ~fixes ~canary ~canary_mils =
+  if String.equal program_digest t.digest && epoch > t.fix_epoch then begin
+    t.fixes <- fixes;
+    t.fix_epoch <- epoch;
+    t.canary <- canary;
+    t.canary_mils <- canary_mils
+  end
+
 let handle_message t payload =
   match Protocol.decode payload with
   | Error _ -> ()
-  | Ok (Protocol.Fix_update { program_digest; epoch; fixes; pressure }) ->
+  | Ok (Protocol.Fix_update { program_digest; epoch; fixes; canary; canary_mils; pressure })
+    ->
     set_pressure t pressure;
-    if String.equal program_digest t.digest && epoch > t.fix_epoch then begin
-      t.fixes <- fixes;
-      t.fix_epoch <- epoch
-    end
+    apply_fix_state t ~program_digest ~epoch ~fixes ~canary ~canary_mils
+  | Ok
+      (Protocol.Fix_retract
+         { program_digest; epoch; fixes; canary; canary_mils; pressure; retracted = _ }) ->
+    (* The retracted ids are already absent from [fixes]; the pod only
+       needs the surviving state, under the same monotonic guard. *)
+    set_pressure t pressure;
+    apply_fix_state t ~program_digest ~epoch ~fixes ~canary ~canary_mils
   | Ok (Protocol.Guidance_update { program_digest; directives; pressure }) ->
     set_pressure t pressure;
     if String.equal program_digest t.digest then
@@ -166,7 +196,7 @@ let handle_message t payload =
        a federation router, which consumes the shard map itself. *)
     ()
 
-let create ?(config = default_config) ~sim ~rng ~program ~endpoint () =
+let create ?(config = default_config) ?cohort ~sim ~rng ~program ~endpoint () =
   incr next_pod_id;
   let t =
     {
@@ -177,8 +207,12 @@ let create ?(config = default_config) ~sim ~rng ~program ~endpoint () =
       digest = Ir.digest program;
       endpoint;
       pod_id = !next_pod_id;
+      cohort = Option.value ~default:!next_pod_id cohort;
       fixes = [];
       fix_epoch = 0;
+      canary = [];
+      canary_mils = 0;
+      canary_exposed = false;
       pending_guidance = [];
       sessions = 0;
       guided_runs = 0;
@@ -219,13 +253,26 @@ let create ?(config = default_config) ~sim ~rng ~program ~endpoint () =
       if t.config.resend_dead_letters then Transport.send endpoint payload);
   t
 
-let guards t =
+(* The fix set this pod actually runs: fleet-wide fixes always, canary
+   fixes only when the rendezvous hash puts this pod's cohort id in the
+   canary cohort for that fix.  With no canaries this is [t.fixes]. *)
+let active_fixes t =
+  if t.canary = [] then t.fixes
+  else
+    List.filter
+      (fun fix ->
+        (not (List.mem fix.Fixgen.id t.canary))
+        || Fix_lifecycle.in_cohort ~cohort:t.cohort ~fix_id:fix.Fixgen.id
+             ~mils:t.canary_mils)
+      t.fixes
+
+let guards fixes =
   List.filter_map
     (fun fix ->
       match fix.Fixgen.kind with
       | Fixgen.Input_guard { condition; site; crash_kind; _ } -> Some (condition, site, crash_kind)
       | _ -> None)
-    t.fixes
+    fixes
 
 (* Under backpressure, success-class uploads are deferred with a
    jittered delay that doubles per pressure level — the pods spread
@@ -274,9 +321,10 @@ let flush_batch t ~immediate =
     in
     if immediate then Transport.send t.endpoint payload else send_deferred t payload
 
-let upload t (result : Interp.result) ~label =
+let upload t (result : Interp.result) ~label ?attribution () =
   let trace =
     Trace.of_result ~program_digest:t.digest ~pod:t.pod_id ~fix_epoch:t.fix_epoch
+      ?attribution
       { result with Interp.outcome = label }
   in
   match t.config.upload with
@@ -346,15 +394,21 @@ let upload t (result : Interp.result) ~label =
 
 let execute t ~user ~inputs ~fault_plan ~sched =
   let env = Env.make ~fault_plan ~seed:(Rng.int t.rng 1_000_000) ~inputs () in
-  let hooks = Fixgen.runtime_hooks t.fixes in
+  let active = active_fixes t in
+  if
+    t.canary <> []
+    && List.exists (fun fix -> List.mem fix.Fixgen.id t.canary) active
+  then t.canary_exposed <- true;
+  let hooks = Fixgen.runtime_hooks active in
   (* Input guards: the pod knows these inputs used to crash (the
      unconditional site protection is already in [hooks]); flag the
      session as a predicted failure. *)
-  if
+  let flagged =
     List.exists
       (fun (condition, _, _) -> Path_cond.satisfied_by condition inputs)
-      (guards t)
-  then t.guard_flags <- t.guard_flags + 1;
+      (guards active)
+  in
+  if flagged then t.guard_flags <- t.guard_flags + 1;
   let result =
     Engine.run ~max_steps:t.config.max_steps ~hooks ~engine:t.config.engine ~program:t.program
       ~env ~sched ()
@@ -370,7 +424,22 @@ let execute t ~user ~inputs ~fault_plan ~sched =
   in
   bump_signal t signal;
   let label = Feedback.label_of_signal signal ~outcome:result.Interp.outcome in
-  upload t result ~label
+  let attribution =
+    if t.config.attribute_fixes then
+      Some
+        {
+          Trace.active_fixes =
+            List.sort Int.compare (List.map (fun f -> f.Fixgen.id) active);
+          (* Every observable hook action on this run: immunity defers,
+             crash suppressions, and guard flags — the misfire signal
+             the hive's health test reads on benign workloads. *)
+          hook_fires =
+            result.Interp.suppressed_crashes + result.Interp.deferred_acquisitions
+            + (if flagged then 1 else 0);
+        }
+    else None
+  in
+  upload t result ~label ?attribution ()
 
 let run_directive t directive =
   t.guided_runs <- t.guided_runs + 1;
@@ -431,4 +500,5 @@ let metrics t =
     dead_letters = t.dead_letters;
     batches_sent = t.batches_sent;
     delta_records = t.delta_records;
+    canary_exposed = t.canary_exposed;
   }

@@ -55,6 +55,12 @@ type config = {
           two encodings is sent per record.  Default false. *)
   batch_linger : float;
       (** Max seconds a partially-filled batch waits before flushing. *)
+  attribute_fixes : bool;
+      (** Tag every upload with the active fix ids and hook-fire count
+          (see {!Softborg_trace.Trace.attribution}) — the hive's
+          rollout health telemetry.  Default false: attribution adds
+          bytes to every frame, and the legacy wire stream must stay
+          byte-for-byte unperturbed. *)
 }
 
 val default_config : config
@@ -80,12 +86,16 @@ type metrics = {
           record it carried). *)
   batches_sent : int;  (** {!Softborg_hive.Protocol.Batch_upload} frames sent. *)
   delta_records : int;  (** Batch records that went out delta-encoded. *)
+  canary_exposed : bool;
+      (** Whether this pod ever executed a session with a canary-staged
+          fix active — the numerator of "fraction of fleet exposed". *)
 }
 
 type t
 
 val create :
   ?config:config ->
+  ?cohort:int ->
   sim:Sim.t ->
   rng:Rng.t ->
   program:Ir.t ->
@@ -93,7 +103,10 @@ val create :
   unit ->
   t
 (** [endpoint] is the pod's side of its connection to the hive; the
-    pod installs its receive handler. *)
+    pod installs its receive handler.  [cohort] is the pod's stable
+    identity for canary-cohort membership (the platform passes the
+    fleet index, making cohorts replayable across runs); it defaults
+    to the process-global pod counter. *)
 
 val start : t -> unit
 (** Schedule the first user session. *)

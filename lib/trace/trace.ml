@@ -4,6 +4,8 @@ module Ir = Softborg_prog.Ir
 module Outcome = Softborg_exec.Outcome
 module Interp = Softborg_exec.Interp
 
+type attribution = { active_fixes : int list; hook_fires : int }
+
 type t = {
   trace_id : Ids.Trace_id.t;
   program_digest : string;
@@ -15,9 +17,10 @@ type t = {
   outcome : Outcome.t;
   steps : int;
   fix_epoch : int;
+  attribution : attribution option;
 }
 
-let of_result ~program_digest ~pod ~fix_epoch (r : Interp.result) =
+let of_result ~program_digest ~pod ~fix_epoch ?attribution (r : Interp.result) =
   {
     trace_id = Ids.Trace_id.fresh ();
     program_digest;
@@ -29,11 +32,18 @@ let of_result ~program_digest ~pod ~fix_epoch (r : Interp.result) =
     outcome = r.outcome;
     steps = r.steps;
     fix_epoch;
+    attribution;
   }
 
 let recorded_fraction t =
   if t.n_decisions = 0 then 0.0
   else float_of_int (Bitvec.length t.bits) /. float_of_int t.n_decisions
+
+let attribution_equal a b =
+  match (a, b) with
+  | None, None -> true
+  | Some a, Some b -> a.active_fixes = b.active_fixes && a.hook_fires = b.hook_fires
+  | (None | Some _), _ -> false
 
 let equal a b =
   String.equal a.program_digest b.program_digest
@@ -45,8 +55,15 @@ let equal a b =
   && Outcome.equal a.outcome b.outcome
   && a.steps = b.steps
   && a.fix_epoch = b.fix_epoch
+  && attribution_equal a.attribution b.attribution
 
 let pp fmt t =
-  Format.fprintf fmt "trace{pod=%d bits=%d/%d sched=%d sys=%d outcome=%a}" t.pod
+  Format.fprintf fmt "trace{pod=%d bits=%d/%d sched=%d sys=%d outcome=%a%s}" t.pod
     (Bitvec.length t.bits) t.n_decisions (List.length t.schedule) (List.length t.syscalls)
     Outcome.pp t.outcome
+    (match t.attribution with
+    | None -> ""
+    | Some a ->
+      Printf.sprintf " fixes=[%s]%s"
+        (String.concat "," (List.map string_of_int a.active_fixes))
+        (if a.hook_fires > 0 then Printf.sprintf " fires=%d" a.hook_fires else ""))

@@ -13,6 +13,18 @@ module Ir := Softborg_prog.Ir
 module Outcome := Softborg_exec.Outcome
 module Interp := Softborg_exec.Interp
 
+type attribution = {
+  active_fixes : int list;
+      (** Sorted ids of the fixes whose hooks were installed on this
+          execution — the rollout health test's join key. *)
+  hook_fires : int;
+      (** Crash suppressions + deferred acquisitions those hooks
+          performed (guard-misfire telemetry on benign paths). *)
+}
+(** Fix-attributed health telemetry: which deployed fixes shaped this
+    execution.  [None] when the pod predates staged rollout or has
+    attribution disabled. *)
+
 type t = {
   trace_id : Ids.Trace_id.t;
   program_digest : string;  (** Keys hive knowledge to a program build. *)
@@ -24,10 +36,16 @@ type t = {
   outcome : Outcome.t;
   steps : int;
   fix_epoch : int;  (** Fix version active in the pod when recorded. *)
+  attribution : attribution option;
 }
 
 val of_result :
-  program_digest:string -> pod:int -> fix_epoch:int -> Interp.result -> t
+  program_digest:string ->
+  pod:int ->
+  fix_epoch:int ->
+  ?attribution:attribution ->
+  Interp.result ->
+  t
 (** Package an interpreter result as a relayable trace. *)
 
 val recorded_fraction : t -> float

@@ -161,6 +161,29 @@ let read_bits ?caps r =
     bits
   | n -> raise (Codec.Malformed (Printf.sprintf "bits encoding tag %d" n))
 
+(* Fix attribution: one varint 0 for [None] (the pre-rollout wire,
+   byte-for-byte plus that single zero), else the id count + 1, the
+   sorted ids, and the hook-fire count.  It sits at the very end of
+   both body shapes so [declared_bits]'s fixed skip-prefix and the
+   trace store's pod-varint splice offsets are unaffected. *)
+let write_attribution w (a : Trace.attribution option) =
+  match a with
+  | None -> Codec.Writer.varint w 0
+  | Some a ->
+    Codec.Writer.varint w (List.length a.active_fixes + 1);
+    List.iter (Codec.Writer.varint w) a.active_fixes;
+    Codec.Writer.varint w a.hook_fires
+
+let read_attribution ?caps r =
+  match Codec.Reader.varint r with
+  | 0 -> None
+  | n ->
+    let n_ids = n - 1 in
+    check caps "attributed fixes" n_ids (fun c -> c.max_predicates);
+    let active_fixes = List.init n_ids (fun _ -> Codec.Reader.varint r) in
+    let hook_fires = Codec.Reader.varint r in
+    Some { Trace.active_fixes; hook_fires }
+
 let write_tail w (t : Trace.t) =
   (* Schedule: RLE of thread runs. *)
   Codec.Writer.list w
@@ -173,7 +196,8 @@ let write_tail w (t : Trace.t) =
       Codec.Writer.byte w (syscall_tag kind);
       Codec.Writer.zigzag w result)
     t.syscalls;
-  encode_outcome w t.outcome
+  encode_outcome w t.outcome;
+  write_attribution w t.attribution
 
 let read_tail ?caps r =
   let schedule_runs =
@@ -204,7 +228,8 @@ let read_tail ?caps r =
         (kind, result))
   in
   let outcome = decode_outcome ?caps r in
-  (schedule, syscalls, outcome)
+  let attribution = read_attribution ?caps r in
+  (schedule, syscalls, outcome, attribution)
 
 (* ---- Full frame -------------------------------------------------------- *)
 
@@ -225,7 +250,7 @@ let read_body ?caps r ~program_digest ~trace_id =
   let steps = Codec.Reader.varint r in
   let n_decisions = Codec.Reader.varint r in
   let bits = read_bits ?caps r in
-  let schedule, syscalls, outcome = read_tail ?caps r in
+  let schedule, syscalls, outcome, attribution = read_tail ?caps r in
   {
     Trace.trace_id;
     program_digest;
@@ -237,6 +262,7 @@ let read_body ?caps r ~program_digest ~trace_id =
     outcome;
     steps;
     fix_epoch;
+    attribution;
   }
 
 let encode (t : Trace.t) =
@@ -301,7 +327,7 @@ let read_delta_body ?caps r ~(basis : Trace.t) ~program_digest ~trace_id =
     raise (Codec.Malformed "delta record: negative steps or decisions");
   let x = read_bits ?caps r in
   let bits = Bitvec.xor x basis.bits in
-  let schedule, syscalls, outcome = read_tail ?caps r in
+  let schedule, syscalls, outcome, attribution = read_tail ?caps r in
   {
     Trace.trace_id;
     program_digest;
@@ -313,6 +339,7 @@ let read_delta_body ?caps r ~(basis : Trace.t) ~program_digest ~trace_id =
     outcome;
     steps;
     fix_epoch;
+    attribution;
   }
 
 let encode_record ?basis (t : Trace.t) =

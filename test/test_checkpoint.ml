@@ -408,6 +408,91 @@ let test_checkpoint_determinism_across_processes () =
   in
   checks "equal states, equal bytes" (build ()) (build ())
 
+(* ---- Crash during retraction ------------------------------------------- *)
+
+module Fixgen = Softborg_hive.Fixgen
+module Fix_lifecycle = Softborg_hive.Fix_lifecycle
+
+let test_retraction_survives_crash_restore () =
+  let rollout =
+    { Fix_lifecycle.default_config with Fix_lifecycle.min_exposed = 2; min_control = 2 }
+  in
+  let config = { (Hive.default_config Hive.Full) with Hive.rollout = Some rollout } in
+  let sim = Sim.create () in
+  let hive = Hive.create ~config ~sim () in
+  let digest = Ir.digest Corpus.parser in
+  let k = Hive.register_program hive Corpus.parser in
+  (* A misplaced always-true guard: pure misfire telemetry. *)
+  Hive.inject_fix hive ~digest
+    (Fixgen.sabotage_kind Fixgen.Misplaced_guard ~program:Corpus.parser);
+  let fix_id =
+    match Knowledge.canary_ids k with
+    | [ id ] -> id
+    | _ -> Alcotest.fail "expected one canary"
+  in
+  let ckpt0 = Hive.checkpoint hive in
+  (* Misfire evidence: the canary cohort's guard fires on a workload
+     the control cohort shows benign.  Frames are built once and
+     replayed verbatim after the crash, as a durable upload log would. *)
+  let benign = [| 0; 0; 0 |] in
+  let epoch = Knowledge.epoch k in
+  let frames =
+    List.concat
+      (List.init 3 (fun i ->
+           let r = run_once ~seed:(40 + i) Corpus.parser benign in
+           let upload ~pod ~active ~hook_fires =
+             Protocol.encode
+               (Protocol.Trace_upload
+                  (Wire.encode
+                     (Trace.of_result ~program_digest:digest ~pod ~fix_epoch:epoch
+                        ~attribution:{ Trace.active_fixes = active; hook_fires }
+                        r)))
+           in
+           [ upload ~pod:1 ~active:[ fix_id ] ~hook_fires:1;
+             upload ~pod:2 ~active:[] ~hook_fires:0 ]))
+  in
+  List.iter (Hive.ingest_payload hive) frames;
+  Hive.tick hive;
+  checki "retraction decided" 1 (Hive.stats hive).Hive.fix_retractions;
+  checki "retract broadcast counted" 1 (Hive.stats hive).Hive.retracts_sent;
+  Alcotest.(check (list int)) "retracted ledger" [ fix_id ] (Knowledge.retracted_ids k);
+  checki "nothing live" 0 (List.length (Knowledge.live_fixes k));
+  let ckpt1 = Hive.checkpoint hive in
+  (* Crash A: between the Fix_retract broadcast and the next durable
+     checkpoint.  Restored from the pre-retraction snapshot and fed the
+     same upload log, the hive re-derives the retraction byte for byte:
+     recovery can lag, never diverge. *)
+  (match Hive.restore hive ckpt0 with
+  | Error e -> Alcotest.failf "restore failed: %s" e
+  | Ok _ -> ());
+  let k = Option.get (Hive.knowledge hive ~digest) in
+  Alcotest.(check (list int)) "rolled back to canary" [ fix_id ] (Knowledge.canary_ids k);
+  checki "ledger rolled back" 0 (List.length (Knowledge.retracted_ids k));
+  List.iter (Hive.ingest_payload hive) frames;
+  Hive.tick hive;
+  Alcotest.(check (list int)) "retracted again" [ fix_id ]
+    (Knowledge.retracted_ids (Option.get (Hive.knowledge hive ~digest)));
+  checks "replayed retraction byte-identical" ckpt1 (Hive.checkpoint hive);
+  (* Crash B: after the post-retraction checkpoint.  A twin restored
+     from it keeps the fix retracted — no resurrection — and
+     re-serializes identically. *)
+  let twin = Hive.create ~config ~sim () in
+  ignore (Hive.register_program twin Corpus.parser);
+  (match Hive.restore twin ckpt1 with
+  | Error e -> Alcotest.failf "twin restore failed: %s" e
+  | Ok n -> checki "one program restored" 1 n);
+  let k' = Option.get (Hive.knowledge twin ~digest) in
+  Alcotest.(check (list int)) "twin keeps the retraction" [ fix_id ] (Knowledge.retracted_ids k');
+  checki "twin resurrects nothing" 0 (List.length (Knowledge.live_fixes k'));
+  checki "twin has no canaries" 0 (List.length (Knowledge.canary_ids k'));
+  checks "twin equality" ckpt1 (Hive.checkpoint twin);
+  (* Nor can a stale adoption (a reordered pre-retraction Fix_update)
+     resurrect it after the restore. *)
+  Knowledge.adopt_fixes k' ~fixes:(Knowledge.fixes k')
+    ~epoch:(Knowledge.epoch k' - 1)
+    ~retracted:[];
+  Alcotest.(check (list int)) "stale adoption dropped" [ fix_id ] (Knowledge.retracted_ids k')
+
 let () =
   let q = QCheck_alcotest.to_alcotest in
   Alcotest.run "softborg_checkpoint"
@@ -429,6 +514,8 @@ let () =
           Alcotest.test_case "restore reverts" `Quick test_hive_restore_reverts_knowledge;
           Alcotest.test_case "late programs kept" `Quick test_hive_restore_keeps_late_programs;
           Alcotest.test_case "determinism" `Quick test_checkpoint_determinism_across_processes;
+          Alcotest.test_case "retraction survives crash" `Quick
+            test_retraction_survives_crash_restore;
         ] );
       ("federation", [ q prop_shard_checkpoint_roundtrip ]);
       ( "corruption",

@@ -242,6 +242,106 @@ let test_fix_publication_reaches_shards_and_pods () =
   checkb "pods received fix updates" true (!pod_fix_updates > 0);
   Federation.shutdown fed
 
+let test_coordinator_retraction_reaches_shards_and_survives_restore () =
+  (* Retraction is decided only at the merge coordinator: shards and
+     pods learn of it through the published [Fix_retract], in superstep
+     order — and a shard restored from a pre-retraction checkpoint is
+     caught up by the restore path, so the fix stays dead. *)
+  let module Fixgen = Softborg_hive.Fixgen in
+  let module Fix_lifecycle = Softborg_hive.Fix_lifecycle in
+  let rollout =
+    { Fix_lifecycle.default_config with Fix_lifecycle.min_exposed = 2; min_control = 2 }
+  in
+  let sim = Sim.create () in
+  let rng = Rng.create 83 in
+  let config =
+    let base = fed_config ~synthesize:true ~n_shards:2 () in
+    {
+      base with
+      Federation.merged_hive = { base.Federation.merged_hive with Hive.rollout = Some rollout };
+    }
+  in
+  let fed = Federation.create ~config ~sim ~rng () in
+  ignore (Federation.register_program fed Corpus.parser);
+  ignore (Federation.register_program fed Corpus.fig2_write);
+  let pods = attach_pods sim rng fed 2 in
+  let retract_frames = ref 0 in
+  List.iter
+    (fun pod ->
+      Transport.on_receive pod (fun payload ->
+          match Protocol.decode payload with
+          | Ok (Protocol.Fix_retract _) -> incr retract_frames
+          | _ -> ()))
+    pods;
+  let digest = Ir.digest Corpus.parser in
+  let mk = Option.get (Hive.knowledge (Federation.merged fed) ~digest) in
+  Hive.inject_fix (Federation.merged fed) ~digest
+    (Fixgen.sabotage_kind Fixgen.Misplaced_guard ~program:Corpus.parser);
+  let fix_id =
+    match Knowledge.canary_ids mk with
+    | [ id ] -> id
+    | _ -> Alcotest.fail "expected one canary at the coordinator"
+  in
+  (* Superstep 1 publishes the canary deployment; shards adopt it. *)
+  Federation.superstep fed;
+  Sim.run sim;
+  for i = 0 to Federation.n_shards fed - 1 do
+    let sk = Option.get (Hive.knowledge (Federation.shard_hive fed i) ~digest) in
+    checki "shard adopted the canary deployment" (Knowledge.epoch mk) (Knowledge.epoch sk)
+  done;
+  (* Shard 0's durable state as of the deployment — before retraction. *)
+  let pre_retraction = Federation.checkpoint_shard fed 0 in
+  (* Misfire evidence through the pod fleet: the guard fires on a
+     workload the control cohort shows benign. *)
+  let epoch = Knowledge.epoch mk in
+  let frames =
+    List.concat
+      (List.init 3 (fun i ->
+           let r = run_once ~seed:(60 + i) Corpus.parser [| 0; 0; 0 |] in
+           let upload ~pod ~active ~hook_fires =
+             Protocol.encode
+               (Protocol.Trace_upload
+                  (Wire.encode
+                     (Trace.of_result ~program_digest:digest ~pod ~fix_epoch:epoch
+                        ~attribution:{ Trace.active_fixes = active; hook_fires }
+                        r)))
+           in
+           [ upload ~pod:1 ~active:[ fix_id ] ~hook_fires:1;
+             upload ~pod:2 ~active:[] ~hook_fires:0 ]))
+  in
+  List.iteri
+    (fun i payload -> Transport.send (List.nth pods (i mod List.length pods)) payload)
+    frames;
+  Sim.run sim;
+  (* Drain the shard deltas into the coordinator, then let the next
+     superstep's health test retract and publish. *)
+  settle sim fed;
+  Federation.superstep fed;
+  Sim.run sim;
+  Alcotest.(check (list int)) "coordinator retracted the fix" [ fix_id ]
+    (Knowledge.retracted_ids mk);
+  checki "nothing live at the coordinator" 0 (List.length (Knowledge.live_fixes mk));
+  checkb "pods received the Fix_retract" true (!retract_frames > 0);
+  checkb "federation counted the retract broadcast" true
+    ((Federation.stats fed).Federation.retracts_sent > 0);
+  for i = 0 to Federation.n_shards fed - 1 do
+    let sk = Option.get (Hive.knowledge (Federation.shard_hive fed i) ~digest) in
+    Alcotest.(check (list int)) "shard adopted the retraction" [ fix_id ]
+      (Knowledge.retracted_ids sk);
+    checki "nothing live on the shard" 0 (List.length (Knowledge.live_fixes sk))
+  done;
+  (* Crash: shard 0 restarts from its pre-retraction checkpoint.  The
+     restore catch-up adopts the coordinator's current fix set, so the
+     retracted fix must not come back to life. *)
+  (match Federation.restore_shard fed 0 pre_retraction with
+  | Error e -> Alcotest.failf "restore failed: %s" e
+  | Ok _ -> ());
+  let sk = Option.get (Hive.knowledge (Federation.shard_hive fed 0) ~digest) in
+  Alcotest.(check (list int)) "restored shard caught up to the retraction" [ fix_id ]
+    (Knowledge.retracted_ids sk);
+  checki "restored shard resurrects nothing" 0 (List.length (Knowledge.live_fixes sk));
+  Federation.shutdown fed
+
 (* ---- Shard checkpoint / restore ----------------------------------------- *)
 
 let knowledge_fingerprints hive =
@@ -521,6 +621,8 @@ let () =
           q prop_merge_equality_survives_link_faults;
           Alcotest.test_case "delta accounting" `Quick test_commit_order_is_shard_then_seq;
           Alcotest.test_case "fix publication" `Quick test_fix_publication_reaches_shards_and_pods;
+          Alcotest.test_case "coordinator retraction" `Quick
+            test_coordinator_retraction_reaches_shards_and_survives_restore;
         ] );
       ( "checkpoint",
         [

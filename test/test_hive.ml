@@ -643,7 +643,8 @@ let test_protocol_roundtrips () =
     [
       Protocol.Trace_upload (Softborg_trace.Wire.encode trace);
       Protocol.Sampled_report { program_digest = "d"; report = sampled };
-      Protocol.Fix_update { program_digest = "d"; epoch = 2; fixes; pressure = 0 };
+      Protocol.Fix_update
+        { program_digest = "d"; epoch = 2; fixes; canary = []; canary_mils = 0; pressure = 0 };
       Protocol.Guidance_update
         {
           program_digest = "d";

@@ -52,6 +52,11 @@ let snap ~time ~sessions ~failures =
     gap_memo_misses = 0;
     verdict_cache_hits = 0;
     verdict_cache_misses = 0;
+    canary_fixes = 0;
+    fix_promotions = 0;
+    fix_retractions = 0;
+    quarantined_fix_traces = 0;
+    pods_exposed = 0;
   }
 
 let test_metrics_failure_rate () =

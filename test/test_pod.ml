@@ -145,14 +145,28 @@ let test_pod_applies_fix_update () =
   Transport.send hive_end
     (Protocol.encode
        (Protocol.Fix_update
-          { program_digest = Ir.digest Corpus.parser; epoch = 1; fixes = [ fix ]; pressure = 0 }));
+          {
+            program_digest = Ir.digest Corpus.parser;
+            epoch = 1;
+            fixes = [ fix ];
+            canary = [];
+            canary_mils = 0;
+            pressure = 0;
+          }));
   Sim.run sim;
   checki "pod at epoch 1" 1 (Pod.metrics pod).Pod.fix_epoch;
   (* Older epochs must not roll the pod back. *)
   Transport.send hive_end
     (Protocol.encode
        (Protocol.Fix_update
-          { program_digest = Ir.digest Corpus.parser; epoch = 0; fixes = []; pressure = 0 }));
+          {
+            program_digest = Ir.digest Corpus.parser;
+            epoch = 0;
+            fixes = [];
+            canary = [];
+            canary_mils = 0;
+            pressure = 0;
+          }));
   Sim.run sim;
   checki "stale update ignored" 1 (Pod.metrics pod).Pod.fix_epoch
 
@@ -217,7 +231,14 @@ let test_pod_fix_averts_failures () =
   Transport.send hive_end
     (Protocol.encode
        (Protocol.Fix_update
-          { program_digest = Ir.digest Corpus.parser; epoch = 1; fixes = [ fix ]; pressure = 0 }));
+          {
+            program_digest = Ir.digest Corpus.parser;
+            epoch = 1;
+            fixes = [ fix ];
+            canary = [];
+            canary_mils = 0;
+            pressure = 0;
+          }));
   Sim.run sim;
   (* Drive the crash inputs through a guidance directive. *)
   Transport.send hive_end
